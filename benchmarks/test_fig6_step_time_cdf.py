@@ -1,0 +1,71 @@
+"""Figure 6: cumulative distribution of step times per cBench program.
+
+The paper plots one CDF of environment step wall times per cBench program and
+reports a 560x spread between the median step time of the fastest program
+(crc32) and the slowest (ghostscript). This harness measures per-program step
+times over random trajectories and records the median-step-time ratio; the
+*shape* to reproduce is a wide (orders-of-magnitude) spread with crc32 at the
+fast end and ghostscript at the slow end.
+"""
+
+import random
+import time
+
+from conftest import bench_scale, save_results, save_table
+
+import repro
+from repro.llvm.datasets.suites import CBENCH_PROGRAMS
+from repro.util.statistics import percentile
+
+
+def test_fig6_step_time_distribution_per_cbench_program(benchmark):
+    steps_per_program = max(8, int(16 * bench_scale()))
+
+    def run_experiment():
+        rng = random.Random(0)
+        env = repro.make("llvm-v0", observation_space="Autophase", reward_space="IrInstructionCount")
+        per_program = {}
+        try:
+            for program in sorted(CBENCH_PROGRAMS):
+                uri = f"benchmark://cbench-v1/{program}"
+                env.reset(benchmark=uri)
+                times = []
+                for _ in range(steps_per_program):
+                    action = rng.randrange(env.action_space.n)
+                    start = time.perf_counter()
+                    env.step(action)
+                    times.append(time.perf_counter() - start)
+                per_program[program] = times
+        finally:
+            env.close()
+        return per_program
+
+    per_program = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    medians = {program: percentile(times, 50) for program, times in per_program.items()}
+    fastest = min(medians, key=medians.get)
+    slowest = max(medians, key=medians.get)
+    spread = medians[slowest] / medians[fastest]
+
+    rows = [
+        f"{program:<16} median={medians[program] * 1e3:8.3f}ms  p90={percentile(times, 90) * 1e3:8.3f}ms"
+        for program, times in sorted(per_program.items(), key=lambda kv: medians[kv[0]])
+    ]
+    rows.append(f"fastest={fastest} slowest={slowest} median spread={spread:.1f}x (paper: 560.3x)")
+    save_table("fig6", "Figure 6: step-time distribution per cBench program", rows)
+    save_results(
+        "fig6",
+        {
+            "medians_ms": {k: v * 1e3 for k, v in medians.items()},
+            "fastest": fastest,
+            "slowest": slowest,
+            "median_spread": spread,
+        },
+    )
+
+    # Shape checks: a wide spread, with crc32 among the fastest quartile and
+    # ghostscript among the slowest.
+    assert spread > 10
+    ordered = sorted(medians, key=medians.get)
+    assert ordered.index("crc32") < len(ordered) // 2
+    assert ordered.index("ghostscript") >= len(ordered) * 3 // 4

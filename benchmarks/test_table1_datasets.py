@@ -1,0 +1,34 @@
+"""Table I: the LLVM benchmark dataset inventory.
+
+Regenerates the CompilerGym column of Table I (number of benchmarks per
+dataset) and records it to ``results/table1.json``. The paper's comparison
+columns (Autophase: 100 benchmarks, MLGO: ~30k) are constants quoted from the
+respective papers.
+"""
+
+from conftest import save_results, save_table
+
+from repro.llvm.datasets.suites import make_llvm_datasets
+
+# Benchmark counts used by the two prior works, from Table I.
+PRIOR_WORK_COUNTS = {"Autophase": 100, "MLGO": 28_000 + 9 + 100}
+
+
+def test_table1_dataset_inventory(benchmark):
+    def build_inventory():
+        datasets = make_llvm_datasets()
+        return {
+            dataset.name: (dataset.size if dataset.size else "generator (2^32 seeds)")
+            for dataset in datasets.datasets()
+        }
+
+    inventory = benchmark(build_inventory)
+    total = sum(size for size in inventory.values() if isinstance(size, int))
+    rows = [f"{name:<35} {size}" for name, size in sorted(inventory.items())]
+    rows.append(f"{'TOTAL (excluding generators)':<35} {total}")
+    save_table("table1", "Table I: benchmarks per dataset (CompilerGym column)", rows)
+    save_results("table1", {"datasets": inventory, "total_excluding_generators": total,
+                            "prior_works": PRIOR_WORK_COUNTS})
+
+    assert total > 1_000_000  # The paper's headline: millions of benchmarks.
+    assert len(inventory) == 14

@@ -1,0 +1,140 @@
+"""Table IV: autotuning the LLVM phase ordering task.
+
+Runs the five autotuning techniques (greedy, LaMCTS, Nevergrad-style
+ensemble, OpenTuner-style baseline, random) on a subset of cBench for each of
+the three optimization targets, and reports the geometric-mean improvement
+over the compiler's default pipeline (-Oz for the size targets, -O3 for
+runtime), plus the lines of code of each technique's implementation.
+
+The paper gives each technique one hour per benchmark; this harness uses a
+small per-benchmark step budget (scaled by REPRO_BENCH_SCALE). The shape to
+reproduce: every technique beats the default pipelines given enough budget,
+with the ensemble search (Nevergrad) strongest on code size, and the
+improvements over -Oz being modest (single-digit percent in the paper).
+"""
+
+import inspect
+
+from conftest import bench_scale, save_results, save_table
+
+import repro
+from repro.autotuning import (
+    GreedySearch,
+    LaMCTSSearch,
+    NevergradEnsembleSearch,
+    OpenTunerBaselineSearch,
+    RandomSearch,
+)
+from repro.autotuning import greedy as greedy_module
+from repro.autotuning import lamcts as lamcts_module
+from repro.autotuning import nevergrad_like as nevergrad_module
+from repro.autotuning import opentuner_like as opentuner_module
+from repro.autotuning import random_search as random_module
+from repro.util.statistics import geometric_mean
+
+# A cBench subset that keeps the harness fast; REPRO_BENCH_SCALE >= 4 uses all 23.
+SMALL_CBENCH = ["crc32", "qsort", "stringsearch", "dijkstra", "sha", "adpcm", "patricia", "bitcount"]
+
+TARGETS = {
+    # target -> (reward space, final metric observation, baseline observation, higher_is_better)
+    "code size": ("IrInstructionCount", "IrInstructionCount", "IrInstructionCountOz"),
+    "binary size": ("ObjectTextSizeBytes", "ObjectTextSizeBytes", "ObjectTextSizeOz"),
+    "runtime": ("Runtime", "Runtime", None),
+}
+
+
+def _lines_of_code(module) -> int:
+    """Count non-blank, non-comment source lines of a tuner implementation."""
+    source = inspect.getsource(module)
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith(("#", '"""', "'''"))
+    )
+
+
+def _make_tuners():
+    return {
+        "Greedy Search": (GreedySearch(seed=0, max_episode_length=40), _lines_of_code(greedy_module)),
+        "LaMCTS": (LaMCTSSearch(seed=0, rollout_length=60), _lines_of_code(lamcts_module)),
+        "Nevergrad": (NevergradEnsembleSearch(seed=0, episode_length=60), _lines_of_code(nevergrad_module)),
+        "OpenTuner": (OpenTunerBaselineSearch(seed=0, episode_length=60), _lines_of_code(opentuner_module)),
+        "Random Search": (RandomSearch(seed=0, patience=30, max_episode_length=100), _lines_of_code(random_module)),
+    }
+
+
+def _evaluate_target(target: str, seconds_per_benchmark: float, benchmarks):
+    reward_space, metric, baseline_obs = TARGETS[target]
+    improvements = {name: [] for name in _make_tuners()}
+    env = repro.make("llvm-v0", reward_space=reward_space)
+    try:
+        for program in benchmarks:
+            uri = f"benchmark://cbench-v1/{program}"
+            for name, (tuner, _loc) in _make_tuners().items():
+                env.reset(benchmark=uri)
+                # Equal wall-clock budget per technique, as in the paper
+                # (which gave each one hour per benchmark).
+                result = tuner.tune(env, max_seconds=seconds_per_benchmark)
+                # Replay the best actions and read the final metric.
+                env.reset(benchmark=uri)
+                if result.best_actions:
+                    env.multistep(result.best_actions)
+                achieved = float(env.observation[metric])
+                if baseline_obs is not None:
+                    baseline = float(env.observation[baseline_obs])
+                else:
+                    # Runtime: baseline is the -O3 pipeline applied to a fresh state,
+                    # median of 3 simulated measurements.
+                    fork = env.fork()
+                    try:
+                        fork.reset(benchmark=uri)
+                        fork.apply_baseline_pipeline("-O3")
+                        samples = sorted(fork.observation["Runtime"] for _ in range(3))
+                        baseline = samples[1]
+                    finally:
+                        fork.close()
+                    samples = sorted(env.observation["Runtime"] for _ in range(3))
+                    achieved = samples[1]
+                improvements[name].append(baseline / achieved if achieved > 0 else 0.0)
+    finally:
+        env.close()
+    return {name: geometric_mean(values) for name, values in improvements.items()}
+
+
+def test_table4_autotuning_llvm_phase_ordering(benchmark):
+    scale = bench_scale()
+    seconds_per_benchmark = 1.5 * scale
+    benchmarks = SMALL_CBENCH if scale < 4 else None
+
+    def run_experiment():
+        from repro.llvm.datasets.suites import CBENCH_PROGRAMS
+
+        programs = benchmarks or sorted(CBENCH_PROGRAMS)
+        return {
+            target: _evaluate_target(target, seconds_per_benchmark, programs)
+            for target in ("code size", "binary size", "runtime")
+        }
+
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines_of_code = {name: loc for name, (_t, loc) in _make_tuners().items()}
+    rows = [
+        f"{name:<15} LoC={lines_of_code[name]:>4}  "
+        f"codesize={results['code size'][name]:.3f}x  "
+        f"binsize={results['binary size'][name]:.3f}x  "
+        f"runtime={results['runtime'][name]:.3f}x"
+        for name in lines_of_code
+    ]
+    save_table("table4", "Table IV: LLVM phase-ordering autotuning (vs -Oz / -O3)", rows)
+    save_results("table4", {"improvements": results, "lines_of_code": lines_of_code,
+                            "seconds_per_benchmark": seconds_per_benchmark})
+
+    # Shape checks: integration is low-effort (every technique is well under
+    # the paper's 165-LoC ceiling), and within the reduced budget the best
+    # technique approaches the -Oz pipeline's code size while none collapses.
+    # (The paper's searches *exceed* -Oz given an hour per benchmark; see
+    # EXPERIMENTS.md for the scaled-budget discussion.)
+    assert all(loc < 200 for loc in lines_of_code.values())
+    code_size = results["code size"]
+    assert max(code_size.values()) >= 0.85 if scale >= 1 else max(code_size.values()) >= 0.7
+    assert min(code_size.values()) >= 0.15

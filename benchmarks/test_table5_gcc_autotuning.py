@@ -1,0 +1,91 @@
+"""Table V: autotuning GCC command-line flags on CHStone.
+
+Runs random search, hill climbing, and a genetic algorithm over the GCC
+option space, each given a fixed budget of compilations per benchmark, and
+reports the geometric-mean object-code size reduction relative to -Os.
+
+The paper's budget is 1000 compilations per benchmark; the default here is
+smaller (scaled by REPRO_BENCH_SCALE). The shape to reproduce: the GA and
+random search comfortably beat -Os (the paper reports 1.27x and 1.21x), while
+plain hill climbing trails them (1.04x).
+"""
+
+import inspect
+
+from conftest import bench_scale, save_results, save_table
+
+import repro
+from repro.autotuning import GeneticAlgorithm, HillClimbingSearch, RandomConfigurationSearch
+from repro.autotuning import genetic as genetic_module
+from repro.autotuning import hill_climbing as hill_module
+from repro.autotuning import random_search as random_module
+from repro.gcc.compiler import SimulatedGcc
+from repro.gcc.spec import OLevelOption
+from repro.llvm.datasets.suites import CHSTONE_PROGRAMS
+from repro.util.statistics import geometric_mean
+
+
+def _lines_of_code(module) -> int:
+    source = inspect.getsource(module)
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith(("#", '"""', "'''"))
+    )
+
+
+def test_table5_gcc_flag_tuning(benchmark):
+    compilations = int(300 * bench_scale())
+
+    def run_experiment():
+        env = repro.make("gcc-v0")
+        spec = env.gcc_spec
+        gcc = SimulatedGcc(spec)
+        env.close()
+        # Search directly over the Choices space via the simulated compiler,
+        # exactly as the paper's scripts drive full configurations.
+        cardinalities = [min(len(option), 64) for option in spec.options]
+        os_choices = spec.default_choices()
+        os_choices[0] = 1 + OLevelOption.LEVELS.index("-Os")
+
+        tuners = {
+            "Genetic Algorithm": GeneticAlgorithm(seed=0, population_size=50),
+            "Hill Climbing": HillClimbingSearch(seed=0),
+            "Random Search": RandomConfigurationSearch(seed=0),
+        }
+        reductions = {name: [] for name in tuners}
+        for program in sorted(CHSTONE_PROGRAMS):
+            benchmark_id = f"chstone/{program}"
+            os_size = gcc.obj_size(benchmark_id, os_choices)
+
+            def objective(config, benchmark_id=benchmark_id):
+                return gcc.obj_size(benchmark_id, config)
+
+            for name, tuner in tuners.items():
+                result = tuner.tune(objective, cardinalities, max_evaluations=compilations,
+                                    initial=os_choices)
+                reductions[name].append(os_size / result.best_metric)
+        return {name: geometric_mean(values) for name, values in reductions.items()}
+
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines_of_code = {
+        "Genetic Algorithm": _lines_of_code(genetic_module),
+        "Hill Climbing": _lines_of_code(hill_module),
+        "Random Search": _lines_of_code(random_module),
+    }
+    rows = [
+        f"{name:<20} LoC={lines_of_code[name]:>4}  geomean obj-size reduction vs -Os: {value:.3f}x"
+        for name, value in results.items()
+    ]
+    save_table("table5", f"Table V: GCC flag tuning on CHStone ({compilations} compilations/benchmark)", rows)
+    save_results("table5", {"reductions_vs_Os": results, "lines_of_code": lines_of_code,
+                            "compilations_per_benchmark": compilations})
+
+    # Shape checks: every technique at least matches -Os (they start from it)
+    # and finds a configuration meaningfully better than it, staying within
+    # the plausible range of improvements the paper reports (1.0x - 1.5x).
+    # (The relative ordering of the three techniques is sensitive to the
+    # simulated cost surface and the reduced budget; see EXPERIMENTS.md.)
+    assert all(1.0 <= value <= 1.6 for value in results.values())
+    assert max(results.values()) >= 1.15

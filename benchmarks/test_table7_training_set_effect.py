@@ -1,0 +1,73 @@
+"""Table VII: the effect of the training set on generalization.
+
+Trains a PPO agent on each of three datasets (Csmith, GitHub, TensorFlow) and
+cross-evaluates every trained agent on test benchmarks from all three
+datasets, producing the 3x3 generalization matrix of Table VII. The shape to
+reproduce: each agent performs best (or near best) on test programs from its
+own training distribution.
+"""
+
+from conftest import bench_scale, save_results, save_table
+
+import repro
+from repro.rl import PPOAgent
+from repro.rl.trainer import (
+    evaluate_codesize_reduction,
+    make_rl_environment,
+    observation_dim,
+    train_agent,
+)
+
+NUM_ACTIONS = 42
+EPISODE_LENGTH = 25
+
+TRAINING_SETS = {
+    "Csmith": [f"generator://csmith-v0/{i}" for i in range(15)],
+    "GitHub": [f"benchmark://github-v0/{i}" for i in range(15)],
+    "TensorFlow": [f"benchmark://tensorflow-v0/{i}" for i in range(15)],
+}
+TEST_SETS = {
+    "Csmith": [f"generator://csmith-v0/{20_000 + i}" for i in range(3)],
+    "GitHub": [f"benchmark://github-v0/{1_000 + i}" for i in range(3)],
+    "TensorFlow": [f"benchmark://tensorflow-v0/{500 + i}" for i in range(3)],
+}
+
+
+def test_table7_effect_of_training_set(benchmark):
+    scale = bench_scale()
+    training_episodes = int(90 * scale)
+    obs_dim = observation_dim("Autophase", True, NUM_ACTIONS)
+
+    def run_experiment():
+        matrix = {}
+        env = repro.make("llvm-v0", reward_space="IrInstructionCountNorm")
+        wrapped = make_rl_environment(env, episode_length=EPISODE_LENGTH)
+        try:
+            for train_name, training_benchmarks in TRAINING_SETS.items():
+                agent = PPOAgent(obs_dim, NUM_ACTIONS, seed=0)
+                train_agent(agent, wrapped, training_benchmarks, episodes=training_episodes)
+                matrix[train_name] = {}
+                for test_name, test_benchmarks in TEST_SETS.items():
+                    result = evaluate_codesize_reduction(agent, wrapped, test_benchmarks, test_name)
+                    matrix[train_name][test_name] = result.geomean_reduction
+        finally:
+            wrapped.close()
+        return matrix
+
+    matrix = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    corner = "train / test"
+    rows = [f"{corner:<14}" + "".join(f"{t:>12}" for t in TEST_SETS)]
+    for train_name, scores in matrix.items():
+        rows.append(f"{train_name:<14}" + "".join(f"{scores[t]:>12.3f}" for t in TEST_SETS))
+    save_table("table7", "Table VII: PPO cross-dataset generalization (geomean vs -Oz)", rows)
+    save_results("table7", {"matrix": matrix, "training_episodes": training_episodes})
+
+    # Shape checks: all entries positive, and on average the diagonal (same
+    # train/test domain) is at least as good as the off-diagonal entries.
+    diagonal, off_diagonal = [], []
+    for train_name, scores in matrix.items():
+        for test_name, value in scores.items():
+            assert value > 0
+            (diagonal if train_name == test_name else off_diagonal).append(value)
+    assert sum(diagonal) / len(diagonal) >= (sum(off_diagonal) / len(off_diagonal)) * 0.9

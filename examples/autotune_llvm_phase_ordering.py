@@ -1,0 +1,69 @@
+"""Autotuning the LLVM phase ordering (the Table IV workload).
+
+Runs several search techniques on a cBench program, compares the code size
+they reach against the compiler's -Oz pipeline, validates the best result by
+replaying its serialized state, and prints a leaderboard.
+
+Usage::
+
+    python examples/autotune_llvm_phase_ordering.py [--benchmark cbench-v1/qsort] [--budget 800]
+"""
+
+import argparse
+
+import repro as compiler_gym
+from repro.autotuning import (
+    GreedySearch,
+    LaMCTSSearch,
+    NevergradEnsembleSearch,
+    RandomSearch,
+)
+from repro.core.leaderboard import Leaderboard
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="cbench-v1/qsort")
+    parser.add_argument("--budget", type=int, default=800, help="Search budget in environment steps")
+    args = parser.parse_args()
+
+    env = compiler_gym.make("llvm-v0", benchmark=args.benchmark, reward_space="IrInstructionCount")
+    env.reset()
+    o0 = env.observation["IrInstructionCountO0"]
+    oz = env.observation["IrInstructionCountOz"]
+    print(f"{args.benchmark}: -O0 size {o0}, -Oz size {oz}\n")
+
+    tuners = [
+        GreedySearch(seed=0, max_episode_length=30),
+        RandomSearch(seed=0, patience=20, max_episode_length=80),
+        LaMCTSSearch(seed=0, rollout_length=40),
+        NevergradEnsembleSearch(seed=0, episode_length=40),
+    ]
+    leaderboard = Leaderboard(task=f"llvm-ic-{args.benchmark}")
+    best_state = None
+    for tuner in tuners:
+        result = tuner.tune(env, max_steps=args.budget)
+        env.reset()
+        if result.best_actions:
+            env.multistep(result.best_actions)
+        final = env.observation["IrInstructionCount"]
+        state = env.state
+        leaderboard.submit(tuner.name, [state])
+        print(
+            f"{tuner.name:<12} best reward {result.best_reward:7.1f}  "
+            f"final size {final:4d}  vs -Oz {oz / final:5.3f}x  "
+            f"({result.steps} steps, {result.walltime:.1f}s)"
+        )
+        if best_state is None or (state.reward or 0) > (best_state.reward or 0):
+            best_state = state
+
+    print("\nValidating the best result by replaying its serialized state...")
+    validation = env.validate(best_state)
+    print(f"  {validation}")
+
+    print("\n" + leaderboard.to_markdown())
+    env.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Serving the CompilerGym Explorer REST API.
+
+Starts the HTTP service that the Explorer web UI talks to (Section III-E of
+the paper), then demonstrates the same API in-process: starting a session,
+stepping through passes, inspecting the reward/observation trends the
+Explorer visualizes, and undoing an action.
+
+Usage::
+
+    python examples/explorer_server.py [--port 5000] [--demo-only]
+"""
+
+import argparse
+import threading
+
+from repro.web.rest import ExplorerAPI, create_server
+
+
+def run_demo(api: ExplorerAPI) -> None:
+    description = api.describe()
+    print(f"Environment exposes {len(description['actions'])} actions, "
+          f"{len(description['observations'])} observation spaces.")
+
+    session = api.start("IrInstructionCountOz", "benchmark://cbench-v1/qsort")
+    session_id = session["session_id"]
+    print(f"\nStarted session {session_id} on cbench-v1/qsort")
+    print(f"  initial instruction count: {session['states'][0]['instruction_count']}")
+
+    for pass_name in ("-mem2reg", "-simplifycfg", "-gvn", "-instcombine", "-dce"):
+        action = description["actions"].index(pass_name.lstrip("-"))
+        state = api.step(session_id, [action])["states"][-1]
+        print(f"  {pass_name:<14} -> {state['instruction_count']:4d} instructions "
+              f"(cumulative reward {state['cumulative_reward']:.3f})")
+
+    undone = api.undo(session_id, 1)
+    print(f"  undo            -> {undone['state']['instruction_count']:4d} instructions")
+    api.stop(session_id)
+    print("Session closed.")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=5000)
+    parser.add_argument("--demo-only", action="store_true",
+                        help="Run the in-process demo without binding a port")
+    args = parser.parse_args()
+
+    if args.demo_only:
+        run_demo(ExplorerAPI())
+        return
+
+    server = create_server(port=args.port)
+    print(f"Explorer REST API listening on http://127.0.0.1:{server.server_address[1]}/api/v1/describe")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    run_demo(server.api)
+    print("\nServer is still running; press Ctrl-C to stop.")
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: the CompilerGym interaction loop (Listing 1 of the paper).
+
+Creates an LLVM phase-ordering environment, runs a random agent for a number
+of steps, reports the code-size improvement achieved, and saves the optimized
+program to disk.
+
+Usage::
+
+    python examples/quickstart.py [--steps 200] [--benchmark cbench-v1/qsort]
+"""
+
+import argparse
+import tempfile
+
+import repro as compiler_gym
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="cbench-v1/qsort")
+    parser.add_argument("--steps", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # Create a new environment, selecting the compiler to use, the program to
+    # compile, the feature vector to represent program states, and the
+    # optimization target:
+    env = compiler_gym.make(
+        "llvm-v0",
+        benchmark=args.benchmark,
+        observation_space="Autophase",
+        reward_space="IrInstructionCount",
+    )
+    env.action_space.seed(args.seed)
+
+    # Start a new compilation session:
+    observation = env.reset()
+    print(f"Benchmark: {env.benchmark}")
+    print(f"Initial observation (Autophase, first 8 dims): {observation[:8]}")
+    initial_size = env.observation["IrInstructionCount"]
+    oz_size = env.observation["IrInstructionCountOz"]
+    print(f"Unoptimized IR instruction count: {initial_size}")
+    print(f"-Oz reaches:                      {oz_size}")
+
+    # Run random optimizations. Each step of the environment produces a new
+    # state observation and reward:
+    best_size = initial_size
+    for step in range(args.steps):
+        observation, reward, done, info = env.step(env.action_space.sample())
+        size = env.observation["IrInstructionCount"]
+        best_size = min(best_size, size)
+        if done:
+            env.reset()
+
+    final_size = env.observation["IrInstructionCount"]
+    print(f"\nAfter {args.steps} random actions:")
+    print(f"  final instruction count: {final_size}")
+    print(f"  cumulative reward:       {env.episode_reward:.1f}")
+    print(f"  achieved vs -Oz:         {oz_size / final_size:.3f}x")
+    print(f"  command line:            {env.commandline()[:120]}...")
+
+    # Save output program:
+    output = tempfile.mktemp(suffix=".bc")
+    env.write_bitcode(output)
+    print(f"\nOptimized program written to {output}")
+    env.close()
+
+
+if __name__ == "__main__":
+    main()

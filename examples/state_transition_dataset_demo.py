@@ -1,0 +1,74 @@
+"""Building and using the State Transition Dataset (Section III-F / Fig. 8).
+
+Logs random optimization trajectories into the relational state-transition
+database, post-processes it into unique state transitions, then trains the
+gated-graph-network cost model to predict instruction counts from ProGraML
+graphs — the paper's Fig. 8 experiment at laptop scale.
+
+Usage::
+
+    python examples/state_transition_dataset_demo.py [--episodes 20] [--epochs 20]
+"""
+
+import argparse
+import random
+
+import repro as compiler_gym
+from repro.cost_model import CostModelTrainer, GatedGraphNeuralNetwork
+from repro.llvm.analysis.programl import programl_graph
+from repro.llvm.ir.parser import parse_module
+from repro.state_transition_dataset import (
+    StateTransitionDatabase,
+    StateTransitionLoggingWrapper,
+    populate_state_transitions,
+)
+from repro.state_transition_dataset.postprocess import transition_statistics
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=20)
+    parser.add_argument("--steps-per-episode", type=int, default=8)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--database", default=":memory:", help="Path for the SQLite database")
+    args = parser.parse_args()
+
+    # 1. Collect trajectories into the database via the logging wrapper.
+    database = StateTransitionDatabase(args.database)
+    env = compiler_gym.make("llvm-v0", reward_space="IrInstructionCount")
+    wrapper = StateTransitionLoggingWrapper(env, database)
+    rng = random.Random(0)
+    print(f"Logging {args.episodes} random episodes...")
+    for episode in range(args.episodes):
+        wrapper.reset(benchmark=f"generator://csmith-v0/{episode}")
+        for _ in range(args.steps_per_episode):
+            wrapper.step(rng.randrange(env.action_space.n))
+    wrapper.close()
+
+    # 2. Post-process into unique state transitions.
+    populate_state_transitions(database)
+    stats = transition_statistics(database)
+    print(f"Database: {stats['steps']} steps, {stats['unique_states']} unique states, "
+          f"{stats['transitions']} transitions\n")
+
+    # 3. Train the cost model on (graph, instruction count) pairs.
+    graphs, targets = [], []
+    for observation in database.observations():
+        if observation["ir"]:
+            graphs.append(programl_graph(parse_module(observation["ir"])))
+            targets.append(observation["instruction_count"])
+    split = int(0.8 * len(graphs))
+    print(f"Training the GGNN cost model on {split} graphs, validating on {len(graphs) - split}...")
+    trainer = CostModelTrainer(GatedGraphNeuralNetwork(hidden_dim=48, seed=0), seed=0)
+    curve = trainer.fit(graphs[:split], targets[:split], graphs[split:], targets[split:],
+                        epochs=args.epochs)
+    for epoch, error in zip(curve.epochs, curve.validation_relative_error):
+        if epoch % max(1, args.epochs // 10) == 0:
+            print(f"  epoch {epoch:3d}: validation relative error {error:.4f}")
+    print(f"\nNaive mean-prediction relative error: {curve.naive_relative_error:.4f}")
+    print(f"Learned model relative error:         {curve.validation_relative_error[-1]:.4f}")
+    print("(Paper, Fig. 8: 0.025 for the learned model vs 1.393 for the naive predictor.)")
+
+
+if __name__ == "__main__":
+    main()

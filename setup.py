@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+The project metadata lives in pyproject.toml; this shim exists so the package
+can be installed with ``pip install -e .`` in offline environments that lack
+the ``wheel`` package required by PEP 517 editable builds.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of CompilerGym: Robust, Performant Compiler Optimization "
+        "Environments for AI Research (CGO 2022)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "networkx"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro-compilergym=repro.cli.main:main"]},
+)

@@ -1,0 +1,83 @@
+"""repro: a reproduction of CompilerGym (CGO 2022).
+
+The package mirrors the ``compiler_gym`` public API: ``make()`` constructs an
+environment by ID, ``COMPILER_GYM_ENVS`` lists the registered environments,
+and the ``wrappers``, ``datasets``, and ``spaces`` modules provide the
+supporting toolkit.
+
+>>> import repro as compiler_gym
+>>> env = compiler_gym.make(
+...     "llvm-v0",
+...     benchmark="cbench-v1/qsort",
+...     observation_space="Autophase",
+...     reward_space="IrInstructionCount",
+... )
+>>> observation = env.reset()
+>>> observation, reward, done, info = env.step(env.action_space.sample())
+"""
+
+from repro.core import CompilerEnv, CompilerEnvState
+from repro.core.registration import make, register, registered_env_ids
+from repro.core import wrappers  # noqa: F401 - re-exported module
+from repro.core import spaces  # noqa: F401 - re-exported module
+from repro.core.validation import ValidationResult, validate_states
+from repro.errors import CompilerGymError, ValidationError
+
+__version__ = "1.0.0"
+
+# -- environment registration -------------------------------------------------
+
+register(
+    id="llvm-v0",
+    entry_point="repro.llvm.env:make_llvm_env",
+    kwargs={},
+)
+register(
+    id="llvm-ic-v0",
+    entry_point="repro.llvm.env:make_llvm_env",
+    kwargs={"reward_space": "IrInstructionCount"},
+)
+register(
+    id="llvm-autophase-ic-v0",
+    entry_point="repro.llvm.env:make_llvm_env",
+    kwargs={"observation_space": "Autophase", "reward_space": "IrInstructionCountOz"},
+)
+register(
+    id="llvm-autophase-codesize-v0",
+    entry_point="repro.llvm.env:make_llvm_env",
+    kwargs={"observation_space": "Autophase", "reward_space": "IrInstructionCount"},
+)
+register(
+    id="llvm-instcount-ic-v0",
+    entry_point="repro.llvm.env:make_llvm_env",
+    kwargs={"observation_space": "InstCount", "reward_space": "IrInstructionCountOz"},
+)
+register(
+    id="gcc-v0",
+    entry_point="repro.gcc.env:make_gcc_env",
+    kwargs={},
+)
+register(
+    id="loop_tool-v0",
+    entry_point="repro.loop_tool.env:make_loop_tool_env",
+    kwargs={},
+)
+
+#: The list of registered CompilerGym environment IDs.
+COMPILER_GYM_ENVS = registered_env_ids()
+
+__all__ = [
+    "COMPILER_GYM_ENVS",
+    "CompilerEnv",
+    "CompilerEnvState",
+    "CompilerGymError",
+    "ValidationError",
+    "ValidationResult",
+    "__version__",
+    "make",
+    "register",
+    "registered_env_ids",
+    "spaces",
+    "validate_states",
+    "wrappers",
+]

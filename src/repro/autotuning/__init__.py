@@ -1,0 +1,38 @@
+"""Autotuning techniques evaluated in the paper (Tables IV and V).
+
+Two families of searchers are provided:
+
+* *Episode tuners* search over action sequences of a CompilerGym environment
+  (the LLVM phase-ordering task): greedy search, random search, a
+  LaMCTS-style Monte-Carlo tree search with space partitioning, a
+  Nevergrad-style ensemble, and an OpenTuner-style recompile-from-scratch
+  baseline.
+* *Configuration tuners* search over fixed-length integer configuration
+  vectors (the GCC flag-tuning task): random search, hill climbing, and a
+  genetic algorithm.
+"""
+
+from repro.autotuning.base import ConfigurationTuner, EpisodeTuner, SearchResult
+from repro.autotuning.random_search import RandomConfigurationSearch, RandomSearch
+from repro.autotuning.greedy import GreedySearch
+from repro.autotuning.hill_climbing import HillClimbingSearch, SequenceHillClimbing
+from repro.autotuning.genetic import GeneticAlgorithm, SequenceGeneticAlgorithm
+from repro.autotuning.lamcts import LaMCTSSearch
+from repro.autotuning.nevergrad_like import NevergradEnsembleSearch
+from repro.autotuning.opentuner_like import OpenTunerBaselineSearch
+
+__all__ = [
+    "ConfigurationTuner",
+    "EpisodeTuner",
+    "GeneticAlgorithm",
+    "GreedySearch",
+    "HillClimbingSearch",
+    "LaMCTSSearch",
+    "NevergradEnsembleSearch",
+    "OpenTunerBaselineSearch",
+    "RandomConfigurationSearch",
+    "RandomSearch",
+    "SearchResult",
+    "SequenceGeneticAlgorithm",
+    "SequenceHillClimbing",
+]

@@ -1,0 +1,129 @@
+"""Genetic algorithms.
+
+:class:`GeneticAlgorithm` follows the structure of the ``geneticalgorithm``
+PyPI package used in the paper's GCC experiments (population of 100, uniform
+crossover, per-gene mutation, elitism). :class:`SequenceGeneticAlgorithm`
+adapts the same machinery to variable-length action sequences for the LLVM
+phase-ordering task.
+"""
+
+import random
+from typing import List, Sequence
+
+from repro.autotuning.base import Budget, ConfigurationTuner, EpisodeTuner, SearchResult
+
+
+class GeneticAlgorithm(ConfigurationTuner):
+    """Configuration-vector GA (defaults mirror geneticalgorithm's)."""
+
+    name = "genetic-algorithm"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        population_size: int = 100,
+        mutation_probability: float = 0.1,
+        elite_ratio: float = 0.01,
+        crossover_probability: float = 0.5,
+        parents_portion: float = 0.3,
+    ):
+        super().__init__(seed)
+        self.population_size = population_size
+        self.mutation_probability = mutation_probability
+        self.elite_ratio = elite_ratio
+        self.crossover_probability = crossover_probability
+        self.parents_portion = parents_portion
+
+    def search(self, objective, cardinalities, max_evaluations, initial):
+        rng = random.Random(self.seed)
+        n = len(cardinalities)
+
+        def random_individual() -> List[int]:
+            return [rng.randrange(c) for c in cardinalities]
+
+        population: List[List[int]] = [random_individual() for _ in range(self.population_size)]
+        if initial:
+            population[0] = list(initial)
+        evaluations = 0
+        scored: List[tuple] = []
+        for individual in population:
+            if evaluations >= max_evaluations:
+                break
+            scored.append((objective(individual), individual))
+            evaluations += 1
+        scored.sort(key=lambda pair: pair[0])
+        best_cost, best_config = scored[0]
+
+        num_elite = max(1, int(self.elite_ratio * self.population_size))
+        num_parents = max(2, int(self.parents_portion * self.population_size))
+
+        while evaluations < max_evaluations:
+            parents = [individual for _, individual in scored[:num_parents]]
+            next_population: List[List[int]] = [list(ind) for _, ind in scored[:num_elite]]
+            while len(next_population) < self.population_size:
+                mother, father = rng.sample(parents, 2)
+                child = [
+                    mother[i] if rng.random() < self.crossover_probability else father[i]
+                    for i in range(n)
+                ]
+                for i in range(n):
+                    if rng.random() < self.mutation_probability:
+                        child[i] = rng.randrange(cardinalities[i])
+                next_population.append(child)
+            scored = scored[:num_elite]
+            for individual in next_population[num_elite:]:
+                if evaluations >= max_evaluations:
+                    break
+                scored.append((objective(individual), individual))
+                evaluations += 1
+            scored.sort(key=lambda pair: pair[0])
+            if scored[0][0] < best_cost:
+                best_cost, best_config = scored[0]
+        return list(best_config), best_cost, evaluations
+
+
+class SequenceGeneticAlgorithm(EpisodeTuner):
+    """GA over fixed-length action sequences for episode environments."""
+
+    name = "sequence-genetic-algorithm"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        episode_length: int = 40,
+        population_size: int = 16,
+        mutation_probability: float = 0.1,
+    ):
+        super().__init__(seed)
+        self.episode_length = episode_length
+        self.population_size = population_size
+        self.mutation_probability = mutation_probability
+
+    def search(self, env, budget: Budget, result: SearchResult) -> None:
+        rng = random.Random(self.seed)
+        num_actions = env.action_space.n
+
+        def random_sequence() -> List[int]:
+            return [rng.randrange(num_actions) for _ in range(self.episode_length)]
+
+        population = [random_sequence() for _ in range(self.population_size)]
+        scored = []
+        for sequence in population:
+            if budget.exhausted():
+                break
+            reward = self.evaluate_episode(env, sequence, budget)
+            self.record(result, sequence, reward)
+            scored.append((reward, sequence))
+        while not budget.exhausted() and scored:
+            scored.sort(key=lambda pair: -pair[0])
+            parents = [sequence for _, sequence in scored[: max(2, len(scored) // 2)]]
+            mother, father = rng.sample(parents, 2) if len(parents) >= 2 else (parents[0], parents[0])
+            crossover_point = rng.randrange(self.episode_length)
+            child = mother[:crossover_point] + father[crossover_point:]
+            for i in range(self.episode_length):
+                if rng.random() < self.mutation_probability:
+                    child[i] = rng.randrange(num_actions)
+            reward = self.evaluate_episode(env, child, budget)
+            self.record(result, child, reward)
+            scored.append((reward, child))
+            scored = scored[: self.population_size]

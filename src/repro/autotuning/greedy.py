@@ -1,0 +1,52 @@
+"""Greedy search.
+
+At each step, every possible action is evaluated in a fork of the current
+environment; the action with the greatest reward is applied to the real
+environment. The search terminates when no action yields a positive reward —
+the 10-line algorithm quoted in Table IV, enabled by the ``fork()`` operator.
+"""
+
+from typing import Optional
+
+from repro.autotuning.base import Budget, EpisodeTuner, SearchResult
+
+
+class GreedySearch(EpisodeTuner):
+    """One-step-lookahead greedy search using environment forks."""
+
+    name = "greedy"
+
+    def __init__(self, seed: int = 0, max_episode_length: int = 100):
+        super().__init__(seed)
+        self.max_episode_length = max_episode_length
+
+    def search(self, env, budget: Budget, result: SearchResult) -> None:
+        env.reset()
+        actions = []
+        total = 0.0
+        for _ in range(self.max_episode_length):
+            if budget.exhausted():
+                break
+            best_action: Optional[int] = None
+            best_reward = 0.0
+            for action in range(env.action_space.n):
+                if budget.exhausted():
+                    break
+                fork = env.fork()
+                try:
+                    _, reward, _, _ = fork.step(action)
+                    budget.spend()
+                finally:
+                    fork.close()
+                if reward is not None and reward > best_reward:
+                    best_reward = reward
+                    best_action = action
+            if best_action is None:
+                break  # No action produces a positive reward: stop.
+            _, reward, done, _ = env.step(best_action)
+            budget.spend()
+            actions.append(best_action)
+            total += reward or 0.0
+            if done:
+                break
+        self.record(result, actions, total)

@@ -1,0 +1,76 @@
+"""Hill climbing searches."""
+
+import random
+from typing import List
+
+from repro.autotuning.base import Budget, ConfigurationTuner, EpisodeTuner, SearchResult
+
+
+class HillClimbingSearch(ConfigurationTuner):
+    """Configuration-vector hill climbing (GCC Table V).
+
+    At each step a small number of random changes are made to the current
+    configuration; the new configuration is accepted if it improves the
+    objective.
+    """
+
+    name = "hill-climbing"
+
+    def __init__(self, seed: int = 0, num_mutations: int = 3):
+        super().__init__(seed)
+        self.num_mutations = num_mutations
+
+    def search(self, objective, cardinalities, max_evaluations, initial):
+        rng = random.Random(self.seed)
+        current = list(initial) if initial else [0] * len(cardinalities)
+        current_cost = objective(current)
+        evaluations = 1
+        while evaluations < max_evaluations:
+            candidate = list(current)
+            for _ in range(self.num_mutations):
+                index = rng.randrange(len(cardinalities))
+                candidate[index] = rng.randrange(cardinalities[index])
+            cost = objective(candidate)
+            evaluations += 1
+            if cost < current_cost:
+                current, current_cost = candidate, cost
+        return current, current_cost, evaluations
+
+
+class SequenceHillClimbing(EpisodeTuner):
+    """Action-sequence hill climbing for episode environments.
+
+    Maintains a current action sequence; each iteration mutates a few
+    positions (or appends/removes actions) and keeps the mutant if the full
+    episode reward improves.
+    """
+
+    name = "sequence-hill-climbing"
+
+    def __init__(self, seed: int = 0, episode_length: int = 50, num_mutations: int = 2):
+        super().__init__(seed)
+        self.episode_length = episode_length
+        self.num_mutations = num_mutations
+
+    def search(self, env, budget: Budget, result: SearchResult) -> None:
+        rng = random.Random(self.seed)
+        num_actions = env.action_space.n
+        current: List[int] = [rng.randrange(num_actions) for _ in range(self.episode_length)]
+        current_reward = self.evaluate_episode(env, current, budget)
+        self.record(result, current, current_reward)
+        while not budget.exhausted():
+            candidate = list(current)
+            for _ in range(self.num_mutations):
+                mutation = rng.random()
+                if mutation < 0.7 or not candidate:
+                    index = rng.randrange(len(candidate)) if candidate else 0
+                    if candidate:
+                        candidate[index] = rng.randrange(num_actions)
+                elif mutation < 0.85:
+                    candidate.append(rng.randrange(num_actions))
+                else:
+                    candidate.pop(rng.randrange(len(candidate)))
+            reward = self.evaluate_episode(env, candidate, budget)
+            self.record(result, candidate, reward)
+            if reward > current_reward:
+                current, current_reward = candidate, reward

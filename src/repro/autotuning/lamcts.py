@@ -1,0 +1,88 @@
+"""LaMCTS-style search: Monte-Carlo tree search with latent space partitioning.
+
+The full LaMCTS algorithm (Wang et al., NeurIPS 2020) learns a hierarchical
+partition of the search space, using a classifier at each node to split
+samples into a good and a bad region, and runs bandit-style selection over
+the partition tree. This implementation keeps the essential structure at a
+scale appropriate for the phase-ordering task: nodes partition the space of
+action *prefixes*, UCB selects which partition to expand, and random rollouts
+complete the episode from the selected prefix.
+"""
+
+import math
+import random
+from typing import Dict, List, Optional
+
+from repro.autotuning.base import Budget, EpisodeTuner, SearchResult
+
+
+class _Node:
+    """One node of the search tree: a fixed action prefix."""
+
+    def __init__(self, prefix: List[int], parent: Optional["_Node"] = None):
+        self.prefix = prefix
+        self.parent = parent
+        self.children: Dict[int, "_Node"] = {}
+        self.visits = 0
+        self.total_reward = 0.0
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.visits if self.visits else 0.0
+
+    def ucb(self, exploration: float) -> float:
+        if self.visits == 0:
+            return float("inf")
+        parent_visits = self.parent.visits if self.parent else self.visits
+        return self.mean_reward + exploration * math.sqrt(
+            math.log(max(1, parent_visits)) / self.visits
+        )
+
+
+class LaMCTSSearch(EpisodeTuner):
+    """Prefix-tree MCTS with UCB selection and random rollouts."""
+
+    name = "lamcts"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rollout_length: int = 40,
+        exploration: float = 0.5,
+        expansion_width: int = 8,
+    ):
+        super().__init__(seed)
+        self.rollout_length = rollout_length
+        self.exploration = exploration
+        self.expansion_width = expansion_width
+
+    def search(self, env, budget: Budget, result: SearchResult) -> None:
+        rng = random.Random(self.seed)
+        num_actions = env.action_space.n
+        root = _Node(prefix=[])
+
+        while not budget.exhausted():
+            # Selection: walk down the partition tree by UCB.
+            node = root
+            while node.children and len(node.children) >= self.expansion_width:
+                node = max(node.children.values(), key=lambda child: child.ucb(self.exploration))
+            # Expansion: add a new child with an unexplored next action.
+            if len(node.prefix) < self.rollout_length:
+                tried = set(node.children)
+                untried = [a for a in range(num_actions) if a not in tried]
+                if untried:
+                    action = rng.choice(untried)
+                    child = _Node(prefix=node.prefix + [action], parent=node)
+                    node.children[action] = child
+                    node = child
+            # Rollout: random suffix to the episode-length horizon.
+            suffix_length = max(0, self.rollout_length - len(node.prefix))
+            rollout = node.prefix + [rng.randrange(num_actions) for _ in range(suffix_length)]
+            reward = self.evaluate_episode(env, rollout, budget)
+            self.record(result, rollout, reward)
+            # Backpropagation.
+            walker: Optional[_Node] = node
+            while walker is not None:
+                walker.visits += 1
+                walker.total_reward += reward
+                walker = walker.parent

@@ -1,0 +1,94 @@
+"""Nevergrad-style ensemble search.
+
+Nevergrad is a gradient-free optimization platform whose default optimizer is
+an *ensemble*: it runs a portfolio of strategies and allocates budget to the
+one that performs best. This implementation reproduces that structure with a
+portfolio of (1+1) evolution strategies, random search, and a small GA over
+action sequences, with softmax budget allocation by observed best reward.
+"""
+
+import math
+import random
+from typing import List
+
+from repro.autotuning.base import Budget, EpisodeTuner, SearchResult
+
+
+class _OnePlusOne:
+    """A (1+1)-ES over fixed-length action sequences."""
+
+    def __init__(self, rng: random.Random, num_actions: int, length: int):
+        self.rng = rng
+        self.num_actions = num_actions
+        self.length = length
+        self.current = [rng.randrange(num_actions) for _ in range(length)]
+        self.current_reward = float("-inf")
+        self.mutation_rate = 1.0 / max(1, length)
+
+    def propose(self) -> List[int]:
+        candidate = [
+            self.rng.randrange(self.num_actions) if self.rng.random() < self.mutation_rate else gene
+            for gene in self.current
+        ]
+        if candidate == self.current:
+            candidate[self.rng.randrange(self.length)] = self.rng.randrange(self.num_actions)
+        return candidate
+
+    def tell(self, candidate: List[int], reward: float) -> None:
+        # One-fifth success rule adaptation of the mutation rate.
+        if reward > self.current_reward:
+            self.current, self.current_reward = candidate, reward
+            self.mutation_rate = min(0.5, self.mutation_rate * 1.3)
+        else:
+            self.mutation_rate = max(1.0 / (4 * self.length), self.mutation_rate / 1.05)
+
+
+class _RandomProposer:
+    def __init__(self, rng: random.Random, num_actions: int, length: int):
+        self.rng = rng
+        self.num_actions = num_actions
+        self.length = length
+
+    def propose(self) -> List[int]:
+        return [self.rng.randrange(self.num_actions) for _ in range(self.length)]
+
+    def tell(self, candidate: List[int], reward: float) -> None:
+        del candidate, reward
+
+
+class NevergradEnsembleSearch(EpisodeTuner):
+    """Portfolio optimizer with adaptive budget allocation."""
+
+    name = "nevergrad"
+
+    def __init__(self, seed: int = 0, episode_length: int = 40, temperature: float = 0.3):
+        super().__init__(seed)
+        self.episode_length = episode_length
+        self.temperature = temperature
+
+    def search(self, env, budget: Budget, result: SearchResult) -> None:
+        rng = random.Random(self.seed)
+        num_actions = env.action_space.n
+        portfolio = [
+            _OnePlusOne(random.Random(rng.random()), num_actions, self.episode_length),
+            _OnePlusOne(random.Random(rng.random()), num_actions, self.episode_length // 2),
+            _RandomProposer(random.Random(rng.random()), num_actions, self.episode_length),
+        ]
+        best_by_member = [0.0 for _ in portfolio]
+        while not budget.exhausted():
+            # Softmax allocation over each member's best observed reward.
+            scale = max(1e-6, max(best_by_member) - min(best_by_member))
+            weights = [math.exp((score - max(best_by_member)) / (self.temperature * scale)) for score in best_by_member]
+            total_weight = sum(weights)
+            pick = rng.random() * total_weight
+            index = 0
+            for index, weight in enumerate(weights):
+                pick -= weight
+                if pick <= 0:
+                    break
+            member = portfolio[index]
+            candidate = member.propose()
+            reward = self.evaluate_episode(env, candidate, budget)
+            member.tell(candidate, reward)
+            best_by_member[index] = max(best_by_member[index], reward)
+            self.record(result, candidate, reward)

@@ -1,0 +1,81 @@
+"""OpenTuner-style baseline search.
+
+OpenTuner (Ansel et al., PACT 2014) searches over complete configurations
+with an ensemble of operators selected by a multi-armed bandit, and evaluates
+each configuration by a full compile from scratch — the usage model whose
+per-evaluation cost Table II contrasts with CompilerGym's incremental steps.
+This implementation reproduces that structure over phase-ordering sequences:
+every candidate is evaluated by a full ``reset(); multistep(sequence)``
+episode, and the operator (mutation kind) is chosen by an AUC-style bandit.
+"""
+
+import random
+from typing import Callable, List
+
+from repro.autotuning.base import Budget, EpisodeTuner, SearchResult
+
+
+class OpenTunerBaselineSearch(EpisodeTuner):
+    """Bandit-over-operators configuration search with full re-evaluation."""
+
+    name = "opentuner"
+
+    def __init__(self, seed: int = 0, episode_length: int = 40, bandit_exploration: float = 0.3):
+        super().__init__(seed)
+        self.episode_length = episode_length
+        self.bandit_exploration = bandit_exploration
+
+    def _operators(self, rng: random.Random, num_actions: int) -> List[Callable[[List[int]], List[int]]]:
+        def point_mutation(sequence: List[int]) -> List[int]:
+            candidate = list(sequence)
+            candidate[rng.randrange(len(candidate))] = rng.randrange(num_actions)
+            return candidate
+
+        def block_shuffle(sequence: List[int]) -> List[int]:
+            candidate = list(sequence)
+            start = rng.randrange(len(candidate))
+            end = min(len(candidate), start + rng.randint(2, 8))
+            block = candidate[start:end]
+            rng.shuffle(block)
+            candidate[start:end] = block
+            return candidate
+
+        def random_restart(sequence: List[int]) -> List[int]:
+            del sequence
+            return [rng.randrange(num_actions) for _ in range(self.episode_length)]
+
+        def swap(sequence: List[int]) -> List[int]:
+            candidate = list(sequence)
+            i, j = rng.randrange(len(candidate)), rng.randrange(len(candidate))
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+            return candidate
+
+        return [point_mutation, block_shuffle, random_restart, swap]
+
+    def search(self, env, budget: Budget, result: SearchResult) -> None:
+        rng = random.Random(self.seed)
+        num_actions = env.action_space.n
+        operators = self._operators(rng, num_actions)
+        operator_uses = [1] * len(operators)
+        operator_wins = [1.0] * len(operators)
+
+        current = [rng.randrange(num_actions) for _ in range(self.episode_length)]
+        current_reward = self.evaluate_episode(env, current, budget)
+        self.record(result, current, current_reward)
+
+        while not budget.exhausted():
+            # AUC-style bandit: pick the operator with the best win rate plus
+            # an exploration bonus.
+            scores = [
+                operator_wins[i] / operator_uses[i]
+                + self.bandit_exploration / operator_uses[i] ** 0.5
+                for i in range(len(operators))
+            ]
+            operator_index = max(range(len(operators)), key=lambda i: scores[i])
+            candidate = operators[operator_index](current)
+            reward = self.evaluate_episode(env, candidate, budget)
+            self.record(result, candidate, reward)
+            operator_uses[operator_index] += 1
+            if reward > current_reward:
+                operator_wins[operator_index] += 1
+                current, current_reward = candidate, reward

@@ -1,0 +1,73 @@
+"""Random search.
+
+The paper's random search "selects actions randomly until a configurable
+number of steps have elapsed without a positive reward", then resets and
+tries again, keeping the best episode seen.
+"""
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.autotuning.base import Budget, ConfigurationTuner, EpisodeTuner, SearchResult
+
+
+class RandomSearch(EpisodeTuner):
+    """Random episode search with a no-improvement patience."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, patience: int = 25, max_episode_length: int = 200):
+        super().__init__(seed)
+        self.patience = patience
+        self.max_episode_length = max_episode_length
+
+    def search(self, env, budget: Budget, result: SearchResult) -> None:
+        rng = random.Random(self.seed)
+        num_actions = env.action_space.n
+        while not budget.exhausted():
+            env.reset()
+            actions: List[int] = []
+            best_prefix: List[int] = []
+            best_prefix_reward = 0.0
+            total = 0.0
+            steps_without_improvement = 0
+            while (
+                steps_without_improvement < self.patience
+                and len(actions) < self.max_episode_length
+                and not budget.exhausted()
+            ):
+                action = rng.randrange(num_actions)
+                _, reward, done, _ = env.step(action)
+                budget.spend()
+                actions.append(action)
+                total += reward or 0.0
+                if reward and reward > 0:
+                    steps_without_improvement = 0
+                else:
+                    steps_without_improvement += 1
+                if total > best_prefix_reward:
+                    best_prefix_reward = total
+                    best_prefix = list(actions)
+                if done:
+                    break
+            self.record(result, best_prefix, best_prefix_reward)
+
+
+class RandomConfigurationSearch(ConfigurationTuner):
+    """Uniform random sampling of full configurations (GCC Table V baseline)."""
+
+    name = "random"
+
+    def search(self, objective, cardinalities, max_evaluations, initial):
+        rng = random.Random(self.seed)
+        best_config = list(initial) if initial else [0] * len(cardinalities)
+        best_cost = objective(best_config)
+        evaluations = 1
+        while evaluations < max_evaluations:
+            config = [rng.randrange(c) for c in cardinalities]
+            cost = objective(config)
+            evaluations += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_config = config
+        return best_config, best_cost, evaluations

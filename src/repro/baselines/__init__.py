@@ -1,0 +1,19 @@
+"""Prior-work baseline drivers used by the Table II efficiency comparison.
+
+The paper compares CompilerGym's incremental client/server environments with
+two prior usage models of the *same* compiler:
+
+* Autophase-style environments re-read, re-parse, re-apply the whole pass
+  sequence and re-serialize the program at every step, so step cost grows
+  with episode length (O(nm)).
+* OpenTuner-style evaluation additionally pays a per-search database and
+  filesystem setup cost at environment initialization.
+
+Both baselines drive the same simulated LLVM substrate so the comparison
+isolates the architectural difference, exactly as in the paper.
+"""
+
+from repro.baselines.autophase_baseline import AutophaseStyleEnvironment
+from repro.baselines.opentuner_baseline import OpenTunerStyleEnvironment
+
+__all__ = ["AutophaseStyleEnvironment", "OpenTunerStyleEnvironment"]

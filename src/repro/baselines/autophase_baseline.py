@@ -1,0 +1,80 @@
+"""An Autophase-style recompile-from-scratch environment driver.
+
+Autophase shells out to ``opt`` on every step: it reads the unoptimized
+bitcode from disk, parses it, applies the *entire* action sequence so far,
+serializes the result, and re-computes features — so the cost of step ``m``
+is O(n·m) in program size n and episode length m. This driver reproduces that
+usage model over the simulated LLVM substrate. It intentionally bypasses the
+client/server runtime and the benchmark cache.
+"""
+
+import os
+import tempfile
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.llvm.analysis.autophase import autophase_features
+from repro.llvm.cost.code_size import ir_instruction_count
+from repro.llvm.datasets.suites import make_llvm_datasets
+from repro.llvm.ir.parser import parse_module
+from repro.llvm.ir.printer import print_module
+from repro.llvm.passes.registry import ACTION_SPACE_PASSES, run_pass
+
+
+class AutophaseStyleEnvironment:
+    """A Gym-like environment that recompiles from scratch at every step."""
+
+    def __init__(self, benchmark: str = "benchmark://cbench-v1/qsort", working_dir: Optional[str] = None):
+        self.benchmark_uri = benchmark
+        self.working_dir = working_dir or tempfile.mkdtemp(prefix="repro-autophase-")
+        self.datasets = make_llvm_datasets()
+        self.actions: List[int] = []
+        self.action_names = list(ACTION_SPACE_PASSES)
+        self._source_path = os.path.join(self.working_dir, "input.ll")
+        self._prev_instruction_count: Optional[int] = None
+
+    @property
+    def num_actions(self) -> int:
+        return len(self.action_names)
+
+    def _write_unoptimized_source(self) -> None:
+        benchmark = self.datasets.benchmark(self.benchmark_uri)
+        with open(self._source_path, "w") as f:
+            f.write(print_module(benchmark.program))
+
+    def _compile(self) -> Tuple[np.ndarray, int]:
+        """Read + parse the source, apply the whole action sequence, serialize."""
+        with open(self._source_path) as f:
+            module = parse_module(f.read())
+        for action in self.actions:
+            run_pass(module, self.action_names[action])
+        # Serialize the optimized output, as the real flow writes a new .bc.
+        output_path = os.path.join(self.working_dir, "output.ll")
+        with open(output_path, "w") as f:
+            f.write(print_module(module))
+        return autophase_features(module), ir_instruction_count(module)
+
+    def reset(self, benchmark: Optional[str] = None) -> np.ndarray:
+        if benchmark is not None:
+            self.benchmark_uri = benchmark
+        self.actions = []
+        # Environment initialization cost: materialize the benchmark to disk
+        # and run the initial compile, as the real pipeline does.
+        self._write_unoptimized_source()
+        observation, instruction_count = self._compile()
+        self._prev_instruction_count = instruction_count
+        return observation
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, dict]:
+        self.actions.append(int(action))
+        observation, instruction_count = self._compile()
+        reward = float(self._prev_instruction_count - instruction_count)
+        self._prev_instruction_count = instruction_count
+        return observation, reward, False, {}
+
+    def close(self) -> None:
+        for name in ("input.ll", "output.ll"):
+            path = os.path.join(self.working_dir, name)
+            if os.path.exists(path):
+                os.unlink(path)

@@ -1,0 +1,65 @@
+"""An OpenTuner-style evaluation driver.
+
+OpenTuner evaluates complete configurations: every measurement is a full
+compile of the whole pass sequence, and starting a new search requires
+creating an on-disk results database plus several filesystem operations —
+which is why the paper measures its environment-initialization cost as by far
+the highest of the three systems.
+"""
+
+import os
+import sqlite3
+import tempfile
+from typing import List, Optional, Tuple
+
+from repro.baselines.autophase_baseline import AutophaseStyleEnvironment
+
+
+class OpenTunerStyleEnvironment(AutophaseStyleEnvironment):
+    """Adds OpenTuner's per-search database setup to the recompile driver."""
+
+    def __init__(self, benchmark: str = "benchmark://cbench-v1/qsort", working_dir: Optional[str] = None):
+        super().__init__(benchmark=benchmark, working_dir=working_dir)
+        self._db_path = os.path.join(self.working_dir, "opentuner.db")
+        self._db: Optional[sqlite3.Connection] = None
+
+    def _create_results_database(self) -> None:
+        """Create the search-results database (several disk operations)."""
+        if self._db is not None:
+            self._db.close()
+        if os.path.exists(self._db_path):
+            os.unlink(self._db_path)
+        self._db = sqlite3.connect(self._db_path)
+        cursor = self._db.cursor()
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS results"
+            " (id INTEGER PRIMARY KEY, configuration TEXT, objective REAL)"
+        )
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS desired_results"
+            " (id INTEGER PRIMARY KEY, configuration TEXT, state TEXT)"
+        )
+        cursor.execute("CREATE INDEX IF NOT EXISTS idx_results ON results(objective)")
+        self._db.commit()
+
+    def reset(self, benchmark: Optional[str] = None):
+        self._create_results_database()
+        return super().reset(benchmark=benchmark)
+
+    def step(self, action: int) -> Tuple:
+        observation, reward, done, info = super().step(action)
+        # Record the measurement in the results database, as OpenTuner does.
+        self._db.execute(
+            "INSERT INTO results (configuration, objective) VALUES (?, ?)",
+            (",".join(map(str, self.actions)), float(self._prev_instruction_count)),
+        )
+        self._db.commit()
+        return observation, reward, done, info
+
+    def close(self) -> None:
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+        if os.path.exists(self._db_path):
+            os.unlink(self._db_path)
+        super().close()

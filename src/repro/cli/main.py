@@ -1,0 +1,173 @@
+"""The ``repro-compilergym`` command-line interface.
+
+Reproduces the core of the paper's command-line tool suite: describing
+environments and their spaces, listing datasets, running (optionally
+parallelized) random searches, replaying recorded states, and validating
+results. Run ``repro-compilergym --help`` for usage.
+"""
+
+import argparse
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import repro
+from repro.core.compiler_env_state import CompilerEnvStateReader, CompilerEnvStateWriter
+
+
+def _cmd_envs(args) -> int:
+    del args
+    for env_id in repro.COMPILER_GYM_ENVS:
+        print(env_id)
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    env = repro.make(args.env)
+    try:
+        print(f"Environment: {args.env}")
+        print(f"Compiler version: {env.compiler_version}")
+        print(f"\nAction space: {env.action_space}")
+        if hasattr(env.action_space, "names"):
+            for name in env.action_space.names[: args.limit]:
+                print(f"  {name}")
+            if env.action_space.n > args.limit:
+                print(f"  ... ({env.action_space.n - args.limit} more)")
+        print("\nObservation spaces:")
+        for spec in env.observation.spaces.values():
+            print(f"  {spec.id}: {spec.space}")
+        print("\nReward spaces:")
+        for reward in env.reward.spaces.values():
+            print(f"  {reward.name} (deterministic={reward.deterministic}, "
+                  f"platform_dependent={reward.platform_dependent})")
+    finally:
+        env.close()
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    env = repro.make(args.env)
+    try:
+        print(f"{'Dataset':<40} {'Benchmarks':>12}  Description")
+        for dataset in env.datasets:
+            size = dataset.size if dataset.size else "(generator)"
+            print(f"{dataset.name:<40} {size!s:>12}  {dataset.description}")
+    finally:
+        env.close()
+    return 0
+
+
+def _random_search_worker(env_id: str, benchmark: str, steps: int, patience: int, seed: int):
+    from repro.autotuning import RandomSearch
+
+    env = repro.make(env_id, benchmark=benchmark, reward_space="IrInstructionCount")
+    try:
+        tuner = RandomSearch(seed=seed, patience=patience)
+        result = tuner.tune(env, max_steps=steps)
+        env.reset()
+        if result.best_actions:
+            env.multistep(result.best_actions)
+        return env.state, result
+    finally:
+        env.close()
+
+
+def _cmd_random_search(args) -> int:
+    benchmarks = args.benchmark or ["benchmark://cbench-v1/qsort"]
+    results = []
+    with ThreadPoolExecutor(max_workers=args.nproc) as executor:
+        futures = [
+            executor.submit(_random_search_worker, args.env, benchmark, args.steps, args.patience, seed)
+            for seed, benchmark in enumerate(benchmarks)
+        ]
+        for future in futures:
+            state, result = future.result()
+            results.append(state)
+            print(f"{state.benchmark}: reward={result.best_reward:.4f} "
+                  f"steps={result.steps} walltime={result.walltime:.2f}s")
+    if args.output:
+        with open(args.output, "w") as f:
+            writer = CompilerEnvStateWriter(f)
+            for state in results:
+                writer.write_state(state)
+        print(f"Wrote {len(results)} states to {args.output}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    env = repro.make(args.env, reward_space=args.reward)
+    try:
+        with open(args.states) as f:
+            for state in CompilerEnvStateReader(f):
+                env.apply(state)
+                print(f"{state.benchmark}: replayed reward={env.episode_reward}")
+    finally:
+        env.close()
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    env = repro.make(args.env, reward_space=args.reward)
+    exit_code = 0
+    try:
+        with open(args.states) as f:
+            for state in CompilerEnvStateReader(f):
+                result = env.validate(state)
+                print(result)
+                if not result.okay():
+                    exit_code = 1
+    finally:
+        env.close()
+    return exit_code
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-compilergym",
+        description="Command-line tools for the CompilerGym reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("envs", help="List registered environments").set_defaults(func=_cmd_envs)
+
+    describe = sub.add_parser("describe", help="Describe an environment's spaces")
+    describe.add_argument("--env", default="llvm-v0")
+    describe.add_argument("--limit", type=int, default=20, help="Max actions to list")
+    describe.set_defaults(func=_cmd_describe)
+
+    datasets = sub.add_parser("datasets", help="List an environment's datasets")
+    datasets.add_argument("--env", default="llvm-v0")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    search = sub.add_parser("random-search", help="Run (parallel) random search")
+    search.add_argument("--env", default="llvm-ic-v0")
+    search.add_argument("--benchmark", action="append", help="Benchmark URI (repeatable)")
+    search.add_argument("--steps", type=int, default=500)
+    search.add_argument("--patience", type=int, default=25)
+    search.add_argument("--nproc", type=int, default=1)
+    search.add_argument("--output", help="Write resulting states to a CSV file")
+    search.set_defaults(func=_cmd_random_search)
+
+    replay = sub.add_parser("replay", help="Replay recorded states")
+    replay.add_argument("states", help="CSV/JSON file of CompilerEnvStates")
+    replay.add_argument("--env", default="llvm-v0")
+    replay.add_argument("--reward", default="IrInstructionCount")
+    replay.set_defaults(func=_cmd_replay)
+
+    validate = sub.add_parser("validate", help="Validate recorded states")
+    validate.add_argument("states", help="CSV/JSON file of CompilerEnvStates")
+    validate.add_argument("--env", default="llvm-v0")
+    validate.add_argument("--reward", default="IrInstructionCount")
+    validate.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Core CompilerGym-style environment framework.
+
+This subpackage contains everything that is compiler-agnostic: the space
+hierarchy, the :class:`CompilerEnv` Gym environment, benchmark/dataset
+management, wrappers, the client/service runtime, state serialization, and
+validation utilities.
+"""
+
+from repro.core.env import CompilerEnv
+from repro.core.compiler_env_state import CompilerEnvState
+from repro.core.registration import make, register, registered_env_ids
+
+__all__ = [
+    "CompilerEnv",
+    "CompilerEnvState",
+    "make",
+    "register",
+    "registered_env_ids",
+]

@@ -1,0 +1,151 @@
+"""Serializable environment state.
+
+A :class:`CompilerEnvState` captures everything needed to reproduce an
+optimization result: the benchmark, the sequence of actions (rendered as a
+commandline), the wall time of the run, and the cumulative reward. States can
+be written to and read from JSON or CSV, which is what the leaderboards and
+the ``replay``/``validate`` command-line tools consume.
+"""
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator, List, Optional, TextIO
+
+
+@dataclass
+class CompilerEnvState:
+    """The result of a compiler optimization episode."""
+
+    benchmark: str
+    commandline: str
+    walltime: float = 0.0
+    reward: Optional[float] = None
+
+    def __post_init__(self):
+        if self.walltime < 0:
+            raise ValueError(f"walltime must be non-negative: {self.walltime}")
+
+    @property
+    def has_reward(self) -> bool:
+        return self.reward is not None
+
+    def json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CompilerEnvState":
+        return cls(
+            benchmark=data["benchmark"],
+            commandline=data["commandline"],
+            walltime=float(data.get("walltime", 0.0)),
+            reward=None if data.get("reward") is None else float(data["reward"]),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CompilerEnvState):
+            return NotImplemented
+        # Wall time is excluded from equality: two states are equivalent if
+        # they reach the same result on the same benchmark, however long the
+        # search took.
+        epsilon = 1e-5
+        if self.has_reward != other.has_reward:
+            return False
+        reward_equal = (
+            True if not self.has_reward else abs(self.reward - other.reward) < epsilon
+        )
+        return (
+            self.benchmark == other.benchmark
+            and self.commandline == other.commandline
+            and reward_equal
+        )
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+
+@dataclass
+class CompilerEnvStateWriter:
+    """Writes environment states to a file as CSV rows."""
+
+    file: TextIO
+    header: bool = True
+    _wrote_header: bool = field(default=False, init=False)
+
+    def write_state(self, state: CompilerEnvState, flush: bool = False) -> None:
+        writer = csv.writer(self.file)
+        if self.header and not self._wrote_header:
+            writer.writerow(["benchmark", "reward", "walltime", "commandline"])
+            self._wrote_header = True
+        writer.writerow([state.benchmark, state.reward, state.walltime, state.commandline])
+        if flush:
+            self.file.flush()
+
+    def __enter__(self) -> "CompilerEnvStateWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.file.flush()
+
+
+class CompilerEnvStateReader:
+    """Reads environment states from CSV or JSON-lines files."""
+
+    def __init__(self, source: TextIO):
+        self.source = source
+
+    def __iter__(self) -> Iterator[CompilerEnvState]:
+        text = self.source.read()
+        stripped = text.strip()
+        if not stripped:
+            return
+        if stripped.startswith("{") or stripped.startswith("["):
+            yield from self._iter_json(stripped)
+        else:
+            yield from self._iter_csv(text)
+
+    @staticmethod
+    def _iter_json(text: str) -> Iterator[CompilerEnvState]:
+        data = json.loads(text)
+        if isinstance(data, dict):
+            data = [data]
+        for entry in data:
+            yield CompilerEnvState.from_json(entry)
+
+    @staticmethod
+    def _iter_csv(text: str) -> Iterator[CompilerEnvState]:
+        reader = csv.reader(io.StringIO(text))
+        for row in reader:
+            if not row:
+                continue
+            if row[0] == "benchmark" and row[-1] == "commandline":
+                continue  # Header row.
+            benchmark, reward, walltime, commandline = row[0], row[1], row[2], row[3]
+            yield CompilerEnvState(
+                benchmark=benchmark,
+                reward=None if reward in ("", "None") else float(reward),
+                walltime=float(walltime) if walltime not in ("", "None") else 0.0,
+                commandline=commandline,
+            )
+
+    @staticmethod
+    def read_paths(paths: Iterable[str]) -> Iterator[CompilerEnvState]:
+        for path in paths:
+            with open(path) as f:
+                yield from CompilerEnvStateReader(f)
+
+
+def write_states_to_file(path: str, states: List[CompilerEnvState]) -> None:
+    """Convenience helper to write a list of states as CSV."""
+    with open(path, "w") as f:
+        writer = CompilerEnvStateWriter(f)
+        for state in states:
+            writer.write_state(state)
+
+
+def read_states_from_file(path: str) -> List[CompilerEnvState]:
+    """Convenience helper to read all states from a file."""
+    with open(path) as f:
+        return list(CompilerEnvStateReader(f))

@@ -1,0 +1,22 @@
+"""Benchmark and dataset management.
+
+A *benchmark* is a single program to optimize, identified by a URI of the
+form ``benchmark://<dataset>/<id>``. A *dataset* is a named collection of
+benchmarks, possibly unbounded (program generators). The :class:`Datasets`
+collection aggregates all datasets installed for an environment and supports
+efficient iteration over millions of benchmark URIs without materializing
+them.
+"""
+
+from repro.core.datasets.uri import BenchmarkUri
+from repro.core.datasets.benchmark import Benchmark, BenchmarkSource
+from repro.core.datasets.dataset import Dataset
+from repro.core.datasets.datasets import Datasets
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkSource",
+    "BenchmarkUri",
+    "Dataset",
+    "Datasets",
+]

@@ -1,0 +1,87 @@
+"""Benchmark: a single program to optimize."""
+
+from typing import Any, Callable, Iterable, List, NamedTuple, Optional
+
+from repro.core.datasets.uri import BenchmarkUri
+from repro.errors import ValidationError
+
+
+class BenchmarkSource(NamedTuple):
+    """A file belonging to a benchmark (e.g. its source code)."""
+
+    filename: str
+    contents: bytes
+
+    def __repr__(self) -> str:
+        return f"BenchmarkSource(filename={self.filename!r}, {len(self.contents)} bytes)"
+
+
+class Benchmark:
+    """A program to optimize, identified by URI.
+
+    The ``program`` payload is backend specific: for the LLVM environments it
+    is an IR :class:`~repro.llvm.ir.module.Module`; for GCC it is a workload
+    descriptor; for loop_tool a problem-size descriptor. Benchmarks may carry
+    a list of validation callbacks used by ``env.validate()`` and a dynamic
+    configuration describing how to execute the compiled program (for the
+    runtime reward signal).
+    """
+
+    def __init__(
+        self,
+        uri: str,
+        program: Any = None,
+        sources: Optional[Iterable[BenchmarkSource]] = None,
+        dynamic_config: Optional[dict] = None,
+    ):
+        self._uri = BenchmarkUri.from_string(str(uri))
+        self.program = program
+        self.sources: List[BenchmarkSource] = list(sources or [])
+        self.dynamic_config = dict(dynamic_config or {})
+        self._validation_callbacks: List[Callable] = []
+
+    @property
+    def uri(self) -> BenchmarkUri:
+        return self._uri
+
+    @classmethod
+    def from_file_contents(cls, uri: str, data: bytes) -> "Benchmark":
+        """Construct a benchmark from raw program bytes (user-supplied code)."""
+        return cls(uri=uri, program=data, sources=[BenchmarkSource("input", bytes(data))])
+
+    def is_validatable(self) -> bool:
+        """Return whether the benchmark has any validation callbacks."""
+        return bool(self._validation_callbacks)
+
+    def validation_callbacks(self) -> List[Callable]:
+        return list(self._validation_callbacks)
+
+    def add_validation_callback(self, callback: Callable) -> None:
+        """Register a callback invoked by ``env.validate()``.
+
+        The callback receives the environment and returns an iterable of
+        :class:`ValidationError`.
+        """
+        self._validation_callbacks.append(callback)
+
+    def ivalidate(self, env) -> Iterable[ValidationError]:
+        """Run the validation callbacks, yielding errors as they are found."""
+        for callback in self._validation_callbacks:
+            yield from callback(env)
+
+    def validate(self, env) -> List[ValidationError]:
+        """Run the validation callbacks and return all errors."""
+        return list(self.ivalidate(env))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Benchmark):
+            return str(self.uri) == str(other.uri)
+        if isinstance(other, str):
+            return str(self.uri) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(str(self.uri))
+
+    def __repr__(self) -> str:
+        return str(self.uri)

@@ -1,0 +1,157 @@
+"""Dataset: a named collection of benchmarks."""
+
+import random
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.core.datasets.benchmark import Benchmark
+from repro.core.datasets.uri import BenchmarkUri
+from repro.errors import BenchmarkInitError
+
+
+class Dataset:
+    """A collection of benchmarks identified by a ``benchmark://name-vN`` URI.
+
+    Subclasses implement :meth:`benchmark_from_parsed_uri` and
+    :meth:`benchmark_uris`. Datasets may be *finite* (``size > 0``) or
+    *unbounded program generators* (``size == 0``), such as csmith and
+    llvm-stress whose benchmarks are addressed by 32-bit seed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        license: str = "Unknown",  # noqa: A002
+        site_data_base: Optional[str] = None,
+        benchmark_count: int = 0,
+        references: Optional[dict] = None,
+        deprecated: Optional[str] = None,
+        sort_order: int = 0,
+        validatable: str = "No",
+    ):
+        self._uri = BenchmarkUri.from_string(name)
+        if not self._uri.dataset:
+            raise ValueError(f"Invalid dataset name: {name!r}")
+        self.description = description
+        self.license = license
+        self.site_data_base = site_data_base
+        self._benchmark_count = benchmark_count
+        self.references = dict(references or {})
+        self.deprecated_message = deprecated
+        self.sort_order = sort_order
+        self.validatable = validatable
+        self.random = random.Random()
+
+    @property
+    def name(self) -> str:
+        """The canonical dataset URI, e.g. ``benchmark://cbench-v1``."""
+        return f"{self._uri.scheme}://{self._uri.dataset}"
+
+    @property
+    def protocol(self) -> str:
+        return self._uri.scheme
+
+    @property
+    def version(self) -> int:
+        """The version suffix of the dataset name (``-vN``), or 0."""
+        tail = self._uri.dataset.rsplit("-v", 1)
+        if len(tail) == 2 and tail[1].isdigit():
+            return int(tail[1])
+        return 0
+
+    @property
+    def deprecated(self) -> bool:
+        return self.deprecated_message is not None
+
+    @property
+    def size(self) -> int:
+        """Number of benchmarks, or 0 if the dataset is an unbounded generator."""
+        return self._benchmark_count
+
+    def __len__(self) -> int:
+        return self.size
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        self.random.seed(seed)
+
+    def install(self) -> None:
+        """Materialize any state required to use the dataset.
+
+        All datasets in this reproduction are generated procedurally so there
+        is nothing to download; the hook is kept for API compatibility.
+        """
+
+    def uninstall(self) -> None:
+        """Remove any materialized dataset state."""
+
+    @property
+    def installed(self) -> bool:
+        return True
+
+    def benchmark_uris(self) -> Iterator[str]:
+        """Iterate over the URIs of benchmarks in this dataset."""
+        raise NotImplementedError
+
+    def benchmark_from_parsed_uri(self, uri: BenchmarkUri) -> Benchmark:
+        """Construct a benchmark from a parsed URI."""
+        raise NotImplementedError
+
+    def benchmark(self, uri: str) -> Benchmark:
+        """Return the benchmark identified by ``uri``."""
+        parsed = BenchmarkUri.from_string(uri)
+        if f"{parsed.scheme}://{parsed.dataset}" != self.name:
+            raise LookupError(f"Benchmark {uri!r} does not belong to dataset {self.name!r}")
+        return self.benchmark_from_parsed_uri(parsed)
+
+    def benchmarks(self) -> Iterator[Benchmark]:
+        """Iterate over benchmarks in this dataset."""
+        for uri in self.benchmark_uris():
+            yield self.benchmark(uri)
+
+    def random_benchmark(self, random_state: Optional[np.random.Generator] = None) -> Benchmark:
+        """Return a uniformly random benchmark from this dataset."""
+        rng = random_state or np.random.default_rng(self.random.getrandbits(32))
+        return self._random_benchmark(rng)
+
+    def _random_benchmark(self, random_state: np.random.Generator) -> Benchmark:
+        uris = list(self.benchmark_uris())
+        if not uris:
+            raise BenchmarkInitError(f"Dataset {self.name} has no benchmarks")
+        return self.benchmark(uris[int(random_state.integers(len(uris)))])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Dataset):
+            return self.name == other.name
+        if isinstance(other, str):
+            return self.name == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __iter__(self) -> Iterator[Benchmark]:
+        return self.benchmarks()
+
+
+class InMemoryDataset(Dataset):
+    """A dataset backed by an explicit list of pre-built benchmarks."""
+
+    def __init__(self, name: str, benchmarks: Iterable[Benchmark], **kwargs):
+        self._benchmarks = {str(b.uri): b for b in benchmarks}
+        kwargs.setdefault("description", f"In-memory dataset {name}")
+        kwargs["benchmark_count"] = len(self._benchmarks)
+        super().__init__(name=name, **kwargs)
+
+    def benchmark_uris(self) -> Iterator[str]:
+        yield from sorted(self._benchmarks)
+
+    def benchmark_from_parsed_uri(self, uri: BenchmarkUri) -> Benchmark:
+        key = str(uri)
+        if key not in self._benchmarks:
+            raise LookupError(f"Benchmark not found: {key!r}")
+        return self._benchmarks[key]

@@ -1,0 +1,115 @@
+"""The Datasets collection: aggregate access to every installed dataset."""
+
+from typing import Dict, Iterator, Optional, Set, Union
+
+import numpy as np
+
+from repro.core.datasets.benchmark import Benchmark
+from repro.core.datasets.dataset import Dataset
+from repro.core.datasets.uri import BenchmarkUri
+
+
+class Datasets:
+    """A collection of :class:`Dataset` instances.
+
+    Provides dictionary-style access by dataset name, iteration over datasets
+    and benchmarks, and benchmark lookup by URI. Deprecated datasets are
+    hidden from iteration but still accessible by name, matching the upstream
+    behaviour.
+    """
+
+    def __init__(self, datasets: Optional[Dict[str, Dataset]] = None):
+        self._datasets: Dict[str, Dataset] = dict(datasets or {})
+        self._visible: Set[str] = {
+            name for name, ds in self._datasets.items() if not ds.deprecated
+        }
+
+    def add(self, dataset: Dataset) -> Dataset:
+        """Register a dataset, replacing any existing dataset of the same name."""
+        self._datasets[dataset.name] = dataset
+        if dataset.deprecated:
+            self._visible.discard(dataset.name)
+        else:
+            self._visible.add(dataset.name)
+        return dataset
+
+    def remove(self, dataset: Union[str, Dataset]) -> None:
+        name = dataset.name if isinstance(dataset, Dataset) else self._resolve_name(dataset)
+        self._datasets.pop(name, None)
+        self._visible.discard(name)
+
+    def _resolve_name(self, name: str) -> str:
+        parsed = BenchmarkUri.from_string(name)
+        return f"{parsed.scheme}://{parsed.dataset}"
+
+    def dataset(self, name: str) -> Dataset:
+        """Look up a dataset by name."""
+        key = self._resolve_name(name)
+        if key not in self._datasets:
+            raise LookupError(f"Dataset not found: {key!r}")
+        return self._datasets[key]
+
+    def __getitem__(self, name: str) -> Dataset:
+        return self.dataset(name)
+
+    def __contains__(self, name: Union[str, Dataset]) -> bool:
+        try:
+            self.dataset(name if isinstance(name, str) else name.name)
+            return True
+        except LookupError:
+            return False
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return self.datasets()
+
+    def datasets(self, with_deprecated: bool = False) -> Iterator[Dataset]:
+        """Iterate over datasets, sorted by their sort order then name."""
+        names = set(self._datasets) if with_deprecated else set(self._visible)
+        ordered = sorted(names, key=lambda n: (self._datasets[n].sort_order, n))
+        for name in ordered:
+            yield self._datasets[name]
+
+    def __len__(self) -> int:
+        return len(self._visible)
+
+    def benchmark(self, uri: str) -> Benchmark:
+        """Look up a benchmark by URI across all datasets."""
+        parsed = BenchmarkUri.from_string(uri)
+        dataset = self.dataset(parsed.dataset_uri)
+        return dataset.benchmark_from_parsed_uri(parsed)
+
+    def benchmarks(self, with_deprecated: bool = False) -> Iterator[Benchmark]:
+        """Iterate over every benchmark in every dataset.
+
+        With millions of benchmarks this is a lazy generator; callers are
+        expected to islice or break out early.
+        """
+        for dataset in self.datasets(with_deprecated=with_deprecated):
+            yield from dataset.benchmarks()
+
+    def benchmark_uris(self, with_deprecated: bool = False) -> Iterator[str]:
+        """Iterate over every benchmark URI in every dataset."""
+        for dataset in self.datasets(with_deprecated=with_deprecated):
+            yield from dataset.benchmark_uris()
+
+    def random_benchmark(
+        self,
+        random_state: Optional[np.random.Generator] = None,
+        weighted: bool = False,
+    ) -> Benchmark:
+        """Select a benchmark uniformly at random.
+
+        With ``weighted=True`` the choice of dataset is weighted by dataset
+        size so that larger datasets are proportionally more likely.
+        """
+        rng = random_state or np.random.default_rng()
+        datasets = list(self.datasets())
+        if not datasets:
+            raise LookupError("No datasets registered")
+        if weighted:
+            sizes = np.array([max(ds.size, 1) for ds in datasets], dtype=float)
+            probs = sizes / sizes.sum()
+            dataset = datasets[int(rng.choice(len(datasets), p=probs))]
+        else:
+            dataset = datasets[int(rng.integers(len(datasets)))]
+        return dataset.random_benchmark(rng)

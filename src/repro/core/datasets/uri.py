@@ -1,0 +1,60 @@
+"""Benchmark URI parsing.
+
+Benchmark URIs have the form::
+
+    scheme://dataset-name/path?params#fragment
+
+e.g. ``benchmark://cbench-v1/qsort`` or ``generator://csmith-v0/42``.
+"""
+
+import re
+from typing import Dict, List, NamedTuple
+from urllib.parse import parse_qs, urlencode, urlparse
+
+_URI_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9-+.]*://")
+
+
+class BenchmarkUri(NamedTuple):
+    """A parsed benchmark URI."""
+
+    scheme: str
+    dataset: str
+    path: str
+    params: Dict[str, List[str]]
+    fragment: str
+
+    @classmethod
+    def canonicalize(cls, uri: str) -> str:
+        """Return the canonical string form of a URI, adding a default scheme."""
+        return str(cls.from_string(uri))
+
+    @classmethod
+    def from_string(cls, uri: str) -> "BenchmarkUri":
+        """Parse a URI string. A missing scheme defaults to ``benchmark``."""
+        if not uri:
+            raise ValueError("Benchmark URI must not be empty")
+        if not _URI_RE.match(uri):
+            uri = f"benchmark://{uri}"
+        parsed = urlparse(uri)
+        return cls(
+            scheme=parsed.scheme or "benchmark",
+            dataset=parsed.netloc,
+            path=parsed.path.lstrip("/"),
+            params=parse_qs(parsed.query),
+            fragment=parsed.fragment,
+        )
+
+    @property
+    def dataset_uri(self) -> str:
+        """The URI of the dataset that the benchmark belongs to."""
+        return f"{self.scheme}://{self.dataset}"
+
+    def __str__(self) -> str:
+        out = f"{self.scheme}://{self.dataset}"
+        if self.path:
+            out += f"/{self.path}"
+        if self.params:
+            out += f"?{urlencode(self.params, doseq=True)}"
+        if self.fragment:
+            out += f"#{self.fragment}"
+        return out

@@ -1,0 +1,87 @@
+"""Leaderboard aggregation.
+
+The public CompilerGym leaderboards aggregate submitted
+:class:`CompilerEnvState` results per benchmark and rank submissions by
+geometric-mean reward and total walltime. This module reproduces the
+aggregation, ranking, and report formatting locally.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.compiler_env_state import CompilerEnvState
+from repro.util.statistics import arithmetic_mean, geometric_mean
+
+
+@dataclass
+class LeaderboardEntry:
+    """A single submission: one state per benchmark."""
+
+    name: str
+    states: List[CompilerEnvState] = field(default_factory=list)
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return [state.benchmark for state in self.states]
+
+    @property
+    def walltime(self) -> float:
+        return sum(state.walltime for state in self.states)
+
+    @property
+    def geomean_reward(self) -> float:
+        return geometric_mean([state.reward for state in self.states if state.has_reward])
+
+    @property
+    def mean_reward(self) -> float:
+        return arithmetic_mean([state.reward for state in self.states if state.has_reward])
+
+
+class Leaderboard:
+    """A named leaderboard for a fixed task (e.g. LLVM instcount reduction on cBench)."""
+
+    def __init__(self, task: str, benchmarks: Optional[List[str]] = None):
+        self.task = task
+        self.benchmarks = list(benchmarks or [])
+        self.entries: Dict[str, LeaderboardEntry] = {}
+
+    def submit(self, name: str, states: List[CompilerEnvState]) -> LeaderboardEntry:
+        """Add or replace a submission.
+
+        If the leaderboard declares a benchmark set, the submission must cover
+        every benchmark in it.
+        """
+        if self.benchmarks:
+            submitted = {state.benchmark for state in states}
+            missing = set(self.benchmarks) - submitted
+            if missing:
+                raise ValueError(
+                    f"Submission {name!r} is missing results for benchmarks: {sorted(missing)}"
+                )
+        entry = LeaderboardEntry(name=name, states=list(states))
+        self.entries[name] = entry
+        return entry
+
+    def ranking(self) -> List[LeaderboardEntry]:
+        """Entries ranked by geomean reward (descending), ties broken by walltime."""
+        return sorted(
+            self.entries.values(), key=lambda e: (-e.geomean_reward, e.walltime, e.name)
+        )
+
+    def to_markdown(self) -> str:
+        """Render the leaderboard as a markdown table."""
+        lines = [
+            f"# Leaderboard: {self.task}",
+            "",
+            "| Rank | Submission | Geomean reward | Mean reward | Walltime (s) |",
+            "| --- | --- | --- | --- | --- |",
+        ]
+        for rank, entry in enumerate(self.ranking(), start=1):
+            lines.append(
+                f"| {rank} | {entry.name} | {entry.geomean_reward:.4f} "
+                f"| {entry.mean_reward:.4f} | {entry.walltime:.2f} |"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

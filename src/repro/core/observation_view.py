@@ -1,0 +1,80 @@
+"""Lazy, per-space access to environment observations."""
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.spaces.observation import ObservationSpaceSpec
+
+
+class ObservationView:
+    """Provides named access to an environment's observation spaces.
+
+    Observations are computed lazily: ``env.observation["Autophase"]`` asks
+    the backend for exactly that observation of the current state, rather than
+    computing every space at every step. This is the mechanism behind the
+    paper's "lazy and batched operations" API extension.
+    """
+
+    def __init__(
+        self,
+        raw_observation: Callable[[List[str]], List[Any]],
+        spaces: List[ObservationSpaceSpec],
+    ):
+        self._raw_observation = raw_observation
+        self.spaces: Dict[str, ObservationSpaceSpec] = {spec.id: spec for spec in spaces}
+
+    def __getitem__(self, space: str) -> Any:
+        """Compute and return an observation from the named space."""
+        spec = self.spaces[space]
+        # Derived spaces are computed client-side from a base backend space.
+        base_id = getattr(spec, "base_id", spec.id)
+        values = self._raw_observation([base_id])
+        return spec.translate(values[0])
+
+    def __getattr__(self, name: str) -> Any:
+        # Allow attribute-style access, e.g. env.observation.Autophase().
+        if name.startswith("_") or name in ("spaces",):
+            raise AttributeError(name)
+        if name in self.spaces:
+            return lambda: self[name]
+        raise AttributeError(name)
+
+    def add_derived_space(
+        self,
+        id: str,  # noqa: A002 - match upstream API
+        base_id: str,
+        space,
+        translate: Callable[[Any], Any],
+        deterministic: Optional[bool] = None,
+        platform_dependent: Optional[bool] = None,
+    ) -> ObservationSpaceSpec:
+        """Register a new observation space derived from an existing one.
+
+        This supports the wrapper use-case of defining custom compiler
+        analyses over an existing observation (e.g. a reduced feature vector
+        computed from the IR text).
+        """
+        base = self.spaces[base_id]
+        spec = ObservationSpaceSpec(
+            id=id,
+            index=len(self.spaces),
+            space=space,
+            translate=lambda value, _base=base, _translate=translate: _translate(
+                _base.translate(value)
+            ),
+            deterministic=base.deterministic if deterministic is None else deterministic,
+            platform_dependent=(
+                base.platform_dependent if platform_dependent is None else platform_dependent
+            ),
+        )
+        # The derived space is computed from the base space's raw observation.
+        spec.base_id = base_id
+        self.spaces[id] = spec
+        return spec
+
+    def raw_space_id(self, space: str) -> str:
+        """Return the backend space that must be computed for ``space``."""
+        spec = self.spaces[space]
+        return getattr(spec, "base_id", spec.id)
+
+    def __repr__(self) -> str:
+        return f"ObservationView[{', '.join(sorted(self.spaces))}]"

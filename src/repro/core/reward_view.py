@@ -1,0 +1,44 @@
+"""Lazy, per-space access to environment rewards."""
+
+from typing import Dict, List
+
+from repro.core.observation_view import ObservationView
+from repro.core.spaces.reward import Reward
+
+
+class RewardView:
+    """Provides named access to an environment's reward spaces.
+
+    ``env.reward["IrInstructionCountOz"]`` computes the named reward for the
+    current state by fetching whatever observations that reward space depends
+    on, without requiring the reward space to have been selected up front.
+    """
+
+    def __init__(self, rewards: List[Reward], observation_view: ObservationView):
+        self.spaces: Dict[str, Reward] = {reward.name: reward for reward in rewards}
+        self.observation = observation_view
+        self._reset_spaces: set = set()
+        self._benchmark: str = ""
+
+    def reset(self, benchmark: str) -> None:
+        """Reset all reward spaces for a new episode."""
+        self._benchmark = benchmark
+        self._reset_spaces.clear()
+
+    def _ensure_reset(self, reward: Reward) -> None:
+        if reward.name not in self._reset_spaces:
+            reward.reset(self._benchmark, self.observation)
+            self._reset_spaces.add(reward.name)
+
+    def __getitem__(self, space: str) -> float:
+        reward = self.spaces[space]
+        self._ensure_reset(reward)
+        observations = [self.observation[obs] for obs in reward.observation_spaces]
+        return reward.update([], observations, self.observation)
+
+    def add_space(self, reward: Reward) -> None:
+        """Register a new reward space (used by wrapper classes)."""
+        self.spaces[reward.name] = reward
+
+    def __repr__(self) -> str:
+        return f"RewardView[{', '.join(sorted(self.spaces))}]"

@@ -1,0 +1,35 @@
+"""Client/service runtime.
+
+The backend of the original system is a gRPC client/server split: the Python
+frontend talks to a compiler service process through RPCs. This reproduction
+keeps the same layering — a message schema (:mod:`proto`), the four-method
+:class:`CompilationSession` integration interface, a service runtime that maps
+sessions to the Gym API, and a :class:`ServiceConnection` that adds timeouts,
+retries and fault tolerance — but transports calls in-process (with an
+optional subprocess worker for crash isolation).
+"""
+
+from repro.core.service.compilation_session import CompilationSession
+from repro.core.service.connection import ConnectionOpts, ServiceConnection
+from repro.core.service.proto import (
+    ActionSpaceMessage,
+    Event,
+    ObservationSpaceMessage,
+    SessionState,
+    StepReply,
+    StepRequest,
+)
+from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+
+__all__ = [
+    "ActionSpaceMessage",
+    "CompilationSession",
+    "CompilerGymServiceRuntime",
+    "ConnectionOpts",
+    "Event",
+    "ObservationSpaceMessage",
+    "ServiceConnection",
+    "SessionState",
+    "StepReply",
+    "StepRequest",
+]

@@ -1,0 +1,61 @@
+"""The CompilationSession integration interface.
+
+Adding a new compiler to the framework requires implementing only this
+interface: declare the action and observation spaces, then implement
+``apply_action`` and ``get_observation``. Everything else — the Gym API,
+benchmark management, fault tolerance, caching, forking — is provided by the
+shared runtime.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.core.datasets.benchmark import Benchmark
+from repro.core.spaces.observation import ObservationSpaceSpec
+from repro.core.spaces.space import Space
+
+
+class CompilationSession:
+    """A single incremental compilation in progress.
+
+    Class attributes:
+        compiler_version: Human-readable version string of the compiler.
+        action_spaces: The action spaces this compiler exposes.
+        observation_spaces: The observation spaces this compiler exposes.
+    """
+
+    compiler_version: str = ""
+    action_spaces: List[Space] = []
+    observation_spaces: List[ObservationSpaceSpec] = []
+
+    def __init__(self, working_dir: str, action_space: Space, benchmark: Benchmark):
+        self.working_dir = working_dir
+        self.action_space = action_space
+        self.benchmark = benchmark
+
+    def apply_action(self, action) -> Tuple[bool, Optional[Space], bool]:
+        """Apply an action to the current compilation state.
+
+        Returns a tuple ``(end_of_session, new_action_space,
+        action_had_no_effect)``.
+        """
+        raise NotImplementedError
+
+    def get_observation(self, observation_space: ObservationSpaceSpec):
+        """Compute an observation of the current compilation state."""
+        raise NotImplementedError
+
+    def fork(self) -> "CompilationSession":
+        """Create an independent deep copy of this session.
+
+        The default implementation raises; backends that support efficient
+        forking (all three in this package do) override it.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support fork()")
+
+    def handle_session_parameter(self, key: str, value: str) -> Optional[str]:
+        """Handle an arbitrary session parameter (backend-specific knobs)."""
+        del key, value
+        return None
+
+    def close(self) -> None:
+        """Release any resources held by the session."""

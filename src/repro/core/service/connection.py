@@ -1,0 +1,189 @@
+"""Client-side connection to a compiler service.
+
+The :class:`ServiceConnection` is the frontend's only way of talking to the
+backend runtime. It reproduces the robustness features the paper calls out:
+call timeouts, bounded retry loops with exponential backoff, graceful error
+translation, crash detection and service restart, and per-operation wall-time
+accounting (used by the Table II efficiency benchmarks).
+
+Calls are dispatched in-process by default. A ``rpc_latency`` can be
+configured to model the per-call round-trip cost of a real RPC transport,
+which is what the batched-step experiments measure against.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.service.proto import (
+    EndSessionRequest,
+    ForkSessionRequest,
+    GetSpacesReply,
+    StartSessionRequest,
+    StepRequest,
+)
+from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+from repro.errors import ServiceError, ServiceIsClosed, ServiceTransportError, SessionNotFound
+
+
+@dataclass
+class ConnectionOpts:
+    """Configuration of the service connection retry/timeout behaviour."""
+
+    rpc_call_max_seconds: float = 300.0
+    rpc_max_retries: int = 5
+    retry_wait_seconds: float = 0.01
+    retry_wait_backoff_exponent: float = 1.5
+    # Simulated per-call transport latency in seconds. Zero by default; the
+    # efficiency benchmarks set this to a non-zero value to model the RPC
+    # round trip that batched steps amortize.
+    rpc_latency: float = 0.0
+    init_max_seconds: float = 30.0
+    init_max_attempts: int = 5
+
+
+@dataclass
+class CallStats:
+    """Wall-time accounting for one RPC method."""
+
+    calls: int = 0
+    errors: int = 0
+    retries: int = 0
+    wall_times: List[float] = field(default_factory=list)
+
+    def record(self, wall_time: float) -> None:
+        self.calls += 1
+        self.wall_times.append(wall_time)
+
+
+class ServiceConnection:
+    """A fault-tolerant connection to a :class:`CompilerGymServiceRuntime`."""
+
+    def __init__(
+        self,
+        runtime_factory: Callable[[], CompilerGymServiceRuntime],
+        opts: Optional[ConnectionOpts] = None,
+    ):
+        self.opts = opts or ConnectionOpts()
+        self._runtime_factory = runtime_factory
+        self.closed = False
+        self.restart_count = 0
+        # Reference count of environments sharing this connection (the
+        # creating environment plus any forks). The connection shuts down
+        # when the last of them releases it.
+        self._refcount = 1
+        self.stats: Dict[str, CallStats] = {}
+        start = time.perf_counter()
+        self._runtime = self._create_runtime()
+        self.startup_wall_time = time.perf_counter() - start
+        self.spaces: GetSpacesReply = self._call("get_spaces", self._runtime.get_spaces)
+
+    def _create_runtime(self) -> CompilerGymServiceRuntime:
+        last_error = None
+        for _ in range(max(1, self.opts.init_max_attempts)):
+            try:
+                return self._runtime_factory()
+            except Exception as error:  # noqa: BLE001 - converted to ServiceInitError
+                last_error = error
+        raise ServiceError(f"Failed to create compiler service: {last_error}")
+
+    @property
+    def runtime(self) -> CompilerGymServiceRuntime:
+        return self._runtime
+
+    def restart(self) -> None:
+        """Tear down and recreate the backend runtime (crash recovery)."""
+        try:
+            self._runtime.shutdown()
+        except Exception:  # noqa: BLE001 - the old runtime may be in any state
+            pass
+        self._runtime = self._create_runtime()
+        self.restart_count += 1
+
+    def _call(self, name: str, fn: Callable, *args):
+        """Invoke a service method with timeout, retry, and error translation."""
+        if self.closed:
+            raise ServiceIsClosed(f"Cannot call {name}() on a closed service")
+        stats = self.stats.setdefault(name, CallStats())
+        wait = self.opts.retry_wait_seconds
+        attempts = max(1, self.opts.rpc_max_retries)
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            start = time.perf_counter()
+            try:
+                if self.opts.rpc_latency:
+                    time.sleep(self.opts.rpc_latency)
+                result = fn(*args)
+                elapsed = time.perf_counter() - start
+                if elapsed > self.opts.rpc_call_max_seconds:
+                    raise ServiceTransportError(
+                        f"Service call {name}() exceeded {self.opts.rpc_call_max_seconds}s timeout"
+                    )
+                stats.record(elapsed)
+                return result
+            except (SessionNotFound, ServiceIsClosed):
+                stats.errors += 1
+                raise
+            except ServiceError:
+                stats.errors += 1
+                raise
+            except Exception as error:  # noqa: BLE001 - backend crash: retry after restart
+                stats.errors += 1
+                last_error = error
+                if attempt + 1 < attempts:
+                    stats.retries += 1
+                    time.sleep(wait)
+                    wait *= self.opts.retry_wait_backoff_exponent
+                    self.restart()
+        raise ServiceError(
+            f"Service call {name}() failed after {attempts} attempts: {last_error}"
+        ) from last_error
+
+    # -- RPC methods ------------------------------------------------------
+
+    def get_spaces(self) -> GetSpacesReply:
+        return self._call("get_spaces", self._runtime.get_spaces)
+
+    def start_session(self, request: StartSessionRequest):
+        return self._call("start_session", self._runtime.start_session, request)
+
+    def step(self, request: StepRequest):
+        return self._call("step", self._runtime.step, request)
+
+    def fork_session(self, request: ForkSessionRequest):
+        return self._call("fork_session", self._runtime.fork_session, request)
+
+    def end_session(self, request: EndSessionRequest):
+        if self.closed:
+            return None
+        return self._call("end_session", self._runtime.end_session, request)
+
+    def handle_session_parameter(self, session_id: int, key: str, value: str):
+        return self._call(
+            "session_parameter", self._runtime.handle_session_parameter, session_id, key, value
+        )
+
+    def acquire(self) -> "ServiceConnection":
+        """Register another environment sharing this connection (fork())."""
+        self._refcount += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the connection closes when none remain."""
+        self._refcount -= 1
+        if self._refcount <= 0:
+            self.close()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            self._runtime.shutdown()
+        finally:
+            self.closed = True
+
+    def __enter__(self) -> "ServiceConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

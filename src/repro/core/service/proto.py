@@ -1,0 +1,144 @@
+"""Message schema for the client/service boundary.
+
+The upstream project defines these messages as protocol buffers; here they are
+plain dataclasses with the same field names so the rest of the code reads
+identically. Keeping an explicit message layer (rather than passing Python
+objects around freely) preserves the serialization discipline of the original
+design and lets the optional subprocess transport pickle them.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Event:
+    """A tagged union value used for observations and action payloads."""
+
+    int64_value: Optional[int] = None
+    double_value: Optional[float] = None
+    string_value: Optional[str] = None
+    bytes_value: Optional[bytes] = None
+    int64_list: Optional[List[int]] = None
+    double_list: Optional[List[float]] = None
+    event_dict: Optional[Dict[str, "Event"]] = None
+    opaque: Any = None
+
+    def value(self) -> Any:
+        """Return whichever payload field is set."""
+        for attr in (
+            "int64_value",
+            "double_value",
+            "string_value",
+            "bytes_value",
+            "int64_list",
+            "double_list",
+            "event_dict",
+            "opaque",
+        ):
+            value = getattr(self, attr)
+            if value is not None:
+                return value
+        return None
+
+    @classmethod
+    def from_value(cls, value: Any) -> "Event":
+        """Wrap an arbitrary Python value in the appropriate payload field."""
+        if isinstance(value, bool):
+            return cls(int64_value=int(value))
+        if isinstance(value, int):
+            return cls(int64_value=value)
+        if isinstance(value, float):
+            return cls(double_value=value)
+        if isinstance(value, str):
+            return cls(string_value=value)
+        if isinstance(value, (bytes, bytearray)):
+            return cls(bytes_value=bytes(value))
+        if isinstance(value, (list, tuple)) and value and all(isinstance(v, int) for v in value):
+            return cls(int64_list=list(value))
+        if isinstance(value, (list, tuple)) and value and all(isinstance(v, (int, float)) for v in value):
+            return cls(double_list=[float(v) for v in value])
+        return cls(opaque=value)
+
+
+@dataclass
+class ActionSpaceMessage:
+    """Description of an action space exposed by a compilation session."""
+
+    name: str
+    space: Any
+
+
+@dataclass
+class ObservationSpaceMessage:
+    """Description of an observation space exposed by a compilation session."""
+
+    name: str
+    space: Any
+    deterministic: bool = True
+    platform_dependent: bool = False
+    default_observation: Any = None
+
+
+@dataclass
+class StartSessionRequest:
+    benchmark_uri: str
+    action_space: int = 0
+    observation_space_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StartSessionReply:
+    session_id: int
+    observations: List[Event] = field(default_factory=list)
+    new_action_space: Optional[ActionSpaceMessage] = None
+
+
+@dataclass
+class StepRequest:
+    session_id: int
+    actions: List[Any] = field(default_factory=list)
+    observation_space_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StepReply:
+    end_of_session: bool = False
+    action_had_no_effect: bool = False
+    new_action_space: Optional[ActionSpaceMessage] = None
+    observations: List[Event] = field(default_factory=list)
+
+
+@dataclass
+class ForkSessionRequest:
+    session_id: int
+
+
+@dataclass
+class ForkSessionReply:
+    session_id: int
+
+
+@dataclass
+class EndSessionRequest:
+    session_id: int
+
+
+@dataclass
+class EndSessionReply:
+    remaining_sessions: int = 0
+
+
+@dataclass
+class GetSpacesReply:
+    action_spaces: List[ActionSpaceMessage] = field(default_factory=list)
+    observation_spaces: List[ObservationSpaceMessage] = field(default_factory=list)
+
+
+@dataclass
+class SessionState:
+    """Snapshot of a compilation session used for checkpoint/restore."""
+
+    benchmark_uri: str
+    actions: List[Any] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,6 @@
+"""Shared service runtime: session management, benchmark cache."""
+
+from repro.core.service.runtime.benchmark_cache import BenchmarkCache
+from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+
+__all__ = ["BenchmarkCache", "CompilerGymServiceRuntime"]

@@ -1,0 +1,169 @@
+"""The shared compiler service runtime.
+
+Maps implementations of :class:`CompilationSession` to the request/reply
+message API consumed by the frontend. One runtime instance manages many
+concurrent sessions, identified by integer session IDs, and owns the
+benchmark cache that gives amortized O(1) environment initialization.
+"""
+
+import tempfile
+import threading
+from typing import Callable, Dict, Optional, Type
+
+from repro.core.datasets.benchmark import Benchmark
+from repro.core.service.compilation_session import CompilationSession
+from repro.core.service.proto import (
+    ActionSpaceMessage,
+    EndSessionReply,
+    EndSessionRequest,
+    Event,
+    ForkSessionReply,
+    ForkSessionRequest,
+    GetSpacesReply,
+    ObservationSpaceMessage,
+    StartSessionReply,
+    StartSessionRequest,
+    StepReply,
+    StepRequest,
+)
+from repro.core.service.runtime.benchmark_cache import BenchmarkCache
+from repro.errors import ServiceError, SessionNotFound
+
+
+class CompilerGymServiceRuntime:
+    """In-process implementation of the compiler service.
+
+    Args:
+        session_type: The :class:`CompilationSession` subclass to instantiate
+            for each new session.
+        benchmark_resolver: Callable mapping a benchmark URI to a
+            :class:`Benchmark`. Results are stored in the benchmark cache.
+    """
+
+    def __init__(
+        self,
+        session_type: Type[CompilationSession],
+        benchmark_resolver: Callable[[str], Benchmark],
+        working_dir: Optional[str] = None,
+    ):
+        self.session_type = session_type
+        self.benchmark_resolver = benchmark_resolver
+        self.working_dir = working_dir or tempfile.mkdtemp(prefix="repro-compiler-service-")
+        self.benchmark_cache = BenchmarkCache()
+        self.sessions: Dict[int, CompilationSession] = {}
+        self._next_session_id = 0
+        self._lock = threading.Lock()
+        self.closed = False
+        # Operation counters, exposed for the efficiency benchmarks.
+        self.stats = {"start_session": 0, "step": 0, "fork_session": 0, "end_session": 0}
+
+    # -- space discovery -------------------------------------------------
+
+    def get_spaces(self) -> GetSpacesReply:
+        return GetSpacesReply(
+            action_spaces=[
+                ActionSpaceMessage(name=space.name or f"space-{i}", space=space)
+                for i, space in enumerate(self.session_type.action_spaces)
+            ],
+            observation_spaces=[
+                ObservationSpaceMessage(
+                    name=spec.id,
+                    space=spec.space,
+                    deterministic=spec.deterministic,
+                    platform_dependent=spec.platform_dependent,
+                    default_observation=spec.default_value,
+                )
+                for spec in self.session_type.observation_spaces
+            ],
+        )
+
+    def _observation_spec(self, name: str):
+        for spec in self.session_type.observation_spaces:
+            if spec.id == name:
+                return spec
+        raise ServiceError(f"Unknown observation space: {name!r}")
+
+    def _resolve_benchmark(self, uri: str) -> Benchmark:
+        benchmark = self.benchmark_cache.get(uri)
+        if benchmark is None:
+            benchmark = self.benchmark_resolver(uri)
+            self.benchmark_cache[uri] = benchmark
+        return benchmark
+
+    def _session(self, session_id: int) -> CompilationSession:
+        if session_id not in self.sessions:
+            raise SessionNotFound(f"Session not found: {session_id}")
+        return self.sessions[session_id]
+
+    # -- session lifecycle ------------------------------------------------
+
+    def start_session(self, request: StartSessionRequest) -> StartSessionReply:
+        if self.closed:
+            raise ServiceError("Service is closed")
+        self.stats["start_session"] += 1
+        benchmark = self._resolve_benchmark(request.benchmark_uri)
+        action_space = self.session_type.action_spaces[request.action_space]
+        session = self.session_type(
+            working_dir=self.working_dir, action_space=action_space, benchmark=benchmark
+        )
+        with self._lock:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+            self.sessions[session_id] = session
+        observations = [
+            Event.from_value(session.get_observation(self._observation_spec(name)))
+            for name in request.observation_space_names
+        ]
+        return StartSessionReply(session_id=session_id, observations=observations)
+
+    def step(self, request: StepRequest) -> StepReply:
+        self.stats["step"] += 1
+        session = self._session(request.session_id)
+        end_of_session = False
+        action_had_no_effect = True
+        new_action_space = None
+        for action in request.actions:
+            end, new_space, no_effect = session.apply_action(action)
+            action_had_no_effect = action_had_no_effect and no_effect
+            if new_space is not None:
+                new_action_space = ActionSpaceMessage(name=new_space.name or "", space=new_space)
+                session.action_space = new_space
+            if end:
+                end_of_session = True
+                break
+        observations = [
+            Event.from_value(session.get_observation(self._observation_spec(name)))
+            for name in request.observation_space_names
+        ]
+        return StepReply(
+            end_of_session=end_of_session,
+            action_had_no_effect=action_had_no_effect,
+            new_action_space=new_action_space,
+            observations=observations,
+        )
+
+    def fork_session(self, request: ForkSessionRequest) -> ForkSessionReply:
+        self.stats["fork_session"] += 1
+        session = self._session(request.session_id)
+        forked = session.fork()
+        with self._lock:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+            self.sessions[session_id] = forked
+        return ForkSessionReply(session_id=session_id)
+
+    def end_session(self, request: EndSessionRequest) -> EndSessionReply:
+        self.stats["end_session"] += 1
+        session = self.sessions.pop(request.session_id, None)
+        if session is not None:
+            session.close()
+        return EndSessionReply(remaining_sessions=len(self.sessions))
+
+    def handle_session_parameter(self, session_id: int, key: str, value: str) -> Optional[str]:
+        return self._session(session_id).handle_session_parameter(key, value)
+
+    def shutdown(self) -> None:
+        for session in self.sessions.values():
+            session.close()
+        self.sessions.clear()
+        self.closed = True

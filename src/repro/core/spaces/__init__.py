@@ -1,0 +1,37 @@
+"""Space hierarchy used by observation, reward, and action spaces.
+
+These spaces follow the semantics of ``gym.spaces`` (``sample()``,
+``contains()``, ``seed()``) with the compiler-specific additions described in
+the paper: named discrete spaces whose members are compiler flags/passes,
+commandline spaces, scalar ranges, and sequence spaces for variable-length
+observations such as IR text or graphs.
+"""
+
+from repro.core.spaces.space import Space
+from repro.core.spaces.scalar import Scalar
+from repro.core.spaces.discrete import Discrete
+from repro.core.spaces.named_discrete import NamedDiscrete
+from repro.core.spaces.box import Box
+from repro.core.spaces.sequence import SequenceSpace
+from repro.core.spaces.containers import DictSpace, TupleSpace
+from repro.core.spaces.commandline import Commandline, CommandlineFlag
+from repro.core.spaces.permutation import Permutation
+from repro.core.spaces.reward import Reward, DefaultRewardFromObservation
+from repro.core.spaces.observation import ObservationSpaceSpec
+
+__all__ = [
+    "Box",
+    "Commandline",
+    "CommandlineFlag",
+    "DefaultRewardFromObservation",
+    "DictSpace",
+    "Discrete",
+    "NamedDiscrete",
+    "ObservationSpaceSpec",
+    "Permutation",
+    "Reward",
+    "Scalar",
+    "SequenceSpace",
+    "Space",
+    "TupleSpace",
+]

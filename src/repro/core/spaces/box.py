@@ -1,0 +1,68 @@
+"""An n-dimensional box space backed by numpy arrays."""
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.spaces.space import Space
+
+
+class Box(Space):
+    """An n-dimensional continuous or integer box ``[low, high]^shape``.
+
+    Used for the fixed-length numeric feature-vector observation spaces such
+    as InstCount (70-D int64) and Autophase (56-D int64).
+    """
+
+    def __init__(
+        self,
+        low: Union[float, np.ndarray],
+        high: Union[float, np.ndarray],
+        shape: Optional[Tuple[int, ...]] = None,
+        dtype=np.float64,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        self.dtype = np.dtype(dtype)
+        if shape is None:
+            shape = np.broadcast(np.asarray(low), np.asarray(high)).shape
+        self.shape = tuple(int(s) for s in shape)
+        self.low = np.full(self.shape, low, dtype=self.dtype) if np.isscalar(low) else np.asarray(low, dtype=self.dtype)
+        self.high = np.full(self.shape, high, dtype=self.dtype) if np.isscalar(high) else np.asarray(high, dtype=self.dtype)
+        if self.low.shape != self.shape or self.high.shape != self.shape:
+            raise ValueError("low/high shapes do not match the box shape")
+
+    def sample(self) -> np.ndarray:
+        low = np.where(np.isfinite(self.low), self.low, -1e6)
+        high = np.where(np.isfinite(self.high), self.high, 1e6)
+        values = np.array(
+            [self.rng.uniform(float(lo), float(hi)) for lo, hi in zip(low.ravel(), high.ravel())]
+        ).reshape(self.shape)
+        if np.issubdtype(self.dtype, np.integer):
+            values = np.floor(values)
+        return values.astype(self.dtype)
+
+    def contains(self, value) -> bool:
+        try:
+            arr = np.asarray(value, dtype=self.dtype)
+        except (TypeError, ValueError):
+            return False
+        if arr.shape != self.shape:
+            return False
+        return bool(np.all(arr >= self.low) and np.all(arr <= self.high))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.dtype == other.dtype
+            and np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shape, str(self.dtype)))
+
+    def __repr__(self) -> str:
+        return f"Box(name={self.name!r}, shape={self.shape}, dtype={self.dtype})"

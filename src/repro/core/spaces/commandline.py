@@ -1,0 +1,52 @@
+"""Commandline action space: named flags that render to a command line."""
+
+from typing import Iterable, List, NamedTuple, Optional
+
+from repro.core.spaces.named_discrete import NamedDiscrete
+
+
+class CommandlineFlag(NamedTuple):
+    """A single commandline flag in a :class:`Commandline` space."""
+
+    name: str
+    flag: str
+    description: str = ""
+
+
+class Commandline(NamedDiscrete):
+    """A :class:`NamedDiscrete` space whose members are commandline flags.
+
+    The LLVM phase-ordering action space is a Commandline space: every member
+    is an ``opt`` pass flag such as ``-mem2reg``. The space can render an
+    action sequence to the equivalent command line for reproduction outside
+    the environment.
+    """
+
+    def __init__(self, items: Iterable[CommandlineFlag], name: Optional[str] = None):
+        self.flags: List[CommandlineFlag] = list(items)
+        super().__init__([f.name for f in self.flags], name=name)
+
+    def flag(self, index: int) -> str:
+        """Return the commandline flag string of a member."""
+        return self.flags[index].flag
+
+    def description(self, index: int) -> str:
+        """Return the human-readable description of a member."""
+        return self.flags[index].description
+
+    def to_commandline(self, values: Iterable[int]) -> str:
+        """Render a sequence of actions as a command line fragment."""
+        return " ".join(self.flags[v].flag for v in values)
+
+    def from_commandline(self, commandline: str) -> List[int]:
+        """Parse a command line fragment back into a sequence of actions."""
+        index = {f.flag: i for i, f in enumerate(self.flags)}
+        actions = []
+        for token in commandline.split():
+            if token not in index:
+                raise LookupError(f"Unknown commandline flag: {token!r}")
+            actions.append(index[token])
+        return actions
+
+    def __repr__(self) -> str:
+        return f"Commandline(name={self.name!r}, n={self.n})"

@@ -1,0 +1,66 @@
+"""Composite spaces: dictionaries and tuples of member spaces."""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.spaces.space import Space
+
+
+class DictSpace(Space):
+    """A dictionary of named member spaces."""
+
+    def __init__(self, spaces: Dict[str, Space], name: Optional[str] = None):
+        super().__init__(name=name)
+        self.spaces = dict(spaces)
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        super().seed(seed)
+        for i, space in enumerate(self.spaces.values()):
+            space.seed(None if seed is None else seed + i + 1)
+
+    def sample(self) -> dict:
+        return {key: space.sample() for key, space in self.spaces.items()}
+
+    def contains(self, value) -> bool:
+        if not isinstance(value, dict):
+            return False
+        if set(value.keys()) != set(self.spaces.keys()):
+            return False
+        return all(self.spaces[key].contains(val) for key, val in value.items())
+
+    def __getitem__(self, key: str) -> Space:
+        return self.spaces[key]
+
+    def __repr__(self) -> str:
+        return f"DictSpace(name={self.name!r}, keys={sorted(self.spaces)})"
+
+
+class TupleSpace(Space):
+    """A fixed-length tuple of member spaces."""
+
+    def __init__(self, spaces: Sequence[Space], name: Optional[str] = None):
+        super().__init__(name=name)
+        self.spaces: List[Space] = list(spaces)
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        super().seed(seed)
+        for i, space in enumerate(self.spaces):
+            space.seed(None if seed is None else seed + i + 1)
+
+    def sample(self) -> tuple:
+        return tuple(space.sample() for space in self.spaces)
+
+    def contains(self, value) -> bool:
+        if not isinstance(value, (tuple, list)):
+            return False
+        if len(value) != len(self.spaces):
+            return False
+        return all(space.contains(val) for space, val in zip(self.spaces, value))
+
+    def __getitem__(self, index: int) -> Space:
+        return self.spaces[index]
+
+    def __len__(self) -> int:
+        return len(self.spaces)
+
+    def __repr__(self) -> str:
+        return f"TupleSpace(name={self.name!r}, n={len(self.spaces)})"

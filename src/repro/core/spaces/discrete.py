@@ -1,0 +1,43 @@
+"""Discrete integer action/observation space."""
+
+from typing import Optional
+
+from repro.core.spaces.space import Space
+
+
+class Discrete(Space):
+    """The integers ``{0, 1, ..., n-1}``."""
+
+    def __init__(self, n: int, name: Optional[str] = None):
+        super().__init__(name=name)
+        if n < 1:
+            raise ValueError(f"Discrete space size must be positive: {n}")
+        self.n = int(n)
+
+    def sample(self) -> int:
+        return self.rng.randrange(self.n)
+
+    def contains(self, value) -> bool:
+        if isinstance(value, bool):
+            return False
+        if isinstance(value, float) and not value.is_integer():
+            return False
+        try:
+            value = int(value)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= value < self.n
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Discrete):
+            return NotImplemented
+        return self.n == other.n
+
+    def __hash__(self) -> int:
+        return hash(self.n)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Discrete(name={self.name!r}, n={self.n})"

@@ -1,0 +1,45 @@
+"""Discrete space whose members have names (e.g. compiler pass names)."""
+
+from typing import Iterable, List, Optional, Union
+
+from repro.core.spaces.discrete import Discrete
+
+
+class NamedDiscrete(Discrete):
+    """A :class:`Discrete` space in which every member has a string name.
+
+    Used for compiler action spaces: members are optimization pass names for
+    LLVM, flag settings for GCC, and cursor operations for loop_tool.
+    """
+
+    def __init__(self, items: Iterable[str], name: Optional[str] = None):
+        self.names: List[str] = [str(item) for item in items]
+        if not self.names:
+            raise ValueError("NamedDiscrete requires at least one item")
+        super().__init__(n=len(self.names), name=name)
+        self._index = {item: i for i, item in enumerate(self.names)}
+
+    def __getitem__(self, name: str) -> int:
+        """Return the integer index of a named member."""
+        return self._index[name]
+
+    def to_string(self, values: Union[int, Iterable[int]]) -> str:
+        """Render one action or a sequence of actions as a space-separated string."""
+        if isinstance(values, (int,)):
+            return self.names[values]
+        return " ".join(self.names[v] for v in values)
+
+    def from_string(self, string: str) -> List[int]:
+        """Parse a space-separated string of member names into action indices."""
+        return [self._index[token] for token in string.split() if token]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NamedDiscrete):
+            return NotImplemented
+        return self.names == other.names
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.names))
+
+    def __repr__(self) -> str:
+        return f"NamedDiscrete(name={self.name!r}, n={self.n})"

@@ -1,0 +1,54 @@
+"""Observation space specifications.
+
+An :class:`ObservationSpaceSpec` describes one of the observation spaces an
+environment exposes: its name, value space, determinism/platform properties,
+default value on error, and a translation function from the raw service
+observation message to the user-facing value.
+"""
+
+from typing import Any, Callable, Optional
+
+from repro.core.spaces.space import Space
+
+
+class ObservationSpaceSpec:
+    """Specification of a single named observation space."""
+
+    def __init__(
+        self,
+        id: str,  # noqa: A002 - match upstream API
+        index: int,
+        space: Space,
+        translate: Optional[Callable[[Any], Any]] = None,
+        to_string: Optional[Callable[[Any], str]] = None,
+        deterministic: bool = True,
+        platform_dependent: bool = False,
+        default_value: Any = None,
+    ):
+        self.id = id
+        self.index = index
+        self.space = space
+        self.deterministic = deterministic
+        self.platform_dependent = platform_dependent
+        self.default_value = default_value
+        self._translate = translate or (lambda value: value)
+        self._to_string = to_string or str
+
+    def translate(self, value: Any) -> Any:
+        """Convert a raw service observation into the user-facing value."""
+        return self._translate(value)
+
+    def to_string(self, value: Any) -> str:
+        """Render an observation value for display."""
+        return self._to_string(value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ObservationSpaceSpec):
+            return NotImplemented
+        return self.id == other.id and self.space == other.space
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __repr__(self) -> str:
+        return f"ObservationSpaceSpec({self.id})"

@@ -1,0 +1,38 @@
+"""Permutation space: orderings of a fixed set of elements."""
+
+from typing import List, Optional
+
+from repro.core.spaces.space import Space
+
+
+class Permutation(Space):
+    """The space of permutations of ``{0, ..., n-1}``.
+
+    Useful for formulating phase ordering as a one-shot permutation selection
+    rather than a sequential MDP (an alternative formulation supported by the
+    upstream project for search-based techniques).
+    """
+
+    def __init__(self, n: int, name: Optional[str] = None):
+        super().__init__(name=name)
+        if n < 1:
+            raise ValueError(f"Permutation size must be positive: {n}")
+        self.n = int(n)
+
+    def sample(self) -> List[int]:
+        values = list(range(self.n))
+        self.rng.shuffle(values)
+        return values
+
+    def contains(self, value) -> bool:
+        if not hasattr(value, "__len__"):
+            return False
+        if len(value) != self.n:
+            return False
+        try:
+            return sorted(int(v) for v in value) == list(range(self.n))
+        except (TypeError, ValueError):
+            return False
+
+    def __repr__(self) -> str:
+        return f"Permutation(name={self.name!r}, n={self.n})"

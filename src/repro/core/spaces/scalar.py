@@ -1,0 +1,60 @@
+"""A scalar range space."""
+
+from typing import Optional
+
+from repro.core.spaces.space import Space
+
+
+class Scalar(Space):
+    """A single numeric value bounded to ``[min, max]``.
+
+    Either bound may be ``None`` meaning unbounded in that direction. The
+    ``dtype`` determines whether sampling produces integers or floats.
+    """
+
+    def __init__(
+        self,
+        min: Optional[float] = None,  # noqa: A002 - match upstream API
+        max: Optional[float] = None,  # noqa: A002
+        dtype=float,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        self.min = min
+        self.max = max
+        self.dtype = dtype
+
+    def sample(self):
+        lo = self.min if self.min is not None else -1e9
+        hi = self.max if self.max is not None else 1e9
+        if self.dtype in (int, "int", "int64", "int32"):
+            return self.rng.randint(int(lo), int(hi))
+        return self.rng.uniform(lo, hi)
+
+    def contains(self, value) -> bool:
+        if isinstance(value, bool):
+            return False
+        if not isinstance(value, (int, float)):
+            return False
+        if self.dtype in (int, "int", "int64", "int32") and not float(value).is_integer():
+            return False
+        if self.min is not None and value < self.min:
+            return False
+        if self.max is not None and value > self.max:
+            return False
+        return True
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Scalar):
+            return NotImplemented
+        return (
+            self.min == other.min
+            and self.max == other.max
+            and self.dtype == other.dtype
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.min, self.max, str(self.dtype)))
+
+    def __repr__(self) -> str:
+        return f"Scalar(name={self.name!r}, min={self.min}, max={self.max}, dtype={getattr(self.dtype, '__name__', self.dtype)})"

@@ -1,0 +1,77 @@
+"""Variable-length sequence space (strings, byte arrays, lists of vectors)."""
+
+from typing import Optional, Tuple
+
+from repro.core.spaces.scalar import Scalar
+from repro.core.spaces.space import Space
+
+
+class SequenceSpace(Space):
+    """A variable-length sequence of elements drawn from a scalar range.
+
+    Used for the string/bytes observation spaces (LLVM-IR text, assembly,
+    object code) and for list-of-vector observations such as inst2vec.
+
+    Args:
+        size_range: ``(min_len, max_len)`` where ``max_len`` may be ``None``.
+        dtype: The element type — ``str``, ``bytes``, ``int`` or ``float``.
+        scalar_range: Optional per-element value range.
+    """
+
+    def __init__(
+        self,
+        size_range: Tuple[int, Optional[int]] = (0, None),
+        dtype=bytes,
+        scalar_range: Optional[Scalar] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        self.size_range = size_range
+        self.dtype = dtype
+        self.scalar_range = scalar_range
+
+    def sample(self):
+        lo = self.size_range[0]
+        hi = self.size_range[1] if self.size_range[1] is not None else lo + 64
+        length = self.rng.randint(lo, hi)
+        if self.dtype is str:
+            return "".join(chr(self.rng.randint(32, 126)) for _ in range(length))
+        if self.dtype is bytes:
+            return bytes(self.rng.randint(0, 255) for _ in range(length))
+        if self.dtype is int:
+            return [self.rng.randint(0, 100) for _ in range(length)]
+        return [self.rng.random() for _ in range(length)]
+
+    def contains(self, value) -> bool:
+        if self.dtype is str and not isinstance(value, str):
+            return False
+        if self.dtype is bytes and not isinstance(value, (bytes, bytearray)):
+            return False
+        if self.dtype in (int, float) and not hasattr(value, "__len__"):
+            return False
+        length = len(value)
+        if length < self.size_range[0]:
+            return False
+        if self.size_range[1] is not None and length > self.size_range[1]:
+            return False
+        if self.scalar_range is not None and self.dtype in (int, float):
+            return all(self.scalar_range.contains(v) for v in value)
+        return True
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SequenceSpace):
+            return NotImplemented
+        return (
+            self.size_range == other.size_range
+            and self.dtype == other.dtype
+            and self.scalar_range == other.scalar_range
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.size_range, str(self.dtype)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceSpace(name={self.name!r}, size_range={self.size_range}, "
+            f"dtype={getattr(self.dtype, '__name__', self.dtype)})"
+        )

@@ -1,0 +1,129 @@
+"""Result validation.
+
+Two layers of validation, as in the paper:
+
+1. *State validation* (reproducibility): a serialized state is replayed in a
+   fresh environment and the reward is recomputed. A mismatch indicates
+   nondeterminism in the compiler — this is the mechanism that caught the
+   ``-gvn-sink`` nondeterminism bug described in the paper.
+2. *Semantics validation*: for runnable benchmarks, benchmark-provided
+   callbacks apply differential testing (and sanitizer-style checks in the
+   LLVM backend) to detect miscompilations.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.compiler_env_state import CompilerEnvState
+from repro.errors import ValidationError
+from repro.util.timer import Timer
+
+
+@dataclass
+class ValidationResult:
+    """The result of validating a compiler environment state."""
+
+    state: CompilerEnvState
+    walltime: float = 0.0
+    reward_validated: bool = False
+    actions_replay_failed: bool = False
+    reward_validation_failed: bool = False
+    benchmark_semantics_validated: bool = False
+    benchmark_semantics_validation_failed: bool = False
+    errors: List[ValidationError] = field(default_factory=list)
+
+    @property
+    def error_details(self) -> str:
+        return "\n".join(error.type for error in self.errors)
+
+    def okay(self) -> bool:
+        """Whether validation passed with no failures."""
+        return not (
+            self.actions_replay_failed
+            or self.reward_validation_failed
+            or self.benchmark_semantics_validation_failed
+        )
+
+    def __str__(self) -> str:
+        status = "✅" if self.okay() else "❌"
+        checks = []
+        if self.reward_validated:
+            checks.append(
+                "reward-mismatch" if self.reward_validation_failed else "reward-ok"
+            )
+        if self.benchmark_semantics_validated:
+            checks.append(
+                "semantics-fail" if self.benchmark_semantics_validation_failed else "semantics-ok"
+            )
+        detail = ",".join(checks) or "replay-only"
+        return f"{status} {self.state.benchmark} {detail}"
+
+
+def validate_state(env, state: CompilerEnvState, reward_tolerance: float = 1e-4) -> ValidationResult:
+    """Replay ``state`` in a fork-free fresh episode of ``env`` and validate it.
+
+    The environment's benchmark and reward space are taken from the state and
+    the environment's current reward space, respectively.
+    """
+    errors: List[ValidationError] = []
+    result = ValidationResult(state=state)
+
+    with Timer() as timer:
+        try:
+            env.reset(benchmark=state.benchmark)
+            actions = env._actions_from_string(state.commandline)
+            if actions:
+                _, _, done, info = env.multistep(actions)
+                if done and "error_details" in info:
+                    result.actions_replay_failed = True
+                    errors.append(
+                        ValidationError(
+                            type="Action replay failed",
+                            data={"error_details": info["error_details"]},
+                        )
+                    )
+        except Exception as error:  # noqa: BLE001 - any replay failure is a validation error
+            result.actions_replay_failed = True
+            errors.append(ValidationError(type="Replay exception", data={"error": str(error)}))
+            result.errors = errors
+            result.walltime = timer.time
+            return result
+
+        # Reward reproducibility check.
+        if state.has_reward and env.reward_space is not None:
+            result.reward_validated = True
+            replay_reward = env.episode_reward or 0.0
+            if env.reward_space.deterministic and abs(replay_reward - state.reward) > reward_tolerance:
+                result.reward_validation_failed = True
+                errors.append(
+                    ValidationError(
+                        type="Expected reward does not match actual reward",
+                        data={"expected_reward": state.reward, "actual_reward": replay_reward},
+                    )
+                )
+
+        # Benchmark semantics validation.
+        benchmark = env.benchmark
+        if benchmark is not None and benchmark.is_validatable():
+            result.benchmark_semantics_validated = True
+            semantic_errors = benchmark.validate(env)
+            if semantic_errors:
+                result.benchmark_semantics_validation_failed = True
+                errors.extend(semantic_errors)
+
+    result.errors = errors
+    result.walltime = timer.time
+    return result
+
+
+def validate_states(env_factory, states, inorder: bool = True) -> List[ValidationResult]:
+    """Validate a collection of states, constructing environments as needed."""
+    del inorder  # Single-threaded implementation validates in order.
+    results = []
+    env = env_factory()
+    try:
+        for state in states:
+            results.append(validate_state(env, state))
+    finally:
+        env.close()
+    return results

@@ -1,0 +1,45 @@
+"""Environment wrappers for compiler research.
+
+These mirror the wrapper suite shipped with the upstream project: generic
+observation/reward/action wrappers plus compiler-specific wrappers for time
+limits, iterating over benchmark suites, constraining commandline action
+spaces, and concatenating action histograms onto observations (the
+representation used by the Autophase RL experiments).
+"""
+
+from repro.core.wrappers.core import (
+    ActionWrapper,
+    CompilerEnvWrapper,
+    ObservationWrapper,
+    RewardWrapper,
+)
+from repro.core.wrappers.time_limit import TimeLimit
+from repro.core.wrappers.datasets_iterators import (
+    CycleOverBenchmarks,
+    CycleOverBenchmarksIterator,
+    IterateOverBenchmarks,
+    RandomOrderBenchmarks,
+)
+from repro.core.wrappers.commandline import (
+    CommandlineWithTerminalAction,
+    ConstrainedCommandline,
+)
+from repro.core.wrappers.observation import ConcatActionsHistogram, CounterWrapper
+from repro.core.wrappers.fork import ForkOnStep
+
+__all__ = [
+    "ActionWrapper",
+    "CommandlineWithTerminalAction",
+    "CompilerEnvWrapper",
+    "ConcatActionsHistogram",
+    "ConstrainedCommandline",
+    "CounterWrapper",
+    "CycleOverBenchmarks",
+    "CycleOverBenchmarksIterator",
+    "ForkOnStep",
+    "IterateOverBenchmarks",
+    "ObservationWrapper",
+    "RandomOrderBenchmarks",
+    "RewardWrapper",
+    "TimeLimit",
+]

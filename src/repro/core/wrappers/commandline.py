@@ -1,0 +1,111 @@
+"""Wrappers that modify Commandline action spaces."""
+
+from typing import Iterable, List, Optional, Union
+
+from repro.core.spaces.commandline import Commandline, CommandlineFlag
+from repro.core.wrappers.core import ActionWrapper, CompilerEnvWrapper
+
+
+class CommandlineWithTerminalAction(CompilerEnvWrapper):
+    """Adds an explicit end-of-episode action to a Commandline action space.
+
+    The LLVM phase-ordering episodes have no terminal state; this wrapper lets
+    an agent learn *when to stop* by selecting the added terminal action.
+    """
+
+    def __init__(self, env, terminal=None):
+        super().__init__(env)
+        base = env.action_space
+        if not isinstance(base, Commandline):
+            raise TypeError(
+                f"CommandlineWithTerminalAction requires a Commandline action space, got {type(base).__name__}"
+            )
+        terminal = terminal or CommandlineFlag(
+            name="end-of-episode", flag="# end-of-episode", description="End the episode"
+        )
+        self._terminal_index = len(base.flags)
+        self._wrapped_action_space = Commandline(
+            list(base.flags) + [terminal], name=f"{base.name}+terminal"
+        )
+
+    @property
+    def action_space(self):
+        return self._wrapped_action_space
+
+    @action_space.setter
+    def action_space(self, space):
+        self.env.action_space = space
+
+    def multistep(self, actions, observation_spaces=None, reward_spaces=None):
+        actions = list(actions)
+        terminal_selected = self._terminal_index in actions
+        if terminal_selected:
+            actions = actions[: actions.index(self._terminal_index)]
+        if actions:
+            observation, reward, done, info = self.env.multistep(
+                actions, observation_spaces=observation_spaces, reward_spaces=reward_spaces
+            )
+        else:
+            # No real action to apply: synthesise a null step result.
+            observation, reward, done, info = (
+                None,
+                [] if reward_spaces is not None else 0.0,
+                False,
+                {"action_had_no_effect": True, "new_action_space": False},
+            )
+        if terminal_selected:
+            done = True
+        return observation, reward, done, info
+
+
+class ConstrainedCommandline(ActionWrapper):
+    """Constrains a Commandline action space to a subset of its flags.
+
+    This is how the paper replicates Autophase's 42-pass action space from the
+    full 124-pass LLVM space.
+    """
+
+    def __init__(self, env, flags: Iterable[str], name: Optional[str] = None):
+        super().__init__(env)
+        base = env.action_space
+        if not isinstance(base, Commandline):
+            raise TypeError(
+                f"ConstrainedCommandline requires a Commandline action space, got {type(base).__name__}"
+            )
+        self._forward: List[int] = []
+        selected_flags: List[CommandlineFlag] = []
+        index = {f.flag: i for i, f in enumerate(base.flags)}
+        by_name = {f.name: i for i, f in enumerate(base.flags)}
+        for flag in flags:
+            if flag in index:
+                position = index[flag]
+            elif flag in by_name:
+                position = by_name[flag]
+            else:
+                raise LookupError(f"Flag not found in action space: {flag!r}")
+            self._forward.append(position)
+            selected_flags.append(base.flags[position])
+        self._constrained_space = Commandline(
+            selected_flags, name=name or f"{base.name}-constrained"
+        )
+
+    @property
+    def action_space(self):
+        return self._constrained_space
+
+    @action_space.setter
+    def action_space(self, space):
+        self.env.action_space = space
+
+    def action(self, action: int) -> int:
+        return self._forward[action]
+
+    def reverse_action(self, action: int) -> int:
+        return self._forward.index(action)
+
+    def fork(self):
+        forked = ConstrainedCommandline.__new__(ConstrainedCommandline)
+        CompilerEnvWrapper.__init__(forked, self.env.fork())
+        forked._forward = list(self._forward)
+        forked._constrained_space = self._constrained_space
+        return forked

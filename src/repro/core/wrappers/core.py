@@ -1,0 +1,147 @@
+"""Base wrapper classes.
+
+A wrapper mutates the MDP formulation of a wrapped environment while exposing
+the same :class:`CompilerEnv` interface, so wrappers can be freely composed.
+"""
+
+from typing import Any, Iterable, List, Optional, Tuple, Union
+
+
+class CompilerEnvWrapper:
+    """Wraps a :class:`CompilerEnv` (or another wrapper) transparently.
+
+    Attribute access that the wrapper does not intercept is forwarded to the
+    wrapped environment, so user code and other wrappers see the full
+    CompilerEnv API.
+    """
+
+    def __init__(self, env):
+        self.env = env
+
+    # -- the wrapped API ----------------------------------------------------
+
+    def reset(self, *args, **kwargs):
+        return self.env.reset(*args, **kwargs)
+
+    def step(self, action, observation_spaces=None, reward_spaces=None):
+        return self.multistep(
+            [action], observation_spaces=observation_spaces, reward_spaces=reward_spaces
+        )
+
+    def multistep(self, actions, observation_spaces=None, reward_spaces=None):
+        return self.env.multistep(
+            actions, observation_spaces=observation_spaces, reward_spaces=reward_spaces
+        )
+
+    def fork(self):
+        return type(self)(self.env.fork()) if type(self) is CompilerEnvWrapper else self.env.fork()
+
+    def close(self):
+        return self.env.close()
+
+    def render(self, mode: str = "human"):
+        return self.env.render(mode)
+
+    # -- pass-through properties ---------------------------------------------
+
+    @property
+    def unwrapped(self):
+        return getattr(self.env, "unwrapped", self.env)
+
+    @property
+    def observation_space(self):
+        return self.env.observation_space
+
+    @observation_space.setter
+    def observation_space(self, space):
+        self.env.observation_space = space
+
+    @property
+    def reward_space(self):
+        return self.env.reward_space
+
+    @reward_space.setter
+    def reward_space(self, space):
+        self.env.reward_space = space
+
+    @property
+    def action_space(self):
+        return self.env.action_space
+
+    @action_space.setter
+    def action_space(self, space):
+        self.env.action_space = space
+
+    @property
+    def benchmark(self):
+        return self.env.benchmark
+
+    @benchmark.setter
+    def benchmark(self, benchmark):
+        self.env.benchmark = benchmark
+
+    def __getattr__(self, name: str) -> Any:
+        if name == "env":
+            raise AttributeError(name)
+        return getattr(self.env, name)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.env!r})"
+
+
+class ObservationWrapper(CompilerEnvWrapper):
+    """Transforms observations through :meth:`convert_observation`."""
+
+    def convert_observation(self, observation):
+        raise NotImplementedError
+
+    def reset(self, *args, **kwargs):
+        observation = self.env.reset(*args, **kwargs)
+        return self.convert_observation(observation)
+
+    def multistep(self, actions, observation_spaces=None, reward_spaces=None):
+        observation, reward, done, info = self.env.multistep(
+            actions, observation_spaces=observation_spaces, reward_spaces=reward_spaces
+        )
+        return self.convert_observation(observation), reward, done, info
+
+
+class RewardWrapper(CompilerEnvWrapper):
+    """Transforms rewards through :meth:`convert_reward`."""
+
+    def convert_reward(self, reward):
+        raise NotImplementedError
+
+    def multistep(self, actions, observation_spaces=None, reward_spaces=None):
+        observation, reward, done, info = self.env.multistep(
+            actions, observation_spaces=observation_spaces, reward_spaces=reward_spaces
+        )
+        return observation, self.convert_reward(reward), done, info
+
+
+class ActionWrapper(CompilerEnvWrapper):
+    """Transforms actions through :meth:`action` before applying them."""
+
+    def action(self, action):
+        raise NotImplementedError
+
+    def reverse_action(self, action):
+        raise NotImplementedError
+
+    def multistep(self, actions, observation_spaces=None, reward_spaces=None):
+        converted: List[Any] = []
+        for action in actions:
+            mapped = self.action(action)
+            if isinstance(mapped, (list, tuple)):
+                converted.extend(mapped)
+            else:
+                converted.append(mapped)
+        return self.env.multistep(
+            converted, observation_spaces=observation_spaces, reward_spaces=reward_spaces
+        )

@@ -1,0 +1,15 @@
+"""Offline cost-model learning (the Fig. 8 experiment).
+
+A gated graph neural network consumes the ProGraML-style program graphs
+stored in the state-transition dataset and regresses the program's
+instruction count. The message-passing architecture follows Li et al. (2015);
+for offline tractability the message/update weights are fixed random
+projections (an echo-state GGNN) and training fits the readout layer, which
+is sufficient to reproduce the paper's qualitative result (relative error two
+orders of magnitude below the naive mean predictor).
+"""
+
+from repro.cost_model.ggnn import GatedGraphNeuralNetwork
+from repro.cost_model.training import CostModelTrainer, relative_error
+
+__all__ = ["CostModelTrainer", "GatedGraphNeuralNetwork", "relative_error"]

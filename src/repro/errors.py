@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro (CompilerGym reproduction) package.
+
+The exception names mirror the ones exposed by the original CompilerGym
+release so that user code ports across with no changes.
+"""
+
+
+class CompilerGymError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ValidationError(CompilerGymError):
+    """A state or semantics validation check failed.
+
+    Attributes:
+        type: A short machine-readable category for the error.
+        data: Optional structured payload describing the failure.
+    """
+
+    def __init__(self, type: str, data: dict = None):  # noqa: A002 - match upstream API
+        self.type = type
+        self.data = dict(data or {})
+        super().__init__(type)
+
+    def __repr__(self) -> str:
+        return f"ValidationError(type={self.type!r}, data={self.data!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ValidationError):
+            return NotImplemented
+        return self.type == other.type and self.data == other.data
+
+    def __hash__(self) -> int:
+        return hash(self.type)
+
+
+class SessionNotFound(CompilerGymError):
+    """The requested compilation session does not exist in the service."""
+
+
+class ServiceError(CompilerGymError):
+    """The compiler service encountered an internal error."""
+
+
+class ServiceOSError(ServiceError):
+    """The compiler service encountered an operating-system level error."""
+
+
+class ServiceInitError(ServiceError):
+    """The compiler service failed to initialize."""
+
+
+class ServiceTransportError(ServiceError):
+    """Communication with the compiler service failed."""
+
+
+class ServiceIsClosed(ServiceError):
+    """An operation was attempted on a closed service."""
+
+
+class EnvironmentNotSupported(ServiceInitError):
+    """The environment is not supported on the current system."""
+
+
+class BenchmarkInitError(CompilerGymError, ValueError):
+    """A benchmark could not be initialized (missing, malformed, etc.)."""
+
+
+class DatasetInitError(CompilerGymError):
+    """A dataset could not be initialized."""
+
+
+class DownloadFailed(CompilerGymError, IOError):
+    """Downloading a dataset artifact failed."""
+
+
+class TooManyRequests(DownloadFailed):
+    """The dataset server rejected the request due to rate limiting."""
+
+
+class OpaqueFunctionError(CompilerGymError):
+    """The simulated interpreter reached a call it cannot evaluate."""

@@ -1,0 +1,23 @@
+"""Simulated GCC command-line flag-tuning environment.
+
+Reproduces the structure of the paper's GCC environment: a version-dependent
+option space (the six ``-O<n>`` levels, hundreds of three-state ``-f`` flags,
+and hundreds of ``--param`` options), two interchangeable action spaces, and
+deterministic assembly/object size objectives produced by a simulated
+compiler back end.
+"""
+
+from repro.gcc.spec import GccSpec, Option, FlagOption, OLevelOption, ParamOption
+from repro.gcc.compiler import SimulatedGcc
+from repro.gcc.env import GccEnv, make_gcc_env
+
+__all__ = [
+    "FlagOption",
+    "GccEnv",
+    "GccSpec",
+    "OLevelOption",
+    "Option",
+    "ParamOption",
+    "SimulatedGcc",
+    "make_gcc_env",
+]

@@ -1,0 +1,196 @@
+"""The simulated GCC backend: a deterministic cost model over configurations.
+
+The paper drives real GCC builds in Docker and measures the size of the
+produced assembly and object code. Offline, this module models that objective
+deterministically with the structure that makes flag tuning interesting:
+
+* each ``-O`` level sets a baseline size multiplier (``-Os`` smallest);
+* each flag has a per-benchmark effect (some shrink, some grow, most are
+  negligible) that can depend on the active ``-O`` level;
+* numeric parameters have a benchmark-specific sweet spot on a log scale;
+* a sparse set of flag pairs interact (enabling both is better or worse than
+  the sum of their individual effects).
+
+Because the mapping from (benchmark, configuration) to size is a pure
+function of a cryptographic hash, results are exactly reproducible across
+machines and runs — mirroring "deterministic reward" in the paper's taxonomy.
+"""
+
+import hashlib
+import math
+from typing import Dict, List, Sequence
+
+from repro.gcc.spec import FlagOption, GccSpec, OLevelOption, Option, ParamOption
+
+# Baseline size multiplier of each -O level relative to -O0.
+_O_LEVEL_FACTORS = {
+    "": 1.0,        # Unspecified: -O0 behaviour.
+    "-O0": 1.0,
+    "-O1": 0.86,
+    "-O2": 0.80,
+    "-O3": 0.84,    # Larger than -O2: speed transforms grow code.
+    "-Ofast": 0.85,
+    "-Og": 0.90,
+    "-Os": 0.74,
+}
+
+# The fraction of asm bytes that survive into the object's .text section.
+_OBJ_FROM_ASM = 0.44
+
+
+def _unit_hash(*parts: str) -> float:
+    """A deterministic float in [0, 1) derived from the argument strings."""
+    digest = hashlib.sha256("/".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64
+
+
+class SimulatedGcc:
+    """Deterministic (benchmark, configuration) -> size cost model."""
+
+    def __init__(self, spec: GccSpec):
+        self.spec = spec
+        self.compile_count = 0
+
+    # -- configuration effects --------------------------------------------------
+    #
+    # Effects are expressed as signed *contributions*: positive values shrink
+    # code, negative values grow it. Benefits accumulate with diminishing
+    # returns (a saturating exponential) while penalties accumulate linearly
+    # up to a cap, so no configuration collapses to a trivial floor and the
+    # search problem keeps structure: which flags to enable matters, not just
+    # how many.
+
+    MAX_BENEFIT = 0.34        # Largest achievable size reduction beyond the -O level.
+    BENEFIT_SCALE = 0.14      # Saturation constant for accumulated benefits.
+    MAX_PENALTY = 0.12        # Largest achievable size growth from bad flags.
+
+    def _flag_contribution(self, benchmark_id: str, option: FlagOption, choice: int, o_level: str) -> float:
+        """Signed size contribution of one flag setting (positive = smaller)."""
+        if choice == 0:
+            return 0.0
+        kind = _unit_hash(benchmark_id, option.name)
+        magnitude = _unit_hash(benchmark_id, option.name, "mag")
+        if kind < 0.30:
+            contribution = 0.020 * magnitude          # Beneficial flag.
+        elif kind < 0.55:
+            contribution = -0.012 * magnitude         # Harmful flag.
+        else:
+            contribution = 0.001 * (magnitude - 0.5)  # Near no-op.
+        if o_level in ("-O2", "-O3", "-Ofast", "-Os"):
+            # Much of the win is already included in the -O level defaults.
+            contribution *= 0.5
+        if choice == 2:  # -fno-X inverts the effect, attenuated.
+            contribution = -0.7 * contribution
+        elif choice > 2:  # Argument forms scale with the argument index.
+            contribution *= 1.0 + 0.2 * (choice - 2)
+        return contribution
+
+    def _param_contribution(self, benchmark_id: str, option: ParamOption, choice: int) -> float:
+        """Signed size contribution of one --param setting.
+
+        Numeric parameters have a benchmark-specific sweet spot on a log
+        scale; only a minority of parameters matter for a given benchmark.
+        """
+        if choice == 0:
+            return 0.0
+        if option.enum_values:
+            return 0.008 * (_unit_hash(benchmark_id, option.name, str(choice)) - 0.5)
+        relevance = _unit_hash(benchmark_id, option.name, "rel")
+        if relevance > 0.30:
+            return 0.0
+        value = choice - 1
+        span = math.log1p(option.max_value)
+        sweet_spot = _unit_hash(benchmark_id, option.name, "sweet") * span
+        distance = abs(math.log1p(value) - sweet_spot) / max(span, 1e-9)
+        # Up to 1.5% benefit at the sweet spot, up to 1% penalty far from it.
+        return 0.015 * (1.0 - distance) - 0.010 * distance
+
+    def _interaction_effect(self, benchmark_id: str, commandline_flags: List[str]) -> float:
+        """Pairwise interactions between enabled flags (sparse)."""
+        effect = 1.0
+        enabled = [flag for flag in commandline_flags if flag.startswith("-f") and not flag.startswith("-fno-")]
+        for i in range(0, len(enabled) - 1, 7):  # Sparse sampling of pairs keeps this O(n).
+            a, b = enabled[i], enabled[i + 1]
+            pair = _unit_hash(benchmark_id, "pair", a, b)
+            if pair < 0.12:
+                effect *= 0.985
+            elif pair > 0.93:
+                effect *= 1.02
+        return effect
+
+    # -- public API ----------------------------------------------------------------
+
+    def base_size(self, benchmark_id: str) -> int:
+        """The -O0 assembly size of a benchmark, in bytes."""
+        return int(6_000 + _unit_hash(benchmark_id, "base") * 90_000)
+
+    def asm_size(self, benchmark_id: str, choices: Sequence[int]) -> int:
+        """Assembly size in bytes for a configuration."""
+        self.compile_count += 1
+        o_level = ""
+        commandline_flags: List[str] = []
+        for option, choice in zip(self.spec.options, choices):
+            if isinstance(option, OLevelOption):
+                o_level = option[choice]
+            elif option[choice]:
+                commandline_flags.append(option[choice])
+        benefit = 0.0
+        penalty = 0.0
+        for option, choice in zip(self.spec.options, choices):
+            if isinstance(option, FlagOption):
+                contribution = self._flag_contribution(benchmark_id, option, choice, o_level)
+            elif isinstance(option, ParamOption):
+                contribution = self._param_contribution(benchmark_id, option, choice)
+            else:
+                continue
+            if contribution >= 0:
+                benefit += contribution
+            else:
+                penalty -= contribution
+        # Benefits saturate (diminishing returns); penalties are capped.
+        reduction = self.MAX_BENEFIT * (1.0 - math.exp(-benefit / self.BENEFIT_SCALE))
+        growth = min(self.MAX_PENALTY, penalty)
+        factor = _O_LEVEL_FACTORS.get(o_level, 1.0) * (1.0 - reduction + growth)
+        factor *= self._interaction_effect(benchmark_id, commandline_flags)
+        return int(round(self.base_size(benchmark_id) * max(0.30, factor)))
+
+    def obj_size(self, benchmark_id: str, choices: Sequence[int]) -> int:
+        """Object-code (.text) size in bytes for a configuration."""
+        return int(round(self.asm_size(benchmark_id, choices) * _OBJ_FROM_ASM))
+
+    def asm_text(self, benchmark_id: str, choices: Sequence[int]) -> str:
+        """A small synthetic assembly listing (the ``asm`` observation)."""
+        size = self.asm_size(benchmark_id, choices)
+        commandline = self.spec.choices_to_commandline(choices)
+        lines = [
+            f"\t.file\t\"{benchmark_id}.c\"",
+            f"\t# flags: {commandline or '(default)'}",
+            "\t.text",
+            "\t.globl\tmain",
+            "main:",
+        ]
+        for i in range(min(64, size // 200)):
+            lines.append(f"\tmovl\t${i}, %eax" if i % 3 else f"\taddl\t${i}, %ebx")
+        lines.append("\tret")
+        lines.append(f"\t.size\tmain, {size}")
+        return "\n".join(lines)
+
+    def rtl_text(self, benchmark_id: str, choices: Sequence[int]) -> str:
+        """A small synthetic RTL dump (the ``rtl`` observation)."""
+        size = self.asm_size(benchmark_id, choices)
+        return "\n".join(
+            f"(insn {i} {i - 1} {i + 1} (set (reg:SI {i}) (const_int {size % (i + 7)})))"
+            for i in range(1, min(40, size // 400) + 1)
+        )
+
+    def instruction_counts(self, benchmark_id: str, choices: Sequence[int]) -> Dict[str, int]:
+        """Estimated per-mnemonic instruction counts (the ``instruction_counts``
+        observation)."""
+        size = self.asm_size(benchmark_id, choices)
+        mnemonics = ["mov", "add", "sub", "mul", "cmp", "jmp", "call", "ret", "push", "pop"]
+        counts = {}
+        remaining = size // 4
+        for i, mnemonic in enumerate(mnemonics):
+            share = _unit_hash(benchmark_id, "mnemonic", mnemonic)
+            counts[mnemonic] = int(remaining * share / len(mnemonics)) + (1 if i < 3 else 0)
+        return counts

@@ -1,0 +1,73 @@
+"""Benchmark datasets for the GCC environment.
+
+The GCC experiments in the paper use the CHStone suite (Table V) and csmith
+programs. A GCC benchmark is identified by URI; its payload is an opaque
+benchmark identifier consumed by the simulated compiler's cost model.
+"""
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.datasets import Benchmark, Dataset, Datasets
+from repro.core.datasets.uri import BenchmarkUri
+
+CHSTONE_PROGRAMS = [
+    "adpcm", "aes", "blowfish", "dfadd", "dfdiv", "dfmul",
+    "dfsin", "gsm", "jpeg", "mips", "motion", "sha",
+]
+
+
+class GccChstoneDataset(Dataset):
+    """The 12 CHStone high-level-synthesis benchmarks."""
+
+    def __init__(self):
+        super().__init__(
+            name="benchmark://chstone-v0",
+            description="Benchmark programs for C-based high-level synthesis (CHStone)",
+            license="Mixed",
+            benchmark_count=len(CHSTONE_PROGRAMS),
+            sort_order=-1,
+        )
+
+    def benchmark_uris(self) -> Iterator[str]:
+        for program in CHSTONE_PROGRAMS:
+            yield f"{self.name}/{program}"
+
+    def benchmark_from_parsed_uri(self, uri: BenchmarkUri) -> Benchmark:
+        if uri.path not in CHSTONE_PROGRAMS:
+            raise LookupError(f"Unknown CHStone benchmark: {uri}")
+        return Benchmark(uri=str(uri), program={"benchmark_id": f"chstone/{uri.path}"})
+
+
+class GccCsmithDataset(Dataset):
+    """Random C programs addressed by 32-bit seed."""
+
+    def __init__(self):
+        super().__init__(
+            name="generator://csmith-v0",
+            description="Random C programs (Csmith-style generator)",
+            license="BSD",
+            benchmark_count=0,
+        )
+        self.seed_max = 2**32
+
+    def benchmark_uris(self) -> Iterator[str]:
+        for seed in range(self.seed_max):
+            yield f"{self.name}/{seed}"
+
+    def benchmark_from_parsed_uri(self, uri: BenchmarkUri) -> Benchmark:
+        if not uri.path.isdigit() or not 0 <= int(uri.path) < self.seed_max:
+            raise LookupError(f"Csmith benchmarks are addressed by 32-bit seed: {uri}")
+        return Benchmark(uri=str(uri), program={"benchmark_id": f"csmith/{uri.path}"})
+
+    def _random_benchmark(self, random_state: np.random.Generator) -> Benchmark:
+        return self.benchmark(f"{self.name}/{int(random_state.integers(self.seed_max))}")
+
+
+def make_gcc_datasets() -> Datasets:
+    """The dataset inventory of the GCC environment."""
+    datasets = Datasets()
+    datasets.add(GccChstoneDataset())
+    datasets.add(GccCsmithDataset())
+    return datasets

@@ -1,0 +1,301 @@
+"""The GCC optimization-option space.
+
+The paper extracts the option space automatically from the ``--help``
+documentation of whichever GCC version is used: for GCC 11.2.0 this yields
+502 options — the ``-O<n>`` level, 242 ``-f`` flags (each absent, present, or
+negated, some taking integer or enumerated arguments), and 259 ``--param``
+options — for a configuration space of roughly 10^4461. Earlier versions
+report fewer parameters (about 10^430 for GCC 5). This module generates a
+specification with the same shape deterministically, keyed by version string.
+"""
+
+import hashlib
+import math
+from typing import List, Optional, Sequence, Union
+
+# Real GCC optimization flag stems used to give the generated flags realistic
+# names; the list cycles with numeric suffixes once exhausted.
+_FLAG_STEMS = [
+    "aggressive-loop-optimizations", "align-functions", "align-jumps", "align-labels",
+    "align-loops", "associative-math", "asynchronous-unwind-tables", "auto-inc-dec",
+    "branch-count-reg", "branch-probabilities", "caller-saves", "code-hoisting",
+    "combine-stack-adjustments", "compare-elim", "conserve-stack", "cprop-registers",
+    "crossjumping", "cse-follow-jumps", "cx-fortran-rules", "cx-limited-range",
+    "dce", "defer-pop", "delayed-branch", "delete-dead-exceptions", "delete-null-pointer-checks",
+    "devirtualize", "devirtualize-speculatively", "dse", "early-inlining", "expensive-optimizations",
+    "finite-loops", "finite-math-only", "float-store", "forward-propagate", "gcse",
+    "gcse-after-reload", "gcse-las", "gcse-lm", "gcse-sm", "guess-branch-probability",
+    "hoist-adjacent-loads", "if-conversion", "if-conversion2", "indirect-inlining",
+    "inline-atomics", "inline-functions", "inline-functions-called-once", "inline-small-functions",
+    "ipa-bit-cp", "ipa-cp", "ipa-cp-clone", "ipa-icf", "ipa-icf-functions", "ipa-icf-variables",
+    "ipa-modref", "ipa-profile", "ipa-pta", "ipa-pure-const", "ipa-ra", "ipa-reference",
+    "ipa-reference-addressable", "ipa-sra", "ipa-stack-alignment", "ipa-strict-aliasing",
+    "ipa-vrp", "ira-hoist-pressure", "ira-loop-pressure", "ira-share-save-slots",
+    "ira-share-spill-slots", "isolate-erroneous-paths-attribute", "isolate-erroneous-paths-dereference",
+    "ivopts", "jump-tables", "keep-gc-roots-live", "lifetime-dse", "limit-function-alignment",
+    "live-range-shrinkage", "loop-interchange", "loop-nest-optimize", "loop-parallelize-all",
+    "loop-unroll-and-jam", "lra-remat", "math-errno", "modulo-sched", "modulo-sched-allow-regmoves",
+    "move-loop-invariants", "move-loop-stores", "non-call-exceptions", "nothrow-opt",
+    "omit-frame-pointer", "opt-info", "optimize-sibling-calls", "optimize-strlen",
+    "pack-struct", "partial-inlining", "peel-loops", "peephole", "peephole2", "plt",
+    "predictive-commoning", "prefetch-loop-arrays", "printf-return-value", "profile-partial-training",
+    "profile-reorder-functions", "profile-use", "profile-values", "reciprocal-math",
+    "ree", "rename-registers", "reorder-blocks", "reorder-blocks-and-partition",
+    "reorder-functions", "rerun-cse-after-loop", "reschedule-modulo-scheduled-loops",
+    "rounding-math", "rtti", "sched-critical-path-heuristic", "sched-dep-count-heuristic",
+    "sched-group-heuristic", "sched-interblock", "sched-last-insn-heuristic", "sched-pressure",
+    "sched-rank-heuristic", "sched-spec", "sched-spec-insn-heuristic", "sched-spec-load",
+    "sched-spec-load-dangerous", "sched-stalled-insns", "sched-stalled-insns-dep",
+    "sched2-use-superblocks", "schedule-fusion", "schedule-insns", "schedule-insns2",
+    "section-anchors", "sel-sched-pipelining", "sel-sched-pipelining-outer-loops",
+    "sel-sched-reschedule-pipelined", "selective-scheduling", "selective-scheduling2",
+    "short-enums", "short-wchar", "shrink-wrap", "shrink-wrap-separate", "signaling-nans",
+    "signed-zeros", "single-precision-constant", "split-ivs-in-unroller", "split-loops",
+    "split-paths", "split-wide-types", "split-wide-types-early", "ssa-backprop", "ssa-phiopt",
+    "stack-clash-protection", "stack-protector", "stack-protector-all", "stack-protector-strong",
+    "stdarg-opt", "store-merging", "strict-aliasing", "strict-enums", "thread-jumps",
+    "threadsafe-statics", "toplevel-reorder", "tracer", "trapping-math", "trapv",
+    "tree-bit-ccp", "tree-builtin-call-dce", "tree-ccp", "tree-ch", "tree-coalesce-vars",
+    "tree-copy-prop", "tree-cselim", "tree-dce", "tree-dominator-opts", "tree-dse",
+    "tree-forwprop", "tree-fre", "tree-loop-distribute-patterns", "tree-loop-distribution",
+    "tree-loop-if-convert", "tree-loop-im", "tree-loop-ivcanon", "tree-loop-optimize",
+    "tree-loop-vectorize", "tree-lrs", "tree-partial-pre", "tree-phiprop", "tree-pre",
+    "tree-pta", "tree-reassoc", "tree-scev-cprop", "tree-sink", "tree-slp-vectorize",
+    "tree-slsr", "tree-sra", "tree-switch-conversion", "tree-tail-merge", "tree-ter",
+    "tree-vectorize", "tree-vrp", "unconstrained-commons", "unit-at-a-time", "unroll-all-loops",
+    "unroll-loops", "unsafe-math-optimizations", "unswitch-loops", "unwind-tables",
+    "var-tracking", "var-tracking-assignments", "var-tracking-uninit", "variable-expansion-in-unroller",
+    "vect-cost-model", "version-loops-for-strides", "vpt", "web", "whole-program", "wrapv",
+]
+
+_PARAM_STEMS = [
+    "align-loop-iterations", "align-threshold", "asan-globals", "asan-instrument-allocas",
+    "avg-loop-niter", "builtin-expect-probability", "case-values-threshold", "comdat-sharing-probability",
+    "early-inlining-insns", "fsm-scale-path-stmts", "gcse-cost-distance-ratio", "ggc-min-expand",
+    "ggc-min-heapsize", "hot-bb-count-fraction", "hot-bb-frequency-fraction", "inline-heuristics-hint-percent",
+    "inline-min-speedup", "inline-unit-growth", "ipa-cp-eval-threshold", "ipa-cp-loop-hint-bonus",
+    "ipa-cp-unit-growth", "ipa-cp-value-list-size", "ipa-max-agg-items", "ipa-sra-ptr-growth-factor",
+    "ira-max-conflict-table-size", "ira-max-loops-num", "iv-consider-all-candidates-bound",
+    "iv-max-considered-uses", "jump-table-max-growth-ratio-for-size", "l1-cache-line-size",
+    "l1-cache-size", "l2-cache-size", "large-function-growth", "large-function-insns",
+    "large-stack-frame", "large-stack-frame-growth", "large-unit-insns", "lim-expensive",
+    "loop-block-tile-size", "loop-interchange-max-num-stmts", "loop-interchange-stride-ratio",
+    "loop-invariant-max-bbs-in-loop", "loop-max-datarefs-for-datadeps", "loop-versioning-max-inner-insns",
+    "loop-versioning-max-outer-insns", "max-average-unrolled-insns", "max-completely-peel-loop-nest-depth",
+    "max-completely-peel-times", "max-completely-peeled-insns", "max-crossjump-edges",
+    "max-cse-insns", "max-cse-path-length", "max-cselib-memory-locations", "max-delay-slot-insn-search",
+    "max-delay-slot-live-search", "max-dse-active-local-stores", "max-early-inliner-iterations",
+    "max-fields-for-field-sensitive", "max-gcse-insertion-ratio", "max-gcse-memory",
+    "max-goto-duplication-insns", "max-grow-copy-bb-insns", "max-hoist-depth",
+    "max-inline-insns-auto", "max-inline-insns-recursive", "max-inline-insns-recursive-auto",
+    "max-inline-insns-single", "max-inline-insns-size", "max-inline-insns-small",
+    "max-inline-recursive-depth", "max-inline-recursive-depth-auto", "max-isl-operations",
+    "max-iterations-computation-cost", "max-iterations-to-track", "max-jump-thread-duplication-stmts",
+    "max-last-value-rtl", "max-loop-header-insns", "max-modulo-backtrack-attempts",
+    "max-once-peeled-insns", "max-partial-antic-length", "max-peel-branches", "max-peel-times",
+    "max-peeled-insns", "max-pending-list-length", "max-pipeline-region-blocks",
+    "max-pipeline-region-insns", "max-pow-sqrt-depth", "max-predicted-iterations",
+    "max-reload-search-insns", "max-rtl-if-conversion-insns", "max-sched-extend-regions-iters",
+    "max-sched-insn-conflict-delay", "max-sched-ready-insns", "max-sched-region-blocks",
+    "max-sched-region-insns", "max-slsr-cand-scan", "max-speculative-devirt-maydefs",
+    "max-stores-to-merge", "max-stores-to-sink", "max-tail-merge-comparisons",
+    "max-tail-merge-iterations", "max-tracked-strlens", "max-tree-if-conversion-phi-args",
+    "max-unroll-times", "max-unrolled-insns", "max-unswitch-insns", "max-unswitch-level",
+    "max-variable-expansions-in-unroller", "max-vartrack-expr-depth", "max-vartrack-size",
+    "min-crossjump-insns", "min-inline-recursive-probability", "min-insn-to-prefetch-ratio",
+    "min-loop-cond-split-prob", "min-size-for-stack-sharing", "min-spec-prob", "min-vect-loop-bound",
+    "modref-max-accesses", "modref-max-bases", "modref-max-depth", "modref-max-escape-points",
+    "modref-max-refs", "modref-max-tests", "parloops-chunk-size", "parloops-min-per-thread",
+    "partial-inlining-entry-probability", "predictable-branch-outcome", "prefetch-dynamic-strides",
+    "prefetch-latency", "prefetch-min-insn-to-mem-ratio", "prefetch-minimum-stride",
+    "profile-func-internal-id", "ranger-logical-depth", "rpo-vn-max-loop-depth",
+    "sccvn-max-alias-queries-per-access", "scev-max-expr-complexity", "scev-max-expr-size",
+    "sched-autopref-queue-depth", "sched-mem-true-dep-cost", "sched-pressure-algorithm",
+    "sched-spec-prob-cutoff", "sched-state-edge-prob-cutoff", "selsched-insns-to-rename",
+    "selsched-max-lookahead", "selsched-max-sched-times", "simultaneous-prefetches",
+    "sink-frequency-threshold", "sms-dfa-history", "sms-loop-average-count-threshold",
+    "sms-max-ii-factor", "sms-min-sc", "sra-max-scalarization-size-Osize",
+    "sra-max-scalarization-size-Ospeed", "ssa-name-def-chain-limit", "ssp-buffer-size",
+    "stack-clash-protection-guard-size", "stack-clash-protection-probe-interval",
+    "store-merging-allow-unaligned", "store-merging-max-size", "switch-conversion-max-branch-ratio",
+    "tm-max-aggregate-size", "tracer-dynamic-coverage", "tracer-dynamic-coverage-feedback",
+    "tracer-max-code-growth", "tracer-min-branch-probability", "tracer-min-branch-probability-feedback",
+    "tracer-min-branch-ratio", "tree-reassoc-width", "uninit-control-dep-attempts",
+    "uninlined-function-insns", "uninlined-function-time", "uninlined-thunk-insns",
+    "uninlined-thunk-time", "unlikely-bb-count-fraction", "unroll-jam-max-unroll",
+    "unroll-jam-min-percent", "use-after-scope-direct-emission-threshold", "vect-epilogues-nomask",
+    "vect-induction-float", "vect-inner-loop-cost-factor", "vect-max-peeling-for-alignment",
+    "vect-max-version-for-alias-checks", "vect-max-version-for-alignment-checks",
+    "vect-partial-vector-usage", "vrp1-mode", "vrp2-mode",
+]
+
+
+def _stable_int(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "little")
+
+
+class Option:
+    """One tunable compiler option with a finite list of choices.
+
+    The integer *choice index* 0 always means "not specified" (use the
+    compiler default); higher indices select concrete settings.
+    """
+
+    name: str
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, choice: int) -> str:
+        """Render a choice index as the command-line text ('' for default)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, {len(self)} choices)"
+
+
+class OLevelOption(Option):
+    """The ``-O<n>`` optimization level: unspecified or one of six levels."""
+
+    LEVELS = ["-O0", "-O1", "-O2", "-O3", "-Ofast", "-Og", "-Os"]
+
+    def __init__(self):
+        self.name = "-O"
+
+    def __len__(self) -> int:
+        return len(self.LEVELS) + 1
+
+    def __getitem__(self, choice: int) -> str:
+        if choice == 0:
+            return ""
+        return self.LEVELS[choice - 1]
+
+
+class FlagOption(Option):
+    """An ``-f<name>`` flag: absent, enabled, negated, or (for flags taking an
+    argument) one of a small set of argument values."""
+
+    def __init__(self, name: str, arg_values: Optional[Sequence[Union[int, str]]] = None):
+        self.name = f"-f{name}"
+        self.stem = name
+        self.arg_values = list(arg_values or [])
+
+    def __len__(self) -> int:
+        # absent | -fX | -fno-X | -fX=<v> for each argument value.
+        return 3 + len(self.arg_values)
+
+    def __getitem__(self, choice: int) -> str:
+        if choice == 0:
+            return ""
+        if choice == 1:
+            return f"-f{self.stem}"
+        if choice == 2:
+            return f"-fno-{self.stem}"
+        return f"-f{self.stem}={self.arg_values[choice - 3]}"
+
+
+class ParamOption(Option):
+    """A ``--param <name>=<value>`` option with an integer or enumerated range."""
+
+    def __init__(self, name: str, max_value: int, enum_values: Optional[Sequence[str]] = None):
+        self.name = f"--param={name}"
+        self.stem = name
+        self.enum_values = list(enum_values or [])
+        self.max_value = max_value
+
+    def __len__(self) -> int:
+        if self.enum_values:
+            return 1 + len(self.enum_values)
+        return 1 + self.max_value + 1  # default | 0..max_value
+
+    def __getitem__(self, choice: int) -> str:
+        if choice == 0:
+            return ""
+        if self.enum_values:
+            return f"--param={self.stem}={self.enum_values[choice - 1]}"
+        return f"--param={self.stem}={choice - 1}"
+
+
+class GccSpec:
+    """The option space of one GCC version."""
+
+    def __init__(self, gcc_version: str = "11.2.0"):
+        self.gcc_version = gcc_version
+        self.options: List[Option] = self._build(gcc_version)
+
+    @staticmethod
+    def _version_tuple(version: str) -> tuple:
+        return tuple(int(part) for part in version.split(".") if part.isdigit())
+
+    def _build(self, version: str) -> List[Option]:
+        major = self._version_tuple(version)[0] if self._version_tuple(version) else 11
+        options: List[Option] = [OLevelOption()]
+
+        # -f flags: 242 for modern GCC, fewer for older versions.
+        num_flags = 242 if major >= 8 else 180
+        for index in range(num_flags):
+            stem = (
+                _FLAG_STEMS[index]
+                if index < len(_FLAG_STEMS)
+                else f"{_FLAG_STEMS[index % len(_FLAG_STEMS)]}{index // len(_FLAG_STEMS) + 2}"
+            )
+            digest = _stable_int(f"flag/{stem}")
+            arg_values: Optional[List[Union[int, str]]] = None
+            if digest % 10 == 0:
+                # ~10% of flags take a small enumerated/integer argument.
+                arg_values = [1, 2, 4, 8][: 1 + digest % 4]
+            options.append(FlagOption(stem, arg_values))
+
+        # --param options: 259 for GCC >= 10 (well documented ranges), far
+        # fewer reported by the help text of older versions.
+        num_params = 259 if major >= 10 else (120 if major >= 8 else 25)
+        for index in range(num_params):
+            stem = (
+                _PARAM_STEMS[index]
+                if index < len(_PARAM_STEMS)
+                else f"{_PARAM_STEMS[index % len(_PARAM_STEMS)]}-{index // len(_PARAM_STEMS) + 2}"
+            )
+            digest = _stable_int(f"param/{stem}")
+            if digest % 17 == 0:
+                options.append(ParamOption(stem, max_value=0, enum_values=["on", "off", "cheap", "dynamic"]))
+            else:
+                # Most parameters accept very wide numeric ranges (the source
+                # of the ~10^4461 configuration count the paper quotes for
+                # GCC 11.2); a minority are bounded 31-bit counters.
+                max_value = 2_147_483_647 if digest % 9 == 0 else 10**18
+                options.append(ParamOption(stem, max_value=max_value))
+        return options
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+    @property
+    def size(self) -> float:
+        """The number of points in the optimization space (a very large float)."""
+        return math.exp(self.log_size)
+
+    @property
+    def log_size(self) -> float:
+        """Natural log of the optimization-space size."""
+        return sum(math.log(len(option)) for option in self.options)
+
+    @property
+    def log10_size(self) -> float:
+        """Base-10 log of the optimization-space size (the paper quotes ~4461
+        for GCC 11.2 and ~430 for GCC 5)."""
+        return self.log_size / math.log(10)
+
+    def choices_to_commandline(self, choices: Sequence[int]) -> str:
+        """Render a full choice vector as a GCC command line fragment."""
+        parts = []
+        for option, choice in zip(self.options, choices):
+            text = option[choice]
+            if text:
+                parts.append(text)
+        return " ".join(parts)
+
+    def default_choices(self) -> List[int]:
+        return [0] * len(self.options)
+
+    def random_choices(self, rng) -> List[int]:
+        return [int(rng.integers(len(option))) for option in self.options]

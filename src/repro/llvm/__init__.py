@@ -1,0 +1,14 @@
+"""Simulated LLVM phase-ordering environment.
+
+This subpackage implements an LLVM-like compiler substrate: a typed, SSA-style
+intermediate representation, a library of optimization passes, feature
+extractors (InstCount, Autophase, inst2vec, ProGraML), cost models (code size,
+binary size, simulated runtime), synthetic benchmark datasets matching the
+paper's inventory, and the :class:`LlvmEnv` environment that exposes phase
+ordering as a CompilerGym-style task.
+"""
+
+from repro.llvm.env import LlvmEnv, make_llvm_env
+from repro.llvm.datasets import make_llvm_datasets
+
+__all__ = ["LlvmEnv", "make_llvm_datasets", "make_llvm_env"]

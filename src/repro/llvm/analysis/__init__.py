@@ -1,0 +1,16 @@
+"""Feature extractors (observation spaces) for the LLVM environment."""
+
+from repro.llvm.analysis.instcount import INSTCOUNT_FEATURE_NAMES, instcount_features
+from repro.llvm.analysis.autophase import AUTOPHASE_FEATURE_NAMES, autophase_features
+from repro.llvm.analysis.inst2vec import inst2vec_embeddings, inst2vec_preprocess
+from repro.llvm.analysis.programl import programl_graph
+
+__all__ = [
+    "AUTOPHASE_FEATURE_NAMES",
+    "INSTCOUNT_FEATURE_NAMES",
+    "autophase_features",
+    "inst2vec_embeddings",
+    "inst2vec_preprocess",
+    "instcount_features",
+    "programl_graph",
+]

@@ -1,0 +1,195 @@
+"""The Autophase observation space: a 56-dimensional integer feature vector.
+
+Autophase (Haj-Ali et al., MLSys 2020) describes programs with 56 counters of
+IR structure — block-level CFG shape, instruction mix, operand kinds, and phi
+statistics. The feature definitions below follow the published list, computed
+over the simulated IR.
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Argument, Constant
+
+AUTOPHASE_FEATURE_NAMES: List[str] = [
+    "BBNumArgsHi",              # Blocks with >=2 phi arguments per phi.
+    "BBNumArgsLo",              # Blocks with <2 phi arguments.
+    "onePred",                  # Blocks with a single predecessor.
+    "onePredOneSuc",
+    "onePredTwoSuc",
+    "oneSuccessor",
+    "twoPred",
+    "twoPredOneSuc",
+    "twoEach",
+    "twoSuccessor",
+    "morePreds",
+    "BB03Phi",                  # Blocks with between 1 and 3 phis.
+    "BBHiPhi",                  # Blocks with more than 3 phis.
+    "BBNoPhi",
+    "BeginPhi",                 # Phi nodes at the start of a block.
+    "BranchCount",
+    "returnInt",                # Returns of an integer constant.
+    "CriticalCount",            # Critical CFG edges.
+    "NumEdges",
+    "const32Bit",
+    "const64Bit",
+    "numConstZeroes",
+    "numConstOnes",
+    "UncondBranches",
+    "binaryConstArg",           # Binary operations with a constant operand.
+    "NumAShrInst",
+    "NumAddInst",
+    "NumAllocaInst",
+    "NumAndInst",
+    "BlockMid",                 # Blocks with 15-500 instructions.
+    "BlockLow",                 # Blocks with <15 instructions.
+    "NumBitCastInst",
+    "NumBrInst",
+    "NumCallInst",
+    "NumGetElementPtrInst",
+    "NumICmpInst",
+    "NumLShrInst",
+    "NumLoadInst",
+    "NumMulInst",
+    "NumOrInst",
+    "NumPHIInst",
+    "NumRetInst",
+    "NumSExtInst",
+    "NumSelectInst",
+    "NumShlInst",
+    "NumStoreInst",
+    "NumSubInst",
+    "NumTruncInst",
+    "NumXorInst",
+    "NumZExtInst",
+    "TotalBlocks",
+    "TotalInsts",
+    "TotalMemInst",
+    "TotalFuncs",
+    "ArgsPhi",                  # Total phi incoming arguments.
+    "testUnary",                # Unary (single value operand) instructions.
+]
+AUTOPHASE_DIMS = 56
+assert len(AUTOPHASE_FEATURE_NAMES) == AUTOPHASE_DIMS, len(AUTOPHASE_FEATURE_NAMES)
+
+_OPCODE_FEATURES = {
+    "ashr": "NumAShrInst",
+    "add": "NumAddInst",
+    "alloca": "NumAllocaInst",
+    "and": "NumAndInst",
+    "bitcast": "NumBitCastInst",
+    "br": "NumBrInst",
+    "call": "NumCallInst",
+    "getelementptr": "NumGetElementPtrInst",
+    "icmp": "NumICmpInst",
+    "lshr": "NumLShrInst",
+    "load": "NumLoadInst",
+    "mul": "NumMulInst",
+    "or": "NumOrInst",
+    "phi": "NumPHIInst",
+    "ret": "NumRetInst",
+    "sext": "NumSExtInst",
+    "select": "NumSelectInst",
+    "shl": "NumShlInst",
+    "store": "NumStoreInst",
+    "sub": "NumSubInst",
+    "trunc": "NumTruncInst",
+    "xor": "NumXorInst",
+    "zext": "NumZExtInst",
+}
+
+
+def autophase_features(module: Module) -> np.ndarray:
+    """Compute the 56-D Autophase feature vector of a module."""
+    from repro.llvm.ir.cfg import predecessors
+
+    features = {name: 0 for name in AUTOPHASE_FEATURE_NAMES}
+
+    for function in module.functions.values():
+        if function.is_declaration:
+            continue
+        features["TotalFuncs"] += 1
+        preds = predecessors(function)
+        for block in function.blocks:
+            features["TotalBlocks"] += 1
+            num_preds = len(preds.get(block, []))
+            successors = block.successors()
+            num_succs = len(successors)
+            features["NumEdges"] += num_succs
+            if num_succs >= 2 and any(len(preds.get(s, [])) >= 2 for s in successors):
+                features["CriticalCount"] += 1
+            if num_preds == 1:
+                features["onePred"] += 1
+                if num_succs == 1:
+                    features["onePredOneSuc"] += 1
+                if num_succs == 2:
+                    features["onePredTwoSuc"] += 1
+            if num_preds == 2:
+                features["twoPred"] += 1
+                if num_succs == 1:
+                    features["twoPredOneSuc"] += 1
+                if num_succs == 2:
+                    features["twoEach"] += 1
+            if num_preds > 2:
+                features["morePreds"] += 1
+            if num_succs == 1:
+                features["oneSuccessor"] += 1
+            if num_succs == 2:
+                features["twoSuccessor"] += 1
+
+            phis = block.phis()
+            if not phis:
+                features["BBNoPhi"] += 1
+            elif len(phis) <= 3:
+                features["BB03Phi"] += 1
+            else:
+                features["BBHiPhi"] += 1
+            if phis:
+                features["BeginPhi"] += len(phis)
+                max_args = max(len(list(phi.phi_incoming())) for phi in phis)
+                if max_args >= 2:
+                    features["BBNumArgsHi"] += 1
+                else:
+                    features["BBNumArgsLo"] += 1
+
+            block_size = len(block.instructions)
+            if block_size < 15:
+                features["BlockLow"] += 1
+            elif block_size <= 500:
+                features["BlockMid"] += 1
+
+            for inst in block.instructions:
+                features["TotalInsts"] += 1
+                feature_name = _OPCODE_FEATURES.get(inst.opcode)
+                if feature_name:
+                    features[feature_name] += 1
+                if inst.opcode in ("load", "store", "alloca", "getelementptr"):
+                    features["TotalMemInst"] += 1
+                if inst.opcode == "br":
+                    features["BranchCount"] += 1
+                    if len(inst.operands) == 1:
+                        features["UncondBranches"] += 1
+                if inst.opcode == "ret" and inst.operands and isinstance(inst.operands[0], Constant):
+                    features["returnInt"] += 1
+                if inst.opcode == "phi":
+                    features["ArgsPhi"] += len(inst.operands) // 2
+                if inst.is_binary:
+                    if any(isinstance(op, Constant) for op in inst.operands):
+                        features["binaryConstArg"] += 1
+                if len(inst.value_operands()) == 1 and inst.opcode != "ret":
+                    features["testUnary"] += 1
+                for operand in inst.operands:
+                    if isinstance(operand, Constant) and operand.type.is_integer:
+                        if operand.type.bits <= 32:
+                            features["const32Bit"] += 1
+                        else:
+                            features["const64Bit"] += 1
+                        if operand.value == 0:
+                            features["numConstZeroes"] += 1
+                        elif operand.value == 1:
+                            features["numConstOnes"] += 1
+
+    return np.array([features[name] for name in AUTOPHASE_FEATURE_NAMES], dtype=np.int64)

@@ -1,0 +1,63 @@
+"""The inst2vec observation space: per-statement embedding vectors.
+
+inst2vec (Ben-Nun et al., NeurIPS 2018) maps each IR statement to a dense
+embedding learned from a large corpus. Offline, without the pretrained
+embedding table, this reproduction derives a deterministic 200-dimensional
+embedding from a hash of the *normalized* statement text (identifiers replaced
+by placeholders), preserving the properties the environment needs: two
+occurrences of the same kind of statement map to the same vector, the
+observation is a variable-length list of 200-D float vectors, and it is one of
+the most expensive observations to compute (as in Table III of the paper).
+"""
+
+import hashlib
+import re
+from typing import List
+
+import numpy as np
+
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.printer import print_instruction
+
+EMBEDDING_DIMS = 200
+
+_IDENTIFIER_RE = re.compile(r"%[\w.$-]+")
+_GLOBAL_RE = re.compile(r"@[\w.$-]+")
+_NUMBER_RE = re.compile(r"(?<![\w%@.])-?\d+(\.\d+)?")
+
+
+def inst2vec_preprocess(module: Module) -> List[str]:
+    """Return the normalized statement strings (the ``Inst2vecPreprocessedText``
+    observation space): identifiers and literals are replaced by placeholders."""
+    statements = []
+    for function in module.functions.values():
+        for inst in function.instructions():
+            text = print_instruction(inst)
+            text = _IDENTIFIER_RE.sub("<%ID>", text)
+            text = _GLOBAL_RE.sub("<@ID>", text)
+            text = _NUMBER_RE.sub("<INT>", text)
+            statements.append(text)
+    return statements
+
+
+def _embed(statement: str) -> np.ndarray:
+    """Deterministically embed a normalized statement into a 200-D unit-scale vector."""
+    digest = hashlib.sha256(statement.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(EMBEDDING_DIMS).astype(np.float32) / np.sqrt(EMBEDDING_DIMS)
+
+
+def inst2vec_embedding_indices(module: Module, vocabulary_size: int = 8565) -> List[int]:
+    """The ``Inst2vecEmbeddingIndices`` observation: a vocabulary index per statement."""
+    indices = []
+    for statement in inst2vec_preprocess(module):
+        digest = hashlib.sha256(statement.encode("utf-8")).digest()
+        indices.append(int.from_bytes(digest[:4], "little") % vocabulary_size)
+    return indices
+
+
+def inst2vec_embeddings(module: Module) -> List[np.ndarray]:
+    """The ``Inst2vec`` observation: a list of 200-D embedding vectors, one per
+    statement."""
+    return [_embed(statement) for statement in inst2vec_preprocess(module)]

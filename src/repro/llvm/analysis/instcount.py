@@ -1,0 +1,149 @@
+"""The InstCount observation space: a 70-dimensional integer feature vector.
+
+As in LLVM's ``-instcount`` analysis, the vector contains the total number of
+instructions, basic blocks, and functions followed by one counter per opcode.
+The simulated IR has fewer opcodes than LLVM, so the remaining dimensions
+count derived structural quantities, keeping the 70-D shape of the paper.
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro.llvm.ir.instructions import (
+    BINARY_OPCODES,
+    CAST_OPCODES,
+    COMPARE_OPCODES,
+    MEMORY_OPCODES,
+    OTHER_OPCODES,
+    TERMINATOR_OPCODES,
+)
+from repro.llvm.ir.module import Module
+
+# One counter per opcode, in a fixed order.
+_OPCODE_ORDER: List[str] = sorted(
+    BINARY_OPCODES | COMPARE_OPCODES | CAST_OPCODES | MEMORY_OPCODES | TERMINATOR_OPCODES | OTHER_OPCODES
+)
+
+# Derived structural counters that pad the vector to exactly 70 dimensions.
+_DERIVED_FEATURES: List[str] = [
+    "TotalGlobals",
+    "TotalArgs",
+    "TotalConstOperands",
+    "TotalBlocksWithTwoSuccessors",
+    "TotalBlocksWithOnePredecessor",
+    "TotalCallsToDeclaredFunctions",
+    "TotalPureCalls",
+    "TotalConditionalBranches",
+    "TotalUnconditionalBranches",
+    "TotalPhiIncomingValues",
+    "MaxLoopDepth",
+    "TotalLoops",
+    "TotalDeclarations",
+    "TotalReturnsOfConstant",
+    "TotalIntegerConstants",
+    "TotalFloatConstants",
+    "TotalOperands",
+    "TotalNamedValues",
+    "MaxBlockInstructions",
+    "TotalEmptyishBlocks",
+    "TotalSwitchCases",
+    "TotalCommutativeOps",
+    "TotalStoresOfConstants",
+    "TotalSelfLoops",
+    "TotalCfgEdges",
+    "TotalSingleOperandInsts",
+]
+
+INSTCOUNT_FEATURE_NAMES: List[str] = (
+    ["TotalInsts", "TotalBlocks", "TotalFuncs"] + [f"Num{op}Inst" for op in _OPCODE_ORDER] + _DERIVED_FEATURES
+)
+INSTCOUNT_DIMS = 70
+
+# Trim or assert the dimensionality to exactly 70 features.
+INSTCOUNT_FEATURE_NAMES = INSTCOUNT_FEATURE_NAMES[:INSTCOUNT_DIMS]
+assert len(INSTCOUNT_FEATURE_NAMES) == INSTCOUNT_DIMS, len(INSTCOUNT_FEATURE_NAMES)
+
+
+def instcount_features(module: Module) -> np.ndarray:
+    """Compute the 70-D InstCount feature vector of a module."""
+    from repro.llvm.ir.cfg import natural_loops, predecessors
+    from repro.llvm.ir.values import Constant
+
+    opcode_counts = {op: 0 for op in _OPCODE_ORDER}
+    derived = {name: 0 for name in _DERIVED_FEATURES}
+    total_insts = 0
+    total_blocks = 0
+    total_functions = 0
+
+    for function in module.functions.values():
+        if function.is_declaration:
+            derived["TotalDeclarations"] += 1
+            continue
+        total_functions += 1
+        derived["TotalArgs"] += len(function.args)
+        preds = predecessors(function)
+        loops = natural_loops(function)
+        derived["TotalLoops"] += len(loops)
+        if loops:
+            derived["MaxLoopDepth"] = max(
+                derived["MaxLoopDepth"], max(loop.depth for loop in loops)
+            )
+        for block in function.blocks:
+            total_blocks += 1
+            derived["MaxBlockInstructions"] = max(
+                derived["MaxBlockInstructions"], len(block.instructions)
+            )
+            if len(block.instructions) <= 1:
+                derived["TotalEmptyishBlocks"] += 1
+            successors = block.successors()
+            derived["TotalCfgEdges"] += len(successors)
+            if len(successors) == 2:
+                derived["TotalBlocksWithTwoSuccessors"] += 1
+            if len(preds.get(block, [])) == 1:
+                derived["TotalBlocksWithOnePredecessor"] += 1
+            if block in successors:
+                derived["TotalSelfLoops"] += 1
+            for inst in block.instructions:
+                total_insts += 1
+                opcode_counts[inst.opcode] = opcode_counts.get(inst.opcode, 0) + 1
+                derived["TotalOperands"] += len(inst.operands)
+                if len(inst.operands) == 1:
+                    derived["TotalSingleOperandInsts"] += 1
+                if inst.name:
+                    derived["TotalNamedValues"] += 1
+                if inst.is_commutative:
+                    derived["TotalCommutativeOps"] += 1
+                for operand in inst.operands:
+                    if isinstance(operand, Constant):
+                        derived["TotalConstOperands"] += 1
+                        if operand.type.is_float:
+                            derived["TotalFloatConstants"] += 1
+                        else:
+                            derived["TotalIntegerConstants"] += 1
+                if inst.opcode == "br":
+                    if len(inst.operands) == 3:
+                        derived["TotalConditionalBranches"] += 1
+                    else:
+                        derived["TotalUnconditionalBranches"] += 1
+                elif inst.opcode == "switch":
+                    derived["TotalSwitchCases"] += (len(inst.operands) - 2) // 2
+                elif inst.opcode == "phi":
+                    derived["TotalPhiIncomingValues"] += len(inst.operands) // 2
+                elif inst.opcode == "call":
+                    callee = module.function(inst.attrs.get("callee", ""))
+                    if callee is None or callee.is_declaration:
+                        derived["TotalCallsToDeclaredFunctions"] += 1
+                    if inst.attrs.get("pure"):
+                        derived["TotalPureCalls"] += 1
+                elif inst.opcode == "ret" and inst.operands and isinstance(inst.operands[0], Constant):
+                    derived["TotalReturnsOfConstant"] += 1
+                elif inst.opcode == "store" and isinstance(inst.operands[0], Constant):
+                    derived["TotalStoresOfConstants"] += 1
+
+    derived["TotalGlobals"] = len(module.globals)
+
+    values = [total_insts, total_blocks, total_functions]
+    values += [opcode_counts[op] for op in _OPCODE_ORDER]
+    values += [derived[name] for name in _DERIVED_FEATURES]
+    return np.array(values[:INSTCOUNT_DIMS], dtype=np.int64)

@@ -1,0 +1,107 @@
+"""The ProGraML observation space: a directed multigraph program representation.
+
+ProGraML (Cummins et al., ICML 2021) represents a program as a graph whose
+nodes are instructions, variables, and constants, connected by control, data,
+and call edges. The graph is built with networkx so it can be consumed
+directly by graph learning code (the Fig. 8 cost-model experiment trains a
+gated graph neural network on these graphs).
+"""
+
+from typing import Dict
+
+import networkx as nx
+
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Argument, Constant, GlobalVariable
+
+# Edge flow types, as in ProGraML.
+CONTROL_EDGE = "control"
+DATA_EDGE = "data"
+CALL_EDGE = "call"
+
+
+def programl_graph(module: Module) -> nx.MultiDiGraph:
+    """Build the ProGraML-style graph of a module.
+
+    Node attributes: ``type`` (instruction/variable/constant), ``text`` (the
+    opcode or value text), ``function`` (name of the containing function).
+    Edge attributes: ``flow`` (control/data/call), ``position`` (operand index).
+    """
+    graph = nx.MultiDiGraph(name=module.name)
+    node_ids: Dict[int, int] = {}
+    next_id = 0
+
+    def node_for(value, node_type: str, text: str, function_name: str = "") -> int:
+        nonlocal next_id
+        key = id(value)
+        if key not in node_ids:
+            node_ids[key] = next_id
+            graph.add_node(next_id, type=node_type, text=text, function=function_name)
+            next_id += 1
+        return node_ids[key]
+
+    # An external node represents the calling environment (as in ProGraML's
+    # root node).
+    root = node_for(object(), "instruction", "[external]")
+
+    for function in module.functions.values():
+        if function.is_declaration:
+            continue
+        # Argument variable nodes.
+        for arg in function.args:
+            node_for(arg, "variable", f"%{arg.name}", function.name)
+        previous_in_block: Dict[BasicBlock, int] = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                inst_node = node_for(inst, "instruction", inst.opcode, function.name)
+                # Control edge from the previous instruction in the block.
+                if block in previous_in_block:
+                    graph.add_edge(previous_in_block[block], inst_node, flow=CONTROL_EDGE, position=0)
+                previous_in_block[block] = inst_node
+                # Data edges from operands to the instruction.
+                for position, operand in enumerate(inst.operands):
+                    if isinstance(operand, BasicBlock):
+                        continue
+                    if isinstance(operand, Constant):
+                        operand_node = node_for(operand, "constant", str(operand.value), function.name)
+                    elif isinstance(operand, (Argument, GlobalVariable, Instruction)):
+                        text = operand.short() if not isinstance(operand, Instruction) else operand.opcode
+                        node_type = "variable" if not isinstance(operand, Instruction) else "instruction"
+                        operand_node = node_for(operand, node_type, text, function.name)
+                    else:
+                        continue
+                    graph.add_edge(operand_node, inst_node, flow=DATA_EDGE, position=position)
+                # Call edges to the callee's entry instruction.
+                if inst.opcode == "call":
+                    callee = module.function(inst.attrs.get("callee", ""))
+                    if callee is not None and not callee.is_declaration and callee.entry is not None:
+                        entry_inst = callee.entry.instructions[0] if callee.entry.instructions else None
+                        if entry_inst is not None:
+                            callee_node = node_for(entry_inst, "instruction", entry_inst.opcode, callee.name)
+                            graph.add_edge(inst_node, callee_node, flow=CALL_EDGE, position=0)
+        # Control edges across block boundaries (terminator -> successor head).
+        for block in function.blocks:
+            terminator = block.terminator
+            if terminator is None:
+                continue
+            for successor in block.successors():
+                if successor.instructions:
+                    graph.add_edge(
+                        node_ids[id(terminator)],
+                        node_for(successor.instructions[0], "instruction", successor.instructions[0].opcode, function.name),
+                        flow=CONTROL_EDGE,
+                        position=0,
+                    )
+        # Call edge from the external root to the entry of main.
+        if function.name == "main" and function.entry is not None and function.entry.instructions:
+            graph.add_edge(
+                root,
+                node_ids[id(function.entry.instructions[0])],
+                flow=CALL_EDGE,
+                position=0,
+            )
+
+    return graph

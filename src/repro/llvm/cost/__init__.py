@@ -1,0 +1,12 @@
+"""Cost models for the LLVM environment's reward signals."""
+
+from repro.llvm.cost.code_size import ir_instruction_count
+from repro.llvm.cost.binary_size import object_text_size_bytes
+from repro.llvm.cost.runtime import estimate_runtime, measure_runtime
+
+__all__ = [
+    "estimate_runtime",
+    "ir_instruction_count",
+    "measure_runtime",
+    "object_text_size_bytes",
+]

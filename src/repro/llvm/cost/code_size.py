@@ -1,0 +1,12 @@
+"""Code size: the number of IR instructions.
+
+This is the platform-independent, deterministic metric the paper uses for the
+``IrInstructionCount`` observation and reward spaces.
+"""
+
+from repro.llvm.ir.module import Module
+
+
+def ir_instruction_count(module: Module) -> int:
+    """The total number of instructions in the module."""
+    return module.instruction_count

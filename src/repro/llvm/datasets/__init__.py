@@ -1,0 +1,30 @@
+"""Benchmark datasets for the LLVM environment.
+
+The dataset inventory matches Table I of the paper: twelve named suites plus
+the csmith and llvm-stress program generators. Benchmarks are synthesized
+deterministically from their URI (see :mod:`repro.llvm.datasets.generators`),
+so the datasets require no downloads and arbitrary URIs within a dataset's
+range always produce the same program.
+"""
+
+from repro.llvm.datasets.generators import ModuleGenerator, generate_module, llvm_stress_module
+from repro.llvm.datasets.suites import (
+    DATASET_SPECS,
+    CBENCH_PROGRAMS,
+    CHSTONE_PROGRAMS,
+    LlvmSyntheticDataset,
+    LlvmGeneratorDataset,
+    make_llvm_datasets,
+)
+
+__all__ = [
+    "CBENCH_PROGRAMS",
+    "CHSTONE_PROGRAMS",
+    "DATASET_SPECS",
+    "LlvmGeneratorDataset",
+    "LlvmSyntheticDataset",
+    "ModuleGenerator",
+    "generate_module",
+    "llvm_stress_module",
+    "make_llvm_datasets",
+]

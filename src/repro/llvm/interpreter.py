@@ -1,0 +1,260 @@
+"""A reference interpreter for the simulated IR.
+
+Used for two purposes, both from the paper's "validating semantics" feature:
+
+1. *Differential testing*: a benchmark records the interpreter's output on its
+   unoptimized module; after optimization, the output must be identical. Any
+   mismatch is a miscompilation and is reported as a validation error.
+2. *Sanitizer-style checks*: the interpreter traps undefined behaviour
+   (division by zero, use of undefined values in branches, out-of-bounds
+   global accesses) the way LLVM's UBSan/ASan instrumentation would.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OpaqueFunctionError
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class ExecutionError(Exception):
+    """The interpreted program performed an illegal operation."""
+
+
+class StepLimitExceeded(ExecutionError):
+    """The interpreted program ran for too many steps (possible infinite loop)."""
+
+
+class ExecutionResult:
+    """The observable behaviour of one program execution."""
+
+    def __init__(self, return_value, output: List, steps: int):
+        self.return_value = return_value
+        self.output = output
+        self.steps = steps
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ExecutionResult):
+            return NotImplemented
+        return self.return_value == other.return_value and self.output == other.output
+
+    def __repr__(self) -> str:
+        return f"ExecutionResult(return={self.return_value}, outputs={len(self.output)}, steps={self.steps})"
+
+
+class Interpreter:
+    """Executes a module starting from an entry function."""
+
+    def __init__(self, module: Module, max_steps: int = 200_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.steps = 0
+        self.output: List = []
+        # Global memory: one cell (or array) per global variable.
+        self.global_memory: Dict[str, List] = {
+            name: [g.initializer] * max(1, g.array_size) for name, g in module.globals.items()
+        }
+        self._next_address = 0
+
+    # -- value evaluation -------------------------------------------------------
+
+    def _value(self, value: Value, frame: Dict[Value, object]):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, UndefValue):
+            return 0
+        if isinstance(value, GlobalVariable):
+            return ("global", value.name, 0)
+        if value in frame:
+            return frame[value]
+        raise ExecutionError(f"Use of value with no binding: {value!r}")
+
+    # -- memory -----------------------------------------------------------------
+
+    def _load(self, pointer) -> object:
+        if not isinstance(pointer, tuple):
+            raise ExecutionError(f"Load from non-pointer value: {pointer!r}")
+        kind, name, offset = pointer
+        if kind == "global":
+            cells = self.global_memory[name]
+        else:
+            cells = name  # Local allocation: name *is* the cell list.
+        if not 0 <= offset < len(cells):
+            raise ExecutionError(f"Out-of-bounds access at offset {offset}")
+        return cells[offset]
+
+    def _store(self, pointer, value) -> None:
+        if not isinstance(pointer, tuple):
+            raise ExecutionError(f"Store to non-pointer value: {pointer!r}")
+        kind, name, offset = pointer
+        cells = self.global_memory[name] if kind == "global" else name
+        if not 0 <= offset < len(cells):
+            raise ExecutionError(f"Out-of-bounds access at offset {offset}")
+        cells[offset] = value
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, entry_point: str = "main", args: Optional[List] = None) -> ExecutionResult:
+        """Execute the program and return its observable behaviour."""
+        function = self.module.function(entry_point)
+        if function is None or function.is_declaration:
+            raise ExecutionError(f"No defined entry point @{entry_point}")
+        value = self.call(function, list(args or []))
+        return ExecutionResult(return_value=value, output=list(self.output), steps=self.steps)
+
+    def call(self, function: Function, args: List, depth: int = 0):
+        if depth > 64:
+            raise ExecutionError("Call stack depth limit exceeded")
+        frame: Dict[Value, object] = {}
+        for formal, actual in zip(function.args, args):
+            frame[formal] = actual
+        block = function.entry
+        previous_block: Optional[BasicBlock] = None
+        while True:
+            next_block, returned, has_returned = self._run_block(
+                function, block, previous_block, frame, depth
+            )
+            if has_returned:
+                return returned
+            previous_block, block = block, next_block
+
+    def _run_block(
+        self,
+        function: Function,
+        block: BasicBlock,
+        previous_block: Optional[BasicBlock],
+        frame: Dict[Value, object],
+        depth: int,
+    ) -> Tuple[Optional[BasicBlock], object, bool]:
+        # Phi nodes read their incoming value based on the edge taken; all
+        # phis in a block are evaluated simultaneously.
+        phi_values = {}
+        for phi in block.phis():
+            incoming = {b: v for v, b in phi.phi_incoming()}
+            if previous_block not in incoming:
+                raise ExecutionError(
+                    f"Phi %{phi.name} has no incoming value for predecessor "
+                    f"{previous_block.name if previous_block else None}"
+                )
+            phi_values[phi] = self._value(incoming[previous_block], frame)
+        frame.update(phi_values)
+
+        for inst in block.non_phi_instructions():
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise StepLimitExceeded(f"Exceeded {self.max_steps} interpreter steps")
+            result = None
+            op = inst.opcode
+
+            if inst.is_binary:
+                result = self._binary(op, inst, frame)
+            elif inst.is_compare:
+                result = self._compare(inst, frame)
+            elif inst.is_cast:
+                result = self._cast(inst, frame)
+            elif op == "alloca":
+                size = int(self._value(inst.operands[0], frame)) if inst.operands else 1
+                result = ("local", [0] * max(1, size), 0)
+            elif op == "load":
+                result = self._load(self._value(inst.operands[0], frame))
+            elif op == "store":
+                self._store(self._value(inst.operands[1], frame), self._value(inst.operands[0], frame))
+            elif op == "getelementptr":
+                base = self._value(inst.operands[0], frame)
+                offset = sum(int(self._value(index, frame)) for index in inst.operands[1:])
+                if not isinstance(base, tuple):
+                    raise ExecutionError("getelementptr on non-pointer")
+                result = (base[0], base[1], base[2] + offset)
+            elif op == "select":
+                cond = self._value(inst.operands[0], frame)
+                result = self._value(inst.operands[1] if cond else inst.operands[2], frame)
+            elif op == "call":
+                result = self._call(inst, frame, depth)
+            elif op == "br":
+                if len(inst.operands) == 1:
+                    return inst.operands[0], None, False
+                cond = self._value(inst.operands[0], frame)
+                return (inst.operands[1] if cond else inst.operands[2]), None, False
+            elif op == "switch":
+                value = self._value(inst.operands[0], frame)
+                target = inst.operands[1]
+                for i in range(2, len(inst.operands), 2):
+                    if self._value(inst.operands[i], frame) == value:
+                        target = inst.operands[i + 1]
+                        break
+                return target, None, False
+            elif op == "ret":
+                value = self._value(inst.operands[0], frame) if inst.operands else None
+                return None, value, True
+            elif op == "unreachable":
+                raise ExecutionError("Executed unreachable instruction")
+            else:
+                raise ExecutionError(f"Cannot interpret opcode {op!r}")
+
+            if inst.has_result:
+                frame[inst] = result
+        raise ExecutionError(f"Block %{block.name} fell through without a terminator")
+
+    def _binary(self, op: str, inst: Instruction, frame):
+        lhs = self._value(inst.operands[0], frame)
+        rhs = self._value(inst.operands[1], frame)
+        if op in ("sdiv", "udiv", "srem", "urem", "fdiv", "frem") and rhs == 0:
+            raise ExecutionError(f"Division by zero in {op}")
+        from repro.llvm.passes.utils import _FLOAT_BINOPS, _INT_BINOPS, _wrap_int
+
+        if op in _INT_BINOPS:
+            return _wrap_int(_INT_BINOPS[op](int(lhs), int(rhs)), inst.type)
+        if op in _FLOAT_BINOPS:
+            return _FLOAT_BINOPS[op](float(lhs), float(rhs))
+        if op in ("sdiv", "udiv"):
+            return _wrap_int(int(int(lhs) / int(rhs)), inst.type)
+        if op in ("srem", "urem"):
+            return _wrap_int(int(lhs) - int(int(lhs) / int(rhs)) * int(rhs), inst.type)
+        if op == "fdiv":
+            return float(lhs) / float(rhs)
+        if op == "frem":
+            return float(lhs) % float(rhs)
+        raise ExecutionError(f"Cannot interpret binary opcode {op!r}")
+
+    def _compare(self, inst: Instruction, frame):
+        from repro.llvm.passes.utils import _FCMP, _ICMP
+
+        lhs = self._value(inst.operands[0], frame)
+        rhs = self._value(inst.operands[1], frame)
+        predicate = inst.attrs.get("predicate", "eq")
+        table = _ICMP if inst.opcode == "icmp" else _FCMP
+        return int(bool(table[predicate](lhs, rhs)))
+
+    def _cast(self, inst: Instruction, frame):
+        from repro.llvm.passes.utils import _wrap_int
+
+        value = self._value(inst.operands[0], frame)
+        if inst.opcode in ("sitofp", "fpext", "fptrunc"):
+            return float(value)
+        return _wrap_int(int(value), inst.type)
+
+    def _call(self, inst: Instruction, frame, depth: int):
+        callee_name = inst.attrs.get("callee", "")
+        callee = self.module.function(callee_name)
+        args = [self._value(operand, frame) for operand in inst.operands]
+        if callee is None or callee.is_declaration:
+            # External functions: model printf-style output sinks and a
+            # deterministic input() source so that differential testing
+            # observes program behaviour.
+            if callee_name in ("printf", "puts", "putchar", "print", "output"):
+                self.output.append(tuple(args))
+                return len(args)
+            if callee_name == "input":
+                self._input_counter = getattr(self, "_input_counter", 0) + 1
+                return (self._input_counter * 37 + 11) % 101
+            raise OpaqueFunctionError(f"Call to opaque external function @{callee_name}")
+        return self.call(callee, args, depth + 1)
+
+
+def run_module(module: Module, entry_point: str = "main", args: Optional[List] = None,
+               max_steps: int = 200_000) -> ExecutionResult:
+    """Convenience wrapper: interpret a module from its entry point."""
+    return Interpreter(module, max_steps=max_steps).run(entry_point, args)

@@ -1,0 +1,65 @@
+"""The simulated LLVM intermediate representation.
+
+A small, typed, SSA-style IR with modules, functions, basic blocks and
+instructions; a builder API; a text printer and parser; a verifier; and the
+control-flow analyses (CFG, dominators, natural loops) that the optimization
+passes rely on.
+"""
+
+from repro.llvm.ir.types import (
+    DOUBLE,
+    FLOAT,
+    I1,
+    I8,
+    I32,
+    I64,
+    LABEL,
+    PTR,
+    VOID,
+    Type,
+)
+from repro.llvm.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.llvm.ir.instructions import (
+    BINARY_OPCODES,
+    CAST_OPCODES,
+    COMPARE_OPCODES,
+    TERMINATOR_OPCODES,
+    Instruction,
+)
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.builder import IRBuilder
+from repro.llvm.ir.printer import print_module
+from repro.llvm.ir.parser import parse_module
+from repro.llvm.ir.verifier import verify_module, VerificationError
+
+__all__ = [
+    "Argument",
+    "BasicBlock",
+    "BINARY_OPCODES",
+    "CAST_OPCODES",
+    "COMPARE_OPCODES",
+    "Constant",
+    "DOUBLE",
+    "FLOAT",
+    "Function",
+    "GlobalVariable",
+    "I1",
+    "I32",
+    "I64",
+    "I8",
+    "IRBuilder",
+    "Instruction",
+    "LABEL",
+    "Module",
+    "PTR",
+    "parse_module",
+    "print_module",
+    "TERMINATOR_OPCODES",
+    "Type",
+    "VOID",
+    "VerificationError",
+    "Value",
+    "verify_module",
+]

@@ -1,0 +1,65 @@
+"""Basic blocks."""
+
+from typing import Iterator, List, Optional
+
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.types import LABEL
+from repro.llvm.ir.values import Value
+
+
+class BasicBlock(Value):
+    """A straight-line sequence of instructions ending in a terminator.
+
+    Basic blocks are values (of label type) so that branch and phi
+    instructions can reference them directly as operands.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(LABEL, name=name)
+        self.instructions: List[Instruction] = []
+        self.parent = None  # Set when appended to a Function.
+
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append an instruction to the end of the block."""
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        instruction.parent = self
+        self.instructions.insert(index, instruction)
+        return instruction
+
+    def remove(self, instruction: Instruction) -> None:
+        self.instructions.remove(instruction)
+        instruction.parent = None
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's terminator instruction, if it has one."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        terminator = self.terminator
+        return list(terminator.successors()) if terminator else []
+
+    def phis(self) -> List[Instruction]:
+        """The phi instructions at the head of the block."""
+        return [inst for inst in self.instructions if inst.opcode == "phi"]
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [inst for inst in self.instructions if inst.opcode != "phi"]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name}, {len(self.instructions)} instructions)"

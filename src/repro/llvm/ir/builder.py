@@ -1,0 +1,169 @@
+"""IRBuilder: convenience API for constructing IR.
+
+Used by the synthetic benchmark generators and by tests. The builder tracks
+an insertion point (a basic block) and appends instructions to it, generating
+fresh SSA names as needed.
+"""
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import (
+    BINARY_OPCODES,
+    CAST_OPCODES,
+    Instruction,
+)
+from repro.llvm.ir.types import I1, I32, I64, PTR, VOID, Type
+from repro.llvm.ir.values import Constant, Value
+
+
+class IRBuilder:
+    """Builds instructions into a function, one basic block at a time."""
+
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None):
+        self.function = function
+        # Note: an explicit `is None` check — empty basic blocks are falsy
+        # (len() == 0), so `block or default` would silently pick the entry.
+        self.block = block if block is not None else (function.entry if function.blocks else None)
+
+    def set_insert_point(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _emit(self, instruction: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("IRBuilder has no insertion point")
+        return self.block.append(instruction)
+
+    def _name(self, name: Optional[str]) -> str:
+        return name or self.function.new_value_name()
+
+    # -- constants -----------------------------------------------------------
+
+    @staticmethod
+    def const(value: Union[int, float], type: Type = I32) -> Constant:  # noqa: A002
+        return Constant(type, value)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def binary(self, opcode: str, lhs: Value, rhs: Value, name: Optional[str] = None) -> Instruction:
+        if opcode not in BINARY_OPCODES:
+            raise ValueError(f"Not a binary opcode: {opcode!r}")
+        return self._emit(
+            Instruction(opcode, [lhs, rhs], type=lhs.type, name=self._name(name))
+        )
+
+    def add(self, lhs, rhs, name=None):
+        return self.binary("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=None):
+        return self.binary("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=None):
+        return self.binary("mul", lhs, rhs, name)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: Optional[str] = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                "icmp", [lhs, rhs], type=I1, name=self._name(name), attrs={"predicate": predicate}
+            )
+        )
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: Optional[str] = None) -> Instruction:
+        return self._emit(
+            Instruction(
+                "fcmp", [lhs, rhs], type=I1, name=self._name(name), attrs={"predicate": predicate}
+            )
+        )
+
+    def select(self, cond: Value, if_true: Value, if_false: Value, name: Optional[str] = None) -> Instruction:
+        return self._emit(
+            Instruction("select", [cond, if_true, if_false], type=if_true.type, name=self._name(name))
+        )
+
+    def cast(self, opcode: str, value: Value, to_type: Type, name: Optional[str] = None) -> Instruction:
+        if opcode not in CAST_OPCODES:
+            raise ValueError(f"Not a cast opcode: {opcode!r}")
+        return self._emit(Instruction(opcode, [value], type=to_type, name=self._name(name)))
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloca(self, element_type: Type = I32, array_size: Optional[Value] = None, name=None) -> Instruction:
+        operands = [array_size] if array_size is not None else []
+        return self._emit(
+            Instruction(
+                "alloca", operands, type=PTR, name=self._name(name),
+                attrs={"element_type": element_type},
+            )
+        )
+
+    def load(self, pointer: Value, type: Type = I32, name=None) -> Instruction:  # noqa: A002
+        return self._emit(Instruction("load", [pointer], type=type, name=self._name(name)))
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        return self._emit(Instruction("store", [value, pointer], type=VOID))
+
+    def gep(self, pointer: Value, indices: Sequence[Value], element_type: Type = I32, name=None) -> Instruction:
+        return self._emit(
+            Instruction(
+                "getelementptr", [pointer] + list(indices), type=PTR, name=self._name(name),
+                attrs={"element_type": element_type},
+            )
+        )
+
+    # -- control flow -----------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Instruction("br", [target], type=VOID))
+
+    def cond_br(self, condition: Value, if_true: BasicBlock, if_false: BasicBlock) -> Instruction:
+        return self._emit(Instruction("br", [condition, if_true, if_false], type=VOID))
+
+    def switch(
+        self,
+        value: Value,
+        default: BasicBlock,
+        cases: Sequence[Tuple[Constant, BasicBlock]],
+    ) -> Instruction:
+        operands: List[Value] = [value, default]
+        for const, block in cases:
+            operands.extend([const, block])
+        return self._emit(Instruction("switch", operands, type=VOID))
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(Instruction("ret", [value] if value is not None else [], type=VOID))
+
+    def unreachable(self) -> Instruction:
+        return self._emit(Instruction("unreachable", [], type=VOID))
+
+    def phi(
+        self, type: Type, incoming: Sequence[Tuple[Value, BasicBlock]], name=None  # noqa: A002
+    ) -> Instruction:
+        operands: List[Value] = []
+        for value, block in incoming:
+            operands.extend([value, block])
+        # Phis belong at the head of the block, before non-phi instructions.
+        instruction = Instruction("phi", operands, type=type, name=self._name(name))
+        if self.block is None:
+            raise RuntimeError("IRBuilder has no insertion point")
+        insert_at = len(self.block.phis())
+        return self.block.insert(insert_at, instruction)
+
+    # -- calls ---------------------------------------------------------------------
+
+    def call(
+        self,
+        callee: Union[Function, str],
+        args: Sequence[Value] = (),
+        return_type: Optional[Type] = None,
+        pure: bool = False,
+        name: Optional[str] = None,
+    ) -> Instruction:
+        callee_name = callee.name if isinstance(callee, Function) else str(callee)
+        if return_type is None:
+            return_type = callee.return_type if isinstance(callee, Function) else I32
+        attrs = {"callee": callee_name, "pure": pure}
+        result_name = self._name(name) if not return_type.is_void else ""
+        return self._emit(
+            Instruction("call", list(args), type=return_type, name=result_name, attrs=attrs)
+        )

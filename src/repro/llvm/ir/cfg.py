@@ -1,0 +1,175 @@
+"""Control-flow analyses: CFG, dominators, natural loops.
+
+These analyses are recomputed on demand by the passes that need them; with
+the module sizes used in the benchmarks the cost of recomputation is
+negligible compared to keeping them incrementally up to date.
+"""
+
+from typing import Dict, List, Optional, Set
+
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+
+
+def predecessors(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map from each block to the list of its CFG predecessors."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors():
+            if successor in preds:
+                preds[successor].append(block)
+    return preds
+
+
+def reachable_blocks(function: Function) -> Set[BasicBlock]:
+    """The set of blocks reachable from the entry block."""
+    if not function.blocks:
+        return set()
+    seen: Set[BasicBlock] = set()
+    worklist = [function.entry]
+    while worklist:
+        block = worklist.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        worklist.extend(block.successors())
+    return seen
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder of a DFS from the entry."""
+    visited: Set[BasicBlock] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        visited.add(block)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(successor.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    if function.entry is not None:
+        visit(function.entry)
+    return list(reversed(postorder))
+
+
+def dominators(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Compute the dominator sets of every reachable block (iterative dataflow)."""
+    if not function.blocks:
+        return {}
+    entry = function.entry
+    blocks = reverse_postorder(function)
+    preds = predecessors(function)
+    all_blocks = set(blocks)
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {block: set(all_blocks) for block in blocks}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is entry:
+                continue
+            block_preds = [p for p in preds[block] if p in dom]
+            if not block_preds:
+                new = {block}
+            else:
+                new = set(all_blocks)
+                for pred in block_preds:
+                    new &= dom[pred]
+                new.add(block)
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+def dominates(dom: Dict[BasicBlock, Set[BasicBlock]], a: BasicBlock, b: BasicBlock) -> bool:
+    """Whether block ``a`` dominates block ``b``."""
+    return b in dom and a in dom[b]
+
+
+class Loop:
+    """A natural loop: a header plus the set of blocks in the loop body."""
+
+    def __init__(self, header: BasicBlock, blocks: Set[BasicBlock], latches: List[BasicBlock]):
+        self.header = header
+        self.blocks = blocks
+        self.latches = latches
+        self.parent: Optional["Loop"] = None
+
+    @property
+    def depth(self) -> int:
+        depth, loop = 1, self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks outside the loop that are branched to from inside it."""
+        exits = []
+        for block in self.blocks:
+            for successor in block.successors():
+                if successor not in self.blocks and successor not in exits:
+                    exits.append(successor)
+        return exits
+
+    def __repr__(self) -> str:
+        return f"Loop(header={self.header.name}, blocks={len(self.blocks)}, depth={self.depth})"
+
+
+def natural_loops(function: Function) -> List[Loop]:
+    """Find the natural loops of a function via back-edge detection."""
+    dom = dominators(function)
+    preds = predecessors(function)
+    loops: List[Loop] = []
+    by_header: Dict[BasicBlock, Loop] = {}
+    for block in reachable_blocks(function):
+        for successor in block.successors():
+            if dominates(dom, successor, block):
+                # Back edge block -> successor; successor is the loop header.
+                header, latch = successor, block
+                body: Set[BasicBlock] = {header}
+                worklist = [latch]
+                while worklist:
+                    current = worklist.pop()
+                    if current in body:
+                        continue
+                    body.add(current)
+                    worklist.extend(p for p in preds.get(current, []))
+                if header in by_header:
+                    existing = by_header[header]
+                    existing.blocks |= body
+                    existing.latches.append(latch)
+                else:
+                    loop = Loop(header, body, [latch])
+                    by_header[header] = loop
+                    loops.append(loop)
+    # Establish nesting: a loop's parent is the smallest loop strictly containing it.
+    for loop in loops:
+        candidates = [
+            other
+            for other in loops
+            if other is not loop and loop.header in other.blocks and loop.blocks <= other.blocks
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda l: len(l.blocks))
+    return loops
+
+
+def loop_depths(function: Function) -> Dict[BasicBlock, int]:
+    """Map from each block to its loop nesting depth (0 outside any loop)."""
+    depths: Dict[BasicBlock, int] = {block: 0 for block in function.blocks}
+    for loop in natural_loops(function):
+        for block in loop.blocks:
+            depths[block] = max(depths[block], loop.depth)
+    return depths

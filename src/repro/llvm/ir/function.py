@@ -1,0 +1,106 @@
+"""Functions."""
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.types import I32, PTR, Type
+from repro.llvm.ir.values import Argument, Value
+
+
+class Function(Value):
+    """A function: a list of arguments and an ordered list of basic blocks.
+
+    A function with no blocks is a *declaration* (an external function such as
+    ``printf``), which the optimizer must treat as opaque.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        return_type: Type = I32,
+        arg_types: Optional[List[Type]] = None,
+        arg_names: Optional[List[str]] = None,
+        attributes: Optional[List[str]] = None,
+    ):
+        super().__init__(PTR, name=name)
+        self.return_type = return_type
+        arg_types = list(arg_types or [])
+        arg_names = list(arg_names or [f"arg{i}" for i in range(len(arg_types))])
+        self.args: List[Argument] = [
+            Argument(name, type) for name, type in zip(arg_names, arg_types)
+        ]
+        self.blocks: List[BasicBlock] = []
+        # Function attributes, e.g. "inlinehint", "noinline", "internal".
+        self.attributes: List[str] = list(attributes or [])
+        self._next_value_id = 0
+        self._next_block_id = 0
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> Optional[BasicBlock]:
+        return self.blocks[0] if self.blocks else None
+
+    def add_block(self, block_or_name) -> BasicBlock:
+        """Append a basic block (or create one from a name)."""
+        block = block_or_name if isinstance(block_or_name, BasicBlock) else BasicBlock(block_or_name)
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def block_by_name(self, name: str) -> Optional[BasicBlock]:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        return None
+
+    # -- naming ---------------------------------------------------------------
+
+    def new_value_name(self, prefix: str = "v") -> str:
+        """Generate a fresh SSA value name unique within the function."""
+        existing = {inst.name for block in self.blocks for inst in block if inst.name}
+        existing.update(arg.name for arg in self.args)
+        while True:
+            name = f"{prefix}{self._next_value_id}"
+            self._next_value_id += 1
+            if name not in existing:
+                return name
+
+    def new_block_name(self, prefix: str = "bb") -> str:
+        """Generate a fresh basic-block name unique within the function."""
+        existing = {block.name for block in self.blocks}
+        while True:
+            name = f"{prefix}{self._next_block_id}"
+            self._next_block_id += 1
+            if name not in existing:
+                return name
+
+    # -- iteration -------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in the function."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        """The number of instructions in the function."""
+        return sum(len(block) for block in self.blocks)
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        kind = "declare" if self.is_declaration else "define"
+        return f"Function({kind} @{self.name}, {len(self.blocks)} blocks, {len(self)} instructions)"

@@ -1,0 +1,75 @@
+"""Modules: the top-level IR container."""
+
+import copy
+from typing import Dict, Iterator, List, Optional
+
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.values import GlobalVariable
+
+
+class Module:
+    """A translation unit: global variables plus functions.
+
+    Modules are the unit of compilation: benchmarks hold a module, passes
+    transform a module in place, and observations are computed from a module.
+    """
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.functions: Dict[str, Function] = {}
+        # Free-form module metadata (used e.g. to tag generator provenance).
+        self.metadata: Dict[str, str] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_function(self, function: Function) -> Function:
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, global_var: GlobalVariable) -> GlobalVariable:
+        self.globals[global_var.name] = global_var
+        return global_var
+
+    def remove_function(self, name: str) -> None:
+        self.functions.pop(name, None)
+
+    def function(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    # -- iteration --------------------------------------------------------------
+
+    def defined_functions(self) -> List[Function]:
+        """Functions with bodies (excludes external declarations)."""
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for function in self.functions.values():
+            yield from function.instructions()
+
+    @property
+    def instruction_count(self) -> int:
+        """Total number of IR instructions — the paper's code-size metric."""
+        return sum(len(f) for f in self.functions.values())
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Rough in-memory size estimate, used by the benchmark cache."""
+        return 64 + 96 * self.instruction_count + 48 * len(self.functions)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return self.instruction_count
+
+    def clone(self) -> "Module":
+        """Deep copy of the module (used by fork() and baseline computation)."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, {len(self.functions)} functions, "
+            f"{self.instruction_count} instructions)"
+        )

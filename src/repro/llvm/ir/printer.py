@@ -1,0 +1,135 @@
+"""Textual IR printer.
+
+Emits a close subset of LLVM's textual IR format. The output of
+:func:`print_module` is accepted by :func:`repro.llvm.ir.parser.parse_module`,
+and the round-trip is covered by property-based tests.
+"""
+
+from typing import List
+
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Constant, GlobalVariable, Value
+
+
+def format_operand(value: Value) -> str:
+    """Render an operand reference, without its type."""
+    return value.short()
+
+
+def format_typed_operand(value: Value) -> str:
+    """Render an operand reference with its type prefix."""
+    if isinstance(value, BasicBlock):
+        return f"label %{value.name}"
+    return f"{value.type} {value.short()}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render a single instruction as text."""
+    op = inst.opcode
+    prefix = f"%{inst.name} = " if inst.has_result and inst.name else ""
+
+    if inst.is_binary:
+        lhs, rhs = inst.operands
+        return f"{prefix}{op} {inst.operands[0].type} {format_operand(lhs)}, {format_operand(rhs)}"
+    if inst.is_compare:
+        lhs, rhs = inst.operands
+        predicate = inst.attrs.get("predicate", "eq")
+        return f"{prefix}{op} {predicate} {lhs.type} {format_operand(lhs)}, {format_operand(rhs)}"
+    if inst.is_cast:
+        (value,) = inst.operands
+        return f"{prefix}{op} {value.type} {format_operand(value)} to {inst.type}"
+    if op == "alloca":
+        element_type = inst.attrs.get("element_type", "i32")
+        if inst.operands:
+            size = inst.operands[0]
+            return f"{prefix}alloca {element_type}, {size.type} {format_operand(size)}"
+        return f"{prefix}alloca {element_type}"
+    if op == "load":
+        (pointer,) = inst.operands
+        return f"{prefix}load {inst.type}, ptr {format_operand(pointer)}"
+    if op == "store":
+        value, pointer = inst.operands
+        return f"store {value.type} {format_operand(value)}, ptr {format_operand(pointer)}"
+    if op == "getelementptr":
+        element_type = inst.attrs.get("element_type", "i32")
+        parts = [f"ptr {format_operand(inst.operands[0])}"] + [
+            f"{index.type} {format_operand(index)}" for index in inst.operands[1:]
+        ]
+        return f"{prefix}getelementptr {element_type}, " + ", ".join(parts)
+    if op == "br":
+        if len(inst.operands) == 1:
+            return f"br label %{inst.operands[0].name}"
+        cond, if_true, if_false = inst.operands
+        return (
+            f"br i1 {format_operand(cond)}, label %{if_true.name}, label %{if_false.name}"
+        )
+    if op == "switch":
+        value, default = inst.operands[0], inst.operands[1]
+        cases = []
+        for i in range(2, len(inst.operands), 2):
+            const, block = inst.operands[i], inst.operands[i + 1]
+            cases.append(f"{const.type} {format_operand(const)}, label %{block.name}")
+        cases_str = " ".join(f"[ {case} ]" for case in cases)
+        return f"switch {value.type} {format_operand(value)}, label %{default.name} {cases_str}".rstrip()
+    if op == "ret":
+        if inst.operands:
+            value = inst.operands[0]
+            return f"ret {value.type} {format_operand(value)}"
+        return "ret void"
+    if op == "unreachable":
+        return "unreachable"
+    if op == "phi":
+        incoming = ", ".join(
+            f"[ {format_operand(value)}, %{block.name} ]" for value, block in inst.phi_incoming()
+        )
+        return f"{prefix}phi {inst.type} {incoming}"
+    if op == "call":
+        callee = inst.attrs.get("callee", "unknown")
+        args = ", ".join(format_typed_operand(arg) for arg in inst.operands)
+        pure = " ; pure" if inst.attrs.get("pure") else ""
+        return f"{prefix}call {inst.type} @{callee}({args}){pure}"
+    if op == "select":
+        cond, if_true, if_false = inst.operands
+        return (
+            f"{prefix}select i1 {format_operand(cond)}, {if_true.type} {format_operand(if_true)}, "
+            f"{if_false.type} {format_operand(if_false)}"
+        )
+    raise ValueError(f"Cannot print instruction with opcode {op!r}")
+
+
+def print_function(function: Function) -> str:
+    args = ", ".join(f"{arg.type} %{arg.name}" for arg in function.args)
+    attrs = (" " + " ".join(function.attributes)) if function.attributes else ""
+    if function.is_declaration:
+        return f"declare {function.return_type} @{function.name}({args}){attrs}"
+    lines: List[str] = [f"define {function.return_type} @{function.name}({args}){attrs} {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {print_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_global(global_var: GlobalVariable) -> str:
+    kind = "constant" if global_var.is_constant_global else "global"
+    if global_var.array_size > 1:
+        return (
+            f"@{global_var.name} = {kind} [{global_var.array_size} x {global_var.element_type}] "
+            f"{global_var.initializer}"
+        )
+    return f"@{global_var.name} = {kind} {global_var.element_type} {global_var.initializer}"
+
+
+def print_module(module: Module) -> str:
+    """Render a module as textual IR."""
+    lines = [f"; ModuleID = '{module.name}'"]
+    for global_var in module.globals.values():
+        lines.append(print_global(global_var))
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines) + "\n"

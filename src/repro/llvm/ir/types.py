@@ -1,0 +1,91 @@
+"""IR types.
+
+The type system is intentionally small: the integer widths and floating point
+types that C frontends commonly emit, an opaque pointer type, void, and label.
+Types are interned singletons so identity comparison works.
+"""
+
+from typing import Dict
+
+
+class Type:
+    """An IR type, identified by name."""
+
+    _interned: Dict[str, "Type"] = {}
+
+    def __new__(cls, name: str):
+        if name not in cls._interned:
+            instance = super().__new__(cls)
+            instance.name = name
+            cls._interned[name] = instance
+        return cls._interned[name]
+
+    # Types are interned singletons: copying or pickling returns the same
+    # instance, so identity comparisons keep working across Module.clone().
+    def __copy__(self) -> "Type":
+        return self
+
+    def __deepcopy__(self, memo) -> "Type":
+        return self
+
+    def __reduce__(self):
+        return (Type, (self.name,))
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name.startswith("i") and self.name[1:].isdigit()
+
+    @property
+    def is_float(self) -> bool:
+        return self.name in ("float", "double")
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.name == "ptr"
+
+    @property
+    def is_void(self) -> bool:
+        return self.name == "void"
+
+    @property
+    def bits(self) -> int:
+        """Bit width of the type (0 for non-scalar types)."""
+        if self.is_integer:
+            return int(self.name[1:])
+        if self.name == "float":
+            return 32
+        if self.name == "double":
+            return 64
+        if self.is_pointer:
+            return 64
+        return 0
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# The interned type singletons used throughout the IR.
+VOID = Type("void")
+I1 = Type("i1")
+I8 = Type("i8")
+I16 = Type("i16")
+I32 = Type("i32")
+I64 = Type("i64")
+FLOAT = Type("float")
+DOUBLE = Type("double")
+PTR = Type("ptr")
+LABEL = Type("label")
+
+
+def parse_type(name: str) -> Type:
+    """Parse a type name into its interned :class:`Type`."""
+    name = name.strip()
+    known = {t.name for t in (VOID, I1, I8, I16, I32, I64, FLOAT, DOUBLE, PTR, LABEL)}
+    if name.endswith("*"):
+        return PTR
+    if name not in known and not (name.startswith("i") and name[1:].isdigit()):
+        raise ValueError(f"Unknown type: {name!r}")
+    return Type(name)

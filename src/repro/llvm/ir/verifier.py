@@ -1,0 +1,121 @@
+"""IR verifier.
+
+Checks the structural invariants that the passes rely on. The environment
+verifies the module after every pass when running in debug mode, mirroring
+LLVM's ``-verify`` pass, and the test suite uses it to assert that every
+transformation preserves well-formedness.
+"""
+
+from typing import List
+
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Argument, Constant, GlobalVariable, UndefValue
+from repro.llvm.ir.cfg import predecessors, reachable_blocks
+
+
+class VerificationError(Exception):
+    """The module violates an IR structural invariant."""
+
+    def __init__(self, errors: List[str]):
+        self.errors = errors
+        super().__init__("\n".join(errors))
+
+
+def verify_function(function: Function, module: Module) -> List[str]:
+    errors: List[str] = []
+    if function.is_declaration:
+        return errors
+
+    block_set = set(function.blocks)
+    defined_values = set(function.args)
+    for block in function.blocks:
+        for inst in block.instructions:
+            defined_values.add(inst)
+
+    names = [inst.name for inst in function.instructions() if inst.name]
+    if len(names) != len(set(names)):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        errors.append(f"@{function.name}: duplicate value names {duplicates}")
+
+    preds = predecessors(function)
+    reachable = reachable_blocks(function)
+
+    for block in function.blocks:
+        if block.terminator is None:
+            errors.append(f"@{function.name}/%{block.name}: block has no terminator")
+        for position, inst in enumerate(block.instructions):
+            if inst.is_terminator and position != len(block.instructions) - 1:
+                errors.append(
+                    f"@{function.name}/%{block.name}: terminator is not the last instruction"
+                )
+            if inst.opcode == "phi" and position >= len(block.phis()):
+                errors.append(
+                    f"@{function.name}/%{block.name}: phi after non-phi instruction"
+                )
+            if inst.has_result and not inst.name:
+                errors.append(
+                    f"@{function.name}/%{block.name}: {inst.opcode} result has no name"
+                )
+            for i, operand in enumerate(inst.operands):
+                if isinstance(operand, BasicBlock):
+                    if operand not in block_set:
+                        errors.append(
+                            f"@{function.name}/%{block.name}: reference to block %{operand.name} "
+                            "not in function"
+                        )
+                elif isinstance(operand, Instruction):
+                    if operand not in defined_values:
+                        errors.append(
+                            f"@{function.name}/%{block.name}: use of value %{operand.name} "
+                            "not defined in function"
+                        )
+                elif isinstance(operand, (Constant, Argument, GlobalVariable, UndefValue)):
+                    if isinstance(operand, Argument) and operand not in defined_values:
+                        errors.append(
+                            f"@{function.name}/%{block.name}: use of foreign argument %{operand.name}"
+                        )
+                    if (
+                        isinstance(operand, GlobalVariable)
+                        and operand.name not in module.globals
+                    ):
+                        errors.append(
+                            f"@{function.name}/%{block.name}: use of unknown global @{operand.name}"
+                        )
+                elif isinstance(operand, Function):
+                    if operand.name not in module.functions:
+                        errors.append(
+                            f"@{function.name}/%{block.name}: use of unknown function @{operand.name}"
+                        )
+                else:
+                    errors.append(
+                        f"@{function.name}/%{block.name}: invalid operand {operand!r}"
+                    )
+            if inst.opcode == "phi" and block in reachable:
+                incoming_blocks = [incoming for _, incoming in inst.phi_incoming()]
+                expected = set(preds[block])
+                if set(incoming_blocks) != expected:
+                    errors.append(
+                        f"@{function.name}/%{block.name}: phi incoming blocks "
+                        f"{sorted(b.name for b in incoming_blocks)} do not match predecessors "
+                        f"{sorted(b.name for b in expected)}"
+                    )
+            if inst.opcode == "call":
+                callee = inst.attrs.get("callee")
+                if callee and callee not in module.functions:
+                    errors.append(
+                        f"@{function.name}/%{block.name}: call to unknown function @{callee}"
+                    )
+    return errors
+
+
+def verify_module(module: Module, raise_on_error: bool = True) -> List[str]:
+    """Verify a module. Returns the list of errors (empty if valid)."""
+    errors: List[str] = []
+    for function in module.functions.values():
+        errors.extend(verify_function(function, module))
+    if errors and raise_on_error:
+        raise VerificationError(errors)
+    return errors

@@ -1,0 +1,26 @@
+"""Optimization passes for the simulated LLVM IR.
+
+The pass registry exposes the 124-action pass list used by the LLVM
+phase-ordering environment, plus the reference ``-Oz`` and ``-O3`` pipelines
+that reward signals are scaled against.
+"""
+
+from repro.llvm.passes.registry import (
+    ACTION_SPACE_PASSES,
+    O3_PIPELINE,
+    OZ_PIPELINE,
+    PASS_REGISTRY,
+    get_pass,
+    run_pass,
+    run_pipeline,
+)
+
+__all__ = [
+    "ACTION_SPACE_PASSES",
+    "O3_PIPELINE",
+    "OZ_PIPELINE",
+    "PASS_REGISTRY",
+    "get_pass",
+    "run_pass",
+    "run_pipeline",
+]

@@ -1,0 +1,137 @@
+"""Constant propagation passes: -constprop, -sccp, -ipsccp, -constmerge."""
+
+from typing import Dict
+
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Constant
+from repro.llvm.passes.utils import (
+    collect_uses,
+    fold_instruction,
+    make_unconditional,
+    replace_all_uses,
+)
+
+
+def _propagate_constants_function(function: Function) -> bool:
+    """Fold instructions with constant operands and propagate the results."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                folded = fold_instruction(inst)
+                if folded is None:
+                    continue
+                replace_all_uses(function, inst, folded)
+                block.remove(inst)
+                changed = True
+                progress = True
+    return changed
+
+
+def constant_propagation(module: Module) -> bool:
+    """-constprop: fold and propagate constant expressions."""
+    changed = False
+    for function in module.defined_functions():
+        if _propagate_constants_function(function):
+            changed = True
+    return changed
+
+
+def _fold_constant_branches_function(function: Function) -> bool:
+    """Rewrite conditional branches and switches on constants."""
+    changed = False
+    for block in function.blocks:
+        terminator = block.terminator
+        if terminator is None:
+            continue
+        if terminator.opcode == "br" and len(terminator.operands) == 3:
+            condition = terminator.operands[0]
+            if isinstance(condition, Constant):
+                target = terminator.operands[1] if condition.value else terminator.operands[2]
+                make_unconditional(block, target)
+                changed = True
+        elif terminator.opcode == "switch":
+            value = terminator.operands[0]
+            if isinstance(value, Constant):
+                target = terminator.operands[1]  # Default.
+                for i in range(2, len(terminator.operands), 2):
+                    case_const, case_block = terminator.operands[i], terminator.operands[i + 1]
+                    if isinstance(case_const, Constant) and case_const.value == value.value:
+                        target = case_block
+                        break
+                make_unconditional(block, target)
+                changed = True
+    return changed
+
+
+def sparse_conditional_constant_propagation(module: Module) -> bool:
+    """-sccp: constant propagation plus folding of branches on constants."""
+    changed = constant_propagation(module)
+    for function in module.defined_functions():
+        if _fold_constant_branches_function(function):
+            changed = True
+    return changed
+
+
+def interprocedural_sccp(module: Module) -> bool:
+    """-ipsccp: SCCP plus propagation of constant arguments into callees.
+
+    If every call site of an internal function passes the same constant for an
+    argument, the argument is replaced by that constant inside the callee.
+    """
+    changed = sparse_conditional_constant_propagation(module)
+    # Gather call sites per callee.
+    call_args: Dict[str, list] = {}
+    for function in module.defined_functions():
+        for inst in function.instructions():
+            if inst.opcode == "call":
+                call_args.setdefault(inst.attrs.get("callee", ""), []).append(inst.operands)
+    for callee_name, sites in call_args.items():
+        callee = module.function(callee_name)
+        if callee is None or callee.is_declaration or callee.name == "main":
+            continue
+        for index, arg in enumerate(callee.args):
+            values = {  # The distinct constants passed for this argument.
+                (operands[index].type.name, operands[index].value)
+                for operands in sites
+                if index < len(operands) and isinstance(operands[index], Constant)
+            }
+            all_constant = all(
+                index < len(operands) and isinstance(operands[index], Constant)
+                for operands in sites
+            )
+            if all_constant and len(values) == 1 and sites:
+                type_name, value = next(iter(values))
+                constant = Constant(arg.type, value)
+                if replace_all_uses(callee, arg, constant):
+                    changed = True
+    if changed:
+        constant_propagation(module)
+    return changed
+
+
+def constant_merge(module: Module) -> bool:
+    """-constmerge: merge duplicate constant globals."""
+    changed = False
+    seen: Dict[tuple, str] = {}
+    replacements: Dict[str, str] = {}
+    for name, global_var in list(module.globals.items()):
+        if not global_var.is_constant_global:
+            continue
+        key = (global_var.element_type.name, global_var.initializer, global_var.array_size)
+        if key in seen:
+            replacements[name] = seen[key]
+        else:
+            seen[key] = name
+    for old_name, new_name in replacements.items():
+        old = module.globals[old_name]
+        new = module.globals[new_name]
+        for function in module.defined_functions():
+            replace_all_uses(function, old, new)
+        del module.globals[old_name]
+        changed = True
+    return changed

@@ -1,0 +1,139 @@
+"""Redundancy elimination: -early-cse, -gvn, -newgvn, -sink."""
+
+from typing import Dict, Tuple
+
+from repro.llvm.ir.cfg import dominates, dominators, reverse_postorder
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Constant, Value
+from repro.llvm.passes.utils import collect_uses, is_pure, replace_all_uses
+
+
+def _operand_key(value: Value):
+    if isinstance(value, Constant):
+        return ("const", value.type.name, value.value)
+    return ("val", id(value))
+
+
+def _value_key(inst: Instruction) -> Tuple:
+    """A hashable key identifying the computation an instruction performs."""
+    operands = tuple(_operand_key(op) for op in inst.operands)
+    if inst.is_commutative and len(operands) == 2:
+        operands = tuple(sorted(operands))
+    return (
+        inst.opcode,
+        inst.attrs.get("predicate"),
+        inst.attrs.get("callee"),
+        str(inst.attrs.get("element_type", "")),
+        inst.type.name,
+        operands,
+    )
+
+
+def _cse_block_local(function: Function) -> bool:
+    """Block-local common subexpression elimination (early-cse)."""
+    changed = False
+    for block in function.blocks:
+        available: Dict[Tuple, Instruction] = {}
+        for inst in list(block.instructions):
+            if not is_pure(inst) or not inst.has_result:
+                continue
+            key = _value_key(inst)
+            existing = available.get(key)
+            if existing is not None:
+                replace_all_uses(function, inst, existing)
+                block.remove(inst)
+                changed = True
+            else:
+                available[key] = inst
+    return changed
+
+
+def early_cse(module: Module) -> bool:
+    """-early-cse: block-local redundancy elimination."""
+    changed = False
+    for function in module.defined_functions():
+        if _cse_block_local(function):
+            changed = True
+    return changed
+
+
+def _gvn_function(function: Function) -> bool:
+    """Dominance-based global value numbering.
+
+    An instruction is redundant if an identical computation exists in a block
+    that dominates it (or earlier in the same block).
+    """
+    changed = False
+    dom = dominators(function)
+    order = reverse_postorder(function)
+    leader: Dict[Tuple, Instruction] = {}
+    for block in order:
+        for inst in list(block.instructions):
+            if not is_pure(inst) or not inst.has_result:
+                continue
+            key = _value_key(inst)
+            existing = leader.get(key)
+            if existing is not None and existing.parent is not None:
+                same_block = existing.parent is block
+                if same_block or dominates(dom, existing.parent, block):
+                    replace_all_uses(function, inst, existing)
+                    block.remove(inst)
+                    changed = True
+                    continue
+            leader[key] = inst
+    return changed
+
+
+def global_value_numbering(module: Module) -> bool:
+    """-gvn."""
+    changed = False
+    for function in module.defined_functions():
+        if _gvn_function(function):
+            changed = True
+    return changed
+
+
+def new_gvn(module: Module) -> bool:
+    """-newgvn: iterate GVN to a fixpoint (value numbers refine each round)."""
+    changed = False
+    while global_value_numbering(module):
+        changed = True
+    return changed
+
+
+def sink(module: Module) -> bool:
+    """-sink: move pure computations into the single successor block that uses
+    them, reducing work on paths that do not need the value."""
+    changed = False
+    for function in module.defined_functions():
+        uses = collect_uses(function)
+        for block in function.blocks:
+            successors = block.successors()
+            if len(successors) != 2:
+                continue
+            for inst in list(block.instructions):
+                if not is_pure(inst) or not inst.has_result:
+                    continue
+                users = uses.get(inst, [])
+                if not users:
+                    continue
+                user_blocks = {user.parent for user, _ in users}
+                if len(user_blocks) != 1:
+                    continue
+                (target,) = user_blocks
+                if target is block or target not in successors:
+                    continue
+                # Do not sink into a block with multiple predecessors (the
+                # value would not dominate all paths into it).
+                from repro.llvm.ir.cfg import predecessors as _preds
+
+                if len(_preds(function)[target]) != 1:
+                    continue
+                if any(user.opcode == "phi" for user, _ in users):
+                    continue
+                block.remove(inst)
+                target.insert(len(target.phis()), inst)
+                changed = True
+    return changed

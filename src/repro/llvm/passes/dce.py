@@ -1,0 +1,67 @@
+"""Dead code elimination passes: -dce, -die, -adce."""
+
+from typing import Set
+
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.values import Value
+from repro.llvm.passes.utils import collect_uses, is_trivially_dead
+
+
+def dead_instruction_elimination(module: Module) -> bool:
+    """-die: a single sweep removing trivially dead instructions."""
+    changed = False
+    for function in module.defined_functions():
+        uses = collect_uses(function)
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if is_trivially_dead(inst, uses):
+                    block.remove(inst)
+                    changed = True
+    return changed
+
+
+def dead_code_elimination(module: Module) -> bool:
+    """-dce: iterate trivially-dead removal to a fixpoint."""
+    changed = False
+    while dead_instruction_elimination(module):
+        changed = True
+    return changed
+
+
+def _aggressive_dce_function(function: Function) -> bool:
+    """Mark-and-sweep DCE: everything not transitively required by a
+    side-effecting or terminator instruction is removed.
+
+    Unlike iterative trivial DCE this removes dead cycles (e.g. a phi that
+    only feeds an add that only feeds the phi).
+    """
+    live: Set[Value] = set()
+    worklist = []
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.is_terminator or inst.has_side_effects():
+                live.add(inst)
+                worklist.append(inst)
+    while worklist:
+        inst = worklist.pop()
+        for operand in inst.operands:
+            if operand not in live and hasattr(operand, "opcode"):
+                live.add(operand)
+                worklist.append(operand)
+    changed = False
+    for block in function.blocks:
+        for inst in list(block.instructions):
+            if inst not in live:
+                block.remove(inst)
+                changed = True
+    return changed
+
+
+def aggressive_dce(module: Module) -> bool:
+    """-adce."""
+    changed = False
+    for function in module.defined_functions():
+        if _aggressive_dce_function(function):
+            changed = True
+    return changed

@@ -1,0 +1,181 @@
+"""Memory-to-register promotion: -mem2reg, -sroa, -reg2mem, -dse, -memcpyopt."""
+
+from typing import Dict, List, Optional
+
+from repro.llvm.ir.cfg import dominates, dominators
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.types import VOID
+from repro.llvm.ir.values import UndefValue, Value
+from repro.llvm.passes.utils import collect_uses, replace_all_uses
+
+
+def _promotable_allocas(function: Function) -> List[Instruction]:
+    """Allocas used only by direct loads and stores (no GEPs, no escaping)."""
+    uses = collect_uses(function)
+    promotable = []
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.opcode != "alloca":
+                continue
+            ok = True
+            for user, index in uses.get(inst, []):
+                if user.opcode == "load":
+                    continue
+                if user.opcode == "store" and index == 1:
+                    continue  # The alloca is the store destination, not the value.
+                ok = False
+                break
+            if ok:
+                promotable.append(inst)
+    return promotable
+
+
+def _promote_single_block(function: Function, alloca: Instruction) -> bool:
+    """Promote an alloca whose loads and stores all live in one basic block."""
+    uses = collect_uses(function)
+    users = [user for user, _ in uses.get(alloca, [])]
+    blocks = {user.parent for user in users}
+    if len(blocks) > 1:
+        return False
+    block = blocks.pop() if blocks else alloca.parent
+    current: Optional[Value] = None
+    for inst in list(block.instructions):
+        if inst.opcode == "store" and inst.operands[1] is alloca:
+            current = inst.operands[0]
+            block.remove(inst)
+        elif inst.opcode == "load" and inst.operands[0] is alloca:
+            value = current if current is not None else UndefValue(inst.type)
+            replace_all_uses(function, inst, value)
+            block.remove(inst)
+    alloca.parent.remove(alloca)
+    return True
+
+
+def _promote_single_store(function: Function, alloca: Instruction) -> bool:
+    """Promote an alloca with exactly one store that dominates every load."""
+    uses = collect_uses(function)
+    users = [(user, index) for user, index in uses.get(alloca, [])]
+    stores = [user for user, index in users if user.opcode == "store" and index == 1]
+    loads = [user for user, _ in users if user.opcode == "load"]
+    if len(stores) != 1:
+        return False
+    store = stores[0]
+    dom = dominators(function)
+    stored_value = store.operands[0]
+    for load in loads:
+        if load.parent is store.parent:
+            if store.parent.instructions.index(store) > load.parent.instructions.index(load):
+                return False
+        elif not dominates(dom, store.parent, load.parent):
+            return False
+    for load in loads:
+        replace_all_uses(function, load, stored_value)
+        load.parent.remove(load)
+    store.parent.remove(store)
+    alloca.parent.remove(alloca)
+    return True
+
+
+def promote_memory_to_registers(module: Module) -> bool:
+    """-mem2reg: promote stack slots to SSA values.
+
+    Two promotion strategies are implemented: block-local promotion (loads
+    forward to the most recent store in the same block) and single-store
+    promotion (the stored value dominates every load). These cover the stack
+    slots emitted by the benchmark generators; allocas with more complex
+    def-use webs are left in memory form, exactly as the real pass leaves
+    address-taken allocas.
+    """
+    changed = False
+    for function in module.defined_functions():
+        for alloca in _promotable_allocas(function):
+            if _promote_single_store(function, alloca):
+                changed = True
+            elif _promote_single_block(function, alloca):
+                changed = True
+    return changed
+
+
+def scalar_replacement_of_aggregates(module: Module) -> bool:
+    """-sroa: on this IR aggregates are modelled as scalar allocas, so SROA
+    reduces to mem2reg promotion."""
+    return promote_memory_to_registers(module)
+
+
+def demote_registers_to_memory(module: Module) -> bool:
+    """-reg2mem: demote SSA values that cross block boundaries into stack slots.
+
+    This is the inverse of mem2reg and exists (as in LLVM) mainly to make
+    other transformations simpler; it increases instruction count.
+    """
+    changed = False
+    for function in module.defined_functions():
+        entry = function.entry
+        if entry is None:
+            continue
+        uses = collect_uses(function)
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if not inst.has_result or inst.opcode in ("alloca", "phi"):
+                    continue
+                users = uses.get(inst, [])
+                cross_block = [user for user, _ in users if user.parent is not block]
+                if not cross_block or any(user.opcode == "phi" for user, _ in users):
+                    continue
+                from repro.llvm.ir.types import PTR
+
+                alloca = Instruction(
+                    "alloca",
+                    [],
+                    type=PTR,
+                    name=function.new_value_name("slot"),
+                    attrs={"element_type": inst.type},
+                )
+                entry.insert(0, alloca)
+                store = Instruction("store", [inst, alloca], type=VOID)
+                block.insert(block.instructions.index(inst) + 1, store)
+                for user, index in users:
+                    if user.parent is not block and user.opcode != "phi":
+                        load = Instruction(
+                            "load", [alloca], type=inst.type, name=function.new_value_name("reload")
+                        )
+                        user.parent.insert(user.parent.instructions.index(user), load)
+                        user.operands[index] = load
+                changed = True
+        if changed:
+            uses = collect_uses(function)
+    return changed
+
+
+def dead_store_elimination(module: Module) -> bool:
+    """-dse: remove stores that are overwritten before any intervening load."""
+    changed = False
+    for function in module.defined_functions():
+        for block in function.blocks:
+            last_store: Dict[int, Instruction] = {}
+            for inst in list(block.instructions):
+                if inst.opcode == "store":
+                    pointer = inst.operands[1]
+                    previous = last_store.get(id(pointer))
+                    if previous is not None and previous.parent is block:
+                        block.remove(previous)
+                        changed = True
+                    last_store[id(pointer)] = inst
+                elif inst.opcode == "load":
+                    last_store.pop(id(inst.operands[0]), None)
+                elif inst.opcode == "call":
+                    # Calls may read any memory: invalidate everything.
+                    last_store.clear()
+    return changed
+
+
+def memcpy_optimization(module: Module) -> bool:
+    """-memcpyopt: this IR has no memcpy intrinsic, so the pass never fires.
+
+    Kept as a registered action for action-space parity with the paper; like
+    many real passes it is frequently a no-op for a given module.
+    """
+    del module
+    return False

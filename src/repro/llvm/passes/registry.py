@@ -1,0 +1,316 @@
+"""The pass registry and the phase-ordering action space.
+
+``ACTION_SPACE_PASSES`` lists the 124 pass actions exposed by the LLVM
+phase-ordering environment, matching the count extracted automatically from
+LLVM in the paper. A substantial subset are fully implemented transformations
+on the simulated IR; the remainder are registered as no-op actions (exactly as
+many real LLVM passes are no-ops for any particular module — e.g. coroutine or
+GC passes on code containing neither). ``-gvn-sink`` is implemented but
+deliberately *excluded* from the action space: the paper reports removing it
+from CompilerGym after the state-validation machinery caught its
+nondeterministic output, and this reproduction keeps it around (outside the
+action space) so the validation tests can demonstrate the same detection.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.llvm.ir.module import Module
+from repro.llvm.passes import constants, cse, dce, instcombine, ipo, loops, lowering, mem2reg, simplifycfg
+from repro.llvm.passes.utils import collect_uses, is_pure, replace_all_uses
+
+PassFn = Callable[[Module], bool]
+
+
+def _noop_pass(name: str) -> PassFn:
+    """A registered action that never modifies the module.
+
+    These correspond to LLVM passes whose subject matter (coroutines,
+    vectorization, profiling instrumentation, GC statepoints, ...) does not
+    exist in the simulated IR.
+    """
+
+    def run(module: Module) -> bool:  # noqa: ARG001 - signature fixed by registry
+        return False
+
+    run.__name__ = f"noop_{name.replace('-', '_')}"
+    run.__doc__ = f"-{name}: no-op on the simulated IR (subject matter not modelled)."
+    return run
+
+
+def gvn_sink(module: Module) -> bool:
+    """-gvn-sink: a deliberately nondeterministic sinking pass.
+
+    Reproduces the reproducibility bug the paper describes: the real pass
+    sorted basic-block pointers by address, so its output depended on memory
+    layout. Here the instruction visit order depends on ``id()`` values, which
+    vary between processes, producing occasionally different (but still
+    semantically correct) sink decisions. It is excluded from the action space
+    and exists to exercise the validation machinery.
+    """
+    changed = False
+    for function in module.defined_functions():
+        uses = collect_uses(function)
+        candidates = []
+        for block in function.blocks:
+            successors = block.successors()
+            if len(successors) != 2:
+                continue
+            for inst in block.instructions:
+                if not is_pure(inst) or not inst.has_result:
+                    continue
+                users = uses.get(inst, [])
+                user_blocks = {user.parent for user, _ in users}
+                if len(user_blocks) == 1 and next(iter(user_blocks)) in successors:
+                    candidates.append(inst)
+        # The nondeterminism: candidates are processed in id() order, and only
+        # the first half are sunk.
+        candidates.sort(key=id)
+        for inst in candidates[: max(1, len(candidates) // 2)] if candidates else []:
+            target = next(iter({user.parent for user, _ in uses.get(inst, [])}))
+            from repro.llvm.ir.cfg import predecessors
+
+            if len(predecessors(function).get(target, [])) != 1:
+                continue
+            if inst.parent is None or any(user.opcode == "phi" for user, _ in uses.get(inst, [])):
+                continue
+            inst.parent.remove(inst)
+            target.insert(len(target.phis()), inst)
+            changed = True
+    return changed
+
+
+# Passes with real implementations on the simulated IR.
+_IMPLEMENTED: Dict[str, PassFn] = {
+    "adce": dce.aggressive_dce,
+    "aggressive-instcombine": instcombine.aggressive_instcombine,
+    "always-inline": ipo.always_inline,
+    "argpromotion": ipo.argument_promotion,
+    "barrier": lowering.barrier,
+    "break-crit-edges": lowering.break_critical_edges,
+    "canonicalize-aliases": lowering.canonicalize_aliases,
+    "constmerge": constants.constant_merge,
+    "constprop": constants.constant_propagation,
+    "correlated-propagation": simplifycfg.correlated_value_propagation,
+    "dce": dce.dead_code_elimination,
+    "deadargelim": ipo.dead_argument_elimination,
+    "die": dce.dead_instruction_elimination,
+    "div-rem-pairs": instcombine.div_rem_pairs,
+    "dse": mem2reg.dead_store_elimination,
+    "early-cse": cse.early_cse,
+    "early-cse-memssa": cse.early_cse,
+    "globaldce": ipo.global_dce,
+    "globalopt": ipo.global_opt,
+    "gvn": cse.global_value_numbering,
+    "gvn-hoist": cse.global_value_numbering,
+    "indvars": loops.induction_variable_simplify,
+    "inline": ipo.inline_functions,
+    "instcombine": instcombine.instruction_combining,
+    "instsimplify": instcombine.instruction_simplify,
+    "ipconstprop": constants.interprocedural_sccp,
+    "ipsccp": constants.interprocedural_sccp,
+    "jump-threading": simplifycfg.jump_threading,
+    "lcssa": lowering.barrier,
+    "licm": loops.loop_invariant_code_motion,
+    "loop-deletion": loops.loop_deletion,
+    "loop-idiom": loops.loop_idiom,
+    "loop-instsimplify": instcombine.instruction_simplify,
+    "loop-rotate": loops.loop_rotate,
+    "loop-simplify": loops.loop_simplify,
+    "loop-simplifycfg": simplifycfg.simplify_cfg,
+    "loop-sink": cse.sink,
+    "loop-unroll": loops.loop_unroll,
+    "loweratomic": lowering.lower_atomic,
+    "lower-expect": lowering.lower_expect,
+    "lowerinvoke": lowering.lower_invoke,
+    "lowerswitch": lowering.lower_switch,
+    "mem2reg": mem2reg.promote_memory_to_registers,
+    "memcpyopt": mem2reg.memcpy_optimization,
+    "mergefunc": ipo.merge_functions,
+    "mergereturn": simplifycfg.merge_return,
+    "name-anon-globals": lowering.name_anon_globals,
+    "newgvn": cse.new_gvn,
+    "partial-inliner": ipo.partial_inliner,
+    "reassociate": instcombine.reassociate,
+    "reg2mem": mem2reg.demote_registers_to_memory,
+    "sccp": constants.sparse_conditional_constant_propagation,
+    "simplifycfg": simplifycfg.simplify_cfg,
+    "sink": cse.sink,
+    "sroa": mem2reg.scalar_replacement_of_aggregates,
+    "strip": lowering.strip_metadata,
+    "strip-dead-prototypes": ipo.strip_dead_prototypes,
+    "strip-debug-declare": lowering.strip_debug_declare,
+    "strip-nondebug": lowering.strip_metadata,
+    "tailcallelim": ipo.tail_call_elimination,
+    "verify": lowering.verify_pass,
+}
+
+# Actions registered for action-space parity with the paper's 124-pass space
+# whose subject matter the simulated IR does not model.
+_NOOP_ACTION_NAMES: List[str] = [
+    "add-discriminators",
+    "alignment-from-assumptions",
+    "attributor",
+    "bdce",
+    "callsite-splitting",
+    "called-value-propagation",
+    "consthoist",
+    "coro-cleanup",
+    "coro-early",
+    "coro-elide",
+    "coro-split",
+    "cross-dso-cfi",
+    "ee-instrument",
+    "elim-avail-extern",
+    "flattencfg",
+    "float2int",
+    "forceattrs",
+    "functionattrs",
+    "globalsplit",
+    "guard-widening",
+    "hotcoldsplit",
+    "infer-address-spaces",
+    "inferattrs",
+    "inject-tli-mappings",
+    "insert-gcov-profiling",
+    "instnamer",
+    "irce",
+    "libcalls-shrinkwrap",
+    "load-store-vectorizer",
+    "loop-data-prefetch",
+    "loop-distribute",
+    "loop-fusion",
+    "loop-guard-widening",
+    "loop-interchange",
+    "loop-load-elim",
+    "loop-predication",
+    "loop-reduce",
+    "loop-reroll",
+    "loop-unroll-and-jam",
+    "loop-unswitch",
+    "loop-vectorize",
+    "loop-versioning",
+    "loop-versioning-licm",
+    "lower-constant-intrinsics",
+    "lower-guard-intrinsic",
+    "lower-matrix-intrinsics",
+    "lower-widenable-condition",
+    "mergeicmps",
+    "mldst-motion",
+    "nary-reassociate",
+    "partially-inline-libcalls",
+    "pgo-memop-opt",
+    "prune-eh",
+    "redundant-dbg-inst-elim",
+    "rewrite-statepoints-for-gc",
+    "rpo-functionattrs",
+    "sancov",
+    "scalarizer",
+    "separate-const-offset-from-gep",
+    "simple-loop-unswitch",
+    "slp-vectorizer",
+    "slsr",
+    "speculative-execution",
+]
+
+# The full registry: every pass that can be run by name.
+PASS_REGISTRY: Dict[str, PassFn] = dict(_IMPLEMENTED)
+for _name in _NOOP_ACTION_NAMES:
+    PASS_REGISTRY[_name] = _noop_pass(_name)
+# Registered but excluded from the action space (see module docstring).
+PASS_REGISTRY["gvn-sink"] = gvn_sink
+
+# The phase-ordering action space: 124 pass actions, as in the paper.
+ACTION_SPACE_PASSES: List[str] = sorted(_IMPLEMENTED) + sorted(_NOOP_ACTION_NAMES)
+assert len(ACTION_SPACE_PASSES) == 124, (
+    f"The phase-ordering action space must have 124 passes, got {len(ACTION_SPACE_PASSES)}"
+)
+
+# The default -Oz pipeline (optimize for size): redundancy and dead-code
+# removal without size-increasing transformations such as unrolling.
+OZ_PIPELINE: List[str] = [
+    "simplifycfg",
+    "sroa",
+    "early-cse",
+    "instcombine",
+    "simplifycfg",
+    "ipsccp",
+    "globalopt",
+    "deadargelim",
+    "inline",
+    "mem2reg",
+    "sccp",
+    "jump-threading",
+    "correlated-propagation",
+    "reassociate",
+    "gvn",
+    "instcombine",
+    "licm",
+    "loop-deletion",
+    "dse",
+    "adce",
+    "simplifycfg",
+    "instcombine",
+    "globaldce",
+    "constmerge",
+    "mergefunc",
+    "strip-dead-prototypes",
+    "dce",
+]
+
+# The default -O3 pipeline (optimize for speed): as -Oz plus loop unrolling
+# and more aggressive inlining.
+O3_PIPELINE: List[str] = [
+    "simplifycfg",
+    "sroa",
+    "early-cse",
+    "instcombine",
+    "simplifycfg",
+    "ipsccp",
+    "globalopt",
+    "deadargelim",
+    "partial-inliner",
+    "inline",
+    "mem2reg",
+    "sccp",
+    "jump-threading",
+    "correlated-propagation",
+    "reassociate",
+    "loop-simplify",
+    "licm",
+    "loop-unroll",
+    "instcombine",
+    "gvn",
+    "sccp",
+    "instcombine",
+    "loop-deletion",
+    "dse",
+    "adce",
+    "simplifycfg",
+    "instcombine",
+    "globaldce",
+    "strip-dead-prototypes",
+    "dce",
+]
+
+
+def get_pass(name: str) -> PassFn:
+    """Look up a pass by flag name (with or without the leading dash)."""
+    key = name.lstrip("-")
+    if key not in PASS_REGISTRY:
+        raise LookupError(f"Unknown pass: {name!r}")
+    return PASS_REGISTRY[key]
+
+
+def run_pass(module: Module, name: str) -> bool:
+    """Run a single named pass. Returns whether the module changed."""
+    return get_pass(name)(module)
+
+
+def run_pipeline(module: Module, names: List[str]) -> bool:
+    """Run a sequence of named passes. Returns whether any of them changed
+    the module."""
+    changed = False
+    for name in names:
+        if run_pass(module, name):
+            changed = True
+    return changed

@@ -1,0 +1,245 @@
+"""Shared helpers for optimization passes: use lists, RAUW, constant folding."""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.types import I1, Type
+from repro.llvm.ir.values import Constant, Value
+
+
+def collect_uses(function: Function) -> Dict[Value, List[Tuple[Instruction, int]]]:
+    """Map each value to the ``(instruction, operand index)`` pairs that use it."""
+    uses: Dict[Value, List[Tuple[Instruction, int]]] = {}
+    for block in function.blocks:
+        for inst in block.instructions:
+            for index, operand in enumerate(inst.operands):
+                uses.setdefault(operand, []).append((inst, index))
+    return uses
+
+
+def replace_all_uses(function: Function, old: Value, new: Value) -> int:
+    """Replace every use of ``old`` with ``new`` in the function. Returns the count."""
+    count = 0
+    for block in function.blocks:
+        for inst in block.instructions:
+            for index, operand in enumerate(inst.operands):
+                if operand is old:
+                    inst.operands[index] = new
+                    count += 1
+    return count
+
+
+def is_pure(inst: Instruction) -> bool:
+    """Whether the instruction can be removed or moved freely (no side effects,
+    no dependence on memory state)."""
+    if inst.has_side_effects():
+        return False
+    # Loads depend on memory state: they are removable when unused but not
+    # freely reorderable past stores, so they are excluded from CSE/LICM by
+    # default.
+    if inst.opcode in ("load", "phi", "alloca"):
+        return False
+    return True
+
+
+def is_trivially_dead(inst: Instruction, uses: Dict[Value, List[Tuple[Instruction, int]]]) -> bool:
+    """Whether the instruction has no side effects and its result is unused."""
+    if inst.is_terminator or inst.has_side_effects():
+        return False
+    return not uses.get(inst)
+
+
+_INT_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "lshr": lambda a, b: (a & 0xFFFFFFFFFFFFFFFF) >> (b & 63),
+    "ashr": lambda a, b: a >> (b & 63),
+}
+
+_FLOAT_BINOPS = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+}
+
+_ICMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: abs(a) < abs(b),
+    "ule": lambda a, b: abs(a) <= abs(b),
+    "ugt": lambda a, b: abs(a) > abs(b),
+    "uge": lambda a, b: abs(a) >= abs(b),
+}
+
+_FCMP = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+def _wrap_int(value: int, type: Type) -> int:  # noqa: A002
+    """Wrap an integer to the bit width of its type (two's complement)."""
+    bits = type.bits or 64
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def fold_binary(inst: Instruction) -> Optional[Constant]:
+    """Constant-fold a binary instruction whose operands are both constants."""
+    if not inst.is_binary or len(inst.operands) != 2:
+        return None
+    lhs, rhs = inst.operands
+    if not (isinstance(lhs, Constant) and isinstance(rhs, Constant)):
+        return None
+    op = inst.opcode
+    try:
+        if op in _INT_BINOPS:
+            return Constant(inst.type, _wrap_int(_INT_BINOPS[op](int(lhs.value), int(rhs.value)), inst.type))
+        if op in _FLOAT_BINOPS:
+            return Constant(inst.type, _FLOAT_BINOPS[op](float(lhs.value), float(rhs.value)))
+        if op in ("sdiv", "udiv"):
+            if int(rhs.value) == 0:
+                return None
+            return Constant(inst.type, _wrap_int(int(int(lhs.value) / int(rhs.value)), inst.type))
+        if op in ("srem", "urem"):
+            if int(rhs.value) == 0:
+                return None
+            return Constant(inst.type, _wrap_int(int(lhs.value) - int(int(lhs.value) / int(rhs.value)) * int(rhs.value), inst.type))
+        if op in ("fdiv", "frem"):
+            if float(rhs.value) == 0.0:
+                return None
+            if op == "fdiv":
+                return Constant(inst.type, float(lhs.value) / float(rhs.value))
+            return Constant(inst.type, float(lhs.value) % float(rhs.value))
+    except (OverflowError, ValueError, ZeroDivisionError):
+        return None
+    return None
+
+
+def fold_compare(inst: Instruction) -> Optional[Constant]:
+    """Constant-fold a comparison whose operands are both constants."""
+    if not inst.is_compare or len(inst.operands) != 2:
+        return None
+    lhs, rhs = inst.operands
+    if not (isinstance(lhs, Constant) and isinstance(rhs, Constant)):
+        return None
+    predicate = inst.attrs.get("predicate", "eq")
+    table = _ICMP if inst.opcode == "icmp" else _FCMP
+    if predicate not in table:
+        return None
+    return Constant(I1, int(bool(table[predicate](lhs.value, rhs.value))))
+
+
+def fold_cast(inst: Instruction) -> Optional[Constant]:
+    """Constant-fold a cast of a constant."""
+    if not inst.is_cast or len(inst.operands) != 1:
+        return None
+    (operand,) = inst.operands
+    if not isinstance(operand, Constant):
+        return None
+    op = inst.opcode
+    value = operand.value
+    try:
+        if op in ("zext", "sext", "trunc", "ptrtoint", "inttoptr", "bitcast", "fptosi"):
+            return Constant(inst.type, _wrap_int(int(value), inst.type))
+        if op in ("sitofp", "fpext", "fptrunc"):
+            return Constant(inst.type, float(value))
+    except (OverflowError, ValueError):
+        return None
+    return None
+
+
+def fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Constant-fold any foldable instruction."""
+    folded = fold_binary(inst)
+    if folded is None:
+        folded = fold_compare(inst)
+    if folded is None:
+        folded = fold_cast(inst)
+    if folded is None and inst.opcode == "select":
+        cond = inst.operands[0]
+        if isinstance(cond, Constant):
+            return inst.operands[1] if cond.value else inst.operands[2]
+    return folded
+
+
+def remove_phi_incoming(block: BasicBlock, pred: BasicBlock) -> None:
+    """Remove ``pred`` from the incoming lists of every phi in ``block``.
+
+    Phis left with a single incoming value are replaced by that value.
+    """
+    function = block.parent
+    for phi in list(block.phis()):
+        pairs = [(value, incoming) for value, incoming in phi.phi_incoming() if incoming is not pred]
+        if len(pairs) == len(list(phi.phi_incoming())):
+            continue
+        if len(pairs) == 1:
+            replace_all_uses(function, phi, pairs[0][0])
+            block.remove(phi)
+        elif not pairs:
+            block.remove(phi)
+        else:
+            phi.set_phi_incoming(pairs)
+
+
+def replace_phi_incoming_block(block: BasicBlock, old_pred: BasicBlock, new_pred: BasicBlock) -> None:
+    """Rewrite phi incoming-block references from ``old_pred`` to ``new_pred``."""
+    for phi in block.phis():
+        pairs = [
+            (value, new_pred if incoming is old_pred else incoming)
+            for value, incoming in phi.phi_incoming()
+        ]
+        phi.set_phi_incoming(pairs)
+
+
+def make_unconditional(block: BasicBlock, target: BasicBlock) -> None:
+    """Replace the block's terminator with an unconditional branch to ``target``.
+
+    Phi nodes in abandoned successors are updated.
+    """
+    terminator = block.terminator
+    if terminator is None:
+        block.append(Instruction("br", [target]))
+        return
+    for successor in terminator.successors():
+        if successor is not target:
+            remove_phi_incoming(successor, block)
+    index = block.instructions.index(terminator)
+    block.instructions[index] = Instruction("br", [target])
+    block.instructions[index].parent = block
+
+
+def erase_dead_instructions(function: Function) -> int:
+    """Iteratively remove trivially dead instructions. Returns the count removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        uses = collect_uses(function)
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if is_trivially_dead(inst, uses):
+                    block.remove(inst)
+                    removed += 1
+                    changed = True
+        if changed:
+            continue
+    return removed

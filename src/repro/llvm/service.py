@@ -1,0 +1,241 @@
+"""The LLVM CompilationSession: incremental phase ordering over the simulated IR.
+
+This is the backend half of the LLVM environment. A session holds a working
+copy of the benchmark's module; each ``apply_action`` runs one optimization
+pass *incrementally* on the already-optimized module (the design that gives
+CompilerGym its step-time advantage over recompile-from-scratch baselines, see
+Table II), and ``get_observation`` computes any of the environment's
+observation spaces from the current module.
+"""
+
+import hashlib
+import random
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.datasets.benchmark import Benchmark
+from repro.core.service.compilation_session import CompilationSession
+from repro.core.spaces import Box, Commandline, CommandlineFlag, ObservationSpaceSpec, Scalar, SequenceSpace
+from repro.core.spaces.space import Space
+from repro.llvm.analysis.autophase import AUTOPHASE_DIMS, autophase_features
+from repro.llvm.analysis.inst2vec import inst2vec_embeddings, inst2vec_preprocess
+from repro.llvm.analysis.instcount import INSTCOUNT_DIMS, instcount_features
+from repro.llvm.analysis.programl import programl_graph
+from repro.llvm.cost.binary_size import object_text_size_bytes
+from repro.llvm.cost.code_size import ir_instruction_count
+from repro.llvm.cost.runtime import measure_runtime
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.printer import print_module
+from repro.llvm.passes.registry import (
+    ACTION_SPACE_PASSES,
+    O3_PIPELINE,
+    OZ_PIPELINE,
+    run_pass,
+    run_pipeline,
+)
+
+_PASS_DESCRIPTIONS = {name: f"Run the -{name} optimization pass" for name in ACTION_SPACE_PASSES}
+
+
+def _make_action_space() -> Commandline:
+    return Commandline(
+        [
+            CommandlineFlag(name=name, flag=f"-{name}", description=_PASS_DESCRIPTIONS[name])
+            for name in ACTION_SPACE_PASSES
+        ],
+        name="PhaseOrdering",
+    )
+
+
+def _make_observation_spaces() -> List[ObservationSpaceSpec]:
+    int64_max = np.iinfo(np.int64).max
+    specs = [
+        ObservationSpaceSpec(
+            "Ir", 0, SequenceSpace(size_range=(0, None), dtype=str, name="Ir"),
+            deterministic=True, platform_dependent=False, default_value="",
+        ),
+        ObservationSpaceSpec(
+            "IrSha1", 1, SequenceSpace(size_range=(40, 40), dtype=str, name="IrSha1"),
+            deterministic=True, platform_dependent=False, default_value="",
+        ),
+        ObservationSpaceSpec(
+            "IrInstructionCount", 2, Scalar(min=0, max=None, dtype=int, name="IrInstructionCount"),
+            deterministic=True, platform_dependent=False, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "IrInstructionCountO0", 3, Scalar(min=0, max=None, dtype=int, name="IrInstructionCountO0"),
+            deterministic=True, platform_dependent=False, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "IrInstructionCountO3", 4, Scalar(min=0, max=None, dtype=int, name="IrInstructionCountO3"),
+            deterministic=True, platform_dependent=False, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "IrInstructionCountOz", 5, Scalar(min=0, max=None, dtype=int, name="IrInstructionCountOz"),
+            deterministic=True, platform_dependent=False, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "InstCount", 6,
+            Box(low=0, high=int64_max, shape=(INSTCOUNT_DIMS,), dtype=np.int64, name="InstCount"),
+            deterministic=True, platform_dependent=False,
+            default_value=np.zeros(INSTCOUNT_DIMS, dtype=np.int64),
+        ),
+        ObservationSpaceSpec(
+            "Autophase", 7,
+            Box(low=0, high=int64_max, shape=(AUTOPHASE_DIMS,), dtype=np.int64, name="Autophase"),
+            deterministic=True, platform_dependent=False,
+            default_value=np.zeros(AUTOPHASE_DIMS, dtype=np.int64),
+        ),
+        ObservationSpaceSpec(
+            "Inst2vec", 8, SequenceSpace(size_range=(0, None), dtype=float, name="Inst2vec"),
+            deterministic=True, platform_dependent=False, default_value=[],
+        ),
+        ObservationSpaceSpec(
+            "Inst2vecPreprocessedText", 9,
+            SequenceSpace(size_range=(0, None), dtype=str, name="Inst2vecPreprocessedText"),
+            deterministic=True, platform_dependent=False, default_value=[],
+        ),
+        ObservationSpaceSpec(
+            "Programl", 10, SequenceSpace(size_range=(0, None), dtype=bytes, name="Programl"),
+            deterministic=True, platform_dependent=False, default_value=None,
+        ),
+        ObservationSpaceSpec(
+            "ObjectTextSizeBytes", 11,
+            Scalar(min=0, max=None, dtype=int, name="ObjectTextSizeBytes"),
+            deterministic=True, platform_dependent=True, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "ObjectTextSizeO0", 12, Scalar(min=0, max=None, dtype=int, name="ObjectTextSizeO0"),
+            deterministic=True, platform_dependent=True, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "ObjectTextSizeO3", 13, Scalar(min=0, max=None, dtype=int, name="ObjectTextSizeO3"),
+            deterministic=True, platform_dependent=True, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "ObjectTextSizeOz", 14, Scalar(min=0, max=None, dtype=int, name="ObjectTextSizeOz"),
+            deterministic=True, platform_dependent=True, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "Runtime", 15, Scalar(min=0, max=None, dtype=float, name="Runtime"),
+            deterministic=False, platform_dependent=True, default_value=0.0,
+        ),
+        ObservationSpaceSpec(
+            "Buildtime", 16, Scalar(min=0, max=None, dtype=float, name="Buildtime"),
+            deterministic=False, platform_dependent=True, default_value=0.0,
+        ),
+    ]
+    return specs
+
+
+class LlvmCompilationSession(CompilationSession):
+    """Phase ordering over a working copy of the benchmark module."""
+
+    compiler_version = "repro-llvm 14.0.0 (simulated)"
+    action_spaces: List[Space] = [_make_action_space()]
+    observation_spaces: List[ObservationSpaceSpec] = _make_observation_spaces()
+
+    def __init__(self, working_dir: str, action_space: Space, benchmark: Benchmark):
+        super().__init__(working_dir, action_space, benchmark)
+        if not isinstance(benchmark.program, Module):
+            raise ValueError(
+                f"LLVM benchmarks must carry an IR module, got {type(benchmark.program).__name__}"
+            )
+        # The session works on its own copy; the cached benchmark stays pristine.
+        self.module: Module = benchmark.program.clone()
+        self.actions_applied: List[int] = []
+        self._runtime_rng = random.Random(0xC0FFEE)
+        self._runtimes_per_observation = 1
+
+    # -- baselines --------------------------------------------------------------
+
+    def _baselines(self) -> Dict[str, int]:
+        """O0/Oz/O3 metric baselines, computed once per benchmark and cached on
+        the benchmark object (shared across sessions via the benchmark cache)."""
+        cache = self.benchmark.dynamic_config.setdefault("_baselines", {})
+        if not cache:
+            unoptimized = self.benchmark.program
+            oz = self.benchmark.program.clone()
+            run_pipeline(oz, OZ_PIPELINE)
+            o3 = self.benchmark.program.clone()
+            run_pipeline(o3, O3_PIPELINE)
+            cache.update(
+                {
+                    "IrInstructionCountO0": ir_instruction_count(unoptimized),
+                    "IrInstructionCountOz": ir_instruction_count(oz),
+                    "IrInstructionCountO3": ir_instruction_count(o3),
+                    "ObjectTextSizeO0": object_text_size_bytes(unoptimized),
+                    "ObjectTextSizeOz": object_text_size_bytes(oz),
+                    "ObjectTextSizeO3": object_text_size_bytes(o3),
+                }
+            )
+        return cache
+
+    # -- CompilationSession interface ---------------------------------------------
+
+    def apply_action(self, action) -> Tuple[bool, Optional[Space], bool]:
+        index = int(action)
+        if not 0 <= index < len(ACTION_SPACE_PASSES):
+            raise ValueError(f"Action out of range: {index}")
+        pass_name = self.action_space.names[index] if hasattr(self.action_space, "names") else ACTION_SPACE_PASSES[index]
+        changed = run_pass(self.module, pass_name)
+        self.actions_applied.append(index)
+        return False, None, not changed
+
+    def get_observation(self, observation_space: ObservationSpaceSpec):
+        space_id = observation_space.id
+        if space_id == "Ir":
+            return print_module(self.module)
+        if space_id == "IrSha1":
+            return hashlib.sha1(print_module(self.module).encode("utf-8")).hexdigest()
+        if space_id == "IrInstructionCount":
+            return ir_instruction_count(self.module)
+        if space_id in ("IrInstructionCountO0", "IrInstructionCountO3", "IrInstructionCountOz"):
+            return self._baselines()[space_id]
+        if space_id == "InstCount":
+            return instcount_features(self.module)
+        if space_id == "Autophase":
+            return autophase_features(self.module)
+        if space_id == "Inst2vec":
+            return inst2vec_embeddings(self.module)
+        if space_id == "Inst2vecPreprocessedText":
+            return inst2vec_preprocess(self.module)
+        if space_id == "Programl":
+            return programl_graph(self.module)
+        if space_id == "ObjectTextSizeBytes":
+            return object_text_size_bytes(self.module)
+        if space_id in ("ObjectTextSizeO0", "ObjectTextSizeO3", "ObjectTextSizeOz"):
+            return self._baselines()[space_id]
+        if space_id == "Runtime":
+            measurements = [
+                measure_runtime(self.module, rng=self._runtime_rng)
+                for _ in range(self._runtimes_per_observation)
+            ]
+            return measurements[0] if len(measurements) == 1 else measurements
+        if space_id == "Buildtime":
+            # Build time scales with module size, with measurement noise.
+            base = 1e-5 * max(1, self.module.instruction_count)
+            return base * max(0.5, self._runtime_rng.gauss(1.0, 0.1))
+        raise LookupError(f"Unknown observation space: {space_id!r}")
+
+    def fork(self) -> "LlvmCompilationSession":
+        forked = LlvmCompilationSession.__new__(LlvmCompilationSession)
+        CompilationSession.__init__(forked, self.working_dir, self.action_space, self.benchmark)
+        forked.module = self.module.clone()
+        forked.actions_applied = list(self.actions_applied)
+        forked._runtime_rng = random.Random(self._runtime_rng.random())
+        forked._runtimes_per_observation = self._runtimes_per_observation
+        return forked
+
+    def handle_session_parameter(self, key: str, value: str) -> Optional[str]:
+        if key == "llvm.set_runtimes_per_observation_count":
+            self._runtimes_per_observation = max(1, int(value))
+            return value
+        if key == "llvm.get_runtimes_per_observation_count":
+            return str(self._runtimes_per_observation)
+        if key == "llvm.apply_baseline_pipeline":
+            pipeline = OZ_PIPELINE if value == "-Oz" else O3_PIPELINE
+            run_pipeline(self.module, pipeline)
+            return value
+        return None

@@ -1,0 +1,14 @@
+"""Simulated loop_tool CUDA loop-nest environment.
+
+Reproduces the paper's third environment: tuning the loop-nest structure of a
+point-wise addition on a GPU. The loop tree, the cursor-based action space,
+and the FLOPs reward are modelled; the GPU itself is replaced by an
+analytical bandwidth/occupancy performance model calibrated to the GP100
+numbers quoted in the paper (~6e10 FLOPs peak for this workload).
+"""
+
+from repro.loop_tool.ir import LoopTree
+from repro.loop_tool.cost import gp100_flops
+from repro.loop_tool.env import LoopToolEnv, make_loop_tool_env
+
+__all__ = ["LoopToolEnv", "LoopTree", "gp100_flops", "make_loop_tool_env"]

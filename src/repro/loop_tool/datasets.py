@@ -1,0 +1,43 @@
+"""Benchmark datasets for the loop_tool environment.
+
+A loop_tool benchmark is a problem size: the number of elements of the
+point-wise operation. The paper sweeps a variety of problem sizes; the
+dataset exposes the power-of-two sizes from 2^10 to 2^26.
+"""
+
+from typing import Iterator
+
+from repro.core.datasets import Benchmark, Dataset, Datasets
+from repro.core.datasets.uri import BenchmarkUri
+
+SIZES = [2**exp for exp in range(10, 27)]
+
+
+class LoopToolDataset(Dataset):
+    """Point-wise addition workloads addressed by element count."""
+
+    def __init__(self):
+        super().__init__(
+            name="benchmark://loop_tool-v0",
+            description="Point-wise addition loop nests of varying size (CUDA)",
+            license="MIT",
+            benchmark_count=len(SIZES),
+        )
+
+    def benchmark_uris(self) -> Iterator[str]:
+        for size in SIZES:
+            yield f"{self.name}/{size}"
+
+    def benchmark_from_parsed_uri(self, uri: BenchmarkUri) -> Benchmark:
+        if not uri.path.isdigit():
+            raise LookupError(f"loop_tool benchmarks are addressed by element count: {uri}")
+        size = int(uri.path)
+        if size < 1:
+            raise LookupError(f"Invalid problem size: {size}")
+        return Benchmark(uri=str(uri), program={"size": size})
+
+
+def make_loop_tool_datasets() -> Datasets:
+    datasets = Datasets()
+    datasets.add(LoopToolDataset())
+    return datasets

@@ -1,0 +1,106 @@
+"""The loop_tool CUDA loop-nest environment."""
+
+from typing import List, Optional, Union
+
+from repro.core.datasets import Benchmark, Datasets
+from repro.core.env import CompilerEnv
+from repro.core.service.connection import ConnectionOpts
+from repro.core.spaces.reward import Reward
+from repro.loop_tool.datasets import make_loop_tool_datasets
+from repro.loop_tool.service import LoopToolCompilationSession
+
+DEFAULT_BENCHMARK = "benchmark://loop_tool-v0/1048576"
+
+
+class FlopsReward(Reward):
+    """Reward = increase in measured FLOPs since the previous step.
+
+    Unlike the size rewards, *higher* is better, so the reward is the change
+    in the positive direction. The signal is both platform dependent and
+    nondeterministic (benchmarking noise), as in the paper.
+    """
+
+    def __init__(self, name: str = "flops"):
+        super().__init__(
+            name=name,
+            observation_spaces=["flops"],
+            default_value=0,
+            default_negates_returns=True,
+            deterministic=False,
+            platform_dependent=True,
+        )
+        self.previous: Optional[float] = None
+
+    def reset(self, benchmark: str, observation_view) -> None:
+        del benchmark, observation_view
+        self.previous = None
+
+    def update(self, actions, observations, observation_view) -> float:
+        del actions, observation_view
+        value = float(observations[0])
+        if self.previous is None:
+            self.previous = value
+            return 0.0
+        reward = value - self.previous
+        self.previous = value
+        return reward
+
+
+class AbsoluteFlopsReward(Reward):
+    """Reward = the measured FLOPs of the current schedule (not a delta)."""
+
+    def __init__(self, name: str = "flops_abs"):
+        super().__init__(
+            name=name,
+            observation_spaces=["flops"],
+            default_value=0,
+            deterministic=False,
+            platform_dependent=True,
+        )
+
+    def update(self, actions, observations, observation_view) -> float:
+        del actions, observation_view
+        return float(observations[0])
+
+
+def make_loop_tool_rewards() -> List[Reward]:
+    return [FlopsReward(), AbsoluteFlopsReward()]
+
+
+class LoopToolEnv(CompilerEnv):
+    """Cursor-based loop-nest tuning for point-wise addition on a simulated GPU."""
+
+    def __init__(
+        self,
+        benchmark: Optional[Union[str, Benchmark]] = None,
+        observation_space: Optional[str] = None,
+        reward_space: Optional[str] = None,
+        datasets: Optional[Datasets] = None,
+        connection_opts: Optional[ConnectionOpts] = None,
+        **kwargs,
+    ):
+        super().__init__(
+            session_type=LoopToolCompilationSession,
+            datasets=datasets or make_loop_tool_datasets(),
+            rewards=make_loop_tool_rewards(),
+            benchmark=benchmark or DEFAULT_BENCHMARK,
+            observation_space=observation_space,
+            reward_space=reward_space,
+            connection_opts=connection_opts,
+            **kwargs,
+        )
+
+    @property
+    def flops(self) -> float:
+        """One FLOPs measurement of the current schedule."""
+        return self.observation["flops"]
+
+    @property
+    def loop_tree(self) -> str:
+        """The textual loop-tree dump of the current schedule."""
+        return self.observation["loop_tree"]
+
+
+def make_loop_tool_env(**kwargs) -> LoopToolEnv:
+    """Entry point used by the environment registry."""
+    return LoopToolEnv(**kwargs)

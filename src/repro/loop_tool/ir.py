@@ -1,0 +1,125 @@
+"""The loop-tree representation used by the loop_tool environment.
+
+A point-wise operation over ``N`` elements is expressed as a nest of loops
+whose sizes multiply to at least ``N`` (the innermost levels absorb any tail
+iterations). Each loop can be annotated as *threaded* (scheduled across CUDA
+threads) or not, and loops can be split to deepen the hierarchy — exactly the
+four degrees of freedom the paper describes (order, nesting, reuse,
+parallelism) specialized to the point-wise addition benchmark it evaluates.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class LoopNode:
+    """One loop level: its size and whether it runs across CUDA threads."""
+
+    size: int
+    threaded: bool = False
+
+    def __str__(self) -> str:
+        return f"for {self.size}{' [thread]' if self.threaded else ''}"
+
+
+@dataclass
+class LoopTree:
+    """A loop nest computing a point-wise binary operation of ``n`` elements."""
+
+    n: int = 1024 * 1024
+    loops: List[LoopNode] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.loops:
+            # The initial schedule is a single outer loop over all elements,
+            # matching loop_tool's default lowering (Listing 4 in the paper).
+            self.loops = [LoopNode(size=self.n)]
+
+    # -- structural queries ------------------------------------------------------
+
+    @property
+    def inner_size(self) -> int:
+        """Iterations of the innermost loop (work per thread when threaded)."""
+        return self.loops[-1].size
+
+    @property
+    def total_iterations(self) -> int:
+        total = 1
+        for loop in self.loops:
+            total *= max(1, loop.size)
+        return total
+
+    @property
+    def num_threads(self) -> int:
+        """Total CUDA threads the schedule launches (product of threaded sizes)."""
+        threads = 1
+        for loop in self.loops:
+            if loop.threaded:
+                threads *= max(1, loop.size)
+        return threads
+
+    def depth(self) -> int:
+        return len(self.loops)
+
+    # -- transformations ----------------------------------------------------------
+
+    def resize(self, index: int, new_size: int) -> None:
+        """Change the size of one loop, keeping total iterations >= n.
+
+        As in loop_tool, growing an inner loop shrinks its parent to
+        compensate (tail iterations are handled implicitly by the model).
+        """
+        new_size = max(1, int(new_size))
+        if not 0 <= index < len(self.loops):
+            raise IndexError(index)
+        self.loops[index].size = new_size
+        self._rebalance(index)
+
+    def increase_size(self, index: int, amount: int = 1) -> None:
+        self.resize(index, self.loops[index].size + amount)
+
+    def toggle_threaded(self, index: int) -> None:
+        if not 0 <= index < len(self.loops):
+            raise IndexError(index)
+        self.loops[index].threaded = not self.loops[index].threaded
+
+    def split(self, index: int, factor: int = 2) -> None:
+        """Split one loop into two nested loops (outer x factor)."""
+        if not 0 <= index < len(self.loops):
+            raise IndexError(index)
+        factor = max(2, int(factor))
+        original = self.loops[index]
+        outer_size = max(1, (original.size + factor - 1) // factor)
+        self.loops[index] = LoopNode(size=outer_size, threaded=original.threaded)
+        self.loops.insert(index + 1, LoopNode(size=factor, threaded=False))
+
+    def _rebalance(self, changed_index: int) -> None:
+        """Adjust the outermost loop so the nest still covers all n elements."""
+        other = 1
+        for i, loop in enumerate(self.loops):
+            if i != 0:
+                other *= max(1, loop.size)
+        if changed_index == 0:
+            return
+        required_outer = max(1, -(-self.n // other))  # ceil division
+        self.loops[0].size = required_outer
+
+    # -- rendering ----------------------------------------------------------------
+
+    def dump(self) -> str:
+        """The textual loop-tree observation (Listing 4 of the paper)."""
+        lines = []
+        indent = ""
+        for i, loop in enumerate(self.loops):
+            suffix = " [thread]" if loop.threaded else ""
+            lines.append(f"{indent}for i{i} in {loop.size} : L{i}{suffix}")
+            indent += "  "
+        lines.append(f"{indent}%0[i] <- read()")
+        lines.append(f"{indent}%1[i] <- read()")
+        lines.append(f"{indent}%2[i] <- add(%0, %1)")
+        lines.append(f"{indent}%3[i] <- write(%2)")
+        return "\n".join(lines)
+
+    def copy(self) -> "LoopTree":
+        return LoopTree(n=self.n, loops=[LoopNode(l.size, l.threaded) for l in self.loops])

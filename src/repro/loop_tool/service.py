@@ -1,0 +1,99 @@
+"""The loop_tool CompilationSession: cursor-based loop-nest manipulation.
+
+The action space matches the paper's description: a cursor points at one loop
+in the hierarchy and has a mode. ``toggle_mode`` switches between *moving* the
+cursor (up/down walk the loop nest) and *modifying* the current loop (up
+increases its size, handled by resizing the parent to compensate). Any loop
+can be toggled to run across CUDA threads, and an extended action splits the
+current loop to deepen the hierarchy.
+"""
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.datasets.benchmark import Benchmark
+from repro.core.service.compilation_session import CompilationSession
+from repro.core.spaces import NamedDiscrete, ObservationSpaceSpec, Scalar, SequenceSpace
+from repro.core.spaces.space import Space
+from repro.loop_tool.cost import gp100_flops
+from repro.loop_tool.ir import LoopTree
+
+# The basic cursor action space described in the paper, plus the extended
+# "split" action that allows deepening the loop hierarchy.
+ACTIONS = ["toggle_mode", "up", "down", "toggle_thread", "split"]
+MODES = ["move", "modify"]
+
+
+class LoopToolCompilationSession(CompilationSession):
+    """Cursor-driven scheduling of a point-wise addition loop nest."""
+
+    compiler_version = "repro-loop_tool 0.1 (simulated GP100 backend)"
+    action_spaces: List[Space] = [NamedDiscrete(ACTIONS, name="Cursor")]
+    observation_spaces: List[ObservationSpaceSpec] = [
+        ObservationSpaceSpec(
+            "action_state", 0,
+            SequenceSpace(size_range=(3, 3), dtype=int, name="action_state"),
+            deterministic=True, platform_dependent=False, default_value=[0, 0, 0],
+        ),
+        ObservationSpaceSpec(
+            "loop_tree", 1, SequenceSpace(size_range=(0, None), dtype=str, name="loop_tree"),
+            deterministic=True, platform_dependent=False, default_value="",
+        ),
+        ObservationSpaceSpec(
+            "flops", 2, Scalar(min=0, max=None, dtype=float, name="flops"),
+            deterministic=False, platform_dependent=True, default_value=0.0,
+        ),
+    ]
+
+    def __init__(self, working_dir: str, action_space: Space, benchmark: Benchmark):
+        super().__init__(working_dir, action_space, benchmark)
+        payload = benchmark.program or {}
+        self.tree = LoopTree(n=int(payload.get("size", 1024 * 1024)))
+        self.cursor = 0
+        self.mode = 0  # 0 = move, 1 = modify
+        self._rng = random.Random(0xD00D)
+
+    def apply_action(self, action) -> Tuple[bool, Optional[Space], bool]:
+        index = int(action)
+        if not 0 <= index < len(ACTIONS):
+            raise ValueError(f"Action out of range: {index}")
+        name = ACTIONS[index]
+        changed = True
+        if name == "toggle_mode":
+            self.mode = 1 - self.mode
+        elif name == "up":
+            if self.mode == 0:
+                changed = self.cursor > 0
+                self.cursor = max(0, self.cursor - 1)
+            else:
+                self.tree.increase_size(self.cursor, 1)
+        elif name == "down":
+            if self.mode == 0:
+                changed = self.cursor < self.tree.depth() - 1
+                self.cursor = min(self.tree.depth() - 1, self.cursor + 1)
+            else:
+                size = self.tree.loops[self.cursor].size
+                changed = size > 1
+                self.tree.resize(self.cursor, size - 1)
+        elif name == "toggle_thread":
+            self.tree.toggle_threaded(self.cursor)
+        elif name == "split":
+            self.tree.split(self.cursor)
+        return False, None, not changed
+
+    def get_observation(self, observation_space: ObservationSpaceSpec):
+        space_id = observation_space.id
+        if space_id == "action_state":
+            return [self.cursor, self.mode, self.tree.loops[self.cursor].size]
+        if space_id == "loop_tree":
+            return self.tree.dump()
+        if space_id == "flops":
+            return gp100_flops(self.tree, rng=self._rng)
+        raise LookupError(f"Unknown observation space: {space_id!r}")
+
+    def fork(self) -> "LoopToolCompilationSession":
+        forked = LoopToolCompilationSession(self.working_dir, self.action_space, self.benchmark)
+        forked.tree = self.tree.copy()
+        forked.cursor = self.cursor
+        forked.mode = self.mode
+        return forked

@@ -1,0 +1,72 @@
+"""Advantage Actor-Critic (synchronous A2C)."""
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rl.policies import FeatureScaler, LinearPolicy, LinearValueFunction
+
+
+class A2CAgent:
+    """Synchronous advantage actor-critic with linear function approximation."""
+
+    name = "a2c"
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_actions: int,
+        learning_rate: float = 0.01,
+        gamma: float = 0.99,
+        entropy_coef: float = 0.01,
+        n_step: int = 5,
+        seed: int = 0,
+    ):
+        self.policy = LinearPolicy(obs_dim, num_actions, learning_rate, seed)
+        self.value = LinearValueFunction(obs_dim, 1, learning_rate, seed)
+        self.scaler = FeatureScaler(obs_dim)
+        self.gamma = gamma
+        self.entropy_coef = entropy_coef
+        self.n_step = n_step
+        self.rng = np.random.default_rng(seed)
+        self._buffer: List[tuple] = []
+
+    def act(self, observation, greedy: bool = False) -> int:
+        features = self.scaler(observation, update=not greedy)
+        action, _ = self.policy.act(features, self.rng, greedy=greedy)
+        self._last = (features, action)
+        return action
+
+    def observe(self, observation, action: int, reward: float, done: bool) -> None:
+        del observation, action
+        features, action_taken = self._last
+        self._buffer.append((features, action_taken, float(reward)))
+        if done or len(self._buffer) >= self.n_step:
+            self._update(bootstrap=not done)
+            if done:
+                self._buffer = []
+
+    def end_episode(self) -> None:
+        if self._buffer:
+            self._update(bootstrap=False)
+            self._buffer = []
+
+    def _update(self, bootstrap: bool) -> None:
+        if not self._buffer:
+            return
+        features = [step[0] for step in self._buffer]
+        actions = [step[1] for step in self._buffer]
+        rewards = [step[2] for step in self._buffer]
+        bootstrap_value = self.value.value(features[-1]) if bootstrap else 0.0
+        returns = np.zeros(len(rewards))
+        running = bootstrap_value
+        for t in reversed(range(len(rewards))):
+            running = rewards[t] + self.gamma * running
+            returns[t] = running
+        for t in range(len(rewards)):
+            advantage = returns[t] - self.value.value(features[t])
+            self.policy.policy_gradient_step(
+                features[t], actions[t], float(advantage) + self.entropy_coef
+            )
+            self.value.update(features[t], returns[t])
+        self._buffer = []

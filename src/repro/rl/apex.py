@@ -1,0 +1,95 @@
+"""Ape-X style DQN: Q-learning with prioritized experience replay.
+
+The distributed actor fleet of the original Ape-X is collapsed into a single
+actor, but the learning machinery — epsilon-greedy exploration, a prioritized
+replay buffer with importance-sampling corrections, a periodically synced
+target network, and n-step returns (n=1 here) — is the same.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rl.policies import FeatureScaler, LinearValueFunction
+from repro.rl.replay_buffer import PrioritizedReplayBuffer
+
+
+class ApexDQNAgent:
+    """Prioritized-replay DQN with linear Q functions."""
+
+    name = "apex"
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_actions: int,
+        learning_rate: float = 0.01,
+        gamma: float = 0.99,
+        epsilon_start: float = 1.0,
+        epsilon_end: float = 0.05,
+        epsilon_decay_steps: int = 5_000,
+        batch_size: int = 32,
+        target_sync_interval: int = 250,
+        seed: int = 0,
+    ):
+        self.q = LinearValueFunction(obs_dim, num_actions, learning_rate, seed)
+        self.target_q = LinearValueFunction(obs_dim, num_actions, learning_rate, seed)
+        self._sync_target()
+        self.scaler = FeatureScaler(obs_dim)
+        self.replay = PrioritizedReplayBuffer(seed=seed)
+        self.num_actions = num_actions
+        self.gamma = gamma
+        self.epsilon_start = epsilon_start
+        self.epsilon_end = epsilon_end
+        self.epsilon_decay_steps = epsilon_decay_steps
+        self.batch_size = batch_size
+        self.target_sync_interval = target_sync_interval
+        self.rng = np.random.default_rng(seed)
+        self.total_steps = 0
+        self._last_features: Optional[np.ndarray] = None
+
+    def _sync_target(self) -> None:
+        self.target_q.weights = self.q.weights.copy()
+        self.target_q.bias = self.q.bias.copy()
+
+    @property
+    def epsilon(self) -> float:
+        fraction = min(1.0, self.total_steps / self.epsilon_decay_steps)
+        return self.epsilon_start + fraction * (self.epsilon_end - self.epsilon_start)
+
+    def act(self, observation, greedy: bool = False) -> int:
+        features = self.scaler(observation, update=not greedy)
+        self._last_features = features
+        if not greedy and self.rng.random() < self.epsilon:
+            return int(self.rng.integers(self.num_actions))
+        return int(np.argmax(self.q(features)))
+
+    def observe(self, observation, action: int, reward: float, done: bool) -> None:
+        next_features = self.scaler(observation, update=False)
+        transition = (self._last_features, action, float(reward), next_features, bool(done))
+        # New transitions get maximum priority so they are replayed at least once.
+        max_priority = self.replay.priorities[: len(self.replay)].max() if len(self.replay) else 1.0
+        self.replay.add(transition, priority=max_priority)
+        self.total_steps += 1
+        self._learn()
+        if self.total_steps % self.target_sync_interval == 0:
+            self._sync_target()
+
+    def end_episode(self) -> None:
+        """DQN learns online from the replay buffer; nothing to flush."""
+
+    def _learn(self) -> None:
+        if len(self.replay) < self.batch_size:
+            return
+        batch, indices, weights = self.replay.sample(self.batch_size)
+        new_priorities = np.zeros(len(batch))
+        for i, (features, action, reward, next_features, done) in enumerate(batch):
+            target = reward
+            if not done:
+                target += self.gamma * float(np.max(self.target_q(next_features)))
+            td_error = target - float(self.q(features)[action])
+            # Importance-sampling weighted update.
+            scaled_target = float(self.q(features)[action]) + weights[i] * td_error
+            self.q.update(features, scaled_target, output_index=action)
+            new_priorities[i] = abs(td_error)
+        self.replay.update_priorities(indices, new_priorities)

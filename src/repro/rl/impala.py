@@ -1,0 +1,100 @@
+"""IMPALA-style off-policy actor-critic with V-trace corrections.
+
+IMPALA decouples acting from learning: actors generate trajectories with a
+(slightly stale) behaviour policy and the learner applies V-trace
+importance-weighted corrections. Here a single process plays both roles, with
+the behaviour policy refreshed only every ``sync_interval`` episodes so the
+off-policy correction machinery is genuinely exercised.
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro.rl.policies import FeatureScaler, LinearPolicy, LinearValueFunction
+
+
+class ImpalaAgent:
+    """Off-policy actor-critic with V-trace-style truncated importance weights."""
+
+    name = "impala"
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_actions: int,
+        learning_rate: float = 0.01,
+        gamma: float = 0.99,
+        rho_clip: float = 1.0,
+        c_clip: float = 1.0,
+        entropy_coef: float = 0.01,
+        sync_interval: int = 5,
+        seed: int = 0,
+    ):
+        self.policy = LinearPolicy(obs_dim, num_actions, learning_rate, seed)
+        self.behaviour = LinearPolicy(obs_dim, num_actions, learning_rate, seed)
+        self._sync_behaviour()
+        self.value = LinearValueFunction(obs_dim, 1, learning_rate, seed)
+        self.scaler = FeatureScaler(obs_dim)
+        self.gamma = gamma
+        self.rho_clip = rho_clip
+        self.c_clip = c_clip
+        self.entropy_coef = entropy_coef
+        self.sync_interval = sync_interval
+        self.rng = np.random.default_rng(seed)
+        self._trajectory: List[tuple] = []
+        self._episodes = 0
+
+    def _sync_behaviour(self) -> None:
+        self.behaviour.weights = self.policy.weights.copy()
+        self.behaviour.bias = self.policy.bias.copy()
+
+    def act(self, observation, greedy: bool = False) -> int:
+        features = self.scaler(observation, update=not greedy)
+        policy = self.policy if greedy else self.behaviour
+        action, log_prob = policy.act(features, self.rng, greedy=greedy)
+        self._last = (features, action, log_prob)
+        return action
+
+    def observe(self, observation, action: int, reward: float, done: bool) -> None:
+        del observation, action
+        features, action_taken, behaviour_log_prob = self._last
+        self._trajectory.append((features, action_taken, float(reward), behaviour_log_prob))
+        if done:
+            self.end_episode()
+
+    def end_episode(self) -> None:
+        if not self._trajectory:
+            return
+        trajectory = self._trajectory
+        self._trajectory = []
+        features = [step[0] for step in trajectory]
+        actions = [step[1] for step in trajectory]
+        rewards = [step[2] for step in trajectory]
+        behaviour_log_probs = [step[3] for step in trajectory]
+
+        values = np.array([self.value.value(f) for f in features] + [0.0])
+        rhos = np.zeros(len(rewards))
+        cs = np.zeros(len(rewards))
+        for t in range(len(rewards)):
+            log_ratio = self.policy.log_prob(features[t], actions[t]) - behaviour_log_probs[t]
+            ratio = float(np.exp(np.clip(log_ratio, -10, 10)))
+            rhos[t] = min(self.rho_clip, ratio)
+            cs[t] = min(self.c_clip, ratio)
+
+        # V-trace targets.
+        vs = np.array(values)
+        for t in reversed(range(len(rewards))):
+            delta = rhos[t] * (rewards[t] + self.gamma * values[t + 1] - values[t])
+            vs[t] = values[t] + delta + self.gamma * cs[t] * (vs[t + 1] - values[t + 1])
+
+        for t in range(len(rewards)):
+            advantage = rhos[t] * (rewards[t] + self.gamma * vs[t + 1] - values[t])
+            self.policy.policy_gradient_step(
+                features[t], actions[t], float(advantage) + self.entropy_coef
+            )
+            self.value.update(features[t], vs[t])
+
+        self._episodes += 1
+        if self._episodes % self.sync_interval == 0:
+            self._sync_behaviour()

@@ -1,0 +1,108 @@
+"""Linear function approximators shared by the RL agents."""
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class FeatureScaler:
+    """Online feature preprocessing: log1p compression plus running
+    standardization.
+
+    IR feature vectors are raw counters spanning several orders of magnitude;
+    without compression the linear agents see wildly varying gradient scales.
+    """
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self.count = 1e-4
+        self.mean = np.zeros(dim)
+        self.m2 = np.ones(dim)
+
+    def __call__(self, observation, update: bool = True) -> np.ndarray:
+        x = np.log1p(np.maximum(np.asarray(observation, dtype=np.float64), 0.0))
+        if update:
+            self.count += 1
+            delta = x - self.mean
+            self.mean += delta / self.count
+            self.m2 += delta * (x - self.mean)
+        std = np.sqrt(self.m2 / max(1.0, self.count)) + 1e-6
+        return np.clip((x - self.mean) / std, -5.0, 5.0)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+class LinearPolicy:
+    """A softmax policy with linear logits."""
+
+    def __init__(self, obs_dim: int, num_actions: int, learning_rate: float = 0.01, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.weights = rng.normal(scale=0.01, size=(num_actions, obs_dim))
+        self.bias = np.zeros(num_actions)
+        self.learning_rate = learning_rate
+        self.num_actions = num_actions
+
+    def logits(self, observation: np.ndarray) -> np.ndarray:
+        return self.weights @ observation + self.bias
+
+    def probabilities(self, observation: np.ndarray) -> np.ndarray:
+        return softmax(self.logits(observation))
+
+    def act(self, observation: np.ndarray, rng: np.random.Generator, greedy: bool = False) -> Tuple[int, float]:
+        probs = self.probabilities(observation)
+        if greedy:
+            action = int(np.argmax(probs))
+        else:
+            action = int(rng.choice(self.num_actions, p=probs))
+        return action, float(np.log(probs[action] + 1e-12))
+
+    def log_prob(self, observation: np.ndarray, action: int) -> float:
+        return float(np.log(self.probabilities(observation)[action] + 1e-12))
+
+    def policy_gradient_step(self, observation: np.ndarray, action: int, scale: float) -> None:
+        """Apply one ascent step of ``scale * grad log pi(action | observation)``."""
+        probs = self.probabilities(observation)
+        grad_logits = -probs
+        grad_logits[action] += 1.0
+        self.weights += self.learning_rate * scale * np.outer(grad_logits, observation)
+        self.bias += self.learning_rate * scale * grad_logits
+
+    def entropy(self, observation: np.ndarray) -> float:
+        probs = self.probabilities(observation)
+        return float(-(probs * np.log(probs + 1e-12)).sum())
+
+
+class LinearValueFunction:
+    """A linear state-value (or action-value) function."""
+
+    def __init__(self, obs_dim: int, num_outputs: int = 1, learning_rate: float = 0.01, seed: int = 0):
+        rng = np.random.default_rng(seed + 1)
+        self.weights = rng.normal(scale=0.01, size=(num_outputs, obs_dim))
+        self.bias = np.zeros(num_outputs)
+        self.learning_rate = learning_rate
+
+    def __call__(self, observation: np.ndarray) -> np.ndarray:
+        return self.weights @ observation + self.bias
+
+    def value(self, observation: np.ndarray) -> float:
+        return float(self(observation)[0])
+
+    def update(self, observation: np.ndarray, target, output_index: Optional[int] = None) -> float:
+        """One TD/regression step toward ``target``. Returns the error.
+
+        The step is a normalized LMS update (scaled by the squared feature
+        norm), which keeps linear TD learning stable regardless of the
+        observation dimensionality.
+        """
+        prediction = self(observation)
+        norm = 1.0 + float(observation @ observation)
+        index = 0 if output_index is None else output_index
+        error = float(np.asarray(target) - prediction[index])
+        step = self.learning_rate * error / norm
+        self.weights[index] += step * observation
+        self.bias[index] += step
+        return error

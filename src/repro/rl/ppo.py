@@ -1,0 +1,95 @@
+"""Proximal Policy Optimization (clipped surrogate objective)."""
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rl.policies import FeatureScaler, LinearPolicy, LinearValueFunction
+
+
+class PPOAgent:
+    """PPO with a linear policy and value function.
+
+    Rollouts are collected for a full episode; advantages use generalized
+    advantage estimation; the policy update maximizes the clipped surrogate
+    objective over several epochs, and an entropy bonus keeps exploration
+    alive — the same recipe as RLlib's PPO at a much smaller scale.
+    """
+
+    name = "ppo"
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_actions: int,
+        learning_rate: float = 0.01,
+        gamma: float = 0.99,
+        gae_lambda: float = 0.95,
+        clip_ratio: float = 0.2,
+        entropy_coef: float = 0.01,
+        update_epochs: int = 4,
+        seed: int = 0,
+    ):
+        self.policy = LinearPolicy(obs_dim, num_actions, learning_rate, seed)
+        self.value = LinearValueFunction(obs_dim, 1, learning_rate, seed)
+        self.scaler = FeatureScaler(obs_dim)
+        self.gamma = gamma
+        self.gae_lambda = gae_lambda
+        self.clip_ratio = clip_ratio
+        self.entropy_coef = entropy_coef
+        self.update_epochs = update_epochs
+        self.rng = np.random.default_rng(seed)
+        self._trajectory: List[tuple] = []
+
+    # -- acting -------------------------------------------------------------------
+
+    def act(self, observation, greedy: bool = False) -> int:
+        features = self.scaler(observation, update=not greedy)
+        action, log_prob = self.policy.act(features, self.rng, greedy=greedy)
+        self._last = (features, action, log_prob)
+        return action
+
+    def observe(self, observation, action: int, reward: float, done: bool) -> None:
+        del observation, action  # The features and action were stored by act().
+        features, action_taken, log_prob = self._last
+        self._trajectory.append((features, action_taken, float(reward), log_prob))
+        if done:
+            self.end_episode()
+
+    # -- learning -----------------------------------------------------------------
+
+    def end_episode(self) -> Optional[float]:
+        if not self._trajectory:
+            return None
+        features = [step[0] for step in self._trajectory]
+        actions = [step[1] for step in self._trajectory]
+        rewards = [step[2] for step in self._trajectory]
+        old_log_probs = [step[3] for step in self._trajectory]
+        self._trajectory = []
+
+        values = [self.value.value(f) for f in features]
+        advantages = np.zeros(len(rewards))
+        returns = np.zeros(len(rewards))
+        next_value = 0.0
+        next_advantage = 0.0
+        for t in reversed(range(len(rewards))):
+            delta = rewards[t] + self.gamma * next_value - values[t]
+            next_advantage = delta + self.gamma * self.gae_lambda * next_advantage
+            advantages[t] = next_advantage
+            next_value = values[t]
+            returns[t] = advantages[t] + values[t]
+        if advantages.std() > 1e-8:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        for _ in range(self.update_epochs):
+            for t in range(len(rewards)):
+                ratio = np.exp(self.policy.log_prob(features[t], actions[t]) - old_log_probs[t])
+                advantage = advantages[t]
+                clipped = np.clip(ratio, 1 - self.clip_ratio, 1 + self.clip_ratio)
+                # The clipped surrogate gradient: only step when the
+                # unclipped term is the active (smaller) one.
+                if (ratio * advantage) <= (clipped * advantage) + 1e-12:
+                    scale = ratio * advantage + self.entropy_coef
+                    self.policy.policy_gradient_step(features[t], actions[t], float(scale))
+                self.value.update(features[t], returns[t])
+        return float(np.sum(rewards))

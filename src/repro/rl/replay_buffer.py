@@ -1,0 +1,51 @@
+"""Prioritized experience replay (the Ape-X ingredient)."""
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class PrioritizedReplayBuffer:
+    """A proportional prioritized replay buffer.
+
+    Transitions are sampled with probability proportional to their priority
+    (the TD error magnitude), with importance-sampling weights to correct the
+    induced bias — the core mechanism of Ape-X / prioritized DQN.
+    """
+
+    def __init__(self, capacity: int = 10_000, alpha: float = 0.6, beta: float = 0.4, seed: int = 0):
+        self.capacity = capacity
+        self.alpha = alpha
+        self.beta = beta
+        self.rng = np.random.default_rng(seed)
+        self.buffer: List[Tuple] = []
+        self.priorities = np.zeros(capacity, dtype=np.float64)
+        self.position = 0
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def add(self, transition: Tuple, priority: float = 1.0) -> None:
+        priority = max(1e-6, float(priority))
+        if len(self.buffer) < self.capacity:
+            self.buffer.append(transition)
+        else:
+            self.buffer[self.position] = transition
+        self.priorities[self.position] = priority
+        self.position = (self.position + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> Tuple[List[Tuple], np.ndarray, np.ndarray]:
+        """Sample a batch. Returns (transitions, indices, importance weights)."""
+        size = len(self.buffer)
+        if size == 0:
+            return [], np.array([], dtype=int), np.array([])
+        priorities = self.priorities[:size] ** self.alpha
+        probabilities = priorities / priorities.sum()
+        indices = self.rng.choice(size, size=min(batch_size, size), p=probabilities)
+        weights = (size * probabilities[indices]) ** (-self.beta)
+        weights = weights / weights.max()
+        return [self.buffer[i] for i in indices], indices, weights
+
+    def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
+        for index, priority in zip(indices, priorities):
+            self.priorities[int(index)] = max(1e-6, float(priority))

@@ -1,0 +1,155 @@
+"""Training and evaluation harness for the RL experiments.
+
+Reproduces the setup of Section VII-G/H/I: fixed 45-step episodes, a
+constrained 42-pass action space, an Autophase (or InstCount) observation
+concatenated with a histogram of the agent's previous actions, code-size
+reward, Csmith training programs, and evaluation by geometric-mean code-size
+reduction relative to -Oz on held-out benchmarks.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.wrappers import ConcatActionsHistogram, ConstrainedCommandline, TimeLimit
+from repro.util.statistics import geometric_mean
+
+# The 42-pass subset used by the paper's replication of Autophase (42 of the
+# 45 original actions survive in recent LLVM releases).
+AUTOPHASE_ACTION_SUBSET = [
+    "-adce", "-aggressive-instcombine", "-always-inline", "-constmerge", "-constprop",
+    "-correlated-propagation", "-dce", "-deadargelim", "-die", "-dse",
+    "-early-cse", "-globaldce", "-globalopt", "-gvn", "-gvn-hoist",
+    "-indvars", "-inline", "-instcombine", "-instsimplify", "-ipsccp",
+    "-jump-threading", "-lcssa", "-licm", "-loop-deletion", "-loop-idiom",
+    "-loop-rotate", "-loop-simplify", "-loop-unroll", "-lowerswitch", "-mem2reg",
+    "-memcpyopt", "-mergefunc", "-mergereturn", "-newgvn", "-partial-inliner",
+    "-reassociate", "-sccp", "-simplifycfg", "-sink", "-sroa",
+    "-strip", "-tailcallelim",
+]
+EPISODE_LENGTH = 45
+
+
+@dataclass
+class TrainingResult:
+    """Learning-curve record of one training run."""
+
+    agent_name: str
+    episodes: int
+    episode_rewards: List[float] = field(default_factory=list)
+    validation_scores: List[float] = field(default_factory=list)
+    validation_episodes: List[int] = field(default_factory=list)
+
+
+@dataclass
+class EvaluationResult:
+    """Evaluation of a trained agent on one dataset."""
+
+    dataset: str
+    geomean_reduction: float
+    per_benchmark: List[float] = field(default_factory=list)
+
+
+def make_rl_environment(
+    env,
+    observation_space: str = "Autophase",
+    use_action_histogram: bool = True,
+    episode_length: int = EPISODE_LENGTH,
+    action_subset: Optional[Sequence[str]] = None,
+):
+    """Wrap an LlvmEnv into the experiment's MDP formulation.
+
+    This is the wrapper composition highlighted in the paper: a constrained
+    commandline action space, a fixed time limit, and an observation
+    concatenated with the action histogram.
+    """
+    env.observation_space = observation_space
+    if env.reward_space is None:
+        env.reward_space = "IrInstructionCountNorm"
+    env = ConstrainedCommandline(env, flags=list(action_subset or AUTOPHASE_ACTION_SUBSET))
+    env = TimeLimit(env, max_episode_steps=episode_length)
+    if use_action_histogram:
+        env = ConcatActionsHistogram(env, norm_to_episode_len=episode_length)
+    return env
+
+
+def observation_dim(observation_space: str, use_action_histogram: bool, num_actions: int) -> int:
+    base = {"Autophase": 56, "InstCount": 70}[observation_space]
+    return base + (num_actions if use_action_histogram else 0)
+
+
+def run_episode(env, agent, benchmark: Optional[str] = None, train: bool = True) -> float:
+    """Run one episode; returns the cumulative reward."""
+    observation = env.reset(benchmark=benchmark) if benchmark else env.reset()
+    total = 0.0
+    done = False
+    while not done:
+        action = agent.act(observation, greedy=not train)
+        observation, reward, done, _ = env.step(action)
+        reward = reward or 0.0
+        total += reward
+        if train:
+            agent.observe(observation, action, reward, done)
+    if train:
+        agent.end_episode()
+    return total
+
+
+def final_codesize_reduction(env) -> float:
+    """The paper's headline metric: -Oz size divided by the achieved size."""
+    unwrapped = env.unwrapped if hasattr(env, "unwrapped") else env
+    final_size = unwrapped.observation["IrInstructionCount"]
+    oz_size = unwrapped.observation["IrInstructionCountOz"]
+    if final_size <= 0:
+        return 0.0
+    return float(oz_size) / float(final_size)
+
+
+def train_agent(
+    agent,
+    env,
+    training_benchmarks: Sequence[str],
+    episodes: int,
+    validation_benchmarks: Optional[Sequence[str]] = None,
+    validation_interval: Optional[int] = None,
+    seed: int = 0,
+) -> TrainingResult:
+    """Train an agent by cycling over the training benchmarks."""
+    rng = random.Random(seed)
+    result = TrainingResult(agent_name=getattr(agent, "name", type(agent).__name__), episodes=episodes)
+    benchmarks = list(training_benchmarks)
+    for episode in range(episodes):
+        benchmark = benchmarks[episode % len(benchmarks)] if benchmarks else None
+        reward = run_episode(env, agent, benchmark=benchmark, train=True)
+        result.episode_rewards.append(reward)
+        if (
+            validation_benchmarks
+            and validation_interval
+            and (episode + 1) % validation_interval == 0
+        ):
+            score = evaluate_codesize_reduction(agent, env, validation_benchmarks).geomean_reduction
+            result.validation_scores.append(score)
+            result.validation_episodes.append(episode + 1)
+        del rng  # Reserved for future stochastic curricula.
+        rng = random.Random(seed + episode + 1)
+    return result
+
+
+def evaluate_codesize_reduction(
+    agent,
+    env,
+    benchmarks: Iterable[str],
+    dataset_name: str = "",
+) -> EvaluationResult:
+    """Evaluate a trained agent: greedy rollouts, geomean reduction vs -Oz."""
+    reductions = []
+    for benchmark in benchmarks:
+        run_episode(env, agent, benchmark=benchmark, train=False)
+        reductions.append(final_codesize_reduction(env))
+    return EvaluationResult(
+        dataset=dataset_name,
+        geomean_reduction=geometric_mean(reductions),
+        per_benchmark=reductions,
+    )

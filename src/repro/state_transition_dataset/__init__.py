@@ -1,0 +1,19 @@
+"""The State Transition Dataset (Section III-F of the paper).
+
+A relational (SQLite) database logging environment state transitions for
+offline analysis: a ``Steps`` table of unique action sequences, an
+``Observations`` table of per-state representations keyed by state hash, and
+a ``StateTransitions`` table of deduplicated transitions with rewards. An
+asynchronous wrapper populates the database during normal environment use,
+and a post-processing step builds the transitions table.
+"""
+
+from repro.state_transition_dataset.database import StateTransitionDatabase
+from repro.state_transition_dataset.wrapper import StateTransitionLoggingWrapper
+from repro.state_transition_dataset.postprocess import populate_state_transitions
+
+__all__ = [
+    "StateTransitionDatabase",
+    "StateTransitionLoggingWrapper",
+    "populate_state_transitions",
+]

@@ -1,0 +1,124 @@
+"""SQLite-backed state-transition database."""
+
+import json
+import sqlite3
+import zlib
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.state_transition_dataset.schema import ALL_TABLES, INDEXES
+
+
+class StateTransitionDatabase:
+    """A state-transition log following the paper's relational schema."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self.connection = sqlite3.connect(path)
+        cursor = self.connection.cursor()
+        for table in ALL_TABLES:
+            cursor.execute(table)
+        for index in INDEXES:
+            cursor.execute(index)
+        self.connection.commit()
+
+    # -- writes ------------------------------------------------------------------
+
+    def add_step(
+        self,
+        benchmark_uri: str,
+        actions: Sequence[int],
+        state_id: str,
+        rewards: Sequence[float],
+        end_of_episode: bool = False,
+    ) -> None:
+        self.connection.execute(
+            "INSERT OR REPLACE INTO Steps (benchmark_uri, actions, state_id, end_of_episode, rewards)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (benchmark_uri, json.dumps(list(actions)), state_id, int(end_of_episode), json.dumps(list(rewards))),
+        )
+
+    def add_observation(
+        self,
+        state_id: str,
+        ir: Optional[str] = None,
+        instcounts: Optional[Sequence[int]] = None,
+        autophase: Optional[Sequence[int]] = None,
+        instruction_count: Optional[int] = None,
+    ) -> None:
+        self.connection.execute(
+            "INSERT OR REPLACE INTO Observations"
+            " (state_id, compressed_ir, instcounts, autophase, instruction_count)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (
+                state_id,
+                zlib.compress(ir.encode("utf-8")) if ir is not None else None,
+                json.dumps([int(v) for v in instcounts]) if instcounts is not None else None,
+                json.dumps([int(v) for v in autophase]) if autophase is not None else None,
+                instruction_count,
+            ),
+        )
+
+    def add_transition(
+        self, state_id: str, action: int, next_state_id: str, rewards: Sequence[float]
+    ) -> None:
+        self.connection.execute(
+            "INSERT OR REPLACE INTO StateTransitions (state_id, action, next_state_id, rewards)"
+            " VALUES (?, ?, ?, ?)",
+            (state_id, int(action), next_state_id, json.dumps(list(rewards))),
+        )
+
+    def commit(self) -> None:
+        self.connection.commit()
+
+    # -- reads --------------------------------------------------------------------
+
+    def num_steps(self) -> int:
+        return self.connection.execute("SELECT COUNT(*) FROM Steps").fetchone()[0]
+
+    def num_unique_states(self) -> int:
+        return self.connection.execute("SELECT COUNT(*) FROM Observations").fetchone()[0]
+
+    def num_transitions(self) -> int:
+        return self.connection.execute("SELECT COUNT(*) FROM StateTransitions").fetchone()[0]
+
+    def steps(self) -> Iterator[Tuple[str, List[int], str, bool, List[float]]]:
+        for row in self.connection.execute(
+            "SELECT benchmark_uri, actions, state_id, end_of_episode, rewards FROM Steps"
+        ):
+            yield row[0], json.loads(row[1]), row[2], bool(row[3]), json.loads(row[4])
+
+    def observation(self, state_id: str) -> Optional[dict]:
+        row = self.connection.execute(
+            "SELECT state_id, compressed_ir, instcounts, autophase, instruction_count"
+            " FROM Observations WHERE state_id = ?",
+            (state_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "state_id": row[0],
+            "ir": zlib.decompress(row[1]).decode("utf-8") if row[1] is not None else None,
+            "instcounts": json.loads(row[2]) if row[2] else None,
+            "autophase": json.loads(row[3]) if row[3] else None,
+            "instruction_count": row[4],
+        }
+
+    def observations(self) -> Iterator[dict]:
+        for (state_id,) in self.connection.execute("SELECT state_id FROM Observations"):
+            yield self.observation(state_id)
+
+    def transitions(self) -> Iterator[Tuple[str, int, str, List[float]]]:
+        for row in self.connection.execute(
+            "SELECT state_id, action, next_state_id, rewards FROM StateTransitions"
+        ):
+            yield row[0], row[1], row[2], json.loads(row[3])
+
+    def close(self) -> None:
+        self.connection.commit()
+        self.connection.close()
+
+    def __enter__(self) -> "StateTransitionDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,55 @@
+"""Post-processing: build the deduplicated StateTransitions table.
+
+The paper describes a post-processing script that de-duplicates the logged
+steps and populates the ``StateTransitions`` table encoding unique
+``(state, action) -> next state`` edges with their rewards.
+"""
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.state_transition_dataset.database import StateTransitionDatabase
+
+
+def populate_state_transitions(database: StateTransitionDatabase) -> int:
+    """Derive StateTransitions rows from the Steps table. Returns the number
+    of unique transitions recorded."""
+    # Index steps by (benchmark, action-prefix) so each step's predecessor can
+    # be found: the step with one fewer action.
+    by_key: Dict[Tuple[str, str], Tuple[str, List[float]]] = {}
+    steps = list(database.steps())
+    for benchmark_uri, actions, state_id, _end, rewards in steps:
+        by_key[(benchmark_uri, ",".join(map(str, actions)))] = (state_id, rewards)
+
+    transitions = set()
+    count = 0
+    for benchmark_uri, actions, state_id, _end, rewards in steps:
+        if not actions:
+            continue
+        prefix_key = (benchmark_uri, ",".join(map(str, actions[:-1])))
+        if prefix_key not in by_key:
+            continue
+        previous_state, _ = by_key[prefix_key]
+        action = actions[-1]
+        step_reward = rewards[-1] if rewards else 0.0
+        edge = (previous_state, action, state_id)
+        if edge in transitions:
+            continue
+        transitions.add(edge)
+        database.add_transition(previous_state, action, state_id, [step_reward])
+        count += 1
+    database.commit()
+    return count
+
+
+def transition_statistics(database: StateTransitionDatabase) -> Dict[str, int]:
+    """Summary statistics of a populated database."""
+    out_degree = defaultdict(int)
+    for state_id, _action, _next_state, _rewards in database.transitions():
+        out_degree[state_id] += 1
+    return {
+        "steps": database.num_steps(),
+        "unique_states": database.num_unique_states(),
+        "transitions": database.num_transitions(),
+        "max_out_degree": max(out_degree.values()) if out_degree else 0,
+    }

@@ -1,0 +1,43 @@
+"""SQL schema of the state-transition database (Figure 4 of the paper)."""
+
+# Steps: every unique action sequence observed for a benchmark, keyed by the
+# hash of the environment state it produces.
+STEPS_TABLE = """
+CREATE TABLE IF NOT EXISTS Steps (
+    benchmark_uri TEXT NOT NULL,
+    actions TEXT NOT NULL,
+    state_id TEXT NOT NULL,
+    end_of_episode INTEGER NOT NULL DEFAULT 0,
+    rewards TEXT NOT NULL DEFAULT '[]',
+    PRIMARY KEY (benchmark_uri, actions)
+);
+"""
+
+# Observations: representations of each unique state, keyed by state hash.
+OBSERVATIONS_TABLE = """
+CREATE TABLE IF NOT EXISTS Observations (
+    state_id TEXT NOT NULL PRIMARY KEY,
+    compressed_ir BLOB,
+    instcounts TEXT,
+    autophase TEXT,
+    instruction_count INTEGER
+);
+"""
+
+# StateTransitions: deduplicated (state, action) -> next state edges.
+STATE_TRANSITIONS_TABLE = """
+CREATE TABLE IF NOT EXISTS StateTransitions (
+    state_id TEXT NOT NULL,
+    action INTEGER NOT NULL,
+    next_state_id TEXT NOT NULL,
+    rewards TEXT NOT NULL DEFAULT '[]',
+    PRIMARY KEY (state_id, action, next_state_id)
+);
+"""
+
+INDEXES = [
+    "CREATE INDEX IF NOT EXISTS idx_steps_state ON Steps(state_id);",
+    "CREATE INDEX IF NOT EXISTS idx_transitions_state ON StateTransitions(state_id);",
+]
+
+ALL_TABLES = [STEPS_TABLE, OBSERVATIONS_TABLE, STATE_TRANSITIONS_TABLE]

@@ -1,0 +1,15 @@
+"""Shared utilities for the repro package."""
+
+from repro.util.timer import Timer, humanize_duration
+from repro.util.truncate import truncate
+from repro.util.statistics import arithmetic_mean, geometric_mean, percentile, stdev
+
+__all__ = [
+    "Timer",
+    "arithmetic_mean",
+    "geometric_mean",
+    "humanize_duration",
+    "percentile",
+    "stdev",
+    "truncate",
+]

@@ -1,0 +1,37 @@
+"""A tiny 1-D Gaussian filter used when plotting learning curves (Fig. 9)."""
+
+import math
+from typing import List, Sequence
+
+
+def gaussian_filter1d(values: Sequence[float], sigma: float) -> List[float]:
+    """Smooth a 1-D sequence with a Gaussian kernel (reflect boundary).
+
+    Mirrors ``scipy.ndimage.gaussian_filter1d`` closely enough for plotting
+    smoothed learning curves as the paper does (sigma=5).
+    """
+    values = [float(v) for v in values]
+    if sigma <= 0 or len(values) < 2:
+        return list(values)
+    radius = max(1, int(4 * sigma + 0.5))
+    kernel = [math.exp(-0.5 * (i / sigma) ** 2) for i in range(-radius, radius + 1)]
+    total = sum(kernel)
+    kernel = [k / total for k in kernel]
+    n = len(values)
+
+    def reflect(idx: int) -> int:
+        # scipy-style "reflect" boundary: abcd -> dcba|abcd|dcba
+        while idx < 0 or idx >= n:
+            if idx < 0:
+                idx = -idx - 1
+            else:
+                idx = 2 * n - idx - 1
+        return idx
+
+    smoothed = []
+    for i in range(n):
+        acc = 0.0
+        for k, offset in enumerate(range(-radius, radius + 1)):
+            acc += kernel[k] * values[reflect(i + offset)]
+        smoothed.append(acc)
+    return smoothed

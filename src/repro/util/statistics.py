@@ -1,0 +1,54 @@
+"""Statistics helpers used by evaluation and benchmark reporting."""
+
+import math
+from typing import Iterable, Sequence
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; zero for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero for an empty sequence or any non-positive value.
+
+    The paper reports geometric-mean improvement factors relative to -Oz/-O3;
+    non-positive values make the geomean undefined so we return 0, matching
+    the upstream implementation.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def stdev(values: Iterable[float]) -> float:
+    """Population standard deviation; zero for fewer than two values."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mean = arithmetic_mean(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, ``p`` in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError(f"Percentile must be in [0, 100]: {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1 - frac) + ordered[high] * frac)

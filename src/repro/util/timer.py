@@ -1,0 +1,59 @@
+"""Wall-clock timing helpers used throughout the benchmark harness."""
+
+import time
+
+
+def humanize_duration(seconds: float) -> str:
+    """Format a duration in seconds as a short human-readable string."""
+    if seconds < 0:
+        raise ValueError(f"Duration must be non-negative: {seconds}")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.3f}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{int(minutes)}m {secs:.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h {minutes}m {secs:.0f}s"
+
+
+class Timer:
+    """Context manager that records the elapsed wall-clock time.
+
+    >>> with Timer() as timer:
+    ...     do_something()
+    >>> timer.time  # seconds elapsed
+    """
+
+    def __init__(self, label: str = None):
+        self.label = label
+        self._start = None
+        self._elapsed = 0.0
+
+    def reset(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __enter__(self) -> "Timer":
+        return self.reset()
+
+    def __exit__(self, *exc_info) -> None:
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def time(self) -> float:
+        """Elapsed time in seconds."""
+        if self._start is None:
+            return 0.0
+        if self._elapsed:
+            return self._elapsed
+        return time.perf_counter() - self._start
+
+    def __str__(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        return f"{prefix}{humanize_duration(self.time)}"

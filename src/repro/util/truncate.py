@@ -1,0 +1,49 @@
+"""String truncation helpers for log and CLI output."""
+
+from typing import Iterable
+
+
+def truncate(
+    string: str,
+    max_line_len: int = 60,
+    max_lines: int = 1,
+    tail: bool = False,
+) -> str:
+    """Truncate a string to a maximum number of lines and line length.
+
+    Truncated content is replaced by an ellipsis. With ``tail=True`` the end
+    of the string is kept instead of the beginning.
+    """
+    if max_line_len <= 3:
+        raise ValueError("max_line_len must be greater than 3")
+    if max_lines < 1:
+        raise ValueError("max_lines must be at least 1")
+    lines = str(string).split("\n")
+    if tail:
+        lines = lines[::-1]
+    out_lines = []
+    for line in lines[:max_lines]:
+        if len(line) > max_line_len:
+            if tail:
+                line = "..." + line[-(max_line_len - 3):]
+            else:
+                line = line[: max_line_len - 3] + "..."
+        out_lines.append(line)
+    if len(lines) > max_lines and out_lines:
+        last = out_lines[-1]
+        if not last.endswith("..."):
+            if len(last) + 3 > max_line_len:
+                last = last[: max_line_len - 3]
+            out_lines[-1] = last + "..."
+    if tail:
+        out_lines = out_lines[::-1]
+    return "\n".join(out_lines)
+
+
+def truncate_lines(
+    lines: Iterable[str],
+    max_line_len: int = 60,
+    max_lines: int = 5,
+) -> str:
+    """Truncate an iterable of lines into a single display string."""
+    return truncate("\n".join(str(line) for line in lines), max_line_len, max_lines)

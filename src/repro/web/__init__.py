@@ -1,0 +1,5 @@
+"""REST API for driving environments over HTTP (the Explorer backend)."""
+
+from repro.web.rest import ExplorerAPI, create_server
+
+__all__ = ["ExplorerAPI", "create_server"]

@@ -1,0 +1,146 @@
+"""The Explorer REST API.
+
+The CompilerGym Explorer is a React web app that calls a REST API to start
+sessions, take (and undo) steps, and read back observation/reward trends.
+The React client is presentation only; this module reproduces the API it
+calls, implemented dependency-free on ``http.server`` so it runs offline.
+
+Endpoints (all return JSON):
+
+* ``GET /api/v1/describe`` — spaces of the LLVM environment.
+* ``POST /api/v1/start/<reward>/<actions>/<benchmark...>`` — start a session,
+  optionally replaying a comma-separated action list; returns session id and
+  per-state metrics.
+* ``POST /api/v1/step/<session>/<actions>`` — apply actions.
+* ``POST /api/v1/undo/<session>/<n>`` — undo the last n actions.
+* ``POST /api/v1/stop/<session>`` — end the session.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import unquote
+
+import repro
+from repro.core.wrappers import ForkOnStep
+
+
+class ExplorerAPI:
+    """Session manager behind the REST endpoints (usable directly in-process)."""
+
+    def __init__(self, env_id: str = "llvm-v0", reward_space: str = "IrInstructionCountOz"):
+        self.env_id = env_id
+        self.default_reward_space = reward_space
+        self.sessions: Dict[int, ForkOnStep] = {}
+        self._next_session = 0
+        self._lock = threading.Lock()
+
+    # -- session lifecycle ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        env = repro.make(self.env_id)
+        try:
+            return {
+                "actions": list(getattr(env.action_space, "names", [])),
+                "observations": sorted(env.observation.spaces),
+                "rewards": sorted(env.reward.spaces),
+                "benchmarks": [d.name for d in env.datasets],
+            }
+        finally:
+            env.close()
+
+    def start(self, reward: str, benchmark: str, actions: Optional[List[int]] = None) -> dict:
+        env = repro.make(self.env_id, benchmark=benchmark, reward_space=reward)
+        env.reset()
+        wrapped = ForkOnStep(env)
+        with self._lock:
+            session_id = self._next_session
+            self._next_session += 1
+            self.sessions[session_id] = wrapped
+        states = [self._state_dict(wrapped)]
+        if actions:
+            result = self.step(session_id, actions)
+            states.extend(result["states"])
+        return {"session_id": session_id, "states": states}
+
+    def step(self, session_id: int, actions: List[int]) -> dict:
+        env = self.sessions[session_id]
+        states = []
+        for action in actions:
+            _, reward, done, _ = env.step(int(action))
+            states.append(self._state_dict(env, reward=reward, done=done))
+        return {"states": states}
+
+    def undo(self, session_id: int, count: int) -> dict:
+        env = self.sessions[session_id]
+        for _ in range(count):
+            env.undo()
+        return {"state": self._state_dict(env)}
+
+    def stop(self, session_id: int) -> dict:
+        env = self.sessions.pop(session_id, None)
+        if env is not None:
+            env.close()
+        return {"session_id": session_id, "status": "closed"}
+
+    @staticmethod
+    def _state_dict(env, reward: Optional[float] = None, done: bool = False) -> dict:
+        unwrapped = env.unwrapped if hasattr(env, "unwrapped") else env
+        return {
+            "commandline": unwrapped.commandline(),
+            "instruction_count": int(unwrapped.observation["IrInstructionCount"]),
+            "autophase": [int(v) for v in unwrapped.observation["Autophase"]],
+            "reward": reward,
+            "cumulative_reward": unwrapped.episode_reward,
+            "done": done,
+        }
+
+
+def create_server(host: str = "127.0.0.1", port: int = 5000, api: Optional[ExplorerAPI] = None):
+    """Create (but do not start) a ThreadingHTTPServer serving the API."""
+    api = api or ExplorerAPI()
+
+    class Handler(BaseHTTPRequestHandler):
+        def _reply(self, payload: dict, status: int = 200) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # noqa: A002 - silence default logging
+            del format, args
+
+        def _route(self) -> None:
+            parts = [unquote(p) for p in self.path.strip("/").split("/") if p]
+            try:
+                if parts[:2] == ["api", "v1"]:
+                    if parts[2] == "describe":
+                        return self._reply(api.describe())
+                    if parts[2] == "start":
+                        reward, actions = parts[3], parts[4]
+                        benchmark = "/".join(parts[5:])
+                        action_list = [int(a) for a in actions.split(",") if a and a != "-"]
+                        return self._reply(api.start(reward, benchmark, action_list))
+                    if parts[2] == "step":
+                        session, actions = int(parts[3]), [int(a) for a in parts[4].split(",") if a]
+                        return self._reply(api.step(session, actions))
+                    if parts[2] == "undo":
+                        return self._reply(api.undo(int(parts[3]), int(parts[4])))
+                    if parts[2] == "stop":
+                        return self._reply(api.stop(int(parts[3])))
+                self._reply({"error": f"Unknown endpoint: {self.path}"}, status=404)
+            except Exception as error:  # noqa: BLE001 - API errors become 500 responses
+                self._reply({"error": str(error)}, status=500)
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            self._route()
+
+        def do_POST(self):  # noqa: N802 - http.server API
+            self._route()
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.api = api
+    return server

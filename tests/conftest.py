@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+import repro
+from repro.llvm.datasets.generators import generate_module
+from repro.llvm.ir.builder import IRBuilder
+from repro.llvm.ir.function import Function
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.types import I32
+from repro.llvm.ir.values import Constant
+
+
+@pytest.fixture(scope="session")
+def llvm_env():
+    """A session-scoped LLVM environment (qsort benchmark, code-size reward)."""
+    env = repro.make(
+        "llvm-v0",
+        benchmark="cbench-v1/qsort",
+        observation_space="Autophase",
+        reward_space="IrInstructionCount",
+    )
+    yield env
+    env.close()
+
+
+@pytest.fixture()
+def fresh_llvm_env():
+    """A function-scoped LLVM environment for tests that mutate configuration."""
+    env = repro.make("llvm-v0", benchmark="cbench-v1/crc32", reward_space="IrInstructionCount")
+    yield env
+    env.close()
+
+
+@pytest.fixture(scope="session")
+def gcc_env():
+    env = repro.make("gcc-v0", benchmark="chstone-v0/adpcm", reward_space="obj_size")
+    yield env
+    env.close()
+
+
+@pytest.fixture(scope="session")
+def loop_tool_env():
+    env = repro.make("loop_tool-v0", observation_space="flops", reward_space="flops")
+    yield env
+    env.close()
+
+
+@pytest.fixture()
+def small_module() -> Module:
+    """A tiny hand-built module with obvious optimization opportunities."""
+    module = Module("small")
+    function = Function("main", return_type=I32, arg_types=[I32], arg_names=["x"])
+    entry = function.add_block("entry")
+    builder = IRBuilder(function, entry)
+    x = function.args[0]
+    a = builder.add(Constant(I32, 2), Constant(I32, 3), name="a")        # Foldable.
+    b = builder.add(x, Constant(I32, 0), name="b")                       # Identity.
+    c = builder.mul(x, x, name="c")
+    d = builder.mul(x, x, name="d")                                      # Redundant with c.
+    dead = builder.add(x, Constant(I32, 7), name="dead")                 # Unused.
+    total = builder.add(a, b, name="t0")
+    total = builder.add(total, c, name="t1")
+    total = builder.add(total, d, name="t2")
+    builder.ret(total)
+    module.add_function(function)
+    return module
+
+
+@pytest.fixture()
+def generated_module() -> Module:
+    """A deterministic generated module of moderate size."""
+    return generate_module(seed=7, size_scale=5)

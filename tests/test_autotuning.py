@@ -1,0 +1,127 @@
+"""Tests for the autotuning techniques (Table IV / Table V machinery)."""
+
+import pytest
+
+import repro
+from repro.autotuning import (
+    GeneticAlgorithm,
+    GreedySearch,
+    HillClimbingSearch,
+    LaMCTSSearch,
+    NevergradEnsembleSearch,
+    OpenTunerBaselineSearch,
+    RandomConfigurationSearch,
+    RandomSearch,
+    SequenceGeneticAlgorithm,
+    SequenceHillClimbing,
+)
+from repro.gcc.compiler import SimulatedGcc
+from repro.gcc.spec import GccSpec
+
+
+@pytest.fixture()
+def tuning_env():
+    env = repro.make("llvm-v0", benchmark="cbench-v1/qsort", reward_space="IrInstructionCount")
+    yield env
+    env.close()
+
+
+EPISODE_TUNERS = [
+    RandomSearch(seed=1, patience=10, max_episode_length=30),
+    GreedySearch(seed=1, max_episode_length=5),
+    LaMCTSSearch(seed=1, rollout_length=20),
+    NevergradEnsembleSearch(seed=1, episode_length=20),
+    OpenTunerBaselineSearch(seed=1, episode_length=20),
+    SequenceHillClimbing(seed=1, episode_length=20),
+    SequenceGeneticAlgorithm(seed=1, episode_length=20, population_size=4),
+]
+
+
+class TestEpisodeTuners:
+    @pytest.mark.parametrize("tuner", EPISODE_TUNERS, ids=lambda t: t.name)
+    def test_finds_positive_reward(self, tuning_env, tuner):
+        result = tuner.tune(tuning_env, max_steps=600)
+        assert result.best_reward > 0
+        assert result.steps <= 700
+        assert result.best_actions
+
+    def test_greedy_stops_when_no_improvement(self, tuning_env):
+        result = GreedySearch(max_episode_length=50).tune(tuning_env, max_steps=20_000)
+        # Greedy terminates by itself well before the budget once no action
+        # gives positive reward.
+        assert result.steps < 20_000
+
+    def test_best_actions_replay_to_best_reward(self, tuning_env):
+        tuner = RandomSearch(seed=3, patience=10, max_episode_length=30)
+        result = tuner.tune(tuning_env, max_steps=500)
+        tuning_env.reset()
+        if result.best_actions:
+            tuning_env.multistep(result.best_actions)
+        assert tuning_env.episode_reward == pytest.approx(result.best_reward, abs=1e-6)
+
+    def test_wall_time_budget_respected(self, tuning_env):
+        result = RandomSearch(seed=0).tune(tuning_env, max_seconds=0.5)
+        assert result.walltime < 5.0
+
+    def test_random_search_reproducible(self, tuning_env):
+        a = RandomSearch(seed=7, patience=5, max_episode_length=15).tune(tuning_env, max_steps=200)
+        b = RandomSearch(seed=7, patience=5, max_episode_length=15).tune(tuning_env, max_steps=200)
+        assert a.best_reward == b.best_reward
+        assert a.best_actions == b.best_actions
+
+
+class _QuadraticObjective:
+    """A synthetic minimization problem with a known optimum at [3, 3, ..., 3]."""
+
+    def __init__(self):
+        self.evaluations = 0
+
+    def __call__(self, config):
+        self.evaluations += 1
+        return sum((v - 3) ** 2 for v in config) + 10.0
+
+
+class TestConfigurationTuners:
+    CARDINALITIES = [8] * 6
+
+    @pytest.mark.parametrize(
+        "tuner",
+        [
+            RandomConfigurationSearch(seed=0),
+            HillClimbingSearch(seed=0),
+            GeneticAlgorithm(seed=0, population_size=20),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_improves_over_default(self, tuner):
+        objective = _QuadraticObjective()
+        default_cost = objective([0] * 6)
+        result = tuner.tune(objective, self.CARDINALITIES, max_evaluations=300)
+        assert result.best_metric < default_cost
+        assert result.steps <= 301
+
+    def test_ga_finds_near_optimum(self):
+        objective = _QuadraticObjective()
+        result = GeneticAlgorithm(seed=1, population_size=30).tune(
+            objective, self.CARDINALITIES, max_evaluations=900
+        )
+        assert result.best_metric <= 13.0  # Optimum is 10.
+
+    def test_evaluation_budget_respected(self):
+        objective = _QuadraticObjective()
+        GeneticAlgorithm(seed=0).tune(objective, self.CARDINALITIES, max_evaluations=150)
+        assert objective.evaluations <= 150
+
+    def test_hill_climbing_on_gcc_objective(self):
+        spec = GccSpec("11.2.0")
+        gcc = SimulatedGcc(spec)
+        cardinalities = [min(len(option), 50) for option in spec.options]
+
+        def objective(config):
+            return gcc.obj_size("chstone/adpcm", config)
+
+        baseline = objective(spec.default_choices())
+        result = HillClimbingSearch(seed=0).tune(
+            objective, cardinalities, max_evaluations=120, initial=spec.default_choices()
+        )
+        assert result.best_metric <= baseline

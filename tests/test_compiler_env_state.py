@@ -1,0 +1,81 @@
+"""Tests for CompilerEnvState serialization."""
+
+import io
+
+import pytest
+
+from repro.core.compiler_env_state import (
+    CompilerEnvState,
+    CompilerEnvStateReader,
+    CompilerEnvStateWriter,
+    read_states_from_file,
+    write_states_to_file,
+)
+
+
+def _state(reward=1.5):
+    return CompilerEnvState(
+        benchmark="benchmark://cbench-v1/qsort",
+        commandline="-mem2reg -dce",
+        walltime=3.0,
+        reward=reward,
+    )
+
+
+class TestCompilerEnvState:
+    def test_equality_ignores_walltime(self):
+        a = _state()
+        b = CompilerEnvState(a.benchmark, a.commandline, walltime=99.0, reward=1.5)
+        assert a == b
+
+    def test_inequality_on_reward(self):
+        assert _state(1.5) != _state(2.5)
+
+    def test_equality_tolerance(self):
+        assert _state(1.5) == _state(1.5 + 1e-7)
+
+    def test_negative_walltime_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerEnvState("b", "c", walltime=-1)
+
+    def test_has_reward(self):
+        assert _state().has_reward
+        assert not CompilerEnvState("b", "c").has_reward
+
+    def test_json_round_trip(self):
+        state = _state()
+        assert CompilerEnvState.from_json(state.json()) == state
+
+
+class TestReaderWriter:
+    def test_csv_round_trip(self):
+        buffer = io.StringIO()
+        writer = CompilerEnvStateWriter(buffer)
+        states = [_state(1.0), _state(2.0)]
+        for state in states:
+            writer.write_state(state)
+        buffer.seek(0)
+        assert list(CompilerEnvStateReader(buffer)) == states
+
+    def test_json_reading(self):
+        buffer = io.StringIO(
+            '[{"benchmark": "b", "commandline": "-dce", "walltime": 1.0, "reward": 0.5}]'
+        )
+        states = list(CompilerEnvStateReader(buffer))
+        assert states[0].benchmark == "b"
+        assert states[0].reward == 0.5
+
+    def test_empty_file(self):
+        assert list(CompilerEnvStateReader(io.StringIO(""))) == []
+
+    def test_none_reward_round_trip(self):
+        buffer = io.StringIO()
+        CompilerEnvStateWriter(buffer).write_state(CompilerEnvState("b", "-dce"))
+        buffer.seek(0)
+        states = list(CompilerEnvStateReader(buffer))
+        assert states[0].reward is None
+
+    def test_file_helpers(self, tmp_path):
+        path = str(tmp_path / "states.csv")
+        write_states_to_file(path, [_state()])
+        assert read_states_from_file(path) == [_state()]

@@ -1,0 +1,123 @@
+"""Tests for the GGNN cost model (Fig. 8) and the Table II baseline drivers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AutophaseStyleEnvironment, OpenTunerStyleEnvironment
+from repro.cost_model import CostModelTrainer, GatedGraphNeuralNetwork, relative_error
+from repro.llvm.analysis.programl import programl_graph
+from repro.llvm.datasets.generators import generate_module
+
+
+def _dataset(count=24):
+    graphs, targets = [], []
+    for seed in range(count):
+        module = generate_module(seed, size_scale=2 + (seed % 8) * 3)
+        graphs.append(programl_graph(module))
+        targets.append(module.instruction_count)
+    return graphs, targets
+
+
+class TestGgnn:
+    def test_encoding_shape_and_determinism(self):
+        module = generate_module(0, size_scale=3)
+        graph = programl_graph(module)
+        encoder = GatedGraphNeuralNetwork(hidden_dim=32, seed=0)
+        a = encoder.encode(graph)
+        b = encoder.encode(graph)
+        assert a.shape == (encoder.output_dim,)
+        assert np.array_equal(a, b)
+
+    def test_different_graphs_have_different_encodings(self):
+        encoder = GatedGraphNeuralNetwork(hidden_dim=32, seed=0)
+        a = encoder.encode(programl_graph(generate_module(0, size_scale=3)))
+        b = encoder.encode(programl_graph(generate_module(1, size_scale=6)))
+        assert not np.array_equal(a, b)
+
+    def test_relative_error_metric(self):
+        assert relative_error([10.0], [10.0]) == 0.0
+        assert relative_error([20.0], [10.0]) == pytest.approx(1.0)
+
+
+class TestCostModelTraining:
+    def test_learns_better_than_naive_mean(self):
+        graphs, targets = _dataset()
+        split = 18
+        trainer = CostModelTrainer(GatedGraphNeuralNetwork(hidden_dim=32, seed=0), seed=0)
+        curve = trainer.fit(graphs[:split], targets[:split], graphs[split:], targets[split:], epochs=15)
+        assert curve.validation_relative_error[-1] < curve.naive_relative_error
+        assert curve.validation_relative_error[-1] < 0.2
+
+    def test_learning_curve_is_monitored_per_epoch(self):
+        graphs, targets = _dataset(12)
+        trainer = CostModelTrainer(GatedGraphNeuralNetwork(hidden_dim=16, seed=0), seed=0)
+        curve = trainer.fit(graphs[:9], targets[:9], graphs[9:], targets[9:], epochs=5)
+        assert curve.epochs == [1, 2, 3, 4, 5]
+        assert len(curve.validation_relative_error) == 5
+
+    def test_predict_requires_fit(self):
+        trainer = CostModelTrainer(GatedGraphNeuralNetwork(hidden_dim=16, seed=0))
+        with pytest.raises(RuntimeError):
+            trainer.predict([programl_graph(generate_module(0, size_scale=2))])
+
+
+class TestBaselineDrivers:
+    def test_autophase_style_recompiles_from_scratch(self):
+        env = AutophaseStyleEnvironment(benchmark="benchmark://cbench-v1/crc32")
+        try:
+            observation = env.reset()
+            assert observation.shape == (56,)
+            index = env.action_names.index("mem2reg")
+            _, reward, done, _ = env.step(index)
+            assert reward >= 0
+            assert not done
+            assert env.actions == [index]
+        finally:
+            env.close()
+
+    def test_autophase_style_matches_compilergym_result(self):
+        import repro
+
+        baseline = AutophaseStyleEnvironment(benchmark="benchmark://cbench-v1/crc32")
+        env = repro.make("llvm-v0", benchmark="cbench-v1/crc32", reward_space="IrInstructionCount")
+        try:
+            baseline.reset()
+            env.reset()
+            for name in ("mem2reg", "instcombine", "dce"):
+                baseline.step(baseline.action_names.index(name))
+                env.step(env.action_space[name])
+            assert baseline._prev_instruction_count == env.observation["IrInstructionCount"]
+        finally:
+            baseline.close()
+            env.close()
+
+    def test_opentuner_style_creates_results_database(self, tmp_path):
+        env = OpenTunerStyleEnvironment(
+            benchmark="benchmark://cbench-v1/crc32", working_dir=str(tmp_path)
+        )
+        try:
+            env.reset()
+            env.step(0)
+            assert (tmp_path / "opentuner.db").exists()
+        finally:
+            env.close()
+
+    def test_step_cost_grows_with_episode_for_baseline(self):
+        # The defining property measured in Table II: the recompile-from-
+        # scratch baseline re-applies the whole action sequence every step.
+        env = AutophaseStyleEnvironment(benchmark="benchmark://cbench-v1/qsort")
+        try:
+            env.reset()
+            env.actions = [env.action_names.index("gvn")] * 30
+            import time
+
+            start = time.perf_counter()
+            env.step(env.action_names.index("dce"))
+            long_episode = time.perf_counter() - start
+            env.actions = []
+            start = time.perf_counter()
+            env.step(env.action_names.index("dce"))
+            short_episode = time.perf_counter() - start
+            assert long_episode > short_episode
+        finally:
+            env.close()

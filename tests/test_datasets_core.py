@@ -1,0 +1,190 @@
+"""Unit tests for benchmark URI parsing and dataset management."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import Benchmark, BenchmarkUri, Dataset, Datasets
+from repro.core.datasets.dataset import InMemoryDataset
+from repro.errors import ValidationError
+
+
+class TestBenchmarkUri:
+    def test_parse_full_uri(self):
+        uri = BenchmarkUri.from_string("benchmark://cbench-v1/qsort")
+        assert uri.scheme == "benchmark"
+        assert uri.dataset == "cbench-v1"
+        assert uri.path == "qsort"
+
+    def test_default_scheme(self):
+        uri = BenchmarkUri.from_string("cbench-v1/qsort")
+        assert uri.scheme == "benchmark"
+        assert str(uri) == "benchmark://cbench-v1/qsort"
+
+    def test_generator_scheme(self):
+        uri = BenchmarkUri.from_string("generator://csmith-v0/42")
+        assert uri.scheme == "generator"
+        assert uri.path == "42"
+
+    def test_dataset_uri(self):
+        uri = BenchmarkUri.from_string("benchmark://npb-v0/50")
+        assert uri.dataset_uri == "benchmark://npb-v0"
+
+    def test_params_and_fragment(self):
+        uri = BenchmarkUri.from_string("benchmark://x-v0/a/b?k=1&k=2#frag")
+        assert uri.params["k"] == ["1", "2"]
+        assert uri.fragment == "frag"
+        assert "k=1" in str(uri)
+
+    def test_empty_uri_raises(self):
+        with pytest.raises(ValueError):
+            BenchmarkUri.from_string("")
+
+    def test_canonicalize(self):
+        assert BenchmarkUri.canonicalize("cbench-v1/crc32") == "benchmark://cbench-v1/crc32"
+
+
+class TestBenchmark:
+    def test_equality_by_uri(self):
+        a = Benchmark("benchmark://x-v0/1")
+        b = Benchmark("benchmark://x-v0/1")
+        assert a == b
+        assert a == "benchmark://x-v0/1"
+        assert a != Benchmark("benchmark://x-v0/2")
+
+    def test_from_file_contents(self):
+        benchmark = Benchmark.from_file_contents("benchmark://user-v0/a", b"hello")
+        assert benchmark.sources[0].contents == b"hello"
+
+    def test_validation_callbacks(self):
+        benchmark = Benchmark("benchmark://x-v0/1")
+        assert not benchmark.is_validatable()
+        benchmark.add_validation_callback(lambda env: [ValidationError("boom")])
+        assert benchmark.is_validatable()
+        errors = benchmark.validate(env=None)
+        assert errors == [ValidationError("boom")]
+
+
+class _CountingDataset(Dataset):
+    """A tiny dataset of three named benchmarks."""
+
+    def __init__(self, name="benchmark://tiny-v0", deprecated=None, sort_order=0):
+        super().__init__(
+            name=name, description="test", benchmark_count=3, deprecated=deprecated,
+            sort_order=sort_order,
+        )
+
+    def benchmark_uris(self):
+        for i in range(3):
+            yield f"{self.name}/{i}"
+
+    def benchmark_from_parsed_uri(self, uri):
+        if uri.path not in {"0", "1", "2"}:
+            raise LookupError(str(uri))
+        return Benchmark(str(uri), program=int(uri.path))
+
+
+class TestDataset:
+    def test_name_and_version(self):
+        dataset = _CountingDataset()
+        assert dataset.name == "benchmark://tiny-v0"
+        assert dataset.version == 0
+        assert _CountingDataset("benchmark://tiny-v3").version == 3
+
+    def test_size_and_len(self):
+        dataset = _CountingDataset()
+        assert dataset.size == 3
+        assert len(dataset) == 3
+
+    def test_benchmarks_iteration(self):
+        dataset = _CountingDataset()
+        uris = [str(b.uri) for b in dataset.benchmarks()]
+        assert uris == [f"benchmark://tiny-v0/{i}" for i in range(3)]
+
+    def test_benchmark_lookup(self):
+        dataset = _CountingDataset()
+        assert dataset.benchmark("benchmark://tiny-v0/1").program == 1
+        with pytest.raises(LookupError):
+            dataset.benchmark("benchmark://tiny-v0/9")
+
+    def test_benchmark_wrong_dataset_raises(self):
+        with pytest.raises(LookupError):
+            _CountingDataset().benchmark("benchmark://other-v0/1")
+
+    def test_random_benchmark_is_member(self):
+        dataset = _CountingDataset()
+        benchmark = dataset.random_benchmark(np.random.default_rng(0))
+        assert str(benchmark.uri).startswith("benchmark://tiny-v0/")
+
+    def test_deprecated_flag(self):
+        assert not _CountingDataset().deprecated
+        assert _CountingDataset(deprecated="use tiny-v1").deprecated
+
+
+class TestInMemoryDataset:
+    def test_lookup(self):
+        dataset = InMemoryDataset(
+            "benchmark://mem-v0", [Benchmark("benchmark://mem-v0/a"), Benchmark("benchmark://mem-v0/b")]
+        )
+        assert dataset.size == 2
+        assert str(dataset.benchmark("benchmark://mem-v0/a").uri) == "benchmark://mem-v0/a"
+        with pytest.raises(LookupError):
+            dataset.benchmark("benchmark://mem-v0/missing")
+
+
+class TestDatasets:
+    def _collection(self):
+        datasets = Datasets()
+        datasets.add(_CountingDataset("benchmark://aaa-v0"))
+        datasets.add(_CountingDataset("benchmark://bbb-v0"))
+        return datasets
+
+    def test_lookup_and_contains(self):
+        datasets = self._collection()
+        assert "benchmark://aaa-v0" in datasets
+        assert "benchmark://zzz-v0" not in datasets
+        assert datasets["benchmark://bbb-v0"].name == "benchmark://bbb-v0"
+
+    def test_iteration_order(self):
+        names = [d.name for d in self._collection()]
+        assert names == ["benchmark://aaa-v0", "benchmark://bbb-v0"]
+
+    def test_sort_order_priority(self):
+        datasets = self._collection()
+        datasets.add(_CountingDataset("benchmark://zzz-v0", sort_order=-1))
+        assert [d.name for d in datasets][0] == "benchmark://zzz-v0"
+
+    def test_benchmark_lookup_across_datasets(self):
+        datasets = self._collection()
+        assert datasets.benchmark("benchmark://bbb-v0/2").program == 2
+
+    def test_benchmark_uris_spans_datasets(self):
+        datasets = self._collection()
+        assert len(list(datasets.benchmark_uris())) == 6
+
+    def test_deprecated_hidden_from_iteration(self):
+        datasets = self._collection()
+        datasets.add(_CountingDataset("benchmark://old-v0", deprecated="gone"))
+        assert "benchmark://old-v0" not in [d.name for d in datasets]
+        assert "benchmark://old-v0" in [d.name for d in datasets.datasets(with_deprecated=True)]
+        # Still accessible by direct lookup.
+        assert datasets["benchmark://old-v0"].deprecated
+
+    def test_remove(self):
+        datasets = self._collection()
+        datasets.remove("benchmark://aaa-v0")
+        assert "benchmark://aaa-v0" not in datasets
+        assert len(datasets) == 1
+
+    def test_random_benchmark(self):
+        datasets = self._collection()
+        benchmark = datasets.random_benchmark(np.random.default_rng(1))
+        assert str(benchmark.uri).split("/")[-1] in {"0", "1", "2"}
+
+    def test_random_benchmark_weighted(self):
+        datasets = self._collection()
+        benchmark = datasets.random_benchmark(np.random.default_rng(2), weighted=True)
+        assert benchmark is not None
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(LookupError):
+            self._collection().dataset("benchmark://nope-v0")

@@ -1,0 +1,30 @@
+"""Smoke tests: every example application runs end-to-end with tiny budgets."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", ["--steps", "30", "--benchmark", "cbench-v1/crc32"]),
+    ("autotune_llvm_phase_ordering.py", ["--benchmark", "cbench-v1/crc32", "--budget", "200"]),
+    ("rl_phase_ordering.py", ["--episodes", "6", "--episode-length", "10"]),
+    ("gcc_flag_tuning.py", ["--compilations", "60", "--programs", "2"]),
+    ("loop_tool_sweep.py", ["--size", "65536"]),
+    ("state_transition_dataset_demo.py", ["--episodes", "4", "--steps-per-episode", "4", "--epochs", "4"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[name for name, _ in EXAMPLES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

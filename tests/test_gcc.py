@@ -1,0 +1,194 @@
+"""Tests for the GCC flag-tuning environment and its substrate."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.gcc.compiler import SimulatedGcc
+from repro.gcc.spec import FlagOption, GccSpec, OLevelOption, ParamOption
+
+
+class TestGccSpec:
+    def test_option_count_matches_paper(self):
+        spec = GccSpec("11.2.0")
+        assert len(spec) == 502
+        flags = [o for o in spec.options if isinstance(o, FlagOption)]
+        params = [o for o in spec.options if isinstance(o, ParamOption)]
+        assert len(flags) == 242
+        assert len(params) == 259
+        assert isinstance(spec.options[0], OLevelOption)
+
+    def test_search_space_size_order_of_magnitude(self):
+        spec = GccSpec("11.2.0")
+        # The paper quotes ~10^4461 for GCC 11.2; the generated spec lands in
+        # the same order of magnitude (thousands of decimal digits).
+        assert 3000 < spec.log10_size < 6000
+
+    def test_older_version_has_smaller_space(self):
+        modern = GccSpec("11.2.0")
+        legacy = GccSpec("5")
+        assert legacy.log10_size < modern.log10_size / 4
+        assert len(legacy) < len(modern)
+
+    def test_spec_is_deterministic(self):
+        a, b = GccSpec("11.2.0"), GccSpec("11.2.0")
+        assert [o.name for o in a.options] == [o.name for o in b.options]
+        assert [len(o) for o in a.options] == [len(o) for o in b.options]
+
+    def test_o_level_option_rendering(self):
+        option = OLevelOption()
+        assert option[0] == ""
+        assert option[1] == "-O0"
+        assert option[len(option) - 1] == "-Os"
+
+    def test_flag_option_rendering(self):
+        option = FlagOption("peel-loops")
+        assert len(option) == 3
+        assert option[0] == ""
+        assert option[1] == "-fpeel-loops"
+        assert option[2] == "-fno-peel-loops"
+
+    def test_flag_option_with_arguments(self):
+        option = FlagOption("vect-cost-model", arg_values=[1, 2])
+        assert len(option) == 5
+        assert option[3] == "-fvect-cost-model=1"
+
+    def test_param_option_rendering(self):
+        option = ParamOption("inline-unit-growth", max_value=100)
+        assert option[0] == ""
+        assert option[1] == "--param=inline-unit-growth=0"
+        assert option[51] == "--param=inline-unit-growth=50"
+
+    def test_commandline_rendering(self):
+        spec = GccSpec("11.2.0")
+        choices = spec.default_choices()
+        assert spec.choices_to_commandline(choices) == ""
+        choices[0] = 1 + OLevelOption.LEVELS.index("-Os")
+        choices[1] = 1
+        commandline = spec.choices_to_commandline(choices)
+        assert "-Os" in commandline
+
+
+class TestSimulatedGcc:
+    def test_determinism(self):
+        spec = GccSpec("11.2.0")
+        gcc = SimulatedGcc(spec)
+        choices = spec.default_choices()
+        choices[0] = 3
+        assert gcc.asm_size("chstone/aes", choices) == gcc.asm_size("chstone/aes", choices)
+
+    def test_os_is_smallest_o_level(self):
+        spec = GccSpec("11.2.0")
+        gcc = SimulatedGcc(spec)
+        sizes = {}
+        for level in ("-O0", "-O2", "-O3", "-Os"):
+            choices = spec.default_choices()
+            choices[0] = 1 + OLevelOption.LEVELS.index(level)
+            sizes[level] = gcc.obj_size("chstone/adpcm", choices)
+        assert sizes["-Os"] < sizes["-O2"] < sizes["-O0"]
+        assert sizes["-Os"] < sizes["-O3"]
+
+    def test_flags_move_size_in_both_directions(self):
+        spec = GccSpec("11.2.0")
+        gcc = SimulatedGcc(spec)
+        base = gcc.asm_size("chstone/gsm", spec.default_choices())
+        deltas = []
+        for index in range(1, 40):
+            choices = spec.default_choices()
+            choices[index] = 1
+            deltas.append(gcc.asm_size("chstone/gsm", choices) - base)
+        assert any(d < 0 for d in deltas)
+        assert any(d > 0 for d in deltas)
+
+    def test_benchmarks_have_different_responses(self):
+        spec = GccSpec("11.2.0")
+        gcc = SimulatedGcc(spec)
+        choices = spec.default_choices()
+        choices[5] = 1
+        a = gcc.asm_size("chstone/aes", choices) / gcc.base_size("chstone/aes")
+        b = gcc.asm_size("chstone/sha", choices) / gcc.base_size("chstone/sha")
+        assert a != b
+
+    def test_obj_smaller_than_asm(self):
+        spec = GccSpec("11.2.0")
+        gcc = SimulatedGcc(spec)
+        choices = spec.default_choices()
+        assert gcc.obj_size("chstone/mips", choices) < gcc.asm_size("chstone/mips", choices)
+
+    def test_instruction_counts_observation(self):
+        spec = GccSpec("11.2.0")
+        gcc = SimulatedGcc(spec)
+        counts = gcc.instruction_counts("chstone/jpeg", spec.default_choices())
+        assert counts["mov"] > 0
+
+
+class TestGccEnv:
+    def test_action_space_size(self, gcc_env):
+        # The categorical action space: direct-set actions for small options,
+        # +-1/10/100/1000 for the wide parameters (paper: 2281 for GCC 11.2).
+        assert 2000 <= gcc_env.action_space.n <= 3000
+
+    def test_episode(self, gcc_env):
+        gcc_env.reset()
+        gcc_env.action_space.seed(0)
+        total = 0.0
+        for _ in range(10):
+            _, reward, done, _ = gcc_env.step(gcc_env.action_space.sample())
+            total += reward
+            assert not done
+        assert gcc_env.episode_reward == pytest.approx(total)
+
+    def test_observations(self, gcc_env):
+        gcc_env.reset()
+        assert gcc_env.observation["asm_size"] > 0
+        assert gcc_env.observation["obj_size"] > 0
+        assert isinstance(gcc_env.observation["asm"], str)
+        assert isinstance(gcc_env.observation["rtl"], str)
+        assert len(gcc_env.observation["choices"]) == 502
+        assert gcc_env.observation["command_line"] == ""
+
+    def test_choices_setter(self, gcc_env):
+        gcc_env.reset()
+        choices = gcc_env.gcc_spec.default_choices()
+        choices[0] = 1 + OLevelOption.LEVELS.index("-Os")
+        gcc_env.choices = choices
+        assert "-Os" in gcc_env.command_line
+        assert gcc_env.obj_size < SimulatedGcc(gcc_env.gcc_spec).obj_size(
+            "chstone/adpcm", gcc_env.gcc_spec.default_choices()
+        )
+
+    def test_version_selection_via_gcc_bin(self):
+        env = repro.make("gcc-v0", gcc_bin="gcc-5")
+        try:
+            assert len(env.gcc_spec) < 502
+            assert env.compiler_version.startswith("repro-gcc 5")
+        finally:
+            env.close()
+
+    def test_docker_specifier(self):
+        env = repro.make("gcc-v0", gcc_bin="docker:gcc:11.2.0")
+        try:
+            assert "11.2.0" in env.compiler_version
+        finally:
+            env.close()
+
+    def test_fork_preserves_choices(self, gcc_env):
+        gcc_env.reset()
+        gcc_env.step(1)
+        fork = gcc_env.fork()
+        try:
+            assert fork.observation["choices"] == gcc_env.observation["choices"]
+        finally:
+            fork.close()
+
+    def test_benchmark_datasets(self, gcc_env):
+        names = {d.name for d in gcc_env.datasets}
+        assert "benchmark://chstone-v0" in names
+        assert len(list(gcc_env.datasets["benchmark://chstone-v0"].benchmark_uris())) == 12
+
+    def test_deterministic_rewards(self, gcc_env):
+        gcc_env.reset()
+        _, reward_a, _, _ = gcc_env.step(1)
+        gcc_env.reset()
+        _, reward_b, _, _ = gcc_env.step(1)
+        assert reward_a == reward_b

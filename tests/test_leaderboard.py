@@ -1,0 +1,61 @@
+"""Tests for leaderboard aggregation."""
+
+import pytest
+
+from repro.core.compiler_env_state import CompilerEnvState
+from repro.core.leaderboard import Leaderboard, LeaderboardEntry
+
+
+def _states(reward_a=1.1, reward_b=1.2):
+    return [
+        CompilerEnvState("benchmark://cbench-v1/a", "-dce", walltime=1.0, reward=reward_a),
+        CompilerEnvState("benchmark://cbench-v1/b", "-gvn", walltime=2.0, reward=reward_b),
+    ]
+
+
+class TestLeaderboardEntry:
+    def test_aggregates(self):
+        entry = LeaderboardEntry("mine", _states(1.0, 4.0))
+        assert entry.walltime == 3.0
+        assert entry.geomean_reward == pytest.approx(2.0)
+        assert entry.mean_reward == pytest.approx(2.5)
+
+
+class TestLeaderboard:
+    def test_submission_and_ranking(self):
+        board = Leaderboard("llvm-ic-cbench")
+        board.submit("slow-but-good", _states(1.3, 1.3))
+        board.submit("fast-but-weak", _states(1.0, 1.0))
+        ranking = board.ranking()
+        assert [entry.name for entry in ranking] == ["slow-but-good", "fast-but-weak"]
+
+    def test_missing_benchmark_rejected(self):
+        board = Leaderboard("task", benchmarks=["benchmark://cbench-v1/a", "benchmark://cbench-v1/c"])
+        with pytest.raises(ValueError):
+            board.submit("incomplete", _states())
+
+    def test_resubmission_replaces(self):
+        board = Leaderboard("task")
+        board.submit("me", _states(1.0, 1.0))
+        board.submit("me", _states(2.0, 2.0))
+        assert len(board) == 1
+        assert board.entries["me"].geomean_reward == pytest.approx(2.0)
+
+    def test_markdown_rendering(self):
+        board = Leaderboard("task")
+        board.submit("me", _states())
+        text = board.to_markdown()
+        assert "| Rank |" in text
+        assert "| 1 | me |" in text
+
+    def test_tie_broken_by_walltime(self):
+        board = Leaderboard("task")
+        slow = [
+            CompilerEnvState("benchmark://x/a", "-dce", walltime=10.0, reward=1.0),
+        ]
+        fast = [
+            CompilerEnvState("benchmark://x/a", "-dce", walltime=1.0, reward=1.0),
+        ]
+        board.submit("slow", slow)
+        board.submit("fast", fast)
+        assert board.ranking()[0].name == "fast"

@@ -1,0 +1,135 @@
+"""Tests for the LLVM feature extractors (observation spaces)."""
+
+import numpy as np
+import pytest
+
+from repro.llvm.analysis.autophase import AUTOPHASE_FEATURE_NAMES, autophase_features
+from repro.llvm.analysis.inst2vec import (
+    inst2vec_embedding_indices,
+    inst2vec_embeddings,
+    inst2vec_preprocess,
+)
+from repro.llvm.analysis.instcount import INSTCOUNT_FEATURE_NAMES, instcount_features
+from repro.llvm.analysis.programl import programl_graph
+from repro.llvm.datasets.generators import generate_module
+from repro.llvm.passes.registry import run_pass
+
+
+class TestInstCount:
+    def test_dimensionality(self, generated_module):
+        features = instcount_features(generated_module)
+        assert features.shape == (70,)
+        assert features.dtype == np.int64
+        assert len(INSTCOUNT_FEATURE_NAMES) == 70
+
+    def test_total_instructions_feature(self, generated_module):
+        features = instcount_features(generated_module)
+        assert features[0] == generated_module.instruction_count
+
+    def test_counts_are_non_negative(self, generated_module):
+        assert (instcount_features(generated_module) >= 0).all()
+
+    def test_features_change_with_optimization(self, generated_module):
+        before = instcount_features(generated_module).copy()
+        run_pass(generated_module, "mem2reg")
+        run_pass(generated_module, "dce")
+        after = instcount_features(generated_module)
+        assert not np.array_equal(before, after)
+
+    def test_deterministic(self, generated_module):
+        assert np.array_equal(instcount_features(generated_module), instcount_features(generated_module))
+
+
+class TestAutophase:
+    def test_dimensionality(self, generated_module):
+        features = autophase_features(generated_module)
+        assert features.shape == (56,)
+        assert len(AUTOPHASE_FEATURE_NAMES) == 56
+
+    def test_total_insts_matches_module(self, generated_module):
+        features = autophase_features(generated_module)
+        index = AUTOPHASE_FEATURE_NAMES.index("TotalInsts")
+        assert features[index] == generated_module.instruction_count
+
+    def test_block_and_function_counts(self, generated_module):
+        features = autophase_features(generated_module)
+        assert features[AUTOPHASE_FEATURE_NAMES.index("TotalFuncs")] == len(
+            generated_module.defined_functions()
+        )
+        total_blocks = sum(len(f.blocks) for f in generated_module.defined_functions())
+        assert features[AUTOPHASE_FEATURE_NAMES.index("TotalBlocks")] == total_blocks
+
+    def test_branch_counts_consistent(self, generated_module):
+        features = autophase_features(generated_module)
+        branches = features[AUTOPHASE_FEATURE_NAMES.index("BranchCount")]
+        unconditional = features[AUTOPHASE_FEATURE_NAMES.index("UncondBranches")]
+        assert 0 <= unconditional <= branches
+
+    def test_small_module_values(self, small_module):
+        features = autophase_features(small_module)
+        names = AUTOPHASE_FEATURE_NAMES
+        assert features[names.index("NumAddInst")] == 6
+        assert features[names.index("NumMulInst")] == 2
+        assert features[names.index("NumRetInst")] == 1
+        assert features[names.index("TotalMemInst")] == 0
+
+
+class TestInst2vec:
+    def test_preprocess_normalizes_identifiers(self, small_module):
+        statements = inst2vec_preprocess(small_module)
+        assert len(statements) == small_module.instruction_count
+        assert all("<%ID>" in s or "<INT>" in s or "ret" in s for s in statements)
+        assert not any("%a" in s for s in statements)
+
+    def test_embeddings_shape(self, small_module):
+        embeddings = inst2vec_embeddings(small_module)
+        assert len(embeddings) == small_module.instruction_count
+        assert embeddings[0].shape == (200,)
+
+    def test_identical_statements_share_embedding(self, small_module):
+        statements = inst2vec_preprocess(small_module)
+        embeddings = inst2vec_embeddings(small_module)
+        by_statement = {}
+        for statement, embedding in zip(statements, embeddings):
+            if statement in by_statement:
+                assert np.array_equal(by_statement[statement], embedding)
+            by_statement[statement] = embedding
+
+    def test_embedding_indices_within_vocabulary(self, small_module):
+        indices = inst2vec_embedding_indices(small_module)
+        assert all(0 <= i < 8565 for i in indices)
+
+
+class TestPrograml:
+    def test_graph_structure(self, generated_module):
+        graph = programl_graph(generated_module)
+        assert graph.number_of_nodes() > generated_module.instruction_count
+        flows = {data["flow"] for _, _, data in graph.edges(data=True)}
+        assert flows == {"control", "data", "call"}
+
+    def test_instruction_nodes_match_instruction_count(self, generated_module):
+        graph = programl_graph(generated_module)
+        instruction_nodes = [
+            n for n, data in graph.nodes(data=True)
+            if data["type"] == "instruction" and data["text"] != "[external]"
+        ]
+        assert len(instruction_nodes) == generated_module.instruction_count
+
+    def test_call_edges_connect_functions(self):
+        module = generate_module(2, size_scale=4)
+        graph = programl_graph(module)
+        call_edges = [
+            (u, v) for u, v, data in graph.edges(data=True) if data["flow"] == "call"
+        ]
+        assert call_edges
+        functions = {
+            (graph.nodes[u]["function"], graph.nodes[v]["function"]) for u, v in call_edges
+        }
+        assert any(src != dst for src, dst in functions)
+
+    def test_data_edges_have_positions(self, small_module):
+        graph = programl_graph(small_module)
+        positions = [
+            data["position"] for _, _, data in graph.edges(data=True) if data["flow"] == "data"
+        ]
+        assert max(positions) >= 1

@@ -1,0 +1,167 @@
+"""Integration tests for the LLVM phase-ordering environment."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.llvm.env import LlvmEnv
+
+
+class TestObservationSpaces:
+    def test_all_paper_observation_spaces_present(self, llvm_env):
+        expected = {
+            "Ir", "IrSha1", "IrInstructionCount", "IrInstructionCountO0", "IrInstructionCountO3",
+            "IrInstructionCountOz", "InstCount", "Autophase", "Inst2vec",
+            "Inst2vecPreprocessedText", "Programl", "ObjectTextSizeBytes", "ObjectTextSizeO0",
+            "ObjectTextSizeO3", "ObjectTextSizeOz", "Runtime", "Buildtime",
+        }
+        assert expected <= set(llvm_env.observation.spaces)
+
+    def test_ir_observation(self, llvm_env):
+        llvm_env.reset()
+        ir = llvm_env.observation["Ir"]
+        assert "define i32 @main()" in ir
+
+    def test_instcount_and_autophase_shapes(self, llvm_env):
+        llvm_env.reset()
+        assert llvm_env.observation["InstCount"].shape == (70,)
+        assert llvm_env.observation["Autophase"].shape == (56,)
+
+    def test_programl_graph_observation(self, llvm_env):
+        llvm_env.reset()
+        graph = llvm_env.observation["Programl"]
+        assert graph.number_of_nodes() > 0
+
+    def test_runtime_observation_is_nondeterministic(self, llvm_env):
+        llvm_env.reset()
+        samples = {llvm_env.observation["Runtime"] for _ in range(4)}
+        assert len(samples) > 1
+        spec = llvm_env.observation.spaces["Runtime"]
+        assert not spec.deterministic
+        assert spec.platform_dependent
+
+    def test_codesize_observation_is_deterministic(self, llvm_env):
+        llvm_env.reset()
+        assert llvm_env.observation["IrInstructionCount"] == llvm_env.observation["IrInstructionCount"]
+        spec = llvm_env.observation.spaces["IrInstructionCount"]
+        assert spec.deterministic and not spec.platform_dependent
+
+    def test_baseline_observations_are_cached_per_benchmark(self, llvm_env):
+        llvm_env.reset()
+        o0 = llvm_env.observation["IrInstructionCountO0"]
+        oz = llvm_env.observation["IrInstructionCountOz"]
+        o3 = llvm_env.observation["IrInstructionCountO3"]
+        assert o0 >= oz > 0
+        assert o0 >= o3 > 0
+        assert o0 == llvm_env.observation["IrInstructionCount"]  # Fresh reset == unoptimized.
+
+
+class TestRewardSpaces:
+    def test_all_paper_reward_spaces_present(self, llvm_env):
+        expected = {
+            "IrInstructionCount", "IrInstructionCountNorm", "IrInstructionCountO3",
+            "IrInstructionCountOz", "ObjectTextSizeBytes", "ObjectTextSizeNorm",
+            "ObjectTextSizeO3", "ObjectTextSizeOz", "Runtime",
+        }
+        assert expected <= set(llvm_env.reward.spaces)
+
+    def test_codesize_reward_equals_instruction_delta(self, fresh_llvm_env):
+        env = fresh_llvm_env
+        env.reset()
+        before = env.observation["IrInstructionCount"]
+        _, reward, _, _ = env.step(env.action_space["mem2reg"])
+        after = env.observation["IrInstructionCount"]
+        assert reward == pytest.approx(before - after)
+
+    def test_noop_pass_gives_zero_reward(self, fresh_llvm_env):
+        env = fresh_llvm_env
+        env.reset()
+        _, reward, _, info = env.step(env.action_space["barrier"])
+        assert reward == 0.0
+        assert info["action_had_no_effect"]
+
+    def test_lowerswitch_can_give_negative_reward(self):
+        env = repro.make("llvm-v0", benchmark="cbench-v1/gsm", reward_space="IrInstructionCount")
+        try:
+            env.reset()
+            _, reward, _, _ = env.step(env.action_space["lowerswitch"])
+            assert reward <= 0.0
+        finally:
+            env.close()
+
+
+class TestLlvmSpecificApi:
+    def test_write_ir_and_bitcode(self, llvm_env, tmp_path):
+        llvm_env.reset()
+        path = llvm_env.write_bitcode(str(tmp_path / "out.bc"))
+        with open(path) as f:
+            assert "define" in f.read()
+
+    def test_ir_sha1_changes_with_optimization(self, fresh_llvm_env):
+        env = fresh_llvm_env
+        env.reset()
+        before = env.ir_sha1
+        env.step(env.action_space["mem2reg"])
+        assert env.ir_sha1 != before
+
+    def test_make_benchmark_from_ir_text(self, fresh_llvm_env):
+        env = fresh_llvm_env
+        env.reset()
+        benchmark = env.make_benchmark(env.ir, uri="benchmark://user-v0/copy")
+        env.reset(benchmark=benchmark)
+        assert str(env.benchmark.uri) == "benchmark://user-v0/copy"
+        assert env.observation["IrInstructionCount"] > 0
+
+    def test_runtime_observation_count_parameter(self, fresh_llvm_env):
+        env = fresh_llvm_env
+        env.reset()
+        env.runtime_observation_count = 3
+        assert env.runtime_observation_count == 3
+        measurements = env.observation["Runtime"]
+        assert len(measurements) == 3
+
+    def test_apply_baseline_pipeline(self, fresh_llvm_env):
+        env = fresh_llvm_env
+        env.reset()
+        oz = env.observation["IrInstructionCountOz"]
+        env.apply_baseline_pipeline("-Oz")
+        assert env.observation["IrInstructionCount"] == oz
+
+    def test_default_benchmark_is_qsort(self):
+        env = repro.make("llvm-v0")
+        try:
+            assert str(env.benchmark.uri) == "benchmark://cbench-v1/qsort"
+        finally:
+            env.close()
+
+    def test_registered_variants_set_spaces(self):
+        env = repro.make("llvm-autophase-ic-v0")
+        try:
+            assert env.observation_space_spec.id == "Autophase"
+            assert env.reward_space.name == "IrInstructionCountOz"
+        finally:
+            env.close()
+
+
+class TestOptimizationPotential:
+    def test_random_episode_changes_program(self, llvm_env):
+        llvm_env.reset()
+        llvm_env.action_space.seed(0)
+        start = llvm_env.observation["IrInstructionCount"]
+        for _ in range(30):
+            llvm_env.step(llvm_env.action_space.sample())
+        assert llvm_env.observation["IrInstructionCount"] < start
+
+    def test_oz_actions_reach_oz_size(self, fresh_llvm_env):
+        from repro.llvm.passes.registry import OZ_PIPELINE
+
+        env = fresh_llvm_env
+        env.reset()
+        env.multistep([env.action_space[name] for name in OZ_PIPELINE])
+        assert env.observation["IrInstructionCount"] == env.observation["IrInstructionCountOz"]
+
+    def test_episode_has_no_terminal_state(self, llvm_env):
+        llvm_env.reset()
+        for _ in range(10):
+            _, _, done, _ = llvm_env.step(0)
+            assert not done

@@ -1,0 +1,152 @@
+"""Tests for the IR interpreter and the cost models."""
+
+import random
+
+import pytest
+
+from repro.llvm.cost.binary_size import object_text_size_bytes
+from repro.llvm.cost.code_size import ir_instruction_count
+from repro.llvm.cost.runtime import estimate_runtime, measure_runtime
+from repro.llvm.datasets.generators import generate_module
+from repro.llvm.interpreter import ExecutionError, Interpreter, StepLimitExceeded, run_module
+from repro.llvm.ir.parser import parse_module
+from repro.llvm.passes.registry import OZ_PIPELINE, run_pipeline
+
+
+class TestInterpreter:
+    def test_simple_arithmetic(self):
+        ir = "define i32 @f(i32 %x) {\nentry:\n  %a = mul i32 %x, 3\n  %b = add i32 %a, 1\n  ret i32 %b\n}\n"
+        assert run_module(parse_module(ir), entry_point="f", args=[5]).return_value == 16
+
+    def test_branching(self):
+        ir = (
+            "define i32 @f(i32 %x) {\n"
+            "entry:\n  %c = icmp slt i32 %x, 0\n  br i1 %c, label %neg, label %pos\n"
+            "neg:\n  ret i32 -1\n"
+            "pos:\n  ret i32 1\n"
+            "}\n"
+        )
+        module = parse_module(ir)
+        assert run_module(module, entry_point="f", args=[-5]).return_value == -1
+        assert run_module(module, entry_point="f", args=[5]).return_value == 1
+
+    def test_loop_and_phi(self):
+        ir = (
+            "define i32 @f() {\n"
+            "entry:\n  br label %loop\n"
+            "loop:\n"
+            "  %i = phi i32 [ 0, %entry ], [ %i.next, %loop ]\n"
+            "  %acc = phi i32 [ 0, %entry ], [ %acc.next, %loop ]\n"
+            "  %acc.next = add i32 %acc, %i\n"
+            "  %i.next = add i32 %i, 1\n"
+            "  %c = icmp slt i32 %i.next, 5\n"
+            "  br i1 %c, label %loop, label %exit\n"
+            "exit:\n  ret i32 %acc.next\n"
+            "}\n"
+        )
+        assert run_module(parse_module(ir), entry_point="f").return_value == 0 + 1 + 2 + 3 + 4
+
+    def test_memory_operations(self):
+        ir = (
+            "define i32 @f(i32 %x) {\n"
+            "entry:\n"
+            "  %p = alloca i32\n"
+            "  store i32 %x, ptr %p\n"
+            "  %v = load i32, ptr %p\n"
+            "  %d = mul i32 %v, 2\n"
+            "  ret i32 %d\n"
+            "}\n"
+        )
+        assert run_module(parse_module(ir), entry_point="f", args=[21]).return_value == 42
+
+    def test_globals_and_calls(self):
+        ir = (
+            "; ModuleID = 'm'\n"
+            "@g = global i32 10\n"
+            "define i32 @helper(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}\n"
+            "define i32 @main() {\n"
+            "entry:\n  %v = load i32, ptr @g\n  %r = call i32 @helper(i32 %v)\n  ret i32 %r\n}\n"
+        )
+        assert run_module(parse_module(ir)).return_value == 11
+
+    def test_division_by_zero_traps(self):
+        ir = "define i32 @f(i32 %x) {\nentry:\n  %r = sdiv i32 %x, 0\n  ret i32 %r\n}\n"
+        with pytest.raises(ExecutionError):
+            run_module(parse_module(ir), entry_point="f", args=[1])
+
+    def test_step_limit(self):
+        ir = (
+            "define i32 @f() {\n"
+            "entry:\n  br label %loop\n"
+            "loop:\n  br label %loop\n"
+            "}\n"
+        )
+        with pytest.raises(StepLimitExceeded):
+            run_module(parse_module(ir), entry_point="f", max_steps=100)
+
+    def test_printf_output_is_observed(self):
+        module = generate_module(0, size_scale=3)
+        result = run_module(module, max_steps=500_000)
+        assert result.output  # main prints its result through @printf.
+
+    def test_integer_wrapping(self):
+        ir = "define i32 @f() {\nentry:\n  %r = add i32 2147483647, 1\n  ret i32 %r\n}\n"
+        assert run_module(parse_module(ir), entry_point="f").return_value == -2147483648
+
+    def test_execution_result_equality(self):
+        module = generate_module(1, size_scale=3)
+        assert run_module(module, max_steps=500_000) == run_module(module, max_steps=500_000)
+
+
+class TestCostModels:
+    def test_code_size_is_instruction_count(self, generated_module):
+        assert ir_instruction_count(generated_module) == generated_module.instruction_count
+
+    def test_binary_size_positive_and_correlated(self, generated_module):
+        size_before = object_text_size_bytes(generated_module)
+        assert size_before > 0
+        optimized = generated_module.clone()
+        run_pipeline(optimized, OZ_PIPELINE)
+        assert object_text_size_bytes(optimized) < size_before
+
+    def test_binary_size_targets_differ(self, generated_module):
+        assert object_text_size_bytes(generated_module, "x86_64") != object_text_size_bytes(
+            generated_module, "aarch64"
+        )
+
+    def test_binary_size_unknown_target(self, generated_module):
+        with pytest.raises(ValueError):
+            object_text_size_bytes(generated_module, "mips")
+
+    def test_runtime_estimate_deterministic(self, generated_module):
+        assert estimate_runtime(generated_module) == estimate_runtime(generated_module)
+        assert estimate_runtime(generated_module) > 0
+
+    def test_runtime_measurement_is_noisy(self, generated_module):
+        rng = random.Random(0)
+        samples = {measure_runtime(generated_module, rng=rng) for _ in range(5)}
+        assert len(samples) > 1
+
+    def test_optimization_reduces_estimated_runtime(self):
+        module = generate_module(4, size_scale=6)
+        before = estimate_runtime(module)
+        optimized = module.clone()
+        run_pipeline(optimized, ["mem2reg", "licm", "gvn", "instcombine", "dce", "simplifycfg"])
+        assert estimate_runtime(optimized) < before
+
+    def test_loop_nesting_dominates_runtime(self):
+        flat = parse_module(
+            "define i32 @main() {\nentry:\n  %a = add i32 1, 2\n  ret i32 %a\n}\n"
+        )
+        loopy = parse_module(
+            "define i32 @main() {\n"
+            "entry:\n  br label %loop\n"
+            "loop:\n"
+            "  %i = phi i32 [ 0, %entry ], [ %i.next, %loop ]\n"
+            "  %i.next = add i32 %i, 1\n"
+            "  %c = icmp slt i32 %i.next, 1000\n"
+            "  br i1 %c, label %loop, label %exit\n"
+            "exit:\n  ret i32 %i.next\n"
+            "}\n"
+        )
+        assert estimate_runtime(loopy) > estimate_runtime(flat)

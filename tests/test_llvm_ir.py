@@ -1,0 +1,288 @@
+"""Unit tests for the simulated LLVM IR data structures."""
+
+import pytest
+
+from repro.llvm.ir import (
+    I1,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    BasicBlock,
+    Constant,
+    Function,
+    IRBuilder,
+    Instruction,
+    Module,
+    Type,
+)
+from repro.llvm.ir.cfg import dominates, dominators, loop_depths, natural_loops, predecessors, reachable_blocks
+from repro.llvm.ir.values import Argument, GlobalVariable, UndefValue
+from repro.llvm.ir.verifier import VerificationError, verify_module
+
+
+class TestTypes:
+    def test_interning(self):
+        assert Type("i32") is I32
+        assert Type("i32") is Type("i32")
+
+    def test_bits(self):
+        assert I32.bits == 32
+        assert I64.bits == 64
+        assert I1.bits == 1
+        assert PTR.bits == 64
+        assert VOID.bits == 0
+
+    def test_predicates(self):
+        assert I32.is_integer and not I32.is_float
+        assert Type("double").is_float
+        assert PTR.is_pointer
+        assert VOID.is_void
+
+    def test_deepcopy_preserves_identity(self):
+        import copy
+
+        assert copy.deepcopy(I32) is I32
+
+
+class TestValues:
+    def test_constant_equality(self):
+        assert Constant(I32, 5) == Constant(I32, 5)
+        assert Constant(I32, 5) != Constant(I32, 6)
+        assert Constant(I32, 5) != Constant(I64, 5)
+
+    def test_constant_rendering(self):
+        assert Constant(I32, 42).short() == "42"
+
+    def test_argument(self):
+        arg = Argument("x", I32)
+        assert arg.short() == "%x"
+
+    def test_global(self):
+        g = GlobalVariable("counter", I32, initializer=3)
+        assert g.short() == "@counter"
+        assert g.type is PTR
+
+    def test_undef(self):
+        assert UndefValue(I32).short() == "undef"
+
+
+class TestInstructions:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_classification(self):
+        add = Instruction("add", [Constant(I32, 1), Constant(I32, 2)], type=I32, name="x")
+        assert add.is_binary and add.has_result and not add.is_terminator
+        ret = Instruction("ret", [], type=VOID)
+        assert ret.is_terminator and not ret.has_result
+
+    def test_side_effects(self):
+        store = Instruction("store", [Constant(I32, 1), Constant(I32, 0)], type=VOID)
+        assert store.has_side_effects()
+        call = Instruction("call", [], type=I32, name="r", attrs={"callee": "f", "pure": True})
+        assert not call.has_side_effects()
+        impure = Instruction("call", [], type=I32, name="r", attrs={"callee": "f"})
+        assert impure.has_side_effects()
+
+    def test_branch_successors(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        cond = Constant(I1, 1)
+        br = Instruction("br", [cond, a, b], type=VOID)
+        assert br.successors() == [a, b]
+        br.replace_successor(b, a)
+        assert br.successors() == [a, a]
+
+    def test_phi_incoming(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        phi = Instruction("phi", [Constant(I32, 1), a, Constant(I32, 2), b], type=I32, name="p")
+        incoming = list(phi.phi_incoming())
+        assert len(incoming) == 2
+        phi.set_phi_incoming([(Constant(I32, 9), a)])
+        assert len(list(phi.phi_incoming())) == 1
+
+    def test_value_operands_excludes_blocks(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        cond = Constant(I1, 1)
+        br = Instruction("br", [cond, a, b], type=VOID)
+        assert br.value_operands() == [cond]
+
+    def test_clone(self):
+        add = Instruction("add", [Constant(I32, 1), Constant(I32, 2)], type=I32, name="x")
+        clone = add.clone()
+        assert clone is not add
+        assert clone.operands == add.operands
+        assert clone.parent is None
+
+
+class TestStructure:
+    def test_block_append_and_terminator(self):
+        block = BasicBlock("entry")
+        assert block.terminator is None
+        inst = Instruction("ret", [], type=VOID)
+        block.append(inst)
+        assert block.terminator is inst
+        assert inst.parent is block
+
+    def test_function_naming_helpers(self):
+        function = Function("f", arg_types=[I32], arg_names=["x"])
+        name1 = function.new_value_name()
+        name2 = function.new_value_name()
+        assert name1 != name2
+        assert function.new_block_name() != function.new_block_name()
+
+    def test_function_len_counts_instructions(self, small_module):
+        assert len(small_module.function("main")) == 9
+
+    def test_module_queries(self, small_module):
+        assert small_module.instruction_count == 9
+        assert small_module.function("main") is not None
+        assert small_module.function("missing") is None
+        assert len(small_module.defined_functions()) == 1
+
+    def test_module_clone_is_deep(self, small_module):
+        clone = small_module.clone()
+        clone.function("main").blocks[0].instructions.pop()
+        assert small_module.instruction_count == 9
+        assert clone.instruction_count == 8
+
+    def test_declaration(self):
+        function = Function("printf", arg_types=[I32])
+        assert function.is_declaration
+
+
+class TestBuilder:
+    def test_builder_produces_verified_ir(self, small_module):
+        assert verify_module(small_module) == []
+
+    def test_cond_br_and_phi(self):
+        module = Module("m")
+        function = Function("f", arg_types=[I32], arg_names=["x"])
+        entry = function.add_block("entry")
+        then_block = function.add_block("then")
+        else_block = function.add_block("else")
+        join = function.add_block("join")
+        builder = IRBuilder(function, entry)
+        cond = builder.icmp("slt", function.args[0], Constant(I32, 0))
+        builder.cond_br(cond, then_block, else_block)
+        builder.set_insert_point(then_block)
+        a = builder.add(function.args[0], Constant(I32, 1))
+        builder.br(join)
+        builder.set_insert_point(else_block)
+        b = builder.sub(function.args[0], Constant(I32, 1))
+        builder.br(join)
+        builder.set_insert_point(join)
+        phi = builder.phi(I32, [(a, then_block), (b, else_block)])
+        builder.ret(phi)
+        module.add_function(function)
+        assert verify_module(module) == []
+
+    def test_invalid_binary_opcode(self):
+        function = Function("f")
+        function.add_block("entry")
+        builder = IRBuilder(function)
+        with pytest.raises(ValueError):
+            builder.binary("load", Constant(I32, 1), Constant(I32, 2))
+
+
+class TestCfgAnalyses:
+    def _diamond(self):
+        function = Function("f", arg_types=[I32], arg_names=["x"])
+        entry = function.add_block("entry")
+        left = function.add_block("left")
+        right = function.add_block("right")
+        join = function.add_block("join")
+        builder = IRBuilder(function, entry)
+        cond = builder.icmp("eq", function.args[0], Constant(I32, 0))
+        builder.cond_br(cond, left, right)
+        builder.set_insert_point(left)
+        builder.br(join)
+        builder.set_insert_point(right)
+        builder.br(join)
+        builder.set_insert_point(join)
+        builder.ret(Constant(I32, 0))
+        return function, entry, left, right, join
+
+    def test_predecessors(self):
+        function, entry, left, right, join = self._diamond()
+        preds = predecessors(function)
+        assert set(preds[join]) == {left, right}
+        assert preds[entry] == []
+
+    def test_reachability(self):
+        function, *_ = self._diamond()
+        dead = function.add_block("dead")
+        IRBuilder(function, dead).ret(Constant(I32, 1))
+        reachable = reachable_blocks(function)
+        assert dead not in reachable
+        assert len(reachable) == 4
+
+    def test_dominators(self):
+        function, entry, left, right, join = self._diamond()
+        dom = dominators(function)
+        assert dominates(dom, entry, join)
+        assert not dominates(dom, left, join)
+        assert dominates(dom, join, join)
+
+    def test_natural_loop_detection(self):
+        from repro.llvm.datasets.generators import generate_module
+
+        # Counted over several generated modules so the check does not depend
+        # on one seed's random region choices.
+        total_loops = sum(
+            len(natural_loops(f))
+            for seed in range(5)
+            for f in generate_module(seed, size_scale=6).defined_functions()
+        )
+        assert total_loops >= 1
+
+    def test_loop_depths(self, generated_module):
+        for function in generated_module.defined_functions():
+            depths = loop_depths(function)
+            for loop in natural_loops(function):
+                assert depths[loop.header] >= 1
+
+    def test_no_loops_in_diamond(self):
+        function, *_ = self._diamond()
+        assert natural_loops(function) == []
+
+
+class TestVerifier:
+    def test_detects_missing_terminator(self):
+        module = Module("bad")
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Instruction("add", [Constant(I32, 1), Constant(I32, 2)], type=I32, name="x"))
+        module.add_function(function)
+        errors = verify_module(module, raise_on_error=False)
+        assert any("no terminator" in error for error in errors)
+
+    def test_detects_foreign_value_use(self):
+        module = Module("bad")
+        other = Function("other", arg_types=[I32], arg_names=["y"])
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Instruction("ret", [Instruction("add", [], type=I32, name="ghost")], type=VOID))
+        module.add_function(function)
+        del other
+        errors = verify_module(module, raise_on_error=False)
+        assert errors
+
+    def test_raises_when_requested(self):
+        module = Module("bad")
+        function = Function("f")
+        function.add_block("entry")
+        module.add_function(function)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_detects_unknown_callee(self):
+        module = Module("bad")
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Instruction("call", [], type=I32, name="r", attrs={"callee": "missing"}))
+        block.append(Instruction("ret", [], type=VOID))
+        module.add_function(function)
+        errors = verify_module(module, raise_on_error=False)
+        assert any("unknown function" in error for error in errors)

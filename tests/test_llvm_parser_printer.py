@@ -1,0 +1,132 @@
+"""Tests for the IR printer and parser, including round-trip fidelity."""
+
+import pytest
+
+from repro.llvm.datasets.generators import generate_module, llvm_stress_module
+from repro.llvm.ir.parser import ParseError, parse_module
+from repro.llvm.ir.printer import print_instruction, print_module
+from repro.llvm.ir.verifier import verify_module
+
+
+EXAMPLE_IR = """\
+; ModuleID = 'example'
+@g = global i32 7
+
+declare i32 @printf(i32 %value)
+
+define i32 @main() {
+entry:
+  %p = alloca i32
+  store i32 5, ptr %p
+  %v = load i32, ptr %p
+  %c = icmp slt i32 %v, 10
+  br i1 %c, label %then, label %else
+then:
+  %a = add i32 %v, 1
+  br label %join
+else:
+  %b = mul i32 %v, 2
+  br label %join
+join:
+  %m = phi i32 [ %a, %then ], [ %b, %else ]
+  %g0 = load i32, ptr @g
+  %sum = add i32 %m, %g0
+  %unused = call i32 @printf(i32 %sum)
+  ret i32 %sum
+}
+"""
+
+
+class TestParser:
+    def test_parse_example(self):
+        module = parse_module(EXAMPLE_IR)
+        assert module.name == "example"
+        assert set(module.functions) == {"printf", "main"}
+        assert "g" in module.globals
+        assert module.function("printf").is_declaration
+        assert module.instruction_count == 14
+        assert verify_module(module) == []
+
+    def test_parse_phi_and_branches(self):
+        module = parse_module(EXAMPLE_IR)
+        main = module.function("main")
+        join = main.block_by_name("join")
+        phi = join.phis()[0]
+        incoming_blocks = {block.name for _, block in phi.phi_incoming()}
+        assert incoming_blocks == {"then", "else"}
+
+    def test_parse_call_operands(self):
+        module = parse_module(EXAMPLE_IR)
+        call = next(i for i in module.function("main").instructions() if i.opcode == "call")
+        assert call.attrs["callee"] == "printf"
+        assert len(call.operands) == 1
+
+    def test_undefined_value_rejected(self):
+        bad = "define i32 @f() {\nentry:\n  ret i32 %ghost\n}\n"
+        with pytest.raises(ParseError):
+            parse_module(bad)
+
+    def test_branch_to_undefined_block_rejected(self):
+        bad = "define i32 @f() {\nentry:\n  br label %missing\n}\n"
+        with pytest.raises(ParseError):
+            parse_module(bad)
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("this is not IR\n")
+
+    def test_switch_round_trip(self):
+        ir = (
+            "define i32 @f(i32 %x) {\n"
+            "entry:\n"
+            "  switch i32 %x, label %d [ i32 0, label %a ] [ i32 1, label %b ]\n"
+            "a:\n  ret i32 1\n"
+            "b:\n  ret i32 2\n"
+            "d:\n  ret i32 0\n"
+            "}\n"
+        )
+        module = parse_module(ir)
+        switch = module.function("f").entry.terminator
+        assert switch.opcode == "switch"
+        assert len(switch.successors()) == 3
+        reparsed = parse_module(print_module(module))
+        assert reparsed.function("f").entry.terminator.opcode == "switch"
+
+
+class TestPrinter:
+    def test_print_instruction_forms(self, small_module):
+        lines = [print_instruction(i) for i in small_module.function("main").instructions()]
+        assert any(line.startswith("%a = add i32") for line in lines)
+        assert lines[-1].startswith("ret i32")
+
+    def test_print_module_contains_globals_and_declarations(self):
+        module = parse_module(EXAMPLE_IR)
+        text = print_module(module)
+        assert "@g = global i32 7" in text
+        assert "declare i32 @printf" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_generated_module_round_trip(self, seed):
+        module = generate_module(seed, size_scale=4)
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert reparsed.instruction_count == module.instruction_count
+        assert set(reparsed.functions) == set(module.functions)
+        assert verify_module(reparsed) == []
+        # A second round trip is a fixed point.
+        assert print_module(reparsed) == text
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_llvm_stress_round_trip(self, seed):
+        module = llvm_stress_module(seed)
+        reparsed = parse_module(print_module(module))
+        assert reparsed.instruction_count == module.instruction_count
+
+    def test_round_trip_preserves_semantics(self):
+        from repro.llvm.interpreter import run_module
+
+        module = generate_module(21, size_scale=4)
+        reparsed = parse_module(print_module(module))
+        assert run_module(module, max_steps=500_000) == run_module(reparsed, max_steps=500_000)

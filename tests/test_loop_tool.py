@@ -1,0 +1,154 @@
+"""Tests for the loop_tool CUDA loop-nest environment."""
+
+import random
+
+import pytest
+
+import repro
+from repro.loop_tool.cost import PEAK_FLOPS, gp100_flops, theoretical_peak
+from repro.loop_tool.ir import LoopTree
+
+
+class TestLoopTree:
+    def test_initial_schedule(self):
+        tree = LoopTree(n=1024)
+        assert tree.depth() == 1
+        assert tree.loops[0].size == 1024
+        assert tree.num_threads == 1
+
+    def test_split(self):
+        tree = LoopTree(n=1024)
+        tree.split(0, factor=4)
+        assert tree.depth() == 2
+        assert tree.loops[1].size == 4
+        assert tree.total_iterations >= 1024
+
+    def test_resize_rebalances_outer_loop(self):
+        tree = LoopTree(n=1000)
+        tree.split(0, factor=2)
+        tree.resize(1, 10)
+        assert tree.total_iterations >= 1000
+
+    def test_threading(self):
+        tree = LoopTree(n=1 << 20)
+        tree.split(0, factor=16)
+        tree.toggle_threaded(0)
+        assert tree.num_threads == tree.loops[0].size
+        tree.toggle_threaded(0)
+        assert tree.num_threads == 1
+
+    def test_dump_matches_listing4_structure(self):
+        tree = LoopTree(n=1 << 20)
+        tree.toggle_threaded(0)
+        dump = tree.dump()
+        assert "[thread]" in dump
+        assert "add(%0, %1)" in dump
+        assert "write(%2)" in dump
+
+    def test_copy_is_independent(self):
+        tree = LoopTree(n=64)
+        clone = tree.copy()
+        clone.split(0)
+        assert tree.depth() == 1
+        assert clone.depth() == 2
+
+    def test_invalid_index(self):
+        with pytest.raises(IndexError):
+            LoopTree(n=8).resize(3, 2)
+
+
+class TestGpuCostModel:
+    def test_serial_schedule_is_slow(self):
+        tree = LoopTree(n=1 << 20)
+        assert gp100_flops(tree, noise=0) < 0.01 * PEAK_FLOPS
+
+    def test_threaded_schedule_approaches_quoted_fraction_of_peak(self):
+        # The paper reports ~73.5% of theoretical peak for a tuned schedule.
+        tree = LoopTree(n=1 << 20)
+        tree.split(0, factor=16)       # 16 elements per thread.
+        tree.toggle_threaded(0)        # 65536 threads.
+        achieved = gp100_flops(tree, noise=0)
+        assert 0.6 * PEAK_FLOPS < achieved < 0.85 * PEAK_FLOPS
+
+    def test_performance_drop_near_100k_threads(self):
+        def flops_at(threads):
+            tree = LoopTree(n=1 << 22)
+            tree.split(0, factor=max(1, (1 << 22) // threads))
+            tree.loops[0].size = threads
+            tree.toggle_threaded(0)
+            return gp100_flops(tree, noise=0)
+
+        below = flops_at(96_000)
+        just_above = flops_at(120_000)
+        far_above = flops_at(400_000)
+        assert just_above < below          # The cliff just past ~100k threads.
+        assert far_above > just_above      # Recovers as full waves amortize the tail.
+
+    def test_measurement_noise(self):
+        tree = LoopTree(n=1 << 20)
+        tree.toggle_threaded(0)
+        rng = random.Random(0)
+        samples = {gp100_flops(tree, rng=rng) for _ in range(5)}
+        assert len(samples) > 1
+
+    def test_theoretical_peak(self):
+        assert theoretical_peak() == PEAK_FLOPS
+
+
+class TestLoopToolEnv:
+    def test_action_space(self, loop_tool_env):
+        assert set(loop_tool_env.action_space.names) == {
+            "toggle_mode", "up", "down", "toggle_thread", "split"
+        }
+
+    def test_reset_and_observations(self, loop_tool_env):
+        flops = loop_tool_env.reset()
+        assert flops > 0
+        assert "for i0" in loop_tool_env.loop_tree
+        state = loop_tool_env.observation["action_state"]
+        assert state[0] == 0 and state[1] == 0
+
+    def test_threading_improves_flops(self, loop_tool_env):
+        env = loop_tool_env
+        env.reset()
+        before = env.flops
+        env.step(env.action_space["toggle_thread"])
+        assert env.flops > before * 100
+
+    def test_cursor_and_mode_actions(self, loop_tool_env):
+        env = loop_tool_env
+        env.reset()
+        env.step(env.action_space["split"])
+        env.step(env.action_space["down"])     # Move cursor to the inner loop.
+        assert env.observation["action_state"][0] == 1
+        env.step(env.action_space["toggle_mode"])
+        assert env.observation["action_state"][1] == 1
+        size_before = env.observation["action_state"][2]
+        env.step(env.action_space["up"])       # In modify mode: grow the loop.
+        assert env.observation["action_state"][2] == size_before + 1
+
+    def test_moving_cursor_out_of_range_has_no_effect(self, loop_tool_env):
+        env = loop_tool_env
+        env.reset()
+        _, _, _, info = env.step(env.action_space["up"])
+        assert info["action_had_no_effect"]
+
+    def test_reward_is_flops_delta(self, loop_tool_env):
+        env = loop_tool_env
+        env.reset()
+        _, reward, _, _ = env.step(env.action_space["toggle_thread"])
+        assert reward > 0
+
+    def test_problem_sizes_dataset(self, loop_tool_env):
+        uris = list(loop_tool_env.datasets["benchmark://loop_tool-v0"].benchmark_uris())
+        assert "benchmark://loop_tool-v0/1048576" in uris
+
+    def test_fork(self, loop_tool_env):
+        env = loop_tool_env
+        env.reset()
+        env.step(env.action_space["toggle_thread"])
+        fork = env.fork()
+        try:
+            assert fork.observation["loop_tree"] == env.observation["loop_tree"]
+        finally:
+            fork.close()

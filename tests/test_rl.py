@@ -1,0 +1,157 @@
+"""Tests for the RL agents and training harness."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.rl import A2CAgent, ApexDQNAgent, ImpalaAgent, PPOAgent, PrioritizedReplayBuffer
+from repro.rl.policies import FeatureScaler, LinearPolicy, LinearValueFunction, softmax
+from repro.rl.trainer import (
+    AUTOPHASE_ACTION_SUBSET,
+    evaluate_codesize_reduction,
+    final_codesize_reduction,
+    make_rl_environment,
+    observation_dim,
+    run_episode,
+    train_agent,
+)
+
+OBS_DIM = observation_dim("Autophase", True, 42)
+AGENTS = [
+    lambda: PPOAgent(OBS_DIM, 42, seed=0),
+    lambda: A2CAgent(OBS_DIM, 42, seed=0),
+    lambda: ApexDQNAgent(OBS_DIM, 42, seed=0, batch_size=8),
+    lambda: ImpalaAgent(OBS_DIM, 42, seed=0),
+]
+
+
+@pytest.fixture(scope="module")
+def rl_env():
+    env = repro.make("llvm-v0", benchmark="cbench-v1/crc32", reward_space="IrInstructionCountNorm")
+    wrapped = make_rl_environment(env, episode_length=15)
+    yield wrapped
+    wrapped.close()
+
+
+class TestPolicies:
+    def test_softmax_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs.argmax() == 2
+
+    def test_linear_policy_probabilities(self):
+        policy = LinearPolicy(obs_dim=4, num_actions=3, seed=0)
+        probs = policy.probabilities(np.ones(4))
+        assert probs.shape == (3,)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_policy_gradient_moves_probability(self):
+        policy = LinearPolicy(obs_dim=4, num_actions=3, learning_rate=0.5, seed=0)
+        observation = np.ones(4)
+        before = policy.probabilities(observation)[1]
+        policy.policy_gradient_step(observation, action=1, scale=1.0)
+        assert policy.probabilities(observation)[1] > before
+
+    def test_value_function_update_reduces_error(self):
+        value = LinearValueFunction(obs_dim=4, learning_rate=0.1, seed=0)
+        observation = np.ones(4)
+        for _ in range(200):
+            value.update(observation, 5.0)
+        assert value.value(observation) == pytest.approx(5.0, abs=0.5)
+
+    def test_feature_scaler_compresses_counts(self):
+        scaler = FeatureScaler(dim=3)
+        scaled = scaler(np.array([0, 100, 10_000]))
+        assert np.all(np.abs(scaled) <= 5.0)
+
+
+class TestReplayBuffer:
+    def test_capacity_wraparound(self):
+        buffer = PrioritizedReplayBuffer(capacity=4)
+        for i in range(10):
+            buffer.add((i,), priority=1.0)
+        assert len(buffer) == 4
+
+    def test_prioritized_sampling_prefers_high_priority(self):
+        buffer = PrioritizedReplayBuffer(capacity=10, alpha=1.0, seed=0)
+        buffer.add(("low",), priority=0.001)
+        buffer.add(("high",), priority=10.0)
+        transitions, _, _ = buffer.sample(64)
+        high_fraction = sum(1 for t in transitions if t[0] == "high") / len(transitions)
+        assert high_fraction > 0.9
+
+    def test_importance_weights_bounded(self):
+        buffer = PrioritizedReplayBuffer(capacity=10, seed=0)
+        for i in range(10):
+            buffer.add((i,), priority=float(i + 1))
+        _, _, weights = buffer.sample(5)
+        assert np.all(weights <= 1.0) and np.all(weights > 0)
+
+    def test_update_priorities(self):
+        buffer = PrioritizedReplayBuffer(capacity=4, seed=0)
+        buffer.add((0,), priority=1.0)
+        _, indices, _ = buffer.sample(1)
+        buffer.update_priorities(indices, np.array([9.0]))
+        assert buffer.priorities[indices[0]] == 9.0
+
+
+class TestAgents:
+    @pytest.mark.parametrize("make_agent", AGENTS, ids=["ppo", "a2c", "apex", "impala"])
+    def test_agent_completes_training_episodes(self, rl_env, make_agent):
+        agent = make_agent()
+        rewards = [
+            run_episode(rl_env, agent, benchmark="generator://csmith-v0/1", train=True)
+            for _ in range(3)
+        ]
+        assert len(rewards) == 3
+        assert all(np.isfinite(r) for r in rewards)
+
+    def test_greedy_rollout_is_deterministic(self, rl_env):
+        agent = PPOAgent(OBS_DIM, 42, seed=0)
+        a = run_episode(rl_env, agent, benchmark="benchmark://cbench-v1/crc32", train=False)
+        b = run_episode(rl_env, agent, benchmark="benchmark://cbench-v1/crc32", train=False)
+        assert a == pytest.approx(b)
+
+    def test_training_improves_ppo_on_single_benchmark(self, rl_env):
+        agent = PPOAgent(OBS_DIM, 42, seed=0, learning_rate=0.05)
+        benchmark = "generator://csmith-v0/3"
+        before = evaluate_codesize_reduction(agent, rl_env, [benchmark]).geomean_reduction
+        train_agent(agent, rl_env, [benchmark], episodes=30)
+        after = evaluate_codesize_reduction(agent, rl_env, [benchmark]).geomean_reduction
+        assert after >= before * 0.9  # Training must not collapse; usually it improves.
+
+    def test_train_agent_records_learning_curve(self, rl_env):
+        agent = A2CAgent(OBS_DIM, 42, seed=0)
+        result = train_agent(
+            agent,
+            rl_env,
+            ["generator://csmith-v0/5"],
+            episodes=4,
+            validation_benchmarks=["benchmark://cbench-v1/crc32"],
+            validation_interval=2,
+        )
+        assert len(result.episode_rewards) == 4
+        assert len(result.validation_scores) == 2
+
+
+class TestHarness:
+    def test_action_subset_has_42_passes(self):
+        assert len(AUTOPHASE_ACTION_SUBSET) == 42
+
+    def test_observation_dim(self):
+        assert observation_dim("Autophase", True, 42) == 98
+        assert observation_dim("InstCount", False, 42) == 70
+
+    def test_final_codesize_reduction_metric(self, rl_env):
+        rl_env.reset()
+        reduction = final_codesize_reduction(rl_env)
+        assert 0 < reduction <= 1.0  # Unoptimized program is never smaller than -Oz.
+
+    def test_evaluation_result_structure(self, rl_env):
+        agent = PPOAgent(OBS_DIM, 42, seed=0)
+        result = evaluate_codesize_reduction(
+            agent, rl_env, ["benchmark://cbench-v1/crc32"], dataset_name="cbench"
+        )
+        assert result.dataset == "cbench"
+        assert len(result.per_benchmark) == 1
+        assert result.geomean_reduction > 0

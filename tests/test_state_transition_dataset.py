@@ -1,0 +1,113 @@
+"""Tests for the state-transition database and logging wrapper."""
+
+import random
+
+import pytest
+
+import repro
+from repro.state_transition_dataset import (
+    StateTransitionDatabase,
+    StateTransitionLoggingWrapper,
+    populate_state_transitions,
+)
+from repro.state_transition_dataset.postprocess import transition_statistics
+
+
+class TestDatabase:
+    def test_schema_tables_exist(self):
+        with StateTransitionDatabase() as db:
+            assert db.num_steps() == 0
+            assert db.num_unique_states() == 0
+            assert db.num_transitions() == 0
+
+    def test_add_and_read_step(self):
+        with StateTransitionDatabase() as db:
+            db.add_step("benchmark://x/1", [1, 2], "abc", [0.5, 1.0])
+            db.commit()
+            steps = list(db.steps())
+            assert steps == [("benchmark://x/1", [1, 2], "abc", False, [0.5, 1.0])]
+
+    def test_step_primary_key_deduplicates(self):
+        with StateTransitionDatabase() as db:
+            db.add_step("benchmark://x/1", [1], "a", [1.0])
+            db.add_step("benchmark://x/1", [1], "a2", [2.0])
+            db.commit()
+            assert db.num_steps() == 1
+            assert list(db.steps())[0][2] == "a2"
+
+    def test_observation_ir_compression_round_trip(self):
+        with StateTransitionDatabase() as db:
+            ir = "define i32 @main() {\nentry:\n  ret i32 0\n}\n" * 20
+            db.add_observation("state0", ir=ir, instcounts=[1, 2], autophase=[3], instruction_count=2)
+            db.commit()
+            row = db.observation("state0")
+            assert row["ir"] == ir
+            assert row["instcounts"] == [1, 2]
+            assert row["instruction_count"] == 2
+
+    def test_missing_observation(self):
+        with StateTransitionDatabase() as db:
+            assert db.observation("nope") is None
+
+    def test_transitions_round_trip(self):
+        with StateTransitionDatabase() as db:
+            db.add_transition("a", 3, "b", [1.5])
+            db.commit()
+            assert list(db.transitions()) == [("a", 3, "b", [1.5])]
+
+    def test_file_backed_database(self, tmp_path):
+        path = str(tmp_path / "stdb.sqlite")
+        with StateTransitionDatabase(path) as db:
+            db.add_step("benchmark://x/1", [], "root", [])
+        with StateTransitionDatabase(path) as db:
+            assert db.num_steps() == 1
+
+
+class TestLoggingWrapperAndPostprocess:
+    @pytest.fixture()
+    def logged_env(self):
+        db = StateTransitionDatabase()
+        env = repro.make("llvm-v0", benchmark="cbench-v1/qsort", reward_space="IrInstructionCount")
+        wrapper = StateTransitionLoggingWrapper(env, db)
+        yield wrapper, db
+        wrapper.close()
+
+    def test_logging_populates_steps_and_observations(self, logged_env):
+        wrapper, db = logged_env
+        wrapper.reset()
+        for name in ("mem2reg", "instcombine", "gvn", "dce", "simplifycfg"):
+            wrapper.step(wrapper.action_space[name])
+        assert db.num_steps() == 6  # Initial state plus five steps.
+        assert db.num_unique_states() >= 2
+
+    def test_postprocess_builds_transitions(self, logged_env):
+        wrapper, db = logged_env
+        wrapper.reset()
+        for action in (wrapper.action_space["mem2reg"], wrapper.action_space["dce"],
+                       wrapper.action_space["gvn"]):
+            wrapper.step(action)
+        count = populate_state_transitions(db)
+        assert count == 3
+        stats = transition_statistics(db)
+        assert stats["transitions"] == 3
+        assert stats["unique_states"] >= 2
+
+    def test_transitions_link_consecutive_states(self, logged_env):
+        wrapper, db = logged_env
+        wrapper.reset()
+        first = wrapper.observation["IrSha1"]
+        wrapper.step(wrapper.action_space["mem2reg"])
+        second = wrapper.observation["IrSha1"]
+        populate_state_transitions(db)
+        transitions = list(db.transitions())
+        assert (first, wrapper.action_space["mem2reg"], second) in [
+            (a, action, b) for a, action, b, _ in transitions
+        ]
+
+    def test_duplicate_episodes_are_deduplicated(self, logged_env):
+        wrapper, db = logged_env
+        for _ in range(2):  # The same trajectory twice.
+            wrapper.reset()
+            wrapper.step(wrapper.action_space["mem2reg"])
+        count = populate_state_transitions(db)
+        assert count == 1

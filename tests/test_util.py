@@ -1,0 +1,103 @@
+"""Tests for the shared utility helpers."""
+
+import time
+
+import pytest
+
+from repro.util.gaussian import gaussian_filter1d
+from repro.util.statistics import arithmetic_mean, geometric_mean, percentile, stdev
+from repro.util.timer import Timer, humanize_duration
+from repro.util.truncate import truncate, truncate_lines
+
+
+class TestTimer:
+    def test_context_manager_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert 0.005 < timer.time < 1.0
+
+    def test_label_in_str(self):
+        timer = Timer(label="compile")
+        with timer:
+            pass
+        assert str(timer).startswith("compile:")
+
+    def test_humanize_duration_units(self):
+        assert humanize_duration(2e-9).endswith("ns")
+        assert humanize_duration(3e-6).endswith("us")
+        assert humanize_duration(0.005).endswith("ms")
+        assert humanize_duration(2.5) == "2.500s"
+        assert humanize_duration(65) == "1m 5.0s"
+        assert humanize_duration(3_661).startswith("1h 1m")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            humanize_duration(-1)
+
+
+class TestTruncate:
+    def test_no_truncation_needed(self):
+        assert truncate("short", max_line_len=60) == "short"
+
+    def test_long_line_truncated_with_ellipsis(self):
+        out = truncate("x" * 100, max_line_len=10)
+        assert len(out) == 10
+        assert out.endswith("...")
+
+    def test_multi_line_truncation(self):
+        out = truncate("a\nb\nc", max_line_len=60, max_lines=2)
+        assert out.splitlines()[0] == "a"
+        assert out.endswith("...")
+
+    def test_tail_mode_keeps_end(self):
+        out = truncate("abcdefghij", max_line_len=6, tail=True)
+        assert out == "...hij"
+
+    def test_truncate_lines(self):
+        out = truncate_lines([f"line{i}" for i in range(10)], max_lines=3)
+        assert out.count("\n") == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            truncate("x", max_line_len=2)
+        with pytest.raises(ValueError):
+            truncate("x", max_lines=0)
+
+
+class TestStatistics:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+        assert arithmetic_mean([]) == 0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0
+        assert geometric_mean([1.0, 0.0]) == 0  # Non-positive values -> undefined -> 0.
+
+    def test_stdev(self):
+        assert stdev([5]) == 0
+        assert stdev([2, 4]) == pytest.approx(1.0)
+
+    def test_percentile_interpolation(self):
+        values = [1, 2, 3, 4]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 4
+        assert percentile(values, 50) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            percentile(values, 150)
+
+
+class TestGaussianFilter:
+    def test_preserves_constant_signal(self):
+        assert gaussian_filter1d([3.0] * 10, sigma=2.0) == pytest.approx([3.0] * 10)
+
+    def test_smooths_spike(self):
+        signal = [0.0] * 5 + [10.0] + [0.0] * 5
+        smoothed = gaussian_filter1d(signal, sigma=1.5)
+        assert max(smoothed) < 10.0
+        assert sum(smoothed) == pytest.approx(sum(signal), rel=0.05)
+
+    def test_zero_sigma_is_identity(self):
+        signal = [1.0, 5.0, 2.0]
+        assert gaussian_filter1d(signal, sigma=0) == signal

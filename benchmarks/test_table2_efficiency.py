@@ -130,9 +130,12 @@ def test_table2_operation_costs(benchmark):
     results["speedup_vs_autophase"] = autophase_step / cg_step
     results["speedup_vs_opentuner"] = opentuner_step / cg_step
     results["batched_speedup"] = cg_step / batched_step
+    # Compare typical (median) init costs: the mean is dominated by one-off
+    # outliers (first-time benchmark parses, GC pauses under a loaded
+    # machine), which makes the shape check below flaky.
     results["opentuner_init_over_compilergym_init"] = (
-        results["OpenTuner"]["environment_init"]["mean_ms"]
-        / results["CompilerGym"]["environment_init"]["mean_ms"]
+        results["OpenTuner"]["environment_init"]["p50_ms"]
+        / results["CompilerGym"]["environment_init"]["p50_ms"]
     )
 
     rows = [

@@ -18,6 +18,7 @@ supporting toolkit.
 
 from repro.core import CompilerEnv, CompilerEnvState
 from repro.core.registration import make, register, registered_env_ids
+from repro.core.vector import VecCompilerEnv, make_vec_env
 from repro.core import wrappers  # noqa: F401 - re-exported module
 from repro.core import spaces  # noqa: F401 - re-exported module
 from repro.core.validation import ValidationResult, validate_states

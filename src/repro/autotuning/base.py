@@ -4,6 +4,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.core.vector import VecCompilerEnv
+
 
 @dataclass
 class SearchResult:
@@ -87,6 +89,38 @@ class EpisodeTuner:
             total = env.episode_reward if env.episode_reward is not None else (reward or 0.0)
         budget.spend(len(actions))
         return float(total)
+
+    @staticmethod
+    def parallel_evaluate(
+        vec_env: VecCompilerEnv, action_sequences: Sequence[Sequence[Any]], budget: Budget
+    ) -> List[float]:
+        """Evaluate up to ``num_envs`` complete episodes concurrently.
+
+        Each action sequence is assigned to one pool worker; all workers are
+        reset and stepped in batched operations, so under the thread-pool
+        backend the candidate evaluations of one search round overlap.
+        Returns one cumulative episode reward per sequence, in input order.
+        """
+        sequences = [list(sequence) for sequence in action_sequences]
+        if len(sequences) > vec_env.num_envs:
+            raise ValueError(
+                f"Got {len(sequences)} action sequences for a pool of "
+                f"{vec_env.num_envs} workers"
+            )
+        padded: List[Optional[List[Any]]] = list(sequences)
+        padded += [None] * (vec_env.num_envs - len(sequences))
+        vec_env.reset()
+        _, step_rewards, _, _ = vec_env.multistep(padded)
+        totals: List[float] = []
+        for worker, sequence, reward in zip(vec_env.workers, padded, step_rewards):
+            if sequence is None:
+                continue
+            total = getattr(worker, "episode_reward", None)
+            if total is None:
+                total = reward or 0.0
+            totals.append(float(total))
+            budget.spend(len(sequence))
+        return totals
 
     @staticmethod
     def record(result: SearchResult, actions: Sequence[Any], reward: float, metric: Optional[float] = None) -> None:

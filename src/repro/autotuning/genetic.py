@@ -11,6 +11,7 @@ import random
 from typing import List, Sequence
 
 from repro.autotuning.base import Budget, ConfigurationTuner, EpisodeTuner, SearchResult
+from repro.core.vector import VecCompilerEnv
 
 
 class GeneticAlgorithm(ConfigurationTuner):
@@ -106,6 +107,9 @@ class SequenceGeneticAlgorithm(EpisodeTuner):
         def random_sequence() -> List[int]:
             return [rng.randrange(num_actions) for _ in range(self.episode_length)]
 
+        if isinstance(env, VecCompilerEnv):
+            self._search_vectorized(env, budget, result, rng, num_actions, random_sequence)
+            return
         population = [random_sequence() for _ in range(self.population_size)]
         scored = []
         for sequence in population:
@@ -116,14 +120,45 @@ class SequenceGeneticAlgorithm(EpisodeTuner):
             scored.append((reward, sequence))
         while not budget.exhausted() and scored:
             scored.sort(key=lambda pair: -pair[0])
-            parents = [sequence for _, sequence in scored[: max(2, len(scored) // 2)]]
-            mother, father = rng.sample(parents, 2) if len(parents) >= 2 else (parents[0], parents[0])
-            crossover_point = rng.randrange(self.episode_length)
-            child = mother[:crossover_point] + father[crossover_point:]
-            for i in range(self.episode_length):
-                if rng.random() < self.mutation_probability:
-                    child[i] = rng.randrange(num_actions)
+            child = self._make_child(rng, scored, num_actions)
             reward = self.evaluate_episode(env, child, budget)
             self.record(result, child, reward)
             scored.append((reward, child))
+            scored = scored[: self.population_size]
+
+    def _make_child(self, rng: random.Random, scored: List[tuple], num_actions: int) -> List[int]:
+        """Uniform crossover of two of the fitter parents, plus mutation."""
+        parents = [sequence for _, sequence in scored[: max(2, len(scored) // 2)]]
+        mother, father = rng.sample(parents, 2) if len(parents) >= 2 else (parents[0], parents[0])
+        crossover_point = rng.randrange(self.episode_length)
+        child = mother[:crossover_point] + father[crossover_point:]
+        for i in range(self.episode_length):
+            if rng.random() < self.mutation_probability:
+                child[i] = rng.randrange(num_actions)
+        return child
+
+    def _search_vectorized(
+        self, vec_env, budget: Budget, result: SearchResult, rng, num_actions, random_sequence
+    ) -> None:
+        """Batched GA: the initial population and each generation's offspring
+        are evaluated in chunks of ``num_envs`` concurrent episodes."""
+        chunk_size = vec_env.num_envs
+        scored: List[tuple] = []
+        population = [random_sequence() for _ in range(self.population_size)]
+        for start in range(0, len(population), chunk_size):
+            if budget.exhausted():
+                break
+            chunk = population[start : start + chunk_size]
+            rewards = self.parallel_evaluate(vec_env, chunk, budget)
+            for sequence, reward in zip(chunk, rewards):
+                self.record(result, sequence, reward)
+                scored.append((reward, sequence))
+        while not budget.exhausted() and scored:
+            scored.sort(key=lambda pair: -pair[0])
+            children = [self._make_child(rng, scored, num_actions) for _ in range(chunk_size)]
+            rewards = self.parallel_evaluate(vec_env, children, budget)
+            for child, reward in zip(children, rewards):
+                self.record(result, child, reward)
+                scored.append((reward, child))
+            scored.sort(key=lambda pair: -pair[0])
             scored = scored[: self.population_size]

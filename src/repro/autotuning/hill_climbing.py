@@ -4,6 +4,7 @@ import random
 from typing import List
 
 from repro.autotuning.base import Budget, ConfigurationTuner, EpisodeTuner, SearchResult
+from repro.core.vector import VecCompilerEnv
 
 
 class HillClimbingSearch(ConfigurationTuner):
@@ -56,21 +57,51 @@ class SequenceHillClimbing(EpisodeTuner):
         rng = random.Random(self.seed)
         num_actions = env.action_space.n
         current: List[int] = [rng.randrange(num_actions) for _ in range(self.episode_length)]
+        if isinstance(env, VecCompilerEnv):
+            self._search_vectorized(env, budget, result, rng, current, num_actions)
+            return
         current_reward = self.evaluate_episode(env, current, budget)
         self.record(result, current, current_reward)
         while not budget.exhausted():
-            candidate = list(current)
-            for _ in range(self.num_mutations):
-                mutation = rng.random()
-                if mutation < 0.7 or not candidate:
-                    index = rng.randrange(len(candidate)) if candidate else 0
-                    if candidate:
-                        candidate[index] = rng.randrange(num_actions)
-                elif mutation < 0.85:
-                    candidate.append(rng.randrange(num_actions))
-                else:
-                    candidate.pop(rng.randrange(len(candidate)))
+            candidate = self._mutate(rng, current, num_actions)
             reward = self.evaluate_episode(env, candidate, budget)
             self.record(result, candidate, reward)
             if reward > current_reward:
                 current, current_reward = candidate, reward
+
+    def _mutate(self, rng: random.Random, sequence: List[int], num_actions: int) -> List[int]:
+        candidate = list(sequence)
+        for _ in range(self.num_mutations):
+            mutation = rng.random()
+            if mutation < 0.7 or not candidate:
+                index = rng.randrange(len(candidate)) if candidate else 0
+                if candidate:
+                    candidate[index] = rng.randrange(num_actions)
+            elif mutation < 0.85:
+                candidate.append(rng.randrange(num_actions))
+            else:
+                candidate.pop(rng.randrange(len(candidate)))
+        return candidate
+
+    def _search_vectorized(
+        self,
+        vec_env: VecCompilerEnv,
+        budget: Budget,
+        result: SearchResult,
+        rng: random.Random,
+        current: List[int],
+        num_actions: int,
+    ) -> None:
+        """Batched hill climbing: each round evaluates one mutant per worker."""
+        current_reward = self.parallel_evaluate(vec_env, [current], budget)[0]
+        self.record(result, current, current_reward)
+        while not budget.exhausted():
+            candidates = [
+                self._mutate(rng, current, num_actions) for _ in range(vec_env.num_envs)
+            ]
+            rewards = self.parallel_evaluate(vec_env, candidates, budget)
+            for candidate, reward in zip(candidates, rewards):
+                self.record(result, candidate, reward)
+            best = max(range(len(rewards)), key=rewards.__getitem__)
+            if rewards[best] > current_reward:
+                current, current_reward = candidates[best], rewards[best]

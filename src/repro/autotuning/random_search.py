@@ -9,10 +9,17 @@ import random
 from typing import List, Optional, Sequence
 
 from repro.autotuning.base import Budget, ConfigurationTuner, EpisodeTuner, SearchResult
+from repro.core.vector import VecCompilerEnv
 
 
 class RandomSearch(EpisodeTuner):
-    """Random episode search with a no-improvement patience."""
+    """Random episode search with a no-improvement patience.
+
+    When given a :class:`VecCompilerEnv`, each search round evaluates one
+    fixed-length random episode per pool worker concurrently (the batched
+    variant cannot adapt episode length to the reward stream, so it uses
+    ``min(max_episode_length, 2 * patience)`` steps per episode).
+    """
 
     name = "random"
 
@@ -22,6 +29,9 @@ class RandomSearch(EpisodeTuner):
         self.max_episode_length = max_episode_length
 
     def search(self, env, budget: Budget, result: SearchResult) -> None:
+        if isinstance(env, VecCompilerEnv):
+            self._search_vectorized(env, budget, result)
+            return
         rng = random.Random(self.seed)
         num_actions = env.action_space.n
         while not budget.exhausted():
@@ -51,6 +61,21 @@ class RandomSearch(EpisodeTuner):
                 if done:
                     break
             self.record(result, best_prefix, best_prefix_reward)
+
+    def _search_vectorized(
+        self, vec_env: VecCompilerEnv, budget: Budget, result: SearchResult
+    ) -> None:
+        rng = random.Random(self.seed)
+        num_actions = vec_env.action_space.n
+        episode_length = min(self.max_episode_length, max(1, 2 * self.patience))
+        while not budget.exhausted():
+            batch = [
+                [rng.randrange(num_actions) for _ in range(episode_length)]
+                for _ in range(vec_env.num_envs)
+            ]
+            rewards = self.parallel_evaluate(vec_env, batch, budget)
+            for sequence, reward in zip(batch, rewards):
+                self.record(result, sequence, reward)
 
 
 class RandomConfigurationSearch(ConfigurationTuner):

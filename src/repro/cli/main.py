@@ -58,12 +58,25 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
-def _random_search_worker(env_id: str, benchmark: str, steps: int, patience: int, seed: int):
+def _random_search_worker(
+    env_id: str, benchmark: str, steps: int, patience: int, seed: int, workers: int = 1
+):
     from repro.autotuning import RandomSearch
+    from repro.core.vector import VecCompilerEnv
 
     env = repro.make(env_id, benchmark=benchmark, reward_space="IrInstructionCount")
+    tuner = RandomSearch(seed=seed, patience=patience)
+    if workers > 1:
+        # Vectorized search: the env is forked into a pool and candidate
+        # episodes are evaluated concurrently on a thread-pool backend.
+        with VecCompilerEnv(env, n=workers, backend="thread") as vec:
+            result = tuner.tune(vec, max_steps=steps)
+            root = vec.workers[0]
+            root.reset()
+            if result.best_actions:
+                root.multistep(result.best_actions)
+            return root.state, result
     try:
-        tuner = RandomSearch(seed=seed, patience=patience)
         result = tuner.tune(env, max_steps=steps)
         env.reset()
         if result.best_actions:
@@ -78,7 +91,15 @@ def _cmd_random_search(args) -> int:
     results = []
     with ThreadPoolExecutor(max_workers=args.nproc) as executor:
         futures = [
-            executor.submit(_random_search_worker, args.env, benchmark, args.steps, args.patience, seed)
+            executor.submit(
+                _random_search_worker,
+                args.env,
+                benchmark,
+                args.steps,
+                args.patience,
+                seed,
+                args.workers,
+            )
             for seed, benchmark in enumerate(benchmarks)
         ]
         for future in futures:
@@ -145,7 +166,12 @@ def make_parser() -> argparse.ArgumentParser:
     search.add_argument("--benchmark", action="append", help="Benchmark URI (repeatable)")
     search.add_argument("--steps", type=int, default=500)
     search.add_argument("--patience", type=int, default=25)
-    search.add_argument("--nproc", type=int, default=1)
+    search.add_argument("--nproc", type=int, default=1,
+                        help="Independent searches to run concurrently (one per benchmark)")
+    search.add_argument("--workers", type=int, default=1,
+                        help="Vectorized environment pool size per search: the environment "
+                             "is fork()ed into N workers that evaluate candidate episodes "
+                             "concurrently")
     search.add_argument("--output", help="Write resulting states to a CSV file")
     search.set_defaults(func=_cmd_random_search)
 

@@ -9,11 +9,14 @@ validation utilities.
 from repro.core.env import CompilerEnv
 from repro.core.compiler_env_state import CompilerEnvState
 from repro.core.registration import make, register, registered_env_ids
+from repro.core.vector import VecCompilerEnv, make_vec_env
 
 __all__ = [
     "CompilerEnv",
     "CompilerEnvState",
+    "VecCompilerEnv",
     "make",
+    "make_vec_env",
     "register",
     "registered_env_ids",
 ]

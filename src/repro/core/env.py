@@ -80,6 +80,7 @@ class CompilerEnv:
         self.reward_range: Tuple[float, float] = (float("-inf"), float("inf"))
 
         # Episode state.
+        self._closed = False
         self._session_id: Optional[int] = None
         self._benchmark_in_use: Optional[Benchmark] = None
         self._next_benchmark: Optional[Benchmark] = None
@@ -301,6 +302,7 @@ class CompilerEnv:
         except LookupError as error:
             raise BenchmarkInitError(str(error)) from error
 
+        self._closed = False
         self._session_id = reply.session_id
         self.actions = []
         self.episode_reward = 0 if self._reward_space else None
@@ -341,6 +343,11 @@ class CompilerEnv:
         space; otherwise they use the environment's default spaces.
         """
         if self._session_id is None:
+            if self._closed:
+                raise SessionNotFound(
+                    "Cannot call step() on a closed environment: "
+                    "the compilation session has ended"
+                )
             raise SessionNotFound("Cannot call step() before reset()")
         actions = list(actions)
 
@@ -541,16 +548,29 @@ class CompilerEnv:
         return text
 
     def close(self) -> None:
-        """End the current session and, if owned, shut down the service."""
-        if self._session_id is not None:
+        """End the current session and, if owned, shut down the service.
+
+        Closing is idempotent and exception-safe: calling it on an
+        already-closed environment, or on an environment whose construction
+        failed partway (e.g. from ``__del__``), is a no-op. Forked workers
+        share the service via reference counting, so any close order is safe.
+        """
+        self._closed = True
+        session_id = getattr(self, "_session_id", None)
+        self._session_id = None
+        service = getattr(self, "service", None)
+        if session_id is not None and service is not None:
             try:
-                self.service.end_session(EndSessionRequest(session_id=self._session_id))
+                service.end_session(EndSessionRequest(session_id=session_id))
             except (ServiceError, SessionNotFound):
                 pass
-            self._session_id = None
-        if self._owns_service:
+        if getattr(self, "_owns_service", False):
             self._owns_service = False
-            self.service.release()
+            if service is not None:
+                try:
+                    service.release()
+                except ServiceError:
+                    pass
 
     def __enter__(self) -> "CompilerEnv":
         return self

@@ -11,9 +11,11 @@ configured to model the per-call round-trip cost of a real RPC transport,
 which is what the batched-step experiments measure against.
 """
 
+import threading
 import time
+from concurrent.futures import Executor, Future
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.service.proto import (
     EndSessionRequest,
@@ -56,6 +58,52 @@ class CallStats:
         self.wall_times.append(wall_time)
 
 
+class AsyncResult:
+    """A future-like handle on an in-flight (or already completed) service call.
+
+    Execution backends use this to overlap service calls across sessions: a
+    call dispatched on an executor returns immediately with an
+    :class:`AsyncResult`, and :meth:`result` blocks until the reply (or the
+    translated service error) is available. Calls dispatched without an
+    executor resolve eagerly, so callers can treat both cases uniformly.
+    """
+
+    def __init__(
+        self,
+        future: Optional[Future] = None,
+        value: Any = None,
+        error: Optional[BaseException] = None,
+    ):
+        self._future = future
+        self._value = value
+        self._error = error
+
+    @classmethod
+    def resolved(cls, value: Any) -> "AsyncResult":
+        """An AsyncResult that already holds its value."""
+        return cls(value=value)
+
+    @classmethod
+    def raised(cls, error: BaseException) -> "AsyncResult":
+        """An AsyncResult that already holds an error."""
+        return cls(error=error)
+
+    def done(self) -> bool:
+        return self._future is None or self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if self._future is not None:
+            return self._future.result(timeout=timeout)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if self._future is not None:
+            return self._future.exception(timeout=timeout)
+        return self._error
+
+
 class ServiceConnection:
     """A fault-tolerant connection to a :class:`CompilerGymServiceRuntime`."""
 
@@ -73,6 +121,12 @@ class ServiceConnection:
         # when the last of them releases it.
         self._refcount = 1
         self.stats: Dict[str, CallStats] = {}
+        # Guards the stats dictionary and the refcount: execution backends may
+        # dispatch calls on this connection from multiple threads at once.
+        self._lock = threading.Lock()
+        # Serializes crash recovery so concurrent failing calls cannot race
+        # to tear down and recreate the runtime.
+        self._restart_lock = threading.Lock()
         start = time.perf_counter()
         self._runtime = self._create_runtime()
         self.startup_wall_time = time.perf_counter() - start
@@ -92,19 +146,26 @@ class ServiceConnection:
         return self._runtime
 
     def restart(self) -> None:
-        """Tear down and recreate the backend runtime (crash recovery)."""
-        try:
-            self._runtime.shutdown()
-        except Exception:  # noqa: BLE001 - the old runtime may be in any state
-            pass
-        self._runtime = self._create_runtime()
-        self.restart_count += 1
+        """Tear down and recreate the backend runtime (crash recovery).
+
+        Restarting destroys every session on the runtime; concurrent calls on
+        sibling sessions will observe ``SessionNotFound`` and terminate their
+        episodes through the environment's fault-tolerance path.
+        """
+        with self._restart_lock:
+            try:
+                self._runtime.shutdown()
+            except Exception:  # noqa: BLE001 - the old runtime may be in any state
+                pass
+            self._runtime = self._create_runtime()
+            self.restart_count += 1
 
     def _call(self, name: str, fn: Callable, *args):
         """Invoke a service method with timeout, retry, and error translation."""
         if self.closed:
             raise ServiceIsClosed(f"Cannot call {name}() on a closed service")
-        stats = self.stats.setdefault(name, CallStats())
+        with self._lock:
+            stats = self.stats.setdefault(name, CallStats())
         wait = self.opts.retry_wait_seconds
         attempts = max(1, self.opts.rpc_max_retries)
         last_error: Optional[Exception] = None
@@ -119,25 +180,52 @@ class ServiceConnection:
                     raise ServiceTransportError(
                         f"Service call {name}() exceeded {self.opts.rpc_call_max_seconds}s timeout"
                     )
-                stats.record(elapsed)
+                with self._lock:
+                    stats.record(elapsed)
                 return result
             except (SessionNotFound, ServiceIsClosed):
-                stats.errors += 1
+                with self._lock:
+                    stats.errors += 1
                 raise
             except ServiceError:
-                stats.errors += 1
+                with self._lock:
+                    stats.errors += 1
                 raise
             except Exception as error:  # noqa: BLE001 - backend crash: retry after restart
-                stats.errors += 1
+                with self._lock:
+                    stats.errors += 1
                 last_error = error
                 if attempt + 1 < attempts:
-                    stats.retries += 1
+                    with self._lock:
+                        stats.retries += 1
                     time.sleep(wait)
                     wait *= self.opts.retry_wait_backoff_exponent
                     self.restart()
+                    # Rebind runtime methods so the retry hits the fresh
+                    # runtime rather than the one that was just torn down.
+                    method = getattr(fn, "__name__", None)
+                    if method is not None and hasattr(self._runtime, method):
+                        fn = getattr(self._runtime, method)
         raise ServiceError(
             f"Service call {name}() failed after {attempts} attempts: {last_error}"
         ) from last_error
+
+    def _call_async(
+        self, name: str, fn: Callable, *args, executor: Optional[Executor] = None
+    ) -> AsyncResult:
+        """Dispatch a service call, optionally on an executor.
+
+        With an executor the call runs in the background and the returned
+        :class:`AsyncResult` resolves when it completes, letting callers
+        overlap calls on independent sessions. Without one, the call runs
+        eagerly and the result (or error) is captured in the AsyncResult.
+        """
+        if executor is not None:
+            return AsyncResult(future=executor.submit(self._call, name, fn, *args))
+        try:
+            return AsyncResult.resolved(self._call(name, fn, *args))
+        except Exception as error:  # noqa: BLE001 - deferred to .result()
+            return AsyncResult.raised(error)
 
     # -- RPC methods ------------------------------------------------------
 
@@ -149,6 +237,20 @@ class ServiceConnection:
 
     def step(self, request: StepRequest):
         return self._call("step", self._runtime.step, request)
+
+    def step_async(
+        self, request: StepRequest, executor: Optional[Executor] = None
+    ) -> AsyncResult:
+        """Asynchronous :meth:`step`: returns an :class:`AsyncResult`."""
+        return self._call_async("step", self._runtime.step, request, executor=executor)
+
+    def start_session_async(
+        self, request: StartSessionRequest, executor: Optional[Executor] = None
+    ) -> AsyncResult:
+        """Asynchronous :meth:`start_session`: returns an :class:`AsyncResult`."""
+        return self._call_async(
+            "start_session", self._runtime.start_session, request, executor=executor
+        )
 
     def fork_session(self, request: ForkSessionRequest):
         return self._call("fork_session", self._runtime.fork_session, request)
@@ -165,13 +267,16 @@ class ServiceConnection:
 
     def acquire(self) -> "ServiceConnection":
         """Register another environment sharing this connection (fork())."""
-        self._refcount += 1
+        with self._lock:
+            self._refcount += 1
         return self
 
     def release(self) -> None:
         """Drop one reference; the connection closes when none remain."""
-        self._refcount -= 1
-        if self._refcount <= 0:
+        with self._lock:
+            self._refcount -= 1
+            should_close = self._refcount <= 0
+        if should_close:
             self.close()
 
     def close(self) -> None:

@@ -1,0 +1,26 @@
+"""Vectorized environment pools.
+
+This subpackage provides :class:`VecCompilerEnv`, a fixed-size pool of
+compilation sessions driven through a batched ``reset``/``step``/
+``multistep`` interface. Pools are populated with ``fork()`` so per-pool
+initialization cost is paid once, and batches execute through a pluggable
+backend (serial or thread pool).
+"""
+
+from repro.core.vector.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
+from repro.core.vector.vec_env import SKIPPED_STEP, VecCompilerEnv, make_vec_env
+
+__all__ = [
+    "ExecutionBackend",
+    "SKIPPED_STEP",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "VecCompilerEnv",
+    "make_vec_env",
+    "resolve_backend",
+]

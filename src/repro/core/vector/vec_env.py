@@ -1,0 +1,283 @@
+"""A vectorized pool of compiler environments.
+
+:class:`VecCompilerEnv` drives N compilation sessions through a single
+batched ``reset``/``step``/``multistep`` interface, the standard substrate
+for parallel policy rollout and parallel autotuning in gym-style systems.
+
+The pool is populated by *forking*: one root environment is ``fork()``-ed
+N−1 times, so service startup, benchmark initialization, and the service's
+benchmark cache are paid once and shared by every worker — the cheap session
+cloning that the source paper's environments-as-a-service architecture is
+built around. Batches are executed by a pluggable
+:class:`~repro.core.vector.backends.ExecutionBackend`.
+"""
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.datasets import Benchmark
+from repro.core.vector.backends import ExecutionBackend, resolve_backend
+from repro.errors import SessionNotFound
+
+# Placeholder result returned for workers whose slot in a batched step was
+# ``None`` (i.e. masked out, typically because their episode already ended).
+SKIPPED_STEP = (None, None, True, {"skipped": True})
+
+
+class VecCompilerEnv:
+    """A fixed-size pool of environments with a batched Gym-style interface.
+
+    Args:
+        env: The root environment. It becomes worker 0 and is forked to
+            populate the rest of the pool. The pool takes ownership: closing
+            the pool closes the root too.
+        n: The number of workers (must be >= 1).
+        backend: Execution backend: ``"serial"`` (default), ``"thread"``, or
+            an :class:`ExecutionBackend` instance. A string-constructed
+            backend is owned (and closed) by the pool; an instance is not.
+        worker_wrapper: Optional callable applied to every worker (including
+            the root) after forking, e.g. to impose a ``TimeLimit``. The
+            wrapper must preserve the ``CompilerEnv`` interface.
+    """
+
+    def __init__(
+        self,
+        env,
+        n: int,
+        backend: Union[str, ExecutionBackend, None] = None,
+        worker_wrapper: Optional[Callable[[Any], Any]] = None,
+    ):
+        if n < 1:
+            raise ValueError(f"VecCompilerEnv requires n >= 1, got {n}")
+        self._backend = resolve_backend(backend, n)
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.closed = False
+        self.workers: List[Any] = []
+
+        workers = [env]
+        try:
+            for _ in range(n - 1):
+                workers.append(env.fork())
+            if worker_wrapper is not None:
+                workers = [worker_wrapper(worker) for worker in workers]
+        except Exception:
+            # Construction failed partway: release the forked sessions (the
+            # caller still owns the root env) and any backend we created.
+            for worker in workers[1:]:
+                try:
+                    worker.close()
+                except Exception:  # noqa: BLE001 - best-effort cleanup
+                    pass
+            if self._owns_backend:
+                self._backend.close()
+            raise
+        self.workers = workers
+
+    # -- pool introspection -------------------------------------------------
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.workers)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __getitem__(self, index: int):
+        return self.workers[index]
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
+
+    @property
+    def action_space(self):
+        """The action space shared by all workers (delegates to worker 0)."""
+        return self.workers[0].action_space
+
+    @property
+    def observation_space(self):
+        return self.workers[0].observation_space
+
+    @property
+    def reward_space(self):
+        return self.workers[0].reward_space
+
+    @property
+    def benchmark(self):
+        return self.workers[0].benchmark
+
+    @property
+    def episode_rewards(self) -> List[Optional[float]]:
+        """The cumulative episode reward of each worker."""
+        return [getattr(worker, "episode_reward", None) for worker in self.workers]
+
+    # -- batched Gym API ----------------------------------------------------
+
+    def _check_open(self, operation: str) -> None:
+        if self.closed:
+            raise SessionNotFound(
+                f"Cannot call {operation}() on a closed VecCompilerEnv"
+            )
+
+    def _check_batch(self, name: str, batch: Sequence[Any]) -> None:
+        if len(batch) != self.num_envs:
+            raise ValueError(
+                f"{name} must have one entry per worker: "
+                f"got {len(batch)}, expected {self.num_envs}"
+            )
+
+    def reset(
+        self,
+        benchmarks: Union[None, str, Sequence[Any]] = None,
+        **kwargs,
+    ) -> List[Any]:
+        """Reset every worker, returning the batch of initial observations.
+
+        ``benchmarks`` may be a single benchmark (applied to all workers) or
+        a per-worker sequence; ``None`` keeps each worker's current benchmark.
+        Extra keyword arguments are forwarded to every worker's ``reset()``.
+        """
+        self._check_open("reset")
+        if benchmarks is None or isinstance(benchmarks, (str, Benchmark)):
+            per_worker = [benchmarks] * self.num_envs
+        else:
+            per_worker = list(benchmarks)
+            self._check_batch("benchmarks", per_worker)
+
+        def reset_one(pair):
+            worker, benchmark = pair
+            if benchmark is None:
+                return worker.reset(**kwargs)
+            return worker.reset(benchmark=benchmark, **kwargs)
+
+        return self._backend.run(reset_one, list(zip(self.workers, per_worker)))
+
+    def step(
+        self,
+        actions: Sequence[Any],
+        observation_spaces: Optional[List[Any]] = None,
+        reward_spaces: Optional[List[Any]] = None,
+    ) -> Tuple[List[Any], List[Any], List[bool], List[dict]]:
+        """Apply one action per worker. See :meth:`multistep`."""
+        self._check_open("step")
+        self._check_batch("actions", actions)
+        return self.multistep(
+            [None if action is None else [action] for action in actions],
+            observation_spaces=observation_spaces,
+            reward_spaces=reward_spaces,
+        )
+
+    def multistep(
+        self,
+        action_lists: Sequence[Optional[Iterable[Any]]],
+        observation_spaces: Optional[List[Any]] = None,
+        reward_spaces: Optional[List[Any]] = None,
+    ) -> Tuple[List[Any], List[Any], List[bool], List[dict]]:
+        """Apply a list of actions to each worker in one batched operation.
+
+        Returns ``(observations, rewards, dones, infos)``, each a list with
+        one entry per worker. A ``None`` entry in ``action_lists`` masks the
+        corresponding worker out of the batch (its slot receives the
+        :data:`SKIPPED_STEP` placeholder with ``done=True``), which is how
+        rollout collectors handle workers whose episodes ended early.
+        """
+        self._check_open("multistep")
+        self._check_batch("action_lists", action_lists)
+
+        def step_one(pair):
+            worker, actions = pair
+            if actions is None:
+                return SKIPPED_STEP
+            return worker.multistep(
+                list(actions),
+                observation_spaces=observation_spaces,
+                reward_spaces=reward_spaces,
+            )
+
+        results = self._backend.run(step_one, list(zip(self.workers, action_lists)))
+        observations = [result[0] for result in results]
+        rewards = [result[1] for result in results]
+        dones = [result[2] for result in results]
+        infos = [result[3] for result in results]
+        return observations, rewards, dones, infos
+
+    def observations(self, spaces: Union[str, Sequence[str]]) -> List[Any]:
+        """Batched observation fetch across all workers.
+
+        With a single space name, returns one observation per worker. With a
+        sequence of names, returns a list per worker, one entry per requested
+        space. Observations are computed concurrently under the thread pool
+        backend, which matters for the expensive spaces (e.g. Programl).
+        """
+        self._check_open("observations")
+        single = isinstance(spaces, str)
+        names = [spaces] if single else list(spaces)
+
+        def observe_one(worker):
+            values = [worker.observation[name] for name in names]
+            return values[0] if single else values
+
+        return self._backend.run(observe_one, self.workers)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every worker and the owned backend. Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        errors: List[Exception] = []
+        for worker in self.workers:
+            try:
+                worker.close()
+            except Exception as error:  # noqa: BLE001 - close all before raising
+                errors.append(error)
+        if self._owns_backend:
+            self._backend.close()
+        if errors:
+            raise errors[0]
+
+    def __enter__(self) -> "VecCompilerEnv":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"VecCompilerEnv(n={self.num_envs}, backend={self._backend.name}, "
+            f"worker={self.workers[0]!r})"
+        )
+
+
+def make_vec_env(
+    env_id: Optional[str] = None,
+    n: int = 1,
+    backend: Union[str, ExecutionBackend, None] = None,
+    env=None,
+    worker_wrapper: Optional[Callable[[Any], Any]] = None,
+    **make_kwargs,
+) -> VecCompilerEnv:
+    """Construct a :class:`VecCompilerEnv` from an environment ID or instance.
+
+    >>> vec = make_vec_env("llvm-v0", n=4, backend="thread",
+    ...                    benchmark="cbench-v1/qsort",
+    ...                    reward_space="IrInstructionCount")
+    """
+    if (env_id is None) == (env is None):
+        raise ValueError("Provide exactly one of env_id or env")
+    if env is None:
+        from repro.core.registration import make
+
+        env = make(env_id, **make_kwargs)
+    elif make_kwargs:
+        raise ValueError("make_kwargs are only valid with env_id")
+    return VecCompilerEnv(env, n=n, backend=backend, worker_wrapper=worker_wrapper)

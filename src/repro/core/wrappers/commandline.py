@@ -57,6 +57,13 @@ class CommandlineWithTerminalAction(CompilerEnvWrapper):
             done = True
         return observation, reward, done, info
 
+    def fork(self):
+        forked = CommandlineWithTerminalAction.__new__(CommandlineWithTerminalAction)
+        CompilerEnvWrapper.__init__(forked, self.env.fork())
+        forked._terminal_index = self._terminal_index
+        forked._wrapped_action_space = self._wrapped_action_space
+        return forked
+
 
 class ConstrainedCommandline(ActionWrapper):
     """Constrains a Commandline action space to a subset of its flags.

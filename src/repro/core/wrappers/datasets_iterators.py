@@ -85,3 +85,12 @@ class RandomOrderBenchmarks(CompilerEnvWrapper):
         kwargs.pop("benchmark", None)
         benchmark = self.benchmark_list[int(self.rng.integers(len(self.benchmark_list)))]
         return self.env.reset(*args, benchmark=benchmark, **kwargs)
+
+    def fork(self):
+        # Each fork gets an independent generator seeded from the parent's
+        # stream: numpy Generators are not thread-safe, and forked workers may
+        # reset() concurrently under a thread-pool execution backend.
+        child_rng = np.random.default_rng(int(self.rng.integers(2**63)))
+        return RandomOrderBenchmarks(
+            self.env.fork(), benchmarks=self.benchmark_list, rng=child_rng
+        )

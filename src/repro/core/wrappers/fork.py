@@ -29,9 +29,16 @@ class ForkOnStep(CompilerEnvWrapper):
         )
 
     def undo(self):
-        """Restore the environment to the state before the most recent step."""
+        """Restore the environment to the state before the most recent step.
+
+        Raises:
+            IndexError: If there is no step to undo.
+        """
         if not self.stack:
-            return self.env
+            raise IndexError(
+                "undo() called on an empty ForkOnStep stack: "
+                "no steps have been taken since the last reset()"
+            )
         self.env.close()
         self.env = self.stack.pop()
         return self.env

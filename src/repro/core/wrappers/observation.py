@@ -94,3 +94,8 @@ class CounterWrapper(CompilerEnvWrapper):
         return self.env.multistep(
             actions, observation_spaces=observation_spaces, reward_spaces=reward_spaces
         )
+
+    def fork(self):
+        forked = CounterWrapper(self.env.fork())
+        forked.counters = dict(self.counters)
+        return forked

@@ -1,6 +1,6 @@
 """Advantage Actor-Critic (synchronous A2C)."""
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,9 @@ class A2CAgent:
         self.n_step = n_step
         self.rng = np.random.default_rng(seed)
         self._buffer: List[tuple] = []
+        # Per-worker state for vectorized rollouts (see act_batch/observe_batch).
+        self._last_batch: List[Optional[tuple]] = []
+        self._slot_buffers: Dict[int, List[tuple]] = {}
 
     def act(self, observation, greedy: bool = False) -> int:
         features = self.scaler(observation, update=not greedy)
@@ -51,12 +54,65 @@ class A2CAgent:
             self._update(bootstrap=False)
             self._buffer = []
 
+    # -- vectorized rollout API -------------------------------------------
+
+    def act_batch(self, observations: Sequence, greedy: bool = False) -> List[Optional[int]]:
+        """Select one action per rollout worker.
+
+        A ``None`` observation marks a worker whose episode has already
+        finished; its slot returns ``None`` and is skipped by
+        :meth:`observe_batch`.
+        """
+        batch: List[Optional[tuple]] = []
+        actions: List[Optional[int]] = []
+        for observation in observations:
+            if observation is None:
+                batch.append(None)
+                actions.append(None)
+                continue
+            features = self.scaler(observation, update=not greedy)
+            action, _ = self.policy.act(features, self.rng, greedy=greedy)
+            batch.append((features, action))
+            actions.append(action)
+        self._last_batch = batch
+        return actions
+
+    def observe_batch(self, rewards: Sequence[Optional[float]], dones: Sequence[bool]) -> None:
+        """Record one transition per worker from the preceding :meth:`act_batch`.
+
+        Each worker accumulates its own n-step buffer; advantages are computed
+        per worker over its own trajectory, so interleaved vectorized rollouts
+        produce the same updates as sequential episodes.
+        """
+        for slot, (last, reward, done) in enumerate(zip(self._last_batch, rewards, dones)):
+            if last is None:
+                continue
+            features, action = last
+            buffer = self._slot_buffers.setdefault(slot, [])
+            buffer.append((features, action, float(reward or 0.0)))
+            if done or len(buffer) >= self.n_step:
+                self._learn_from(buffer, bootstrap=not done)
+                self._slot_buffers[slot] = []
+        self._last_batch = []
+
+    def end_episode_batch(self) -> None:
+        """Flush any transitions still buffered for rollout workers."""
+        for slot, buffer in self._slot_buffers.items():
+            if buffer:
+                self._learn_from(buffer, bootstrap=False)
+        self._slot_buffers = {}
+        self._last_batch = []
+
     def _update(self, bootstrap: bool) -> None:
-        if not self._buffer:
+        self._learn_from(self._buffer, bootstrap)
+        self._buffer = []
+
+    def _learn_from(self, buffer: List[tuple], bootstrap: bool) -> None:
+        if not buffer:
             return
-        features = [step[0] for step in self._buffer]
-        actions = [step[1] for step in self._buffer]
-        rewards = [step[2] for step in self._buffer]
+        features = [step[0] for step in buffer]
+        actions = [step[1] for step in buffer]
+        rewards = [step[2] for step in buffer]
         bootstrap_value = self.value.value(features[-1]) if bootstrap else 0.0
         returns = np.zeros(len(rewards))
         running = bootstrap_value
@@ -69,4 +125,3 @@ class A2CAgent:
                 features[t], actions[t], float(advantage) + self.entropy_coef
             )
             self.value.update(features[t], returns[t])
-        self._buffer = []

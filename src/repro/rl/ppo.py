@@ -1,6 +1,6 @@
 """Proximal Policy Optimization (clipped surrogate objective)."""
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,9 @@ class PPOAgent:
         self.update_epochs = update_epochs
         self.rng = np.random.default_rng(seed)
         self._trajectory: List[tuple] = []
+        # Per-worker state for vectorized rollouts (see act_batch/observe_batch).
+        self._last_batch: List[Optional[tuple]] = []
+        self._slot_trajectories: Dict[int, List[tuple]] = {}
 
     # -- acting -------------------------------------------------------------------
 
@@ -59,13 +62,60 @@ class PPOAgent:
     # -- learning -----------------------------------------------------------------
 
     def end_episode(self) -> Optional[float]:
-        if not self._trajectory:
+        trajectory, self._trajectory = self._trajectory, []
+        return self._learn(trajectory)
+
+    # -- vectorized rollout API -------------------------------------------
+
+    def act_batch(self, observations: Sequence, greedy: bool = False) -> List[Optional[int]]:
+        """Select one action per rollout worker (``None`` marks a finished worker)."""
+        batch: List[Optional[tuple]] = []
+        actions: List[Optional[int]] = []
+        for observation in observations:
+            if observation is None:
+                batch.append(None)
+                actions.append(None)
+                continue
+            features = self.scaler(observation, update=not greedy)
+            action, log_prob = self.policy.act(features, self.rng, greedy=greedy)
+            batch.append((features, action, log_prob))
+            actions.append(action)
+        self._last_batch = batch
+        return actions
+
+    def observe_batch(self, rewards: Sequence[Optional[float]], dones: Sequence[bool]) -> None:
+        """Record one transition per worker from the preceding :meth:`act_batch`.
+
+        Trajectories accumulate per worker; when a worker's episode ends, its
+        complete trajectory goes through the same GAE + clipped-surrogate
+        update as a sequential episode, so advantages are computed over whole
+        per-episode batches.
+        """
+        for slot, (last, reward, done) in enumerate(zip(self._last_batch, rewards, dones)):
+            if last is None:
+                continue
+            features, action, log_prob = last
+            trajectory = self._slot_trajectories.setdefault(slot, [])
+            trajectory.append((features, action, float(reward or 0.0), log_prob))
+            if done:
+                self._learn(trajectory)
+                self._slot_trajectories[slot] = []
+        self._last_batch = []
+
+    def end_episode_batch(self) -> None:
+        """Flush any incomplete rollout-worker trajectories."""
+        for trajectory in self._slot_trajectories.values():
+            self._learn(trajectory)
+        self._slot_trajectories = {}
+        self._last_batch = []
+
+    def _learn(self, trajectory: List[tuple]) -> Optional[float]:
+        if not trajectory:
             return None
-        features = [step[0] for step in self._trajectory]
-        actions = [step[1] for step in self._trajectory]
-        rewards = [step[2] for step in self._trajectory]
-        old_log_probs = [step[3] for step in self._trajectory]
-        self._trajectory = []
+        features = [step[0] for step in trajectory]
+        actions = [step[1] for step in trajectory]
+        rewards = [step[2] for step in trajectory]
+        old_log_probs = [step[3] for step in trajectory]
 
         values = [self.value.value(f) for f in features]
         advantages = np.zeros(len(rewards))

@@ -13,6 +13,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.vector import VecCompilerEnv
 from repro.core.wrappers import ConcatActionsHistogram, ConstrainedCommandline, TimeLimit
 from repro.util.statistics import geometric_mean
 
@@ -75,6 +76,38 @@ def make_rl_environment(
     return env
 
 
+def make_vec_rl_environment(
+    env,
+    n: int,
+    backend="serial",
+    observation_space: str = "Autophase",
+    use_action_histogram: bool = True,
+    episode_length: int = EPISODE_LENGTH,
+    action_subset: Optional[Sequence[str]] = None,
+) -> VecCompilerEnv:
+    """Build a vectorized pool of RL-wrapped environments.
+
+    The raw root environment is forked to populate the pool (so service
+    startup and the benchmark cache are shared) and every worker is then
+    wrapped into the experiment's MDP formulation via
+    :func:`make_rl_environment`.
+    """
+    env.observation_space = observation_space
+    if env.reward_space is None:
+        env.reward_space = "IrInstructionCountNorm"
+
+    def wrap(worker):
+        return make_rl_environment(
+            worker,
+            observation_space=observation_space,
+            use_action_histogram=use_action_histogram,
+            episode_length=episode_length,
+            action_subset=action_subset,
+        )
+
+    return VecCompilerEnv(env, n=n, backend=backend, worker_wrapper=wrap)
+
+
 def observation_dim(observation_space: str, use_action_histogram: bool, num_actions: int) -> int:
     base = {"Autophase": 56, "InstCount": 70}[observation_space]
     return base + (num_actions if use_action_histogram else 0)
@@ -95,6 +128,96 @@ def run_episode(env, agent, benchmark: Optional[str] = None, train: bool = True)
     if train:
         agent.end_episode()
     return total
+
+
+def run_vec_episode(
+    vec_env: VecCompilerEnv,
+    agent,
+    benchmarks: Optional[Sequence[str]] = None,
+    train: bool = True,
+) -> List[float]:
+    """Collect one episode from every pool worker, returning episode rewards.
+
+    Workers run in lockstep: each iteration the agent selects a batch of
+    actions (one per live worker), the pool applies them in one batched step,
+    and the agent observes the batch of transitions. Workers whose episodes
+    end early are masked out with ``None`` actions. Agents that implement
+    ``act_batch``/``observe_batch`` (A2C, PPO) accumulate per-worker
+    trajectories and compute advantages over them exactly as in the
+    sequential rollout path.
+    """
+    observations = vec_env.reset(benchmarks=benchmarks)
+    n = vec_env.num_envs
+    totals = [0.0] * n
+    dones = [False] * n
+    batched_agent = hasattr(agent, "act_batch")
+    if train and not batched_agent and n > 1:
+        # Agents without the batch API keep single-slot internal state
+        # between act() and observe(); interleaving workers would corrupt it.
+        raise ValueError(
+            f"{type(agent).__name__} does not implement act_batch()/observe_batch(); "
+            "training on a vectorized pool with n > 1 requires the batch rollout API "
+            "(use run_episode() for sequential training)"
+        )
+    batched_agent = batched_agent and train
+    while not all(dones):
+        masked = [None if dones[i] else observations[i] for i in range(n)]
+        if batched_agent:
+            actions = agent.act_batch(masked, greedy=not train)
+        else:
+            actions = [
+                None if observation is None else agent.act(observation, greedy=not train)
+                for observation in masked
+            ]
+        observations, rewards, step_dones, _ = vec_env.step(actions)
+        rewards = [reward or 0.0 for reward in rewards]
+        if batched_agent:
+            agent.observe_batch(rewards, step_dones)
+        for i in range(n):
+            if dones[i]:
+                continue
+            totals[i] += rewards[i]
+            if not batched_agent and train:
+                agent.observe(observations[i], actions[i], rewards[i], step_dones[i])
+            dones[i] = bool(step_dones[i])
+    if train:
+        if batched_agent:
+            agent.end_episode_batch()
+        else:
+            agent.end_episode()
+    return totals
+
+
+def train_agent_vec(
+    agent,
+    vec_env: VecCompilerEnv,
+    training_benchmarks: Sequence[str],
+    episodes: int,
+    seed: int = 0,
+) -> TrainingResult:
+    """Train an agent on vectorized rollouts.
+
+    Episodes are collected ``vec_env.num_envs`` at a time, cycling over the
+    training benchmarks (one benchmark per worker per round), until at least
+    ``episodes`` episodes have been recorded.
+    """
+    del seed  # Benchmark order is deterministic, matching train_agent().
+    result = TrainingResult(
+        agent_name=getattr(agent, "name", type(agent).__name__), episodes=episodes
+    )
+    benchmarks = list(training_benchmarks)
+    n = vec_env.num_envs
+    episode = 0
+    while episode < episodes:
+        if benchmarks:
+            assigned = [benchmarks[(episode + i) % len(benchmarks)] for i in range(n)]
+        else:
+            assigned = None
+        rewards = run_vec_episode(vec_env, agent, benchmarks=assigned, train=True)
+        remaining = episodes - episode
+        result.episode_rewards.extend(rewards[:remaining])
+        episode += min(n, remaining)
+    return result
 
 
 def final_codesize_reduction(env) -> float:

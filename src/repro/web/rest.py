@@ -75,6 +75,8 @@ class ExplorerAPI:
     def undo(self, session_id: int, count: int) -> dict:
         env = self.sessions[session_id]
         for _ in range(count):
+            if not env.stack:
+                break
             env.undo()
         return {"state": self._state_dict(env)}
 

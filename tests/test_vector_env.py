@@ -1,0 +1,465 @@
+"""Tests for the vectorized environment pool (``repro.core.vector``)."""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.service.connection import AsyncResult
+from repro.core.service.proto import StepRequest
+from repro.core.vector import (
+    SerialBackend,
+    ThreadPoolBackend,
+    VecCompilerEnv,
+    make_vec_env,
+    resolve_backend,
+)
+from repro.errors import SessionNotFound
+
+BENCHMARK = "cbench-v1/crc32"
+
+
+def _make_root():
+    return repro.make(
+        "llvm-v0",
+        benchmark=BENCHMARK,
+        observation_space="Autophase",
+        reward_space="IrInstructionCount",
+    )
+
+
+@pytest.fixture(params=["serial", "thread"])
+def vec_env(request):
+    vec = VecCompilerEnv(_make_root(), n=4, backend=request.param)
+    yield vec
+    vec.close()
+
+
+class TestConstruction:
+    def test_fork_population_shares_service(self, vec_env):
+        services = {id(worker.service) for worker in vec_env.workers}
+        assert len(services) == 1
+
+    def test_invalid_pool_size(self):
+        env = _make_root()
+        try:
+            with pytest.raises(ValueError, match="n >= 1"):
+                VecCompilerEnv(env, n=0)
+        finally:
+            env.close()
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="Unknown execution backend"):
+            resolve_backend("fibers", 4)
+
+    def test_make_vec_env_by_id(self):
+        with make_vec_env(
+            "llvm-v0", n=2, benchmark=BENCHMARK, reward_space="IrInstructionCount"
+        ) as vec:
+            assert vec.num_envs == 2
+            assert str(vec.benchmark.uri) == f"benchmark://{BENCHMARK}"
+
+    def test_make_vec_env_requires_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            make_vec_env()
+
+    def test_pool_introspection(self, vec_env):
+        assert len(vec_env) == 4
+        assert vec_env[0] is vec_env.workers[0]
+        assert list(vec_env) == vec_env.workers
+        assert vec_env.action_space.n == 124
+
+    def test_failing_worker_wrapper_cleans_up(self):
+        """A wrapper that raises mid-population must not leak forked sessions."""
+        env = _make_root()
+        calls = []
+
+        def explode(worker):
+            calls.append(worker)
+            raise RuntimeError("wrapper failed")
+
+        try:
+            with pytest.raises(RuntimeError, match="wrapper failed"):
+                VecCompilerEnv(env, n=3, backend="thread", worker_wrapper=explode)
+            assert calls  # The wrapper did run before failing.
+            # The root env is still the caller's to use and close.
+            env.reset()
+            env.step(0)
+        finally:
+            env.close()
+
+    def test_reset_broadcasts_benchmark_object(self):
+        """A single Benchmark instance is applied to all workers, like a URI."""
+        with VecCompilerEnv(_make_root(), n=2) as vec:
+            benchmark = vec.workers[0].datasets.benchmark("benchmark://cbench-v1/sha")
+            vec.reset(benchmarks=benchmark)
+            assert all(
+                str(worker.benchmark.uri) == "benchmark://cbench-v1/sha"
+                for worker in vec.workers
+            )
+
+
+class TestBatchedApi:
+    def test_reset_returns_batch(self, vec_env):
+        observations = vec_env.reset()
+        assert len(observations) == 4
+        for observation in observations:
+            assert observation.shape == (56,)
+
+    def test_reset_with_per_worker_benchmarks(self, vec_env):
+        vec_env.reset(
+            benchmarks=[BENCHMARK, "cbench-v1/sha", BENCHMARK, "cbench-v1/sha"]
+        )
+        uris = [str(worker.benchmark.uri) for worker in vec_env.workers]
+        assert uris[1] == "benchmark://cbench-v1/sha"
+        assert uris[0] == f"benchmark://{BENCHMARK}"
+
+    def test_reset_benchmark_batch_size_mismatch(self, vec_env):
+        with pytest.raises(ValueError, match="one entry per worker"):
+            vec_env.reset(benchmarks=[BENCHMARK])
+
+    def test_step_batch_size_mismatch(self, vec_env):
+        vec_env.reset()
+        with pytest.raises(ValueError, match="one entry per worker"):
+            vec_env.step([0, 1])
+
+    def test_step_applies_one_action_per_worker(self, vec_env):
+        vec_env.reset()
+        observations, rewards, dones, infos = vec_env.step([0, 1, 2, 3])
+        assert len(observations) == len(rewards) == len(dones) == len(infos) == 4
+        assert [worker.actions for worker in vec_env.workers] == [[0], [1], [2], [3]]
+
+    def test_masked_workers_are_skipped(self, vec_env):
+        vec_env.reset()
+        observations, rewards, dones, infos = vec_env.multistep([[1], None, [2], None])
+        assert dones == [False, True, False, True]
+        assert rewards[1] is None and observations[1] is None
+        assert infos[1] == {"skipped": True}
+        assert vec_env.workers[1].actions == []
+
+    def test_batched_observations_single_space(self, vec_env):
+        vec_env.reset()
+        counts = vec_env.observations("IrInstructionCount")
+        assert len(counts) == 4
+        assert all(int(count) > 0 for count in counts)
+
+    def test_batched_observations_multiple_spaces(self, vec_env):
+        vec_env.reset()
+        batches = vec_env.observations(["IrInstructionCount", "IrSha1"])
+        assert len(batches) == 4
+        for count, sha in batches:
+            assert int(count) > 0
+            assert isinstance(sha, str)
+
+    def test_episode_rewards(self, vec_env):
+        vec_env.reset()
+        vec_env.multistep([[0, 1], [2], [], [3, 4, 5]])
+        rewards = vec_env.episode_rewards
+        assert len(rewards) == 4
+        assert all(reward is not None for reward in rewards)
+
+
+class TestTrajectoryEquivalence:
+    """Acceptance criterion: VecCompilerEnv(n=4) produces identical
+    per-episode trajectories to 4 serial environments on the same
+    benchmark/seed."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_vec_matches_serial_envs(self, backend):
+        rng = random.Random(1234)
+        episodes = [[rng.randrange(124) for _ in range(8)] for _ in range(4)]
+
+        serial_observations, serial_rewards = [], []
+        for actions in episodes:
+            env = _make_root()
+            try:
+                env.reset()
+                observation, reward, done, _ = env.multistep(actions)
+                serial_observations.append(np.asarray(observation))
+                serial_rewards.append(env.episode_reward)
+            finally:
+                env.close()
+
+        with VecCompilerEnv(_make_root(), n=4, backend=backend) as vec:
+            vec.reset()
+            observations, _, _, _ = vec.multistep(episodes)
+            for i in range(4):
+                np.testing.assert_array_equal(
+                    np.asarray(observations[i]), serial_observations[i]
+                )
+                assert vec.workers[i].episode_reward == serial_rewards[i]
+
+    def test_thread_backend_matches_serial_backend_stepwise(self):
+        rng = random.Random(99)
+        action_plan = [[rng.randrange(124) for _ in range(4)] for _ in range(6)]
+
+        def rollout(backend):
+            with VecCompilerEnv(_make_root(), n=4, backend=backend) as vec:
+                trajectory = []
+                vec.reset()
+                for step_actions in action_plan:
+                    observations, rewards, dones, _ = vec.step(step_actions)
+                    trajectory.append(
+                        ([np.asarray(o) for o in observations], rewards, dones)
+                    )
+                return trajectory
+
+        serial = rollout("serial")
+        threaded = rollout("thread")
+        for (s_obs, s_rew, s_done), (t_obs, t_rew, t_done) in zip(serial, threaded):
+            for a, b in zip(s_obs, t_obs):
+                np.testing.assert_array_equal(a, b)
+            assert s_rew == t_rew
+            assert s_done == t_done
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        vec = VecCompilerEnv(_make_root(), n=2)
+        vec.reset()
+        vec.close()
+        vec.close()
+
+    def test_post_close_operations_raise(self):
+        vec = VecCompilerEnv(_make_root(), n=2)
+        vec.reset()
+        vec.close()
+        with pytest.raises(SessionNotFound, match="closed VecCompilerEnv"):
+            vec.step([0, 1])
+        with pytest.raises(SessionNotFound, match="closed VecCompilerEnv"):
+            vec.reset()
+        with pytest.raises(SessionNotFound, match="closed VecCompilerEnv"):
+            vec.observations("IrInstructionCount")
+
+    def test_del_on_unclosed_pool_does_not_raise(self):
+        vec = VecCompilerEnv(_make_root(), n=2)
+        vec.reset()
+        vec.__del__()
+
+    def test_worker_close_then_pool_close(self):
+        """Closing a worker out-of-band must not break pool shutdown."""
+        vec = VecCompilerEnv(_make_root(), n=3)
+        vec.reset()
+        vec.workers[1].close()
+        vec.close()
+
+    def test_shared_backend_instance_is_not_closed(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        try:
+            vec = VecCompilerEnv(_make_root(), n=2, backend=backend)
+            vec.reset()
+            vec.close()
+            assert backend.executor is not None
+            assert backend.run(lambda x: x + 1, [1, 2]) == [2, 3]
+        finally:
+            backend.close()
+
+    def test_closed_thread_backend_rejects_batches(self):
+        backend = ThreadPoolBackend(max_workers=1)
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed ThreadPoolBackend"):
+            backend.run(lambda x: x, [1])
+
+
+class TestAsyncResult:
+    def test_resolved(self):
+        result = AsyncResult.resolved(42)
+        assert result.done()
+        assert result.result() == 42
+        assert result.exception() is None
+
+    def test_raised(self):
+        error = RuntimeError("boom")
+        result = AsyncResult.raised(error)
+        assert result.done()
+        assert result.exception() is error
+        with pytest.raises(RuntimeError, match="boom"):
+            result.result()
+
+    def test_eager_dispatch_without_executor(self):
+        env = _make_root()
+        try:
+            env.reset()
+            result = env.service.step_async(
+                StepRequest(
+                    session_id=env._session_id,
+                    actions=[],
+                    observation_space_names=["IrInstructionCount"],
+                )
+            )
+            assert result.done()
+            assert int(result.result().observations[0].value()) > 0
+        finally:
+            env.close()
+
+    def test_overlapped_dispatch_on_executor(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        env = _make_root()
+        try:
+            env.reset()
+            fork = env.fork()
+            try:
+                results = [
+                    env.service.step_async(
+                        StepRequest(
+                            session_id=session,
+                            actions=[1],
+                            observation_space_names=["IrInstructionCount"],
+                        ),
+                        executor=backend.executor,
+                    )
+                    for session in (env._session_id, fork._session_id)
+                ]
+                replies = [result.result(timeout=30) for result in results]
+                assert all(
+                    int(reply.observations[0].value()) > 0 for reply in replies
+                )
+            finally:
+                fork.close()
+        finally:
+            env.close()
+            backend.close()
+
+    def test_eager_dispatch_captures_errors(self):
+        env = _make_root()
+        try:
+            result = env.service.step_async(
+                StepRequest(session_id=10**9, actions=[], observation_space_names=[])
+            )
+            assert result.done()
+            assert isinstance(result.exception(), SessionNotFound)
+            with pytest.raises(SessionNotFound):
+                result.result()
+        finally:
+            env.close()
+
+
+class TestSerialBackend:
+    def test_runs_in_order(self):
+        backend = SerialBackend()
+        order = []
+
+        def record(item):
+            order.append(item)
+            return item * 2
+
+        assert backend.run(record, [1, 2, 3]) == [2, 4, 6]
+        assert order == [1, 2, 3]
+
+
+class TestAutotuningIntegration:
+    def test_parallel_evaluate_matches_serial_evaluation(self):
+        from repro.autotuning.base import Budget, EpisodeTuner
+
+        rng = random.Random(7)
+        sequences = [[rng.randrange(124) for _ in range(5)] for _ in range(3)]
+
+        serial_rewards = []
+        for sequence in sequences:
+            env = _make_root()
+            try:
+                serial_rewards.append(
+                    EpisodeTuner.evaluate_episode(env, sequence, Budget())
+                )
+            finally:
+                env.close()
+
+        budget = Budget()
+        with VecCompilerEnv(_make_root(), n=4, backend="thread") as vec:
+            rewards = EpisodeTuner.parallel_evaluate(vec, sequences, budget)
+        assert rewards == serial_rewards
+        assert budget.steps == sum(len(s) for s in sequences)
+
+    def test_parallel_evaluate_rejects_oversized_batches(self):
+        from repro.autotuning.base import Budget, EpisodeTuner
+
+        with VecCompilerEnv(_make_root(), n=2) as vec:
+            with pytest.raises(ValueError, match="pool of 2 workers"):
+                EpisodeTuner.parallel_evaluate(vec, [[0], [1], [2]], Budget())
+
+    @pytest.mark.parametrize("tuner_name", ["random", "hill", "genetic"])
+    def test_searchers_use_vectorized_path(self, tuner_name):
+        from repro.autotuning import RandomSearch
+        from repro.autotuning.genetic import SequenceGeneticAlgorithm
+        from repro.autotuning.hill_climbing import SequenceHillClimbing
+
+        tuner = {
+            "random": RandomSearch(seed=3, patience=4, max_episode_length=8),
+            "hill": SequenceHillClimbing(seed=3, episode_length=6),
+            "genetic": SequenceGeneticAlgorithm(seed=3, episode_length=6, population_size=4),
+        }[tuner_name]
+        with VecCompilerEnv(_make_root(), n=3, backend="thread") as vec:
+            result = tuner.tune(vec, max_steps=48)
+        assert result.benchmark == f"benchmark://{BENCHMARK}"
+        assert result.episodes > 0
+        assert result.steps >= 48
+        assert result.best_reward > float("-inf")
+
+
+class TestRlIntegration:
+    def _agent(self, cls):
+        from repro.rl.trainer import AUTOPHASE_ACTION_SUBSET, observation_dim
+
+        num_actions = len(AUTOPHASE_ACTION_SUBSET)
+        return cls(
+            obs_dim=observation_dim("Autophase", True, num_actions),
+            num_actions=num_actions,
+            seed=0,
+        )
+
+    @pytest.mark.parametrize("agent_cls_name", ["a2c", "ppo"])
+    def test_vec_rollout_collection(self, agent_cls_name):
+        from repro.rl.a2c import A2CAgent
+        from repro.rl.ppo import PPOAgent
+        from repro.rl.trainer import make_vec_rl_environment, run_vec_episode
+
+        agent = self._agent({"a2c": A2CAgent, "ppo": PPOAgent}[agent_cls_name])
+        env = repro.make(
+            "llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCountNorm"
+        )
+        vec = make_vec_rl_environment(env, n=3, backend="thread", episode_length=5)
+        try:
+            rewards = run_vec_episode(vec, agent, benchmarks=[BENCHMARK] * 3, train=True)
+            assert len(rewards) == 3
+            # The TimeLimit wrapper bounds every worker to 5 steps.
+            assert all(len(worker.unwrapped.actions) == 5 for worker in vec.workers)
+        finally:
+            vec.close()
+
+    def test_train_agent_vec_records_requested_episodes(self):
+        from repro.rl.a2c import A2CAgent
+        from repro.rl.trainer import make_vec_rl_environment, train_agent_vec
+
+        agent = self._agent(A2CAgent)
+        env = repro.make(
+            "llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCountNorm"
+        )
+        vec = make_vec_rl_environment(env, n=2, backend="serial", episode_length=4)
+        try:
+            result = train_agent_vec(
+                agent, vec, [BENCHMARK, "cbench-v1/sha"], episodes=5
+            )
+            assert len(result.episode_rewards) == 5
+        finally:
+            vec.close()
+
+    def test_training_without_batch_api_raises(self):
+        from repro.rl.trainer import make_vec_rl_environment, run_vec_episode
+
+        class Greedy:
+            def act(self, observation, greedy=False):
+                return 0
+
+        env = repro.make(
+            "llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCountNorm"
+        )
+        vec = make_vec_rl_environment(env, n=2, backend="serial", episode_length=3)
+        try:
+            with pytest.raises(ValueError, match="act_batch"):
+                run_vec_episode(vec, Greedy(), train=True)
+            # Greedy evaluation (no learning state) is fine.
+            rewards = run_vec_episode(vec, Greedy(), train=False)
+            assert len(rewards) == 2
+        finally:
+            vec.close()

@@ -205,10 +205,12 @@ class TestForkOnStep:
         wrapped.undo()
         assert wrapped.observation["IrSha1"] == before
 
-    def test_undo_with_empty_stack_is_noop(self, env):
+    def test_undo_with_empty_stack_raises(self, env):
         wrapped = ForkOnStep(env)
         wrapped.reset()
-        wrapped.undo()
+        with pytest.raises(IndexError, match="empty ForkOnStep stack"):
+            wrapped.undo()
+        # The environment is still usable after the failed undo.
         assert wrapped.observation["IrInstructionCount"] > 0
 
 

@@ -2,11 +2,13 @@
 
 Companion to the Table II efficiency results: measures the aggregate step
 throughput of a :class:`VecCompilerEnv` on the LLVM environment as the pool
-grows, under both execution backends. As in the batched-step experiments, a
+grows, under every execution backend. As in the batched-step experiments, a
 simulated per-call transport latency (``ConnectionOpts.rpc_latency``) models
-the RPC round trip of the real client/server deployment; the thread-pool
-backend overlaps those round trips across workers, so its throughput scales
-with the pool size while the serial backend's stays flat.
+the RPC round trip of the real client/server deployment; the thread-pool and
+process-pool backends overlap those round trips across workers, so their
+throughput scales with the pool size while the serial backend's stays flat.
+The process backend additionally records the steps/sec of IMPALA and Ape-X
+training end-to-end through ``train_agent_vec`` on auto-reset rollouts.
 
 Run as a script for a quick smoke reading::
 
@@ -26,6 +28,7 @@ BENCHMARK = "cbench-v1/crc32"
 # Simulated RPC round-trip latency, in the range the paper measures for its
 # gRPC transport (single-digit milliseconds per call).
 RPC_LATENCY = 0.005
+BACKENDS = ("serial", "thread", "process")
 
 
 def _measure_throughput(backend: str, n: int, rounds: int, rpc_latency: float = RPC_LATENCY):
@@ -55,10 +58,55 @@ def _measure_throughput(backend: str, n: int, rounds: int, rpc_latency: float = 
     }
 
 
+def _measure_rl_throughput(agent_name: str, backend: str, n: int, episodes: int,
+                           episode_length: int = 5):
+    """Steps/sec of an agent training through train_agent_vec on auto-reset
+    rollouts collected from an n-worker pool."""
+    from repro.rl import ApexDQNAgent, ImpalaAgent
+    from repro.rl.trainer import (
+        AUTOPHASE_ACTION_SUBSET,
+        make_vec_rl_environment,
+        observation_dim,
+        train_agent_vec,
+    )
+
+    num_actions = len(AUTOPHASE_ACTION_SUBSET)
+    agent = {"impala": ImpalaAgent, "apex": ApexDQNAgent}[agent_name](
+        obs_dim=observation_dim("Autophase", True, num_actions),
+        num_actions=num_actions,
+        seed=0,
+    )
+    env = repro.make(
+        "llvm-v0",
+        benchmark=BENCHMARK,
+        reward_space="IrInstructionCountNorm",
+        connection_opts=ConnectionOpts(rpc_latency=RPC_LATENCY),
+    )
+    vec = make_vec_rl_environment(
+        env, n=n, backend=backend, episode_length=episode_length, auto_reset=True
+    )
+    try:
+        start = time.perf_counter()
+        result = train_agent_vec(agent, vec, [BENCHMARK], episodes=episodes)
+        elapsed = time.perf_counter() - start
+    finally:
+        vec.close()
+    steps = len(result.episode_rewards) * episode_length
+    return {
+        "agent": agent_name,
+        "backend": backend,
+        "workers": n,
+        "episodes": len(result.episode_rewards),
+        "steps": steps,
+        "walltime_s": elapsed,
+        "steps_per_sec": steps / elapsed,
+    }
+
+
 def run_sweep(worker_counts, rounds):
     results = []
     for n in worker_counts:
-        for backend in ("serial", "thread"):
+        for backend in BACKENDS:
             results.append(_measure_throughput(backend, n, rounds))
     return results
 
@@ -67,6 +115,11 @@ def test_vector_throughput():
     rounds = max(5, int(20 * bench_scale()))
     results = run_sweep(worker_counts=(1, 2, 4), rounds=rounds)
     by_key = {(r["backend"], r["workers"]): r["steps_per_sec"] for r in results}
+    rl_episodes = max(2, int(4 * bench_scale()))
+    rl_results = [
+        _measure_rl_throughput(agent, "process", n=2, episodes=rl_episodes)
+        for agent in ("impala", "apex")
+    ]
     save_results(
         "vector_throughput",
         {
@@ -74,17 +127,21 @@ def test_vector_throughput():
             "rounds": rounds,
             "results": results,
             "thread_vs_serial_speedup_at_4": by_key[("thread", 4)] / by_key[("serial", 4)],
+            "process_vs_serial_speedup_at_4": by_key[("process", 4)] / by_key[("serial", 4)],
+            "rl_agents": {r["agent"]: r for r in rl_results},
         },
     )
 
     # Sanity: every configuration actually stepped.
     assert all(r["steps_per_sec"] > 0 for r in results)
-    # Acceptance criterion: with the RPC round trip modelled, the thread-pool
-    # backend overlaps transport latency and beats serial by >= 1.5x at n=4.
-    assert by_key[("thread", 4)] >= 1.5 * by_key[("serial", 4)], (
-        f"ThreadPoolBackend at n=4 is only "
-        f"{by_key[('thread', 4)] / by_key[('serial', 4)]:.2f}x SerialBackend"
-    )
+    assert all(r["steps_per_sec"] > 0 and r["episodes"] >= rl_episodes for r in rl_results)
+    # Acceptance criterion: with the RPC round trip modelled, the concurrent
+    # backends overlap transport latency and beat serial by >= 1.5x at n=4.
+    for backend in ("thread", "process"):
+        assert by_key[(backend, 4)] >= 1.5 * by_key[("serial", 4)], (
+            f"{backend} backend at n=4 is only "
+            f"{by_key[(backend, 4)] / by_key[('serial', 4)]:.2f}x SerialBackend"
+        )
 
 
 def main(argv=None):
@@ -94,12 +151,19 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=2, help="Pool size to measure")
     parser.add_argument("--rounds", type=int, default=10, help="Batched steps per backend")
     args = parser.parse_args(argv)
-    for backend in ("serial", "thread"):
+    for backend in BACKENDS:
         result = _measure_throughput(backend, args.workers, args.rounds)
         print(
-            f"{backend:>6} backend, n={result['workers']}: "
+            f"{backend:>7} backend, n={result['workers']}: "
             f"{result['steps_per_sec']:8.1f} steps/sec "
             f"({result['steps']} steps in {result['walltime_s']:.2f}s)"
+        )
+    for agent in ("impala", "apex"):
+        result = _measure_rl_throughput(agent, "process", args.workers, episodes=2)
+        print(
+            f"{agent:>7} train [process], n={result['workers']}: "
+            f"{result['steps_per_sec']:8.1f} steps/sec "
+            f"({result['episodes']} episodes in {result['walltime_s']:.2f}s)"
         )
     return 0
 

@@ -116,6 +116,63 @@ def _cmd_random_search(args) -> int:
     return 0
 
 
+def _cmd_train(args) -> int:
+    from repro.rl import A2CAgent, ApexDQNAgent, ImpalaAgent, PPOAgent
+    from repro.rl.trainer import (
+        AUTOPHASE_ACTION_SUBSET,
+        make_vec_rl_environment,
+        observation_dim,
+        train_agent_vec,
+    )
+
+    agent_types = {"a2c": A2CAgent, "ppo": PPOAgent, "impala": ImpalaAgent, "apex": ApexDQNAgent}
+    num_actions = len(AUTOPHASE_ACTION_SUBSET)
+    agent = agent_types[args.agent](
+        obs_dim=observation_dim("Autophase", True, num_actions),
+        num_actions=num_actions,
+        seed=args.seed,
+    )
+    benchmarks = args.benchmark or ["benchmark://cbench-v1/qsort"]
+    env = repro.make(args.env, benchmark=benchmarks[0], reward_space="IrInstructionCountNorm")
+    # make_vec_rl_environment closes env for us if pool construction fails.
+    vec = make_vec_rl_environment(
+        env,
+        n=args.workers,
+        backend=args.backend,
+        episode_length=args.episode_length,
+        auto_reset=not args.no_auto_reset,
+    )
+    try:
+        result = train_agent_vec(agent, vec, benchmarks, episodes=args.episodes, seed=args.seed)
+    finally:
+        vec.close()
+    rewards = result.episode_rewards
+    window = max(1, len(rewards) // 5)
+    print(
+        f"{args.agent}: {len(rewards)} episodes on {args.workers} worker(s) "
+        f"[{args.backend} backend]"
+    )
+    print(f"  mean episode reward (first {window}): "
+          f"{sum(rewards[:window]) / window:.4f}")
+    print(f"  mean episode reward (last {window}):  "
+          f"{sum(rewards[-window:]) / window:.4f}")
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(
+                {
+                    "agent": result.agent_name,
+                    "episodes": result.episodes,
+                    "workers": args.workers,
+                    "backend": args.backend,
+                    "episode_rewards": rewards,
+                },
+                f,
+                indent=2,
+            )
+        print(f"Wrote learning curve to {args.output}")
+    return 0
+
+
 def _cmd_replay(args) -> int:
     env = repro.make(args.env, reward_space=args.reward)
     try:
@@ -174,6 +231,27 @@ def make_parser() -> argparse.ArgumentParser:
                              "concurrently")
     search.add_argument("--output", help="Write resulting states to a CSV file")
     search.set_defaults(func=_cmd_random_search)
+
+    train = sub.add_parser(
+        "train", help="Train an RL agent on vectorized (auto-reset) rollouts"
+    )
+    train.add_argument("--env", default="llvm-v0")
+    train.add_argument("--agent", choices=["a2c", "ppo", "impala", "apex"], default="ppo")
+    train.add_argument("--benchmark", action="append", help="Benchmark URI (repeatable)")
+    train.add_argument("--episodes", type=int, default=100)
+    train.add_argument("--episode-length", type=int, default=45)
+    train.add_argument("--workers", type=int, default=1,
+                       help="Vectorized environment pool size collecting rollouts")
+    train.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default="serial",
+                       help="Pool execution backend; 'process' runs each worker in "
+                            "its own subprocess, sidestepping the GIL")
+    train.add_argument("--no-auto-reset", action="store_true",
+                       help="Collect per-episode lockstep rollouts instead of "
+                            "continuous auto-reset rollouts")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", help="Write the learning curve to a JSON file")
+    train.set_defaults(func=_cmd_train)
 
     replay = sub.add_parser("replay", help="Replay recorded states")
     replay.add_argument("states", help="CSV/JSON file of CompilerEnvStates")

@@ -25,7 +25,15 @@ class EnvSpec:
             entry_point = getattr(module, attr)
         merged = dict(self.kwargs)
         merged.update(kwargs)
-        return entry_point(**merged)
+        env = entry_point(**merged)
+        # Stamp the construction recipe onto the environment (mirroring
+        # gym's env.spec) so it can be rebuilt elsewhere — e.g. inside the
+        # subprocess workers of the vectorized process-pool backend.
+        try:
+            env.spec = EnvSpec(id=self.id, entry_point=self.entry_point, kwargs=merged)
+        except Exception:  # noqa: BLE001 - entry points may return odd objects
+            pass
+        return env
 
     def __repr__(self) -> str:
         return f"EnvSpec({self.id})"

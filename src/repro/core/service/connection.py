@@ -57,6 +57,35 @@ class CallStats:
         self.calls += 1
         self.wall_times.append(wall_time)
 
+    def summary(self) -> Dict[str, float]:
+        """A compact, picklable summary of this method's accounting."""
+        return {
+            "calls": self.calls,
+            "errors": self.errors,
+            "retries": self.retries,
+            "wall_time_s": float(sum(self.wall_times)),
+        }
+
+
+def merge_stats_summaries(summaries) -> Dict[str, Dict[str, float]]:
+    """Merge per-connection ``stats_summary()`` dicts into one aggregate.
+
+    Used by vectorized pools to combine the accounting of many workers —
+    including subprocess workers, whose connections live in another address
+    space and can only report back picklable summaries.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    for summary in summaries:
+        if not summary:
+            continue
+        for method, stats in summary.items():
+            into = merged.setdefault(
+                method, {"calls": 0, "errors": 0, "retries": 0, "wall_time_s": 0.0}
+            )
+            for key in into:
+                into[key] += stats.get(key, 0)
+    return merged
+
 
 class AsyncResult:
     """A future-like handle on an in-flight (or already completed) service call.
@@ -264,6 +293,11 @@ class ServiceConnection:
         return self._call(
             "session_parameter", self._runtime.handle_session_parameter, session_id, key, value
         )
+
+    def stats_summary(self) -> Dict[str, Dict[str, float]]:
+        """A picklable snapshot of the per-method call accounting."""
+        with self._lock:
+            return {name: stats.summary() for name, stats in self.stats.items()}
 
     def acquire(self) -> "ServiceConnection":
         """Register another environment sharing this connection (fork())."""

@@ -1,10 +1,12 @@
 """Vectorized environment pools.
 
-This subpackage provides :class:`VecCompilerEnv`, a fixed-size pool of
-compilation sessions driven through a batched ``reset``/``step``/
-``multistep`` interface. Pools are populated with ``fork()`` so per-pool
-initialization cost is paid once, and batches execute through a pluggable
-backend (serial or thread pool).
+This subpackage provides :class:`VecCompilerEnv`, a pool of compilation
+sessions driven through a batched ``reset``/``step``/``multistep`` interface
+with optional auto-reset rollout semantics and dynamic ``resize()``. Pools
+execute through a pluggable backend: ``"serial"`` and ``"thread"`` populate
+via ``fork()`` and run in-process, while ``"process"`` gives every worker its
+own subprocess (rebuilt from a picklable :class:`WorkerSpec`) to sidestep the
+GIL for compute-bound sessions.
 """
 
 from repro.core.vector.backends import (
@@ -13,14 +15,18 @@ from repro.core.vector.backends import (
     ThreadPoolBackend,
     resolve_backend,
 )
+from repro.core.vector.process import ProcessPoolBackend, RemoteWorker, WorkerSpec
 from repro.core.vector.vec_env import SKIPPED_STEP, VecCompilerEnv, make_vec_env
 
 __all__ = [
     "ExecutionBackend",
+    "ProcessPoolBackend",
+    "RemoteWorker",
     "SKIPPED_STEP",
     "SerialBackend",
     "ThreadPoolBackend",
     "VecCompilerEnv",
+    "WorkerSpec",
     "make_vec_env",
     "resolve_backend",
 ]

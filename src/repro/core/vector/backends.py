@@ -1,18 +1,45 @@
 """Execution backends for :class:`VecCompilerEnv`.
 
 A backend decides *how* the per-worker service calls of one batched operation
-are executed: :class:`SerialBackend` runs them one after another in the
-calling thread (deterministic ordering, easiest to debug), while
-:class:`ThreadPoolBackend` dispatches them on a ``concurrent.futures`` thread
-pool so that the service round-trips of independent sessions overlap — the
-client-side analogue of the paper's environments-as-a-service throughput
-scaling (Fig. 6).
+are executed, and *how* the worker pool is populated:
+
+* :class:`SerialBackend` runs batches one after another in the calling thread
+  (deterministic ordering, easiest to debug).
+* :class:`ThreadPoolBackend` dispatches batches on a ``concurrent.futures``
+  thread pool so that the service round-trips of independent sessions overlap
+  — the client-side analogue of the paper's environments-as-a-service
+  throughput scaling (Fig. 6).
+* :class:`~repro.core.vector.process.ProcessPoolBackend` (``"process"``) runs
+  every worker in its own subprocess, sidestepping the GIL for compute-bound
+  sessions.
+
+Serial and thread backends populate the pool by ``fork()``-ing the root
+environment in-process; the process backend ships a picklable per-worker
+closure to each subprocess instead.
 """
 
 from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Union
 
 from repro.core.service.connection import AsyncResult
+
+
+def close_quietly(closable) -> None:
+    """Best-effort ``close()`` for cleanup paths that must not mask the
+    original error (or raise during teardown of the remaining resources)."""
+    try:
+        closable.close()
+    except Exception:  # noqa: BLE001 - cleanup must not raise
+        pass
+
+
+def grow_thread_pool(
+    executor: ThreadPoolExecutor, num_workers: int, prefix: str
+) -> ThreadPoolExecutor:
+    """Swap a thread pool for a larger one, retiring the old executor."""
+    replacement = ThreadPoolExecutor(max_workers=num_workers, thread_name_prefix=prefix)
+    executor.shutdown(wait=True)
+    return replacement
 
 
 class ExecutionBackend:
@@ -32,6 +59,36 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def populate(self, env, n: int, worker_wrapper: Optional[Callable[[Any], Any]]) -> List[Any]:
+        """Build the pool's ``n`` workers from the root environment.
+
+        The default (in-process) strategy forks the root ``n - 1`` times and
+        applies ``worker_wrapper`` to every worker, root included. On failure
+        every fork created so far — wrapped or not — is closed before the
+        error propagates; the root itself is left open for the caller.
+        """
+        workers: List[Any] = [env]
+        wrapped: List[Any] = []
+        try:
+            for _ in range(n - 1):
+                workers.append(env.fork())
+            if worker_wrapper is not None:
+                for worker in workers:
+                    wrapped.append(worker_wrapper(worker))
+                workers = wrapped
+            return workers
+        except Exception:
+            # Construction failed partway. Close every fork through its
+            # wrapper when one was applied (a wrapper may hold resources of
+            # its own); the raw fork otherwise. The root (index 0) stays
+            # open: the caller still owns it.
+            for index in range(1, len(workers)):
+                close_quietly(wrapped[index] if index < len(wrapped) else workers[index])
+            raise
+
+    def resize(self, num_workers: int) -> None:
+        """Adapt backend capacity to a resized pool. No-op by default."""
+
     def close(self) -> None:
         """Release any resources held by the backend."""
 
@@ -49,7 +106,7 @@ class SerialBackend(ExecutionBackend):
     """Executes the batch sequentially in the calling thread.
 
     Useful for debugging and as the reference implementation that the
-    fork/thread equivalence tests compare against.
+    fork/thread/process equivalence tests compare against.
     """
 
     name = "serial"
@@ -68,10 +125,12 @@ class ThreadPoolBackend(ExecutionBackend):
     """
 
     name = "thread"
+    _thread_name_prefix = "vec-env-worker"
 
     def __init__(self, max_workers: Optional[int] = None):
+        self._max_workers = max_workers
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="vec-env-worker"
+            max_workers=max_workers, thread_name_prefix=self._thread_name_prefix
         )
         self._closed = False
 
@@ -81,11 +140,22 @@ class ThreadPoolBackend(ExecutionBackend):
 
     def run(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         if self._closed:
-            raise RuntimeError("Cannot run a batch on a closed ThreadPoolBackend")
+            raise RuntimeError(
+                f"Cannot run a batch on a closed {type(self).__name__}"
+            )
         results = [
             AsyncResult(future=self._executor.submit(fn, item)) for item in items
         ]
         return [result.result() for result in results]
+
+    def resize(self, num_workers: int) -> None:
+        """Grow the thread pool so a resized VecCompilerEnv keeps full overlap."""
+        if self._closed or self._max_workers is None or num_workers <= self._max_workers:
+            return
+        self._max_workers = num_workers
+        self._executor = grow_thread_pool(
+            self._executor, num_workers, self._thread_name_prefix
+        )
 
     def close(self) -> None:
         if not self._closed:
@@ -96,8 +166,9 @@ class ThreadPoolBackend(ExecutionBackend):
 def resolve_backend(
     backend: Union[str, ExecutionBackend, None], num_workers: int
 ) -> ExecutionBackend:
-    """Coerce a backend specifier (``"serial"``, ``"thread"``, an instance, or
-    ``None`` for the serial default) to an :class:`ExecutionBackend`."""
+    """Coerce a backend specifier (``"serial"``, ``"thread"``, ``"process"``,
+    an instance, or ``None`` for the serial default) to an
+    :class:`ExecutionBackend`."""
     if backend is None:
         return SerialBackend()
     if isinstance(backend, ExecutionBackend):
@@ -106,4 +177,8 @@ def resolve_backend(
         return SerialBackend()
     if backend == "thread":
         return ThreadPoolBackend(max_workers=max(1, num_workers))
+    if backend == "process":
+        from repro.core.vector.process import ProcessPoolBackend
+
+        return ProcessPoolBackend(max_workers=max(1, num_workers))
     raise ValueError(f"Unknown execution backend: {backend!r}")

@@ -1,0 +1,459 @@
+"""Process-pool execution backend for :class:`VecCompilerEnv`.
+
+The serial and thread backends drive in-process sessions, which the GIL caps
+for compute-bound workloads: no matter how many threads issue service calls,
+at most one can be *computing* (compiling, analysing IR) at a time. The
+:class:`ProcessPoolBackend` sidesteps the GIL by giving every pool worker its
+own subprocess that owns a complete environment — compiler service runtime
+included — so batched steps execute truly concurrently.
+
+Because an environment (locks, live service runtime, lazy caches) cannot be
+shipped across a process boundary, workers are *rebuilt* inside each
+subprocess from a :class:`WorkerSpec`: a small picklable closure capturing
+the environment's construction recipe (``repro.make`` ID and kwargs, from
+``env.spec``), its current benchmark/observation/reward spaces, any action
+history to replay, and an optional picklable ``worker_wrapper``. The parent
+keeps one :class:`RemoteWorker` proxy per subprocess; proxies speak a small
+pickled command protocol over a pipe and quack like a ``CompilerEnv``, so the
+rest of the vector stack (and the trajectory-equivalence test suite) treats
+local and remote workers identically.
+"""
+
+import multiprocessing
+import pickle
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.datasets import Benchmark
+from repro.core.vector.backends import ThreadPoolBackend, close_quietly
+from repro.errors import ServiceError, SessionNotFound
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """A picklable recipe for rebuilding one pool worker in a subprocess."""
+
+    env_id: str
+    make_kwargs: Dict[str, Any] = field(default_factory=dict)
+    benchmark: Optional[str] = None
+    observation_space: Optional[str] = None
+    reward_space: Optional[str] = None
+    actions: Optional[List[Any]] = None
+    worker_wrapper: Optional[Callable[[Any], Any]] = None
+
+    @classmethod
+    def from_env(cls, env, worker_wrapper: Optional[Callable[[Any], Any]] = None) -> "WorkerSpec":
+        """Derive a spec from a live root environment.
+
+        The environment must have been constructed by :func:`repro.make` (so
+        it carries a ``spec`` construction record) and must be unwrapped —
+        wrappers are applied per worker via ``worker_wrapper`` instead, which
+        (like the spec itself) must be picklable.
+        """
+        from repro.core.wrappers.core import CompilerEnvWrapper
+
+        if isinstance(env, CompilerEnvWrapper):
+            raise ValueError(
+                "The process backend needs the raw root environment; apply "
+                "wrappers through worker_wrapper (a picklable callable) instead"
+            )
+        env_spec = getattr(env, "spec", None)
+        if env_spec is None:
+            raise ValueError(
+                "The process backend can only rebuild environments created by "
+                "repro.make() (or make_vec_env(env_id=...)): the root "
+                "environment has no .spec construction record"
+            )
+        spec = cls(
+            env_id=env_spec.id,
+            make_kwargs=dict(env_spec.kwargs),
+            benchmark=str(env.benchmark.uri) if env.benchmark is not None else None,
+            observation_space=(
+                env.observation_space_spec.id if env.observation_space_spec else None
+            ),
+            reward_space=env.reward_space.name if env.reward_space else None,
+            actions=list(env.actions) if env.in_episode else None,
+            worker_wrapper=worker_wrapper,
+        )
+        try:
+            pickle.dumps(spec)
+        except Exception as error:
+            raise ValueError(
+                f"The process backend requires a picklable worker spec "
+                f"(environment kwargs and worker_wrapper): {error}"
+            ) from error
+        return spec
+
+    def build(self):
+        """Construct the worker environment described by this spec.
+
+        Runs inside the subprocess. The compiler session state is recreated
+        by replaying the recorded action history on the unwrapped
+        environment, after which the wrapper (if any) is applied fresh — the
+        same semantics as the in-process backends, whose ``fork()``-based
+        population also applies wrappers on top of cloned sessions.
+        """
+        import repro  # noqa: F401 - ensure the environment registry is populated
+        from repro.core.registration import make
+
+        env = make(self.env_id, **self.make_kwargs)
+        try:
+            if self.benchmark is not None:
+                env.benchmark = self.benchmark
+            if self.observation_space is not None:
+                env.observation_space = self.observation_space
+            if self.reward_space is not None:
+                env.reward_space = self.reward_space
+            if self.actions is not None:
+                env.reset()
+                if self.actions:
+                    env.multistep(self.actions)
+            return env if self.worker_wrapper is None else self.worker_wrapper(env)
+        except Exception:
+            env.close()
+            raise
+
+
+def _send_error(conn, error: BaseException) -> None:
+    try:
+        conn.send(("error", error))
+    except Exception:  # noqa: BLE001 - the error itself is unpicklable
+        conn.send(("error", ServiceError(f"{type(error).__name__}: {error}")))
+
+
+def _dispatch(worker, command: str, payload):
+    if command == "reset":
+        return worker.reset(**payload)
+    if command == "multistep":
+        actions, observation_spaces, reward_spaces = payload
+        return tuple(
+            worker.multistep(
+                actions, observation_spaces=observation_spaces, reward_spaces=reward_spaces
+            )
+        )
+    if command == "observation":
+        return [worker.observation[name] for name in payload]
+    if command == "getattr":
+        value = getattr(worker, payload)
+        if callable(value):
+            raise TypeError(
+                f"{payload} is a method; use the explicit RemoteWorker protocol"
+            )
+        if isinstance(value, Benchmark):
+            # Benchmarks may carry unpicklable payloads (validation
+            # callbacks, backend programs); the parent only needs identity.
+            return Benchmark(uri=str(value.uri), dynamic_config=value.dynamic_config)
+        return value
+    if command == "call":
+        name, args, kwargs = payload
+        return getattr(worker, name)(*args, **kwargs)
+    if command == "state":
+        unwrapped = getattr(worker, "unwrapped", worker)
+        benchmark = getattr(worker, "benchmark", None)
+        return {
+            "benchmark": str(benchmark.uri) if benchmark is not None else None,
+            "actions": list(unwrapped.actions),
+            "in_episode": bool(unwrapped.in_episode),
+        }
+    if command == "stats":
+        service = getattr(worker, "service", None)
+        return service.stats_summary() if service is not None else {}
+    raise ValueError(f"Unknown worker command: {command!r}")
+
+
+def _worker_main(conn, spec: WorkerSpec) -> None:
+    """Subprocess entry point: build the env, then serve commands until close."""
+    try:
+        worker = spec.build()
+    except BaseException as error:  # noqa: BLE001 - reported to the parent
+        _send_error(conn, error)
+        conn.close()
+        return
+    conn.send(("ok", None))
+    try:
+        while True:
+            try:
+                command, payload = conn.recv()
+            except (EOFError, OSError):
+                # Parent went away: release the session and exit.
+                break
+            if command == "close":
+                try:
+                    service = getattr(worker, "service", None)
+                    stats = service.stats_summary() if service is not None else {}
+                    worker.close()
+                    conn.send(("ok", stats))
+                except BaseException as error:  # noqa: BLE001
+                    _send_error(conn, error)
+                break
+            try:
+                result = _dispatch(worker, command, payload)
+            except BaseException as error:  # noqa: BLE001 - translated parent-side
+                _send_error(conn, error)
+            else:
+                try:
+                    conn.send(("ok", result))
+                except Exception as error:  # noqa: BLE001 - unpicklable result
+                    _send_error(conn, error)
+    finally:
+        try:
+            worker.close()
+        except Exception:  # noqa: BLE001 - already shutting down
+            pass
+        conn.close()
+
+
+class _RemoteObservationView:
+    """Minimal stand-in for ``env.observation``: batched ``view[space]`` fetches."""
+
+    def __init__(self, worker: "RemoteWorker"):
+        self._worker = worker
+
+    def __getitem__(self, name: str):
+        return self._worker._request("observation", [name])[0]
+
+
+class RemoteWorker:
+    """Parent-side proxy for an environment living in a subprocess.
+
+    Implements the slice of the ``CompilerEnv`` interface that
+    :class:`VecCompilerEnv` and the rollout/autotuning collectors drive:
+    ``reset``/``step``/``multistep``/``fork``/``close``, ``observation[...]``
+    lookups, and read access to simple attributes (``episode_reward``,
+    ``actions``, ``action_space``, ...) via a ``getattr`` round-trip.
+    """
+
+    is_remote = True
+
+    def __init__(self, ctx, spec: WorkerSpec, wait_ready: bool = True):
+        self._ctx = ctx
+        self._spec = spec
+        self._lock = threading.Lock()
+        self.closed = False
+        self._ready = False
+        self.final_stats: Dict[str, Dict[str, float]] = {}
+        parent_conn, child_conn = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_worker_main, args=(child_conn, spec), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        if wait_ready:
+            self.wait_ready()
+
+    # -- protocol plumbing -------------------------------------------------
+
+    def wait_ready(self) -> "RemoteWorker":
+        """Block until the subprocess has finished building its environment.
+
+        Deferring this (``wait_ready=False`` at construction) lets a pool
+        start all its subprocesses first and overlap their environment
+        builds. On a build failure the subprocess is torn down and the error
+        re-raised.
+        """
+        with self._lock:
+            self._ensure_ready()
+        return self
+
+    def _ensure_ready(self) -> None:
+        """Consume the build ack. The caller must hold ``self._lock``."""
+        if self._ready:
+            return
+        try:
+            self._receive()
+        except BaseException:
+            self._abandon()
+            raise
+        self._ready = True
+
+    def _receive(self):
+        try:
+            status, result = self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise ServiceError(
+                f"Subprocess worker (pid={self._process.pid}) died: {error}"
+            ) from error
+        if status == "error":
+            raise result
+        return result
+
+    def _request(self, command: str, payload=None):
+        with self._lock:
+            if self.closed:
+                raise SessionNotFound(
+                    f"Cannot call {command} on a closed subprocess worker"
+                )
+            self._ensure_ready()
+            try:
+                self._conn.send((command, payload))
+            except (OSError, BrokenPipeError) as error:
+                raise ServiceError(
+                    f"Subprocess worker (pid={self._process.pid}) is gone: {error}"
+                ) from error
+            return self._receive()
+
+    def _abandon(self) -> None:
+        """Tear down the subprocess without the close handshake."""
+        self.closed = True
+        try:
+            self._conn.close()
+        except Exception:  # noqa: BLE001
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=5)
+
+    # -- CompilerEnv-facing API -------------------------------------------
+
+    def reset(self, benchmark=None, **kwargs):
+        payload = dict(kwargs)
+        if benchmark is not None:
+            payload["benchmark"] = benchmark
+        return self._request("reset", payload)
+
+    def step(self, action, observation_spaces=None, reward_spaces=None):
+        return self.multistep(
+            [action], observation_spaces=observation_spaces, reward_spaces=reward_spaces
+        )
+
+    def multistep(self, actions, observation_spaces=None, reward_spaces=None):
+        return self._request(
+            "multistep", (list(actions), observation_spaces, reward_spaces)
+        )
+
+    @property
+    def observation(self) -> _RemoteObservationView:
+        return _RemoteObservationView(self)
+
+    def observations(self, names) -> List[Any]:
+        """Fetch several observation spaces in one subprocess round trip."""
+        return self._request("observation", list(names))
+
+    def call(self, name: str, *args, **kwargs):
+        """Invoke an arbitrary method on the subprocess environment."""
+        return self._request("call", (name, args, kwargs))
+
+    def stats_summary(self) -> Dict[str, Dict[str, float]]:
+        """The subprocess connection's call accounting (final after close)."""
+        if self.closed:
+            return self.final_stats
+        return self._request("stats")
+
+    def fork(self) -> "RemoteWorker":
+        """Clone this worker into a new subprocess.
+
+        The new worker rebuilds the compiler session by replaying this
+        worker's benchmark and action history; wrapper state (e.g. a
+        ``TimeLimit`` budget) starts fresh, so forking mid-episode is best
+        done at episode boundaries — which is where ``resize()`` under
+        auto-reset rollouts lands anyway.
+        """
+        state = self._request("state")
+        spec = replace(
+            self._spec,
+            benchmark=state["benchmark"] or self._spec.benchmark,
+            actions=list(state["actions"]) if state["in_episode"] else None,
+        )
+        return RemoteWorker(self._ctx, spec)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        error: Optional[BaseException] = None
+        try:
+            with self._lock:
+                if self.closed:  # An _ensure_ready failure may have abandoned us.
+                    return
+                try:
+                    self._ensure_ready()
+                except BaseException:
+                    return  # The build failed; the subprocess is already gone.
+                self.closed = True
+                self._conn.send(("close", None))
+                status, result = self._conn.recv()
+            if status == "ok":
+                self.final_stats = result or {}
+            else:
+                error = result
+        except (EOFError, OSError, BrokenPipeError):
+            pass  # The subprocess is already gone; nothing left to release.
+        finally:
+            self.closed = True
+            try:
+                self._conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+            self._process.join(timeout=10)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=5)
+        if error is not None:
+            raise error
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._request("getattr", name)
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteWorker(pid={self._process.pid}, env_id={self._spec.env_id!r}, "
+            f"closed={self.closed})"
+        )
+
+    def __del__(self):
+        try:
+            if not self.closed:
+                self._abandon()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass
+
+
+class ProcessPoolBackend(ThreadPoolBackend):
+    """Runs every pool worker in its own subprocess.
+
+    Population ships a picklable :class:`WorkerSpec` to each subprocess
+    instead of forking in-process. Batch execution reuses the
+    :class:`ThreadPoolBackend` machinery, but here the pool is a *dispatcher*:
+    its threads merely wait on pipe replies (releasing the GIL) while the
+    actual environment compute runs concurrently in the worker processes.
+    """
+
+    name = "process"
+    _thread_name_prefix = "vec-env-dispatch"
+
+    def __init__(self, max_workers: Optional[int] = None, start_method: Optional[str] = None):
+        # None keeps the executor's CPU-based default sizing (like
+        # ThreadPoolBackend) so a directly-constructed instance can still
+        # drive a whole pool of subprocesses concurrently.
+        super().__init__(max_workers=max_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+
+    def populate(self, env, n: int, worker_wrapper: Optional[Callable[[Any], Any]]) -> List[Any]:
+        """Spawn ``n`` subprocess workers rebuilt from the root env's spec.
+
+        On success the root environment is closed: its construction recipe
+        and session state live on inside the subprocesses. On failure the
+        root is left open for the caller and any subprocesses spawned so far
+        are torn down.
+        """
+        spec = WorkerSpec.from_env(env, worker_wrapper)
+        workers: List[RemoteWorker] = []
+        try:
+            # Start every subprocess first, then wait for the build acks, so
+            # the n environment builds overlap instead of running serially.
+            for _ in range(n):
+                workers.append(RemoteWorker(self._ctx, spec, wait_ready=False))
+            for worker in workers:
+                worker.wait_ready()
+        except Exception:
+            for worker in workers:
+                close_quietly(worker)
+            raise
+        env.close()
+        return workers

@@ -4,39 +4,67 @@
 batched ``reset``/``step``/``multistep`` interface, the standard substrate
 for parallel policy rollout and parallel autotuning in gym-style systems.
 
-The pool is populated by *forking*: one root environment is ``fork()``-ed
-N−1 times, so service startup, benchmark initialization, and the service's
-benchmark cache are paid once and shared by every worker — the cheap session
-cloning that the source paper's environments-as-a-service architecture is
-built around. Batches are executed by a pluggable
-:class:`~repro.core.vector.backends.ExecutionBackend`.
+How the pool is populated depends on the execution backend. The in-process
+backends (``"serial"``, ``"thread"``) *fork* the root environment N−1 times,
+so service startup, benchmark initialization, and the service's benchmark
+cache are paid once and shared by every worker — the cheap session cloning
+that the source paper's environments-as-a-service architecture is built
+around. The ``"process"`` backend instead rebuilds each worker inside its own
+subprocess from a picklable spec, trading shared caches for GIL-free
+parallelism on compute-bound sessions.
 """
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import logging
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.datasets import Benchmark
-from repro.core.vector.backends import ExecutionBackend, resolve_backend
+from repro.core.service.connection import merge_stats_summaries
+from repro.core.vector.backends import ExecutionBackend, close_quietly, resolve_backend
 from repro.errors import SessionNotFound
+
+logger = logging.getLogger(__name__)
 
 # Placeholder result returned for workers whose slot in a batched step was
 # ``None`` (i.e. masked out, typically because their episode already ended).
 SKIPPED_STEP = (None, None, True, {"skipped": True})
 
 
+def _fetch_observations(worker, names: Sequence[str]) -> List[Any]:
+    """Fetch several observation spaces from one worker.
+
+    Workers that expose a batched ``observations()`` method (the subprocess
+    proxies) get all names in a single round trip; plain environments fall
+    back to per-space ``observation[...]`` lookups.
+    """
+    batched = getattr(type(worker), "observations", None)
+    if batched is not None:
+        return batched(worker, list(names))
+    return [worker.observation[name] for name in names]
+
+
 class VecCompilerEnv:
-    """A fixed-size pool of environments with a batched Gym-style interface.
+    """A pool of environments with a batched Gym-style interface.
 
     Args:
-        env: The root environment. It becomes worker 0 and is forked to
-            populate the rest of the pool. The pool takes ownership: closing
-            the pool closes the root too.
+        env: The root environment. The pool takes ownership: with an
+            in-process backend it becomes worker 0 and is forked to populate
+            the rest of the pool; with the process backend it provides the
+            worker construction spec and is closed once the subprocess
+            workers are up. Closing the pool closes every worker.
         n: The number of workers (must be >= 1).
-        backend: Execution backend: ``"serial"`` (default), ``"thread"``, or
-            an :class:`ExecutionBackend` instance. A string-constructed
-            backend is owned (and closed) by the pool; an instance is not.
+        backend: Execution backend: ``"serial"`` (default), ``"thread"``,
+            ``"process"``, or an :class:`ExecutionBackend` instance. A
+            string-constructed backend is owned (and closed) by the pool; an
+            instance is not.
         worker_wrapper: Optional callable applied to every worker (including
             the root) after forking, e.g. to impose a ``TimeLimit``. The
-            wrapper must preserve the ``CompilerEnv`` interface.
+            wrapper must preserve the ``CompilerEnv`` interface, and must be
+            picklable for the process backend.
+        auto_reset: When True, a worker whose episode ends is reset *within
+            the same batched step*: its slot returns the new episode's
+            initial observation, ``done=True``, and the final observation of
+            the finished episode under ``info["terminal_observation"]`` —
+            the standard VecEnv contract for continuous rollout collection.
     """
 
     def __init__(
@@ -45,32 +73,26 @@ class VecCompilerEnv:
         n: int,
         backend: Union[str, ExecutionBackend, None] = None,
         worker_wrapper: Optional[Callable[[Any], Any]] = None,
+        auto_reset: bool = False,
     ):
         if n < 1:
             raise ValueError(f"VecCompilerEnv requires n >= 1, got {n}")
         self._backend = resolve_backend(backend, n)
         self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.auto_reset = auto_reset
         self.closed = False
+        self._worker_wrapper = worker_wrapper
         self.workers: List[Any] = []
-
-        workers = [env]
         try:
-            for _ in range(n - 1):
-                workers.append(env.fork())
-            if worker_wrapper is not None:
-                workers = [worker_wrapper(worker) for worker in workers]
+            # The backend owns the population strategy: in-process backends
+            # fork the root (cleaning up partially-built — including
+            # partially-wrapped — workers on failure), the process backend
+            # spawns subprocess workers from a picklable spec.
+            self.workers = self._backend.populate(env, n, worker_wrapper)
         except Exception:
-            # Construction failed partway: release the forked sessions (the
-            # caller still owns the root env) and any backend we created.
-            for worker in workers[1:]:
-                try:
-                    worker.close()
-                except Exception:  # noqa: BLE001 - best-effort cleanup
-                    pass
             if self._owns_backend:
                 self._backend.close()
             raise
-        self.workers = workers
 
     # -- pool introspection -------------------------------------------------
 
@@ -112,6 +134,25 @@ class VecCompilerEnv:
     def episode_rewards(self) -> List[Optional[float]]:
         """The cumulative episode reward of each worker."""
         return [getattr(worker, "episode_reward", None) for worker in self.workers]
+
+    def connection_stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate service-call accounting across all pool workers.
+
+        In-process workers share one connection (counted once); subprocess
+        workers each report their own connection's summary.
+        """
+        summaries = []
+        seen_services = set()
+        for worker in self.workers:
+            if getattr(type(worker), "is_remote", False):
+                summaries.append(worker.stats_summary())
+                continue
+            service = getattr(worker, "service", None)
+            if service is None or id(service) in seen_services:
+                continue
+            seen_services.add(id(service))
+            summaries.append(service.stats_summary())
+        return merge_stats_summaries(summaries)
 
     # -- batched Gym API ----------------------------------------------------
 
@@ -181,20 +222,38 @@ class VecCompilerEnv:
         one entry per worker. A ``None`` entry in ``action_lists`` masks the
         corresponding worker out of the batch (its slot receives the
         :data:`SKIPPED_STEP` placeholder with ``done=True``), which is how
-        rollout collectors handle workers whose episodes ended early.
+        rollout collectors handle workers whose episodes ended early when
+        ``auto_reset`` is off. With ``auto_reset`` on, a worker that reports
+        ``done`` is reset inside the same batched call: its observation slot
+        holds the new episode's initial observation and the terminal
+        observation is preserved in ``info["terminal_observation"]``.
         """
         self._check_open("multistep")
         self._check_batch("action_lists", action_lists)
+        auto_reset = self.auto_reset
 
         def step_one(pair):
             worker, actions = pair
             if actions is None:
                 return SKIPPED_STEP
-            return worker.multistep(
+            observation, reward, done, info = worker.multistep(
                 list(actions),
                 observation_spaces=observation_spaces,
                 reward_spaces=reward_spaces,
             )
+            if done and auto_reset:
+                info = dict(info)
+                info["terminal_observation"] = observation
+                observation = worker.reset()
+                if observation_spaces is not None:
+                    # The caller asked for explicit spaces; re-fetch the new
+                    # episode's initial observation in those, not the
+                    # worker's default space.
+                    observation = _fetch_observations(
+                        worker,
+                        [getattr(space, "id", space) for space in observation_spaces],
+                    )
+            return observation, reward, done, info
 
         results = self._backend.run(step_one, list(zip(self.workers, action_lists)))
         observations = [result[0] for result in results]
@@ -208,23 +267,116 @@ class VecCompilerEnv:
 
         With a single space name, returns one observation per worker. With a
         sequence of names, returns a list per worker, one entry per requested
-        space. Observations are computed concurrently under the thread pool
-        backend, which matters for the expensive spaces (e.g. Programl).
+        space. Observations are computed concurrently under the thread and
+        process pool backends, which matters for the expensive spaces (e.g.
+        Programl).
         """
         self._check_open("observations")
         single = isinstance(spaces, str)
         names = [spaces] if single else list(spaces)
 
         def observe_one(worker):
-            values = [worker.observation[name] for name in names]
+            values = _fetch_observations(worker, names)
             return values[0] if single else values
 
         return self._backend.run(observe_one, self.workers)
 
+    # -- dynamic pool sizing ------------------------------------------------
+
+    def resize(self, n: int) -> int:
+        """Grow or shrink the pool to ``n`` workers, returning the new size.
+
+        Growing forks worker 0 (an in-process fork, or a subprocess clone
+        that replays worker 0's session under the process backend), so new
+        workers start from worker 0's current benchmark and session state —
+        resize at an episode boundary, or reset the pool afterwards, for a
+        clean slate. Shrinking retires (closes) workers from the end of the
+        pool. The owned backend's capacity is adjusted to match.
+        """
+        self._check_open("resize")
+        if n < 1:
+            raise ValueError(f"VecCompilerEnv requires n >= 1, got {n}")
+        errors: List[Exception] = []
+        while len(self.workers) > n:
+            worker = self.workers.pop()
+            try:
+                worker.close()
+            except Exception as error:  # noqa: BLE001 - retire the rest first
+                errors.append(error)
+        if len(self.workers) < n:
+            template = self.workers[0]
+            expected_chain = self._wrapper_chain(template)
+            while len(self.workers) < n:
+                worker = template.fork()
+                if (
+                    self._worker_wrapper is not None
+                    and self._wrapper_chain(worker) != expected_chain
+                ):
+                    # Some wrapper in the template's chain lacks a fork()
+                    # override (the base CompilerEnvWrapper returns its
+                    # inner fork), so the chain did not survive. Discard the
+                    # partial fork and rebuild from the unwrapped session,
+                    # re-applying the pool's wrapper (its state starts
+                    # fresh).
+                    close_quietly(worker)
+                    base = getattr(template, "unwrapped", template)
+                    worker = self._worker_wrapper(base.fork())
+                self.workers.append(worker)
+        if self._owns_backend:
+            self._backend.resize(n)
+        if errors:
+            raise self._aggregate_errors("resize", errors)
+        return self.num_envs
+
+    @staticmethod
+    def _wrapper_chain(worker) -> List[type]:
+        """The types of the worker's wrapper chain, outermost first.
+
+        Walks instance ``env`` attributes directly (never ``__getattr__``
+        delegation), so subprocess proxies and raw environments yield a
+        single-element chain.
+        """
+        chain: List[type] = []
+        seen = set()
+        while worker is not None and id(worker) not in seen:
+            seen.add(id(worker))
+            chain.append(type(worker))
+            worker = getattr(worker, "__dict__", {}).get("env")
+        return chain
+
     # -- lifecycle ----------------------------------------------------------
 
+    @staticmethod
+    def _aggregate_errors(operation: str, errors: List[Exception]) -> Exception:
+        """Combine multiple worker errors: raise the first, carry the rest.
+
+        The suppressed errors are logged and attached to the primary
+        exception as ``suppressed_errors`` so multi-worker teardown failures
+        stay diagnosable.
+        """
+        primary = errors[0]
+        if len(errors) > 1:
+            logger.warning(
+                "VecCompilerEnv.%s(): %d additional worker error(s) suppressed "
+                "behind %r: %s",
+                operation,
+                len(errors) - 1,
+                primary,
+                "; ".join(repr(error) for error in errors[1:]),
+            )
+        try:
+            primary.suppressed_errors = tuple(errors[1:])
+        except Exception:  # noqa: BLE001 - exotic exceptions may refuse attributes
+            pass
+        return primary
+
     def close(self) -> None:
-        """Close every worker and the owned backend. Idempotent."""
+        """Close every worker and the owned backend. Idempotent.
+
+        Every worker is closed even if some fail; the first failure is
+        re-raised afterwards with the remaining ones logged and attached as
+        ``suppressed_errors``.
+        """
         if self.closed:
             return
         self.closed = True
@@ -237,7 +389,7 @@ class VecCompilerEnv:
         if self._owns_backend:
             self._backend.close()
         if errors:
-            raise errors[0]
+            raise self._aggregate_errors("close", errors)
 
     def __enter__(self) -> "VecCompilerEnv":
         return self
@@ -264,6 +416,7 @@ def make_vec_env(
     backend: Union[str, ExecutionBackend, None] = None,
     env=None,
     worker_wrapper: Optional[Callable[[Any], Any]] = None,
+    auto_reset: bool = False,
     **make_kwargs,
 ) -> VecCompilerEnv:
     """Construct a :class:`VecCompilerEnv` from an environment ID or instance.
@@ -274,10 +427,21 @@ def make_vec_env(
     """
     if (env_id is None) == (env is None):
         raise ValueError("Provide exactly one of env_id or env")
-    if env is None:
+    owns_root = env is None
+    if owns_root:
         from repro.core.registration import make
 
         env = make(env_id, **make_kwargs)
     elif make_kwargs:
         raise ValueError("make_kwargs are only valid with env_id")
-    return VecCompilerEnv(env, n=n, backend=backend, worker_wrapper=worker_wrapper)
+    try:
+        return VecCompilerEnv(
+            env, n=n, backend=backend, worker_wrapper=worker_wrapper, auto_reset=auto_reset
+        )
+    except Exception:
+        # Pool construction failed. A caller-provided env remains the
+        # caller's to close, but an env we constructed from env_id here
+        # would leak its service if we didn't release it before re-raising.
+        if owns_root:
+            close_quietly(env)
+        raise

@@ -15,10 +15,15 @@ from repro.rl.apex import ApexDQNAgent
 from repro.rl.impala import ImpalaAgent
 from repro.rl.trainer import (
     EvaluationResult,
+    RlWorkerWrapper,
     TrainingResult,
     evaluate_codesize_reduction,
     make_rl_environment,
+    make_vec_rl_environment,
+    run_vec_episode,
+    run_vec_rollouts,
     train_agent,
+    train_agent_vec,
 )
 
 __all__ = [
@@ -31,8 +36,13 @@ __all__ = [
     "LinearValueFunction",
     "PPOAgent",
     "PrioritizedReplayBuffer",
+    "RlWorkerWrapper",
     "TrainingResult",
     "evaluate_codesize_reduction",
     "make_rl_environment",
+    "make_vec_rl_environment",
+    "run_vec_episode",
+    "run_vec_rollouts",
     "train_agent",
+    "train_agent_vec",
 ]

@@ -77,13 +77,19 @@ class A2CAgent:
         self._last_batch = batch
         return actions
 
-    def observe_batch(self, rewards: Sequence[Optional[float]], dones: Sequence[bool]) -> None:
+    def observe_batch(
+        self,
+        rewards: Sequence[Optional[float]],
+        dones: Sequence[bool],
+        observations: Optional[Sequence] = None,
+    ) -> None:
         """Record one transition per worker from the preceding :meth:`act_batch`.
 
         Each worker accumulates its own n-step buffer; advantages are computed
         per worker over its own trajectory, so interleaved vectorized rollouts
         produce the same updates as sequential episodes.
         """
+        del observations  # Bootstrapping uses the stored features only.
         for slot, (last, reward, done) in enumerate(zip(self._last_batch, rewards, dones)):
             if last is None:
                 continue
@@ -121,7 +127,7 @@ class A2CAgent:
             returns[t] = running
         for t in range(len(rewards)):
             advantage = returns[t] - self.value.value(features[t])
-            self.policy.policy_gradient_step(
-                features[t], actions[t], float(advantage) + self.entropy_coef
-            )
+            self.policy.policy_gradient_step(features[t], actions[t], float(advantage))
+            if self.entropy_coef:
+                self.policy.entropy_gradient_step(features[t], self.entropy_coef)
             self.value.update(features[t], returns[t])

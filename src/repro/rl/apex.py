@@ -6,7 +6,7 @@ replay buffer with importance-sampling corrections, a periodically synced
 target network, and n-step returns (n=1 here) — is the same.
 """
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +47,8 @@ class ApexDQNAgent:
         self.rng = np.random.default_rng(seed)
         self.total_steps = 0
         self._last_features: Optional[np.ndarray] = None
+        # Per-worker state for vectorized rollouts (see act_batch/observe_batch).
+        self._last_batch: List[Optional[tuple]] = []
 
     def _sync_target(self) -> None:
         self.target_q.weights = self.q.weights.copy()
@@ -57,16 +59,20 @@ class ApexDQNAgent:
         fraction = min(1.0, self.total_steps / self.epsilon_decay_steps)
         return self.epsilon_start + fraction * (self.epsilon_end - self.epsilon_start)
 
-    def act(self, observation, greedy: bool = False) -> int:
-        features = self.scaler(observation, update=not greedy)
-        self._last_features = features
+    def _select_action(self, features: np.ndarray, greedy: bool) -> int:
         if not greedy and self.rng.random() < self.epsilon:
             return int(self.rng.integers(self.num_actions))
         return int(np.argmax(self.q(features)))
 
-    def observe(self, observation, action: int, reward: float, done: bool) -> None:
-        next_features = self.scaler(observation, update=False)
-        transition = (self._last_features, action, float(reward), next_features, bool(done))
+    def act(self, observation, greedy: bool = False) -> int:
+        features = self.scaler(observation, update=not greedy)
+        self._last_features = features
+        return self._select_action(features, greedy)
+
+    def _store(
+        self, features: np.ndarray, action: int, reward: float, next_features: np.ndarray, done: bool
+    ) -> None:
+        transition = (features, action, float(reward), next_features, bool(done))
         # New transitions get maximum priority so they are replayed at least once.
         max_priority = self.replay.priorities[: len(self.replay)].max() if len(self.replay) else 1.0
         self.replay.add(transition, priority=max_priority)
@@ -75,8 +81,72 @@ class ApexDQNAgent:
         if self.total_steps % self.target_sync_interval == 0:
             self._sync_target()
 
+    def observe(self, observation, action: int, reward: float, done: bool) -> None:
+        next_features = self.scaler(observation, update=False)
+        self._store(self._last_features, action, reward, next_features, done)
+
     def end_episode(self) -> None:
         """DQN learns online from the replay buffer; nothing to flush."""
+
+    # -- vectorized rollout API -------------------------------------------
+
+    def act_batch(self, observations: Sequence, greedy: bool = False) -> List[Optional[int]]:
+        """Select one epsilon-greedy action per rollout worker.
+
+        A ``None`` observation marks a worker whose episode has already
+        finished; its slot returns ``None`` and is skipped by
+        :meth:`observe_batch`.
+        """
+        batch: List[Optional[tuple]] = []
+        actions: List[Optional[int]] = []
+        for observation in observations:
+            if observation is None:
+                batch.append(None)
+                actions.append(None)
+                continue
+            features = self.scaler(observation, update=not greedy)
+            action = self._select_action(features, greedy)
+            batch.append((features, action))
+            actions.append(action)
+        self._last_batch = batch
+        return actions
+
+    def observe_batch(
+        self,
+        rewards: Sequence[Optional[float]],
+        dones: Sequence[bool],
+        observations: Optional[Sequence] = None,
+    ) -> None:
+        """Store one transition per worker from the preceding :meth:`act_batch`.
+
+        ``observations`` carries the post-step observation of each worker —
+        the bootstrap state s' of the stored transition — and is therefore
+        *required* here (unlike the on-policy agents, which ignore it). All
+        workers share the one prioritized replay buffer and learner, the
+        single-process analogue of Ape-X's actor fleet feeding a central
+        replay.
+        """
+        if observations is None:
+            raise ValueError(
+                "ApexDQNAgent.observe_batch() requires the post-step observation "
+                "batch to bootstrap its TD targets; without it every target "
+                "would silently bootstrap from the pre-step state"
+            )
+        for last, reward, done, observation in zip(
+            self._last_batch, rewards, dones, observations
+        ):
+            if last is None:
+                continue
+            features, action = last
+            next_features = (
+                features if observation is None else self.scaler(observation, update=False)
+            )
+            self._store(features, action, float(reward or 0.0), next_features, bool(done))
+        self._last_batch = []
+
+    def end_episode_batch(self) -> None:
+        """DQN learns online from the replay buffer; nothing to flush."""
+        self._last_batch = []
 
     def _learn(self) -> None:
         if len(self.replay) < self.batch_size:

@@ -4,10 +4,13 @@ IMPALA decouples acting from learning: actors generate trajectories with a
 (slightly stale) behaviour policy and the learner applies V-trace
 importance-weighted corrections. Here a single process plays both roles, with
 the behaviour policy refreshed only every ``sync_interval`` episodes so the
-off-policy correction machinery is genuinely exercised.
+off-policy correction machinery is genuinely exercised. The vectorized
+rollout API (``act_batch``/``observe_batch``) runs one trajectory per pool
+worker; each completed per-worker trajectory goes through the same V-trace
+update as a sequential episode.
 """
 
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -44,6 +47,9 @@ class ImpalaAgent:
         self.rng = np.random.default_rng(seed)
         self._trajectory: List[tuple] = []
         self._episodes = 0
+        # Per-worker state for vectorized rollouts (see act_batch/observe_batch).
+        self._last_batch: List[Optional[tuple]] = []
+        self._slot_trajectories: Dict[int, List[tuple]] = {}
 
     def _sync_behaviour(self) -> None:
         self.behaviour.weights = self.policy.weights.copy()
@@ -64,10 +70,68 @@ class ImpalaAgent:
             self.end_episode()
 
     def end_episode(self) -> None:
-        if not self._trajectory:
+        trajectory, self._trajectory = self._trajectory, []
+        self._learn(trajectory)
+
+    # -- vectorized rollout API -------------------------------------------
+
+    def act_batch(self, observations: Sequence, greedy: bool = False) -> List[Optional[int]]:
+        """Select one behaviour-policy action per rollout worker.
+
+        A ``None`` observation marks a worker whose episode has already
+        finished; its slot returns ``None`` and is skipped by
+        :meth:`observe_batch`.
+        """
+        policy = self.policy if greedy else self.behaviour
+        batch: List[Optional[tuple]] = []
+        actions: List[Optional[int]] = []
+        for observation in observations:
+            if observation is None:
+                batch.append(None)
+                actions.append(None)
+                continue
+            features = self.scaler(observation, update=not greedy)
+            action, log_prob = policy.act(features, self.rng, greedy=greedy)
+            batch.append((features, action, log_prob))
+            actions.append(action)
+        self._last_batch = batch
+        return actions
+
+    def observe_batch(
+        self,
+        rewards: Sequence[Optional[float]],
+        dones: Sequence[bool],
+        observations: Optional[Sequence] = None,
+    ) -> None:
+        """Record one transition per worker from the preceding :meth:`act_batch`.
+
+        Trajectories accumulate per worker; a worker's completed trajectory
+        goes through the same V-trace update as a sequential episode.
+        """
+        del observations  # V-trace bootstraps from the stored features only.
+        for slot, (last, reward, done) in enumerate(zip(self._last_batch, rewards, dones)):
+            if last is None:
+                continue
+            features, action, log_prob = last
+            trajectory = self._slot_trajectories.setdefault(slot, [])
+            trajectory.append((features, action, float(reward or 0.0), log_prob))
+            if done:
+                self._learn(trajectory)
+                self._slot_trajectories[slot] = []
+        self._last_batch = []
+
+    def end_episode_batch(self) -> None:
+        """Flush any incomplete rollout-worker trajectories."""
+        for trajectory in self._slot_trajectories.values():
+            self._learn(trajectory)
+        self._slot_trajectories = {}
+        self._last_batch = []
+
+    # -- learning ----------------------------------------------------------
+
+    def _learn(self, trajectory: List[tuple]) -> None:
+        if not trajectory:
             return
-        trajectory = self._trajectory
-        self._trajectory = []
         features = [step[0] for step in trajectory]
         actions = [step[1] for step in trajectory]
         rewards = [step[2] for step in trajectory]
@@ -90,9 +154,9 @@ class ImpalaAgent:
 
         for t in range(len(rewards)):
             advantage = rhos[t] * (rewards[t] + self.gamma * vs[t + 1] - values[t])
-            self.policy.policy_gradient_step(
-                features[t], actions[t], float(advantage) + self.entropy_coef
-            )
+            self.policy.policy_gradient_step(features[t], actions[t], float(advantage))
+            if self.entropy_coef:
+                self.policy.entropy_gradient_step(features[t], self.entropy_coef)
             self.value.update(features[t], vs[t])
 
         self._episodes += 1

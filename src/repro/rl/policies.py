@@ -75,6 +75,23 @@ class LinearPolicy:
         probs = self.probabilities(observation)
         return float(-(probs * np.log(probs + 1e-12)).sum())
 
+    def entropy_gradient_step(self, observation: np.ndarray, scale: float) -> None:
+        """Apply one ascent step of ``scale * grad H(pi(. | observation))``.
+
+        This is the correct entropy regularizer for a softmax policy: the
+        gradient of the entropy with respect to the logits is
+        ``-pi_k * (log pi_k + H)``, which pushes probability mass toward the
+        uniform distribution. It is *not* equivalent to adding a constant to
+        the advantage of the sampled action, which instead biases the policy
+        toward whatever action happened to be taken.
+        """
+        probs = self.probabilities(observation)
+        log_probs = np.log(probs + 1e-12)
+        entropy = float(-(probs * log_probs).sum())
+        grad_logits = -probs * (log_probs + entropy)
+        self.weights += self.learning_rate * scale * np.outer(grad_logits, observation)
+        self.bias += self.learning_rate * scale * grad_logits
+
 
 class LinearValueFunction:
     """A linear state-value (or action-value) function."""

@@ -83,7 +83,12 @@ class PPOAgent:
         self._last_batch = batch
         return actions
 
-    def observe_batch(self, rewards: Sequence[Optional[float]], dones: Sequence[bool]) -> None:
+    def observe_batch(
+        self,
+        rewards: Sequence[Optional[float]],
+        dones: Sequence[bool],
+        observations: Optional[Sequence] = None,
+    ) -> None:
         """Record one transition per worker from the preceding :meth:`act_batch`.
 
         Trajectories accumulate per worker; when a worker's episode ends, its
@@ -91,6 +96,7 @@ class PPOAgent:
         update as a sequential episode, so advantages are computed over whole
         per-episode batches.
         """
+        del observations  # GAE bootstraps from the stored features only.
         for slot, (last, reward, done) in enumerate(zip(self._last_batch, rewards, dones)):
             if last is None:
                 continue
@@ -139,7 +145,10 @@ class PPOAgent:
                 # The clipped surrogate gradient: only step when the
                 # unclipped term is the active (smaller) one.
                 if (ratio * advantage) <= (clipped * advantage) + 1e-12:
-                    scale = ratio * advantage + self.entropy_coef
-                    self.policy.policy_gradient_step(features[t], actions[t], float(scale))
+                    self.policy.policy_gradient_step(
+                        features[t], actions[t], float(ratio * advantage)
+                    )
+                if self.entropy_coef:
+                    self.policy.entropy_gradient_step(features[t], self.entropy_coef)
                 self.value.update(features[t], returns[t])
         return float(np.sum(rewards))

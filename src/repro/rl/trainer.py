@@ -9,11 +9,12 @@ reduction relative to -Oz on held-out benchmarks.
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.vector import VecCompilerEnv
+from repro.core.vector.backends import close_quietly
 from repro.core.wrappers import ConcatActionsHistogram, ConstrainedCommandline, TimeLimit
 from repro.util.statistics import geometric_mean
 
@@ -76,6 +77,30 @@ def make_rl_environment(
     return env
 
 
+@dataclass(frozen=True)
+class RlWorkerWrapper:
+    """Picklable per-worker wrapper applying the experiment's MDP formulation.
+
+    ``VecCompilerEnv`` applies this to every pool worker. Being a plain
+    dataclass (rather than a closure) it can be shipped to the subprocess
+    workers of the ``"process"`` backend.
+    """
+
+    observation_space: str = "Autophase"
+    use_action_histogram: bool = True
+    episode_length: int = EPISODE_LENGTH
+    action_subset: Optional[Tuple[str, ...]] = None
+
+    def __call__(self, worker):
+        return make_rl_environment(
+            worker,
+            observation_space=self.observation_space,
+            use_action_histogram=self.use_action_histogram,
+            episode_length=self.episode_length,
+            action_subset=list(self.action_subset) if self.action_subset else None,
+        )
+
+
 def make_vec_rl_environment(
     env,
     n: int,
@@ -84,28 +109,39 @@ def make_vec_rl_environment(
     use_action_histogram: bool = True,
     episode_length: int = EPISODE_LENGTH,
     action_subset: Optional[Sequence[str]] = None,
+    auto_reset: bool = False,
+    close_env_on_error: bool = True,
 ) -> VecCompilerEnv:
     """Build a vectorized pool of RL-wrapped environments.
 
-    The raw root environment is forked to populate the pool (so service
-    startup and the benchmark cache are shared) and every worker is then
-    wrapped into the experiment's MDP formulation via
-    :func:`make_rl_environment`.
+    With an in-process backend the raw root environment is forked to populate
+    the pool (so service startup and the benchmark cache are shared); with
+    ``backend="process"`` each worker is rebuilt in its own subprocess. Every
+    worker is then wrapped into the experiment's MDP formulation via
+    :class:`RlWorkerWrapper`.
+
+    On success the pool owns ``env``. On failure ``env`` is closed before the
+    error propagates (callers construct it solely for the pool); pass
+    ``close_env_on_error=False`` to keep it open instead.
     """
     env.observation_space = observation_space
     if env.reward_space is None:
         env.reward_space = "IrInstructionCountNorm"
 
-    def wrap(worker):
-        return make_rl_environment(
-            worker,
-            observation_space=observation_space,
-            use_action_histogram=use_action_histogram,
-            episode_length=episode_length,
-            action_subset=action_subset,
+    wrap = RlWorkerWrapper(
+        observation_space=observation_space,
+        use_action_histogram=use_action_histogram,
+        episode_length=episode_length,
+        action_subset=tuple(action_subset) if action_subset else None,
+    )
+    try:
+        return VecCompilerEnv(
+            env, n=n, backend=backend, worker_wrapper=wrap, auto_reset=auto_reset
         )
-
-    return VecCompilerEnv(env, n=n, backend=backend, worker_wrapper=wrap)
+    except Exception:
+        if close_env_on_error:
+            close_quietly(env)
+        raise
 
 
 def observation_dim(observation_space: str, use_action_histogram: bool, num_actions: int) -> int:
@@ -172,7 +208,7 @@ def run_vec_episode(
         observations, rewards, step_dones, _ = vec_env.step(actions)
         rewards = [reward or 0.0 for reward in rewards]
         if batched_agent:
-            agent.observe_batch(rewards, step_dones)
+            agent.observe_batch(rewards, step_dones, observations)
         for i in range(n):
             if dones[i]:
                 continue
@@ -188,6 +224,86 @@ def run_vec_episode(
     return totals
 
 
+def run_vec_rollouts(
+    vec_env: VecCompilerEnv,
+    agent,
+    episodes: int,
+    benchmarks: Optional[Sequence[str]] = None,
+    train: bool = True,
+) -> List[float]:
+    """Continuously collect episodes from an auto-reset pool.
+
+    Unlike :func:`run_vec_episode` — which runs the pool in per-episode
+    lockstep and masks finished workers out — this keeps every worker live:
+    a worker whose episode ends is reset by the pool *within the same batched
+    step* and immediately starts its next episode, so no step-slot is ever
+    wasted. The agent bootstraps finished transitions from
+    ``info["terminal_observation"]`` (the episode's true final state), not
+    from the next episode's initial observation.
+
+    ``benchmarks`` is the full training list: the first ``num_envs`` entries
+    seed the workers and every completed episode advances the cycle, so (as
+    in the lockstep path) every benchmark gets its turn even when there are
+    more benchmarks than workers. Returns the rewards of the completed
+    episodes, in completion order (at least ``episodes`` of them).
+    """
+    if not getattr(vec_env, "auto_reset", False):
+        raise ValueError("run_vec_rollouts() requires a VecCompilerEnv(auto_reset=True)")
+    if train and not hasattr(agent, "act_batch"):
+        raise ValueError(
+            f"{type(agent).__name__} does not implement act_batch()/observe_batch(); "
+            "continuous rollout collection requires the batch rollout API"
+        )
+    n = vec_env.num_envs
+    if isinstance(benchmarks, str):
+        benchmarks = [benchmarks]
+    benchmarks = list(benchmarks) if benchmarks else []
+    if benchmarks:
+        current = [benchmarks[i % len(benchmarks)] for i in range(n)]
+        observations = vec_env.reset(benchmarks=current)
+    else:
+        current = [None] * n
+        observations = vec_env.reset()
+    next_benchmark = n  # Cursor into the benchmark cycle, matching run_vec_episode.
+    totals = [0.0] * n
+    completed: List[float] = []
+    while len(completed) < episodes:
+        if train:
+            actions = agent.act_batch(observations, greedy=False)
+        else:
+            actions = [agent.act(observation, greedy=True) for observation in observations]
+        observations, rewards, dones, infos = vec_env.step(actions)
+        rewards = [reward or 0.0 for reward in rewards]
+        if train:
+            bootstrap_observations = [
+                info.get("terminal_observation", observation) if done else observation
+                for observation, done, info in zip(observations, dones, infos)
+            ]
+            agent.observe_batch(rewards, dones, bootstrap_observations)
+        for i in range(n):
+            totals[i] += rewards[i]
+            if dones[i]:
+                completed.append(totals[i])
+                totals[i] = 0.0
+                if benchmarks:
+                    # The auto-reset restarted the worker on its current
+                    # benchmark; advance the cycle so every training
+                    # benchmark gets its turn, re-resetting only when the
+                    # assignment actually changes (the agent has not acted on
+                    # the discarded initial observation yet). The discarded
+                    # reset is the price of a deterministic benchmark order:
+                    # scheduling the next benchmark inside the pool's
+                    # auto-reset would assign in backend completion order.
+                    assigned = benchmarks[next_benchmark % len(benchmarks)]
+                    next_benchmark += 1
+                    if assigned != current[i]:
+                        current[i] = assigned
+                        observations[i] = vec_env.workers[i].reset(benchmark=assigned)
+    if train and hasattr(agent, "end_episode_batch"):
+        agent.end_episode_batch()
+    return completed
+
+
 def train_agent_vec(
     agent,
     vec_env: VecCompilerEnv,
@@ -197,9 +313,12 @@ def train_agent_vec(
 ) -> TrainingResult:
     """Train an agent on vectorized rollouts.
 
-    Episodes are collected ``vec_env.num_envs`` at a time, cycling over the
-    training benchmarks (one benchmark per worker per round), until at least
-    ``episodes`` episodes have been recorded.
+    With a plain pool, episodes are collected ``vec_env.num_envs`` at a time
+    in lockstep, cycling over the training benchmarks (one benchmark per
+    worker per round), until at least ``episodes`` episodes have been
+    recorded. With an ``auto_reset=True`` pool, rollouts are collected
+    continuously instead: finished workers restart immediately on their
+    assigned benchmark, so no batched step is spent on masked-out slots.
     """
     del seed  # Benchmark order is deterministic, matching train_agent().
     result = TrainingResult(
@@ -207,6 +326,10 @@ def train_agent_vec(
     )
     benchmarks = list(training_benchmarks)
     n = vec_env.num_envs
+    if getattr(vec_env, "auto_reset", False):
+        rewards = run_vec_rollouts(vec_env, agent, episodes, benchmarks=benchmarks, train=True)
+        result.episode_rewards.extend(rewards[:episodes])
+        return result
     episode = 0
     while episode < episodes:
         if benchmarks:

@@ -55,6 +55,31 @@ class TestCli:
         with pytest.raises(SystemExit):
             make_parser().parse_args([])
 
+    @pytest.mark.parametrize("agent", ["impala", "apex"])
+    def test_train_command(self, capsys, tmp_path, agent):
+        output = str(tmp_path / "curve.json")
+        assert (
+            main(
+                [
+                    "train",
+                    "--agent", agent,
+                    "--benchmark", "benchmark://cbench-v1/crc32",
+                    "--episodes", "3",
+                    "--episode-length", "3",
+                    "--workers", "2",
+                    "--output", output,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert agent in out
+        assert "mean episode reward" in out
+        with open(output) as f:
+            curve = json.load(f)
+        assert curve["agent"] == agent
+        assert len(curve["episode_rewards"]) == 3
+
 
 class TestExplorerApi:
     @pytest.fixture()

@@ -64,6 +64,26 @@ class TestPolicies:
         scaled = scaler(np.array([0, 100, 10_000]))
         assert np.all(np.abs(scaled) <= 5.0)
 
+    def test_entropy_gradient_step_increases_entropy(self):
+        policy = LinearPolicy(obs_dim=4, num_actions=3, learning_rate=0.5, seed=0)
+        observation = np.ones(4)
+        # Peak the policy on action 0, then apply entropy ascent steps.
+        for _ in range(40):
+            policy.policy_gradient_step(observation, action=0, scale=1.0)
+        before = policy.entropy(observation)
+        for _ in range(40):
+            policy.entropy_gradient_step(observation, scale=1.0)
+        assert policy.entropy(observation) > before
+
+    def test_entropy_gradient_is_zero_at_uniform(self):
+        policy = LinearPolicy(obs_dim=4, num_actions=3, learning_rate=0.5, seed=0)
+        policy.weights[:] = 0.0
+        policy.bias[:] = 0.0
+        observation = np.ones(4)
+        policy.entropy_gradient_step(observation, scale=1.0)
+        # The uniform distribution is the entropy maximum: no movement.
+        np.testing.assert_allclose(policy.probabilities(observation), np.full(3, 1 / 3))
+
 
 class TestReplayBuffer:
     def test_capacity_wraparound(self):
@@ -119,6 +139,65 @@ class TestAgents:
         train_agent(agent, rl_env, [benchmark], episodes=30)
         after = evaluate_codesize_reduction(agent, rl_env, [benchmark]).geomean_reduction
         assert after >= before * 0.9  # Training must not collapse; usually it improves.
+
+    def test_impala_entropy_bonus_does_not_bias_toward_taken_actions(self):
+        """Regression: entropy_coef used to be added as a flat constant to
+        every advantage, so zero-reward experience still pushed probability
+        onto whatever action happened to be taken. The entropy-gradient
+        bonus must instead keep a (near-)uniform policy near uniform."""
+        agent = ImpalaAgent(
+            obs_dim=6, num_actions=4, learning_rate=0.5, entropy_coef=1.0, seed=0
+        )
+        observation = np.ones(6)
+        for episode in range(10):
+            for t in range(5):
+                agent.act(observation)
+                # Pin the recorded transition to action 0, reward 0.
+                features = agent._last[0]
+                agent._last = (features, 0, agent.behaviour.log_prob(features, 0))
+                agent.observe(observation, 0, reward=0.0, done=t == 4)
+        features = agent.scaler(observation, update=False)
+        probabilities = agent.policy.probabilities(features)
+        # The flat-constant bug drives P(action 0) towards 1 here; the
+        # entropy-gradient bonus keeps the policy close to uniform.
+        assert probabilities[0] < 0.5
+        assert agent.policy.entropy(features) > 0.9 * np.log(4)
+
+    def test_impala_batch_rollouts_match_protocol(self):
+        """act_batch/observe_batch accumulate per-slot trajectories and skip
+        masked (None) slots, like A2C/PPO."""
+        agent = ImpalaAgent(obs_dim=4, num_actions=3, seed=0)
+        observation = np.ones(4)
+        actions = agent.act_batch([observation, None, observation])
+        assert actions[1] is None
+        assert actions[0] is not None and actions[2] is not None
+        agent.observe_batch([0.5, None, 0.25], [False, True, True])
+        # Slot 2 finished: its trajectory was learned from and cleared.
+        assert 2 not in agent._slot_trajectories or not agent._slot_trajectories[2]
+        assert len(agent._slot_trajectories[0]) == 1
+        agent.end_episode_batch()
+        assert not agent._slot_trajectories
+
+    def test_apex_batch_rollouts_feed_shared_replay(self):
+        agent = ApexDQNAgent(obs_dim=4, num_actions=3, seed=0, batch_size=4)
+        observation = np.ones(4)
+        next_observation = np.full(4, 2.0)
+        for _ in range(3):
+            actions = agent.act_batch([observation, observation])
+            assert all(action is not None for action in actions)
+            agent.observe_batch(
+                [0.1, 0.2], [False, False], [next_observation, next_observation]
+            )
+        assert len(agent.replay) == 6
+        assert agent.total_steps == 6
+
+    def test_apex_observe_batch_requires_bootstrap_observations(self):
+        """Regression: omitting the post-step observations must fail fast,
+        not silently bootstrap TD targets from the pre-step state."""
+        agent = ApexDQNAgent(obs_dim=4, num_actions=3, seed=0)
+        agent.act_batch([np.ones(4)])
+        with pytest.raises(ValueError, match="post-step observation"):
+            agent.observe_batch([0.1], [False])
 
     def test_train_agent_records_learning_curve(self, rl_env):
         agent = A2CAgent(OBS_DIM, 42, seed=0)

@@ -9,12 +9,15 @@ import repro
 from repro.core.service.connection import AsyncResult
 from repro.core.service.proto import StepRequest
 from repro.core.vector import (
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     VecCompilerEnv,
+    WorkerSpec,
     make_vec_env,
     resolve_backend,
 )
+from repro.core.wrappers import TimeLimit
 from repro.errors import SessionNotFound
 
 BENCHMARK = "cbench-v1/crc32"
@@ -27,6 +30,16 @@ def _make_root():
         observation_space="Autophase",
         reward_space="IrInstructionCount",
     )
+
+
+class _TimeLimitWrapper:
+    """A picklable worker_wrapper (usable with the process backend)."""
+
+    def __init__(self, max_episode_steps: int):
+        self.max_episode_steps = max_episode_steps
+
+    def __call__(self, worker):
+        return TimeLimit(worker, max_episode_steps=self.max_episode_steps)
 
 
 @pytest.fixture(params=["serial", "thread"])
@@ -88,6 +101,65 @@ class TestConstruction:
             env.step(0)
         finally:
             env.close()
+
+    def test_wrapped_forks_closed_through_their_wrapper_on_failure(self):
+        """Regression: when the wrapper fails partway, forks that were
+        already wrapped must be closed *through the wrapper* (which may hold
+        resources of its own), not just via the raw fork list."""
+
+        class Recording:
+            def __init__(self, worker):
+                self.worker = worker
+                self.close_calls = 0
+
+            def close(self):
+                self.close_calls += 1
+                self.worker.close()
+
+        env = _make_root()
+        wrapped = []
+
+        def wrap(worker):
+            if len(wrapped) == 2:
+                raise RuntimeError("wrapper failed late")
+            wrapper = Recording(worker)
+            wrapped.append(wrapper)
+            return wrapper
+
+        try:
+            with pytest.raises(RuntimeError, match="wrapper failed late"):
+                VecCompilerEnv(env, n=3, worker_wrapper=wrap)
+            assert len(wrapped) == 2
+            # The fork (index 1) was released through its wrapper; the root's
+            # wrapper (index 0) is left open because the caller owns the root.
+            assert wrapped[1].close_calls == 1
+            assert wrapped[0].close_calls == 0
+            env.reset()
+            env.step(0)
+        finally:
+            env.close()
+
+    def test_make_vec_env_closes_constructed_root_on_failure(self):
+        """Regression: make_vec_env(env_id=...) must not leak the env it
+        constructed when pool population fails."""
+        captured = []
+
+        def explode(worker):
+            captured.append(worker)
+            raise RuntimeError("wrapper failed")
+
+        with pytest.raises(RuntimeError, match="wrapper failed"):
+            make_vec_env(
+                "llvm-v0",
+                n=2,
+                benchmark=BENCHMARK,
+                reward_space="IrInstructionCount",
+                worker_wrapper=explode,
+            )
+        # The wrapper saw the root first; make_vec_env owned it and must have
+        # released it (and, with no forks left, its service) before re-raising.
+        root = captured[0]
+        assert root.service.closed
 
     def test_reset_broadcasts_benchmark_object(self):
         """A single Benchmark instance is applied to all workers, like a URI."""
@@ -163,9 +235,9 @@ class TestBatchedApi:
 class TestTrajectoryEquivalence:
     """Acceptance criterion: VecCompilerEnv(n=4) produces identical
     per-episode trajectories to 4 serial environments on the same
-    benchmark/seed."""
+    benchmark/seed, under every execution backend."""
 
-    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     def test_vec_matches_serial_envs(self, backend):
         rng = random.Random(1234)
         episodes = [[rng.randrange(124) for _ in range(8)] for _ in range(4)]
@@ -190,7 +262,8 @@ class TestTrajectoryEquivalence:
                 )
                 assert vec.workers[i].episode_reward == serial_rewards[i]
 
-    def test_thread_backend_matches_serial_backend_stepwise(self):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial_backend_stepwise(self, backend):
         rng = random.Random(99)
         action_plan = [[rng.randrange(124) for _ in range(4)] for _ in range(6)]
 
@@ -206,12 +279,252 @@ class TestTrajectoryEquivalence:
                 return trajectory
 
         serial = rollout("serial")
-        threaded = rollout("thread")
-        for (s_obs, s_rew, s_done), (t_obs, t_rew, t_done) in zip(serial, threaded):
+        other = rollout(backend)
+        for (s_obs, s_rew, s_done), (t_obs, t_rew, t_done) in zip(serial, other):
             for a, b in zip(s_obs, t_obs):
                 np.testing.assert_array_equal(a, b)
             assert s_rew == t_rew
             assert s_done == t_done
+
+
+class TestProcessBackend:
+    """Process-pool specifics: subprocess workers, attribute proxying, and
+    construction-failure behaviour."""
+
+    def test_batched_observations_cross_process(self):
+        with VecCompilerEnv(_make_root(), n=2, backend="process") as vec:
+            vec.reset()
+            counts = vec.observations("IrInstructionCount")
+            assert len(counts) == 2
+            assert all(int(count) > 0 for count in counts)
+
+    def test_remote_attribute_access(self):
+        with VecCompilerEnv(_make_root(), n=2, backend="process") as vec:
+            vec.reset()
+            vec.step([1, 2])
+            assert [worker.actions for worker in vec.workers] == [[1], [2]]
+            assert all(reward is not None for reward in vec.episode_rewards)
+            assert vec.action_space.n == 124
+            assert str(vec.benchmark.uri) == f"benchmark://{BENCHMARK}"
+
+    def test_remote_errors_propagate(self):
+        with VecCompilerEnv(_make_root(), n=1, backend="process") as vec:
+            with pytest.raises(SessionNotFound, match="before reset"):
+                vec.step([0])
+
+    def test_connection_stats_aggregate_across_processes(self):
+        with VecCompilerEnv(_make_root(), n=2, backend="process") as vec:
+            vec.reset()
+            vec.step([0, 1])
+            stats = vec.connection_stats()
+            # One start_session per subprocess, one step call per worker.
+            assert stats["start_session"]["calls"] == 2
+            assert stats["step"]["calls"] >= 2
+
+    def test_requires_picklable_worker_wrapper(self):
+        env = _make_root()
+        try:
+            with pytest.raises(ValueError, match="picklable"):
+                VecCompilerEnv(env, n=2, backend="process", worker_wrapper=lambda w: w)
+            # The root remains the caller's to use and close.
+            env.reset()
+        finally:
+            env.close()
+
+    def test_requires_env_constructed_by_make(self):
+        env = _make_root()
+        del env.spec  # Simulate an env constructed outside the registry.
+        try:
+            with pytest.raises(ValueError, match="no .spec"):
+                VecCompilerEnv(env, n=2, backend="process")
+            env.reset()
+        finally:
+            env.close()
+
+    def test_rejects_wrapped_root(self):
+        env = _make_root()
+        wrapped = TimeLimit(env, max_episode_steps=5)
+        try:
+            with pytest.raises(ValueError, match="raw root environment"):
+                VecCompilerEnv(wrapped, n=2, backend="process")
+        finally:
+            wrapped.close()
+
+    def test_directly_constructed_backend_keeps_default_dispatcher_sizing(self):
+        """Regression: ProcessPoolBackend() must not pin the dispatcher to a
+        single thread — that would serialize every subprocess round trip."""
+        backend = ProcessPoolBackend()
+        try:
+            assert backend.executor._max_workers > 1
+        finally:
+            backend.close()
+
+    def test_worker_spec_roundtrip_replays_source_state(self):
+        """The property the process backend rests on: a spec-rebuilt env
+        continues from the same session state as its source."""
+        env = _make_root()
+        try:
+            env.reset()
+            env.multistep([0, 1, 2])
+            spec = WorkerSpec.from_env(env)
+            rebuilt = spec.build()
+            try:
+                assert rebuilt.actions == env.actions
+                a, _, _, _ = env.step(3)
+                b, _, _, _ = rebuilt.step(3)
+                np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+            finally:
+                rebuilt.close()
+        finally:
+            env.close()
+
+
+class TestAutoReset:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_done_worker_resets_within_the_batched_step(self, backend):
+        wrapper = _TimeLimitWrapper(max_episode_steps=2)
+        env = _make_root()
+        with VecCompilerEnv(
+            env, n=2, backend=backend, worker_wrapper=wrapper, auto_reset=True
+        ) as vec:
+            initial = [np.asarray(o) for o in vec.reset()]
+            _, _, dones, _ = vec.step([17, 28])
+            assert dones == [False, False]
+            observations, _, dones, infos = vec.step([3, 5])
+            assert dones == [True, True]
+            for i in range(2):
+                # The terminal observation of the finished episode is
+                # preserved, and the slot already holds the *new* episode's
+                # initial observation.
+                assert "terminal_observation" in infos[i]
+                np.testing.assert_array_equal(np.asarray(observations[i]), initial[i])
+                assert vec.workers[i].actions == []
+            # The next step runs in the fresh episode without a manual reset.
+            _, _, dones, infos = vec.step([17, 28])
+            assert dones == [False, False]
+            assert all("terminal_observation" not in info for info in infos)
+
+    def test_auto_reset_respects_explicit_observation_spaces(self):
+        """Regression: the reset slot of a finished worker must be re-fetched
+        in the caller's explicit observation spaces, not the default space."""
+        wrapper = _TimeLimitWrapper(max_episode_steps=1)
+        with VecCompilerEnv(
+            _make_root(), n=2, worker_wrapper=wrapper, auto_reset=True
+        ) as vec:
+            vec.reset()
+            initial_count = int(vec.observations("IrInstructionCount")[0])
+            observations, _, dones, infos = vec.step(
+                [1, 2],
+                observation_spaces=["IrInstructionCount"],
+                reward_spaces=["IrInstructionCount"],
+            )
+            assert dones == [True, True]
+            for observation, info in zip(observations, infos):
+                assert isinstance(observation, list) and len(observation) == 1
+                # The slot holds the *new* episode's initial state, in the
+                # requested space.
+                assert int(observation[0]) == initial_count
+                assert "terminal_observation" in info
+
+    def test_masked_slots_are_not_reset(self):
+        wrapper = _TimeLimitWrapper(max_episode_steps=2)
+        with VecCompilerEnv(
+            _make_root(), n=2, worker_wrapper=wrapper, auto_reset=True
+        ) as vec:
+            vec.reset()
+            observations, rewards, dones, infos = vec.multistep([None, [1]])
+            assert dones == [True, False]
+            assert infos[0] == {"skipped": True}
+            assert observations[0] is None
+
+    def test_auto_reset_off_keeps_terminal_state(self):
+        wrapper = _TimeLimitWrapper(max_episode_steps=1)
+        with VecCompilerEnv(_make_root(), n=2, worker_wrapper=wrapper) as vec:
+            vec.reset()
+            _, _, dones, infos = vec.step([1, 2])
+            assert dones == [True, True]
+            assert all("terminal_observation" not in info for info in infos)
+            assert [worker.unwrapped.actions for worker in vec.workers] == [[1], [2]]
+
+
+class TestResize:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_grow_and_shrink(self, backend):
+        with VecCompilerEnv(_make_root(), n=2, backend=backend) as vec:
+            vec.reset()
+            assert vec.resize(4) == 4
+            assert vec.num_envs == 4
+            observations, _, dones, _ = vec.step([7, 7, 7, 7])
+            assert len(observations) == 4
+            # Workers forked at reset state all see the same trajectory.
+            for observation in observations[1:]:
+                np.testing.assert_array_equal(
+                    np.asarray(observation), np.asarray(observations[0])
+                )
+            assert not any(dones)
+            assert vec.resize(1) == 1
+            observations, _, _, _ = vec.step([3])
+            assert len(observations) == 1
+
+    def test_grown_workers_keep_wrappers_without_fork_override(self):
+        """Regression: if the outermost wrapper does not implement fork()
+        (the base CompilerEnvWrapper returns the unwrapped fork), resize()
+        must re-apply the pool's worker_wrapper to grown workers."""
+        from repro.core.wrappers import CompilerEnvWrapper
+
+        class Tagging(CompilerEnvWrapper):  # No fork() override on purpose.
+            pass
+
+        with VecCompilerEnv(_make_root(), n=1, worker_wrapper=Tagging) as vec:
+            vec.reset()
+            vec.resize(3)
+            assert all(isinstance(worker, Tagging) for worker in vec.workers)
+            observations, _, _, _ = vec.step([0, 0, 0])
+            assert len(observations) == 3
+
+    def test_grown_workers_are_not_double_wrapped(self):
+        """Regression: a composed wrapper whose *outer* layer lacks fork()
+        while the inner one implements it must not gain a duplicate inner
+        layer on resize — the whole chain is rebuilt instead."""
+        from repro.core.wrappers import CompilerEnvWrapper
+
+        class Outer(CompilerEnvWrapper):  # No fork() override on purpose.
+            pass
+
+        def wrap(worker):
+            return Outer(TimeLimit(worker, max_episode_steps=3))
+
+        def chain(worker):
+            types = []
+            while worker is not None:
+                types.append(type(worker).__name__)
+                worker = worker.__dict__.get("env")
+            return types
+
+        with VecCompilerEnv(_make_root(), n=1, worker_wrapper=wrap) as vec:
+            vec.reset()
+            vec.resize(2)
+            assert chain(vec.workers[1]) == chain(vec.workers[0])
+            # The TimeLimit must fire after 3 steps, not 6.
+            _, _, dones, _ = vec.multistep([[1, 2, 3], [1, 2, 3]])
+            assert dones == [True, True]
+
+    def test_grown_workers_inherit_worker0_state(self):
+        with VecCompilerEnv(_make_root(), n=1) as vec:
+            vec.reset()
+            vec.step([11])
+            vec.resize(2)
+            assert vec.workers[1].actions == vec.workers[0].actions == [11]
+
+    def test_resize_validates_bounds_and_lifecycle(self):
+        vec = VecCompilerEnv(_make_root(), n=1)
+        try:
+            with pytest.raises(ValueError, match="n >= 1"):
+                vec.resize(0)
+        finally:
+            vec.close()
+        with pytest.raises(SessionNotFound, match="closed VecCompilerEnv"):
+            vec.resize(2)
 
 
 class TestLifecycle:
@@ -243,6 +556,45 @@ class TestLifecycle:
         vec.reset()
         vec.workers[1].close()
         vec.close()
+
+    def test_close_aggregates_worker_errors(self, caplog):
+        """Regression: every worker teardown error must stay diagnosable —
+        the first is raised, the rest are logged and attached to it."""
+
+        class FailingClose:
+            def __init__(self, message):
+                self.error = RuntimeError(message)
+
+            def close(self):
+                raise self.error
+
+        vec = VecCompilerEnv(_make_root(), n=1)
+        real_worker = vec.workers[0]
+        first, second = FailingClose("boom-first"), FailingClose("boom-second")
+        vec.workers = [first, second]
+        try:
+            with caplog.at_level("WARNING", logger="repro.core.vector.vec_env"):
+                with pytest.raises(RuntimeError, match="boom-first") as excinfo:
+                    vec.close()
+            assert excinfo.value.suppressed_errors == (second.error,)
+            assert any("boom-second" in record.getMessage() for record in caplog.records)
+        finally:
+            real_worker.close()
+
+    def test_close_single_error_has_no_suppressed_list(self):
+        class FailingClose:
+            def close(self):
+                raise RuntimeError("boom-only")
+
+        vec = VecCompilerEnv(_make_root(), n=1)
+        real_worker = vec.workers[0]
+        vec.workers = [FailingClose()]
+        try:
+            with pytest.raises(RuntimeError, match="boom-only") as excinfo:
+                vec.close()
+            assert not getattr(excinfo.value, "suppressed_errors", ())
+        finally:
+            real_worker.close()
 
     def test_shared_backend_instance_is_not_closed(self):
         backend = ThreadPoolBackend(max_workers=2)
@@ -408,13 +760,20 @@ class TestRlIntegration:
             seed=0,
         )
 
-    @pytest.mark.parametrize("agent_cls_name", ["a2c", "ppo"])
+    def _make_agent(self, name):
+        from repro.rl import A2CAgent, ApexDQNAgent, ImpalaAgent, PPOAgent
+
+        return self._agent(
+            {"a2c": A2CAgent, "ppo": PPOAgent, "impala": ImpalaAgent, "apex": ApexDQNAgent}[
+                name
+            ]
+        )
+
+    @pytest.mark.parametrize("agent_cls_name", ["a2c", "ppo", "impala", "apex"])
     def test_vec_rollout_collection(self, agent_cls_name):
-        from repro.rl.a2c import A2CAgent
-        from repro.rl.ppo import PPOAgent
         from repro.rl.trainer import make_vec_rl_environment, run_vec_episode
 
-        agent = self._agent({"a2c": A2CAgent, "ppo": PPOAgent}[agent_cls_name])
+        agent = self._make_agent(agent_cls_name)
         env = repro.make(
             "llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCountNorm"
         )
@@ -443,6 +802,81 @@ class TestRlIntegration:
             assert len(result.episode_rewards) == 5
         finally:
             vec.close()
+
+    @pytest.mark.parametrize("agent_cls_name", ["impala", "apex"])
+    def test_auto_reset_rollouts_train_end_to_end(self, agent_cls_name):
+        """IMPALA and Ape-X collect continuous auto-reset rollouts through
+        train_agent_vec, like A2C/PPO."""
+        from repro.rl.trainer import make_vec_rl_environment, train_agent_vec
+
+        agent = self._make_agent(agent_cls_name)
+        env = repro.make(
+            "llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCountNorm"
+        )
+        vec = make_vec_rl_environment(
+            env, n=2, backend="serial", episode_length=4, auto_reset=True
+        )
+        try:
+            result = train_agent_vec(agent, vec, [BENCHMARK], episodes=5)
+            assert len(result.episode_rewards) == 5
+            assert all(np.isfinite(result.episode_rewards))
+        finally:
+            vec.close()
+
+    def test_auto_reset_rollouts_cycle_all_benchmarks(self):
+        """Regression: with more benchmarks than workers, continuous rollouts
+        must still rotate through the whole training list (like the lockstep
+        path) instead of pinning each worker to its first assignment."""
+        from repro.core.wrappers import CompilerEnvWrapper
+        from repro.rl.ppo import PPOAgent
+        from repro.rl.trainer import run_vec_rollouts
+
+        seen = []
+
+        class Recorder(CompilerEnvWrapper):
+            def reset(self, *args, **kwargs):
+                if kwargs.get("benchmark") is not None:
+                    seen.append(str(kwargs["benchmark"]))
+                return self.env.reset(*args, **kwargs)
+
+        def wrap(worker):
+            return Recorder(TimeLimit(worker, max_episode_steps=2))
+
+        agent = PPOAgent(obs_dim=56, num_actions=124, seed=0)
+        vec = VecCompilerEnv(_make_root(), n=1, worker_wrapper=wrap, auto_reset=True)
+        try:
+            rewards = run_vec_rollouts(
+                vec, agent, episodes=3, benchmarks=[BENCHMARK, "cbench-v1/sha"]
+            )
+            assert len(rewards) >= 3
+            assert seen[:3] == [BENCHMARK, "cbench-v1/sha", BENCHMARK]
+        finally:
+            vec.close()
+
+    def test_run_vec_rollouts_requires_auto_reset(self):
+        from repro.rl.ppo import PPOAgent
+        from repro.rl.trainer import make_vec_rl_environment, run_vec_rollouts
+
+        agent = self._agent(PPOAgent)
+        env = repro.make(
+            "llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCountNorm"
+        )
+        vec = make_vec_rl_environment(env, n=2, backend="serial", episode_length=3)
+        try:
+            with pytest.raises(ValueError, match="auto_reset"):
+                run_vec_rollouts(vec, agent, episodes=2)
+        finally:
+            vec.close()
+
+    def test_make_vec_rl_environment_closes_env_on_failure(self):
+        from repro.rl.trainer import make_vec_rl_environment
+
+        env = repro.make(
+            "llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCountNorm"
+        )
+        with pytest.raises(ValueError, match="Unknown execution backend"):
+            make_vec_rl_environment(env, n=2, backend="bogus")
+        assert env.service.closed
 
     def test_training_without_batch_api_raises(self):
         from repro.rl.trainer import make_vec_rl_environment, run_vec_episode

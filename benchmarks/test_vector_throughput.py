@@ -8,7 +8,10 @@ the RPC round trip of the real client/server deployment; the thread-pool and
 process-pool backends overlap those round trips across workers, so their
 throughput scales with the pool size while the serial backend's stays flat.
 The process backend additionally records the steps/sec of IMPALA and Ape-X
-training end-to-end through ``train_agent_vec`` on auto-reset rollouts.
+training end-to-end through ``train_agent_vec`` on auto-reset rollouts, and
+of distributed actor/learner training (``DistributedTrainer``, the real
+Ape-X/IMPALA topology: actor subprocesses feeding a central learner) next
+to those single-process numbers.
 
 Run as a script for a quick smoke reading::
 
@@ -103,6 +106,40 @@ def _measure_rl_throughput(agent_name: str, backend: str, n: int, episodes: int,
     }
 
 
+def _measure_distributed_throughput(agent_name: str, actors: int, episodes: int,
+                                    episode_length: int = 5):
+    """Steps/sec of multi-process actor/learner training (DistributedTrainer)."""
+    from repro.rl.distributed import DistributedTrainer
+
+    trainer = DistributedTrainer(
+        agent=agent_name,
+        env_id="llvm-v0",
+        make_kwargs={
+            "benchmark": BENCHMARK,
+            "reward_space": "IrInstructionCountNorm",
+            "connection_opts": ConnectionOpts(rpc_latency=RPC_LATENCY),
+        },
+        num_actors=actors,
+        envs_per_actor=2,
+        episode_length=episode_length,
+        seed=0,
+    )
+    start = time.perf_counter()
+    result = trainer.train([BENCHMARK], episodes=episodes)
+    elapsed = time.perf_counter() - start
+    steps = trainer.stats["total_env_steps"]
+    return {
+        "agent": agent_name,
+        "actors": actors,
+        "envs_per_actor": trainer.stats["envs_per_actor"],
+        "episodes": len(result.episode_rewards),
+        "steps": steps,
+        "items_learned": trainer.stats["items_learned"],
+        "walltime_s": elapsed,
+        "steps_per_sec": steps / elapsed,
+    }
+
+
 def run_sweep(worker_counts, rounds):
     results = []
     for n in worker_counts:
@@ -120,6 +157,10 @@ def test_vector_throughput():
         _measure_rl_throughput(agent, "process", n=2, episodes=rl_episodes)
         for agent in ("impala", "apex")
     ]
+    distributed_results = [
+        _measure_distributed_throughput(agent, actors=2, episodes=rl_episodes)
+        for agent in ("impala", "apex")
+    ]
     save_results(
         "vector_throughput",
         {
@@ -129,12 +170,16 @@ def test_vector_throughput():
             "thread_vs_serial_speedup_at_4": by_key[("thread", 4)] / by_key[("serial", 4)],
             "process_vs_serial_speedup_at_4": by_key[("process", 4)] / by_key[("serial", 4)],
             "rl_agents": {r["agent"]: r for r in rl_results},
+            "distributed_rl_agents": {r["agent"]: r for r in distributed_results},
         },
     )
 
     # Sanity: every configuration actually stepped.
     assert all(r["steps_per_sec"] > 0 for r in results)
     assert all(r["steps_per_sec"] > 0 and r["episodes"] >= rl_episodes for r in rl_results)
+    assert all(
+        r["steps_per_sec"] > 0 and r["episodes"] == rl_episodes for r in distributed_results
+    )
     # Acceptance criterion: with the RPC round trip modelled, the concurrent
     # backends overlap transport latency and beat serial by >= 1.5x at n=4.
     for backend in ("thread", "process"):
@@ -162,6 +207,13 @@ def main(argv=None):
         result = _measure_rl_throughput(agent, "process", args.workers, episodes=2)
         print(
             f"{agent:>7} train [process], n={result['workers']}: "
+            f"{result['steps_per_sec']:8.1f} steps/sec "
+            f"({result['episodes']} episodes in {result['walltime_s']:.2f}s)"
+        )
+    for agent in ("impala", "apex"):
+        result = _measure_distributed_throughput(agent, actors=args.workers, episodes=2)
+        print(
+            f"{agent:>7} train [distributed], actors={result['actors']}: "
             f"{result['steps_per_sec']:8.1f} steps/sec "
             f"({result['episodes']} episodes in {result['walltime_s']:.2f}s)"
         )

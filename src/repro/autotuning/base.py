@@ -27,13 +27,18 @@ class SearchResult:
 
 
 class Budget:
-    """A combined step/wall-time search budget."""
+    """A combined step/wall-time search budget.
+
+    Elapsed time is measured on the monotonic clock: a wall-clock
+    adjustment (NTP step, DST, manual change) mid-search must neither
+    terminate the budget early nor extend it.
+    """
 
     def __init__(self, max_steps: Optional[int] = None, max_seconds: Optional[float] = None):
         self.max_steps = max_steps
         self.max_seconds = max_seconds
         self.steps = 0
-        self.start = time.time()
+        self.start = time.monotonic()
 
     def spend(self, steps: int = 1) -> None:
         self.steps += steps
@@ -41,13 +46,13 @@ class Budget:
     def exhausted(self) -> bool:
         if self.max_steps is not None and self.steps >= self.max_steps:
             return True
-        if self.max_seconds is not None and time.time() - self.start >= self.max_seconds:
+        if self.max_seconds is not None and time.monotonic() - self.start >= self.max_seconds:
             return True
         return False
 
     @property
     def walltime(self) -> float:
-        return time.time() - self.start
+        return time.monotonic() - self.start
 
 
 class EpisodeTuner:
@@ -151,7 +156,7 @@ class ConfigurationTuner:
         max_evaluations: int = 1000,
         initial: Optional[Sequence[int]] = None,
     ) -> SearchResult:
-        start = time.time()
+        start = time.monotonic()
         result = SearchResult(benchmark="")
         best_config, best_cost, evaluations = self.search(
             objective, list(cardinalities), max_evaluations, list(initial) if initial else None
@@ -160,7 +165,7 @@ class ConfigurationTuner:
         result.best_metric = best_cost
         result.best_reward = -best_cost
         result.steps = evaluations
-        result.walltime = time.time() - start
+        result.walltime = time.monotonic() - start
         return result
 
     def search(self, objective, cardinalities, max_evaluations, initial):

@@ -116,7 +116,44 @@ def _cmd_random_search(args) -> int:
     return 0
 
 
-def _cmd_train(args) -> int:
+def _train_distributed(args, benchmarks):
+    """Multi-process actor/learner training (``train --actors N``)."""
+    from repro.rl.distributed import DistributedTrainer
+
+    if args.agent not in ("apex", "impala"):
+        print(
+            f"train --actors requires an off-policy agent (apex, impala); "
+            f"got {args.agent!r}",
+            file=sys.stderr,
+        )
+        return None, None
+    if args.no_auto_reset:
+        print(
+            "train --actors collects continuous auto-reset rollouts by design; "
+            "--no-auto-reset only applies to single-process training (drop --actors)",
+            file=sys.stderr,
+        )
+        return None, None
+    agent_kwargs = {}
+    if args.agent == "apex" and args.learner_batch:
+        agent_kwargs["batch_size"] = args.learner_batch
+    trainer = DistributedTrainer(
+        agent=args.agent,
+        agent_kwargs=agent_kwargs,
+        env_id=args.env,
+        make_kwargs={"benchmark": benchmarks[0], "reward_space": "IrInstructionCountNorm"},
+        num_actors=args.actors,
+        envs_per_actor=args.workers,
+        env_backend=args.backend,
+        episode_length=args.episode_length,
+        broadcast_interval=args.broadcast_interval,
+        seed=args.seed,
+    )
+    result = trainer.train(benchmarks, episodes=args.episodes)
+    return result, trainer
+
+
+def _train_single_process(args, benchmarks):
     from repro.rl import A2CAgent, ApexDQNAgent, ImpalaAgent, PPOAgent
     from repro.rl.trainer import (
         AUTOPHASE_ACTION_SUBSET,
@@ -132,7 +169,6 @@ def _cmd_train(args) -> int:
         num_actions=num_actions,
         seed=args.seed,
     )
-    benchmarks = args.benchmark or ["benchmark://cbench-v1/qsort"]
     env = repro.make(args.env, benchmark=benchmarks[0], reward_space="IrInstructionCountNorm")
     # make_vec_rl_environment closes env for us if pool construction fails.
     vec = make_vec_rl_environment(
@@ -143,28 +179,50 @@ def _cmd_train(args) -> int:
         auto_reset=not args.no_auto_reset,
     )
     try:
-        result = train_agent_vec(agent, vec, benchmarks, episodes=args.episodes, seed=args.seed)
+        return train_agent_vec(agent, vec, benchmarks, episodes=args.episodes, seed=args.seed)
     finally:
         vec.close()
+
+
+def _cmd_train(args) -> int:
+    benchmarks = args.benchmark or ["benchmark://cbench-v1/qsort"]
+    trainer = None
+    if args.actors > 0:
+        result, trainer = _train_distributed(args, benchmarks)
+        if result is None:
+            return 2
+        topology = (
+            f"{args.actors} actor process(es) x {args.workers} env(s) "
+            f"[{args.backend} backend, "
+            f"{'synchronous' if trainer.stats['synchronous'] else 'async'} learner]"
+        )
+    else:
+        result = _train_single_process(args, benchmarks)
+        topology = f"{args.workers} worker(s) [{args.backend} backend]"
     rewards = result.episode_rewards
     window = max(1, len(rewards) // 5)
-    print(
-        f"{args.agent}: {len(rewards)} episodes on {args.workers} worker(s) "
-        f"[{args.backend} backend]"
-    )
+    print(f"{args.agent}: {len(rewards)} episodes on {topology}")
     print(f"  mean episode reward (first {window}): "
           f"{sum(rewards[:window]) / window:.4f}")
     print(f"  mean episode reward (last {window}):  "
           f"{sum(rewards[-window:]) / window:.4f}")
+    if trainer is not None:
+        stats = trainer.stats
+        print(f"  distributed: {stats['total_env_steps']} env steps, "
+              f"{stats['items_learned']} experience items learned, "
+              f"{sum(stats['actor_weight_updates'].values())} actor weight update(s) "
+              f"in {stats['walltime_s']:.2f}s")
     if args.output:
         with open(args.output, "w") as f:
             json.dump(
                 {
                     "agent": result.agent_name,
                     "episodes": result.episodes,
+                    "actors": args.actors,
                     "workers": args.workers,
                     "backend": args.backend,
                     "episode_rewards": rewards,
+                    "distributed_stats": trainer.stats if trainer else None,
                 },
                 f,
                 indent=2,
@@ -241,11 +299,23 @@ def make_parser() -> argparse.ArgumentParser:
     train.add_argument("--episodes", type=int, default=100)
     train.add_argument("--episode-length", type=int, default=45)
     train.add_argument("--workers", type=int, default=1,
-                       help="Vectorized environment pool size collecting rollouts")
+                       help="Vectorized environment pool size collecting rollouts "
+                            "(with --actors: pool size inside each actor process)")
     train.add_argument("--backend", choices=["serial", "thread", "process"],
                        default="serial",
                        help="Pool execution backend; 'process' runs each worker in "
                             "its own subprocess, sidestepping the GIL")
+    train.add_argument("--actors", type=int, default=0,
+                       help="Distributed actor/learner training (apex/impala only): "
+                            "N actor processes collect experience into a central "
+                            "learner that broadcasts weights back. 0 (default) "
+                            "trains single-process via train_agent_vec")
+    train.add_argument("--learner-batch", type=int, default=0,
+                       help="Learner replay sample size per update (apex only; "
+                            "0 keeps the agent default)")
+    train.add_argument("--broadcast-interval", type=int, default=8,
+                       help="Min experience items between learner weight "
+                            "broadcasts (multi-actor async mode)")
     train.add_argument("--no-auto-reset", action="store_true",
                        help="Collect per-episode lockstep rollouts instead of "
                             "continuous auto-reset rollouts")

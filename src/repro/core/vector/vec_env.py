@@ -195,6 +195,27 @@ class VecCompilerEnv:
 
         return self._backend.run(reset_one, list(zip(self.workers, per_worker)))
 
+    def reset_worker(self, index: int, benchmark=None, **kwargs) -> Any:
+        """Reset a single worker, returning its initial observation.
+
+        Routed through the execution backend like every batched operation,
+        so the call stays inside the pool's dispatch protocol (and its
+        accounting) instead of blocking the caller on a direct worker
+        round-trip — which matters under the process backend, where a direct
+        ``workers[i].reset()`` is a synchronous pipe exchange that bypasses
+        the dispatcher. Used by rollout collectors to re-assign one worker's
+        benchmark mid-run without touching the rest of the pool.
+        """
+        self._check_open("reset_worker")
+        worker = self.workers[index]
+
+        def reset_one(target):
+            if benchmark is None:
+                return target.reset(**kwargs)
+            return target.reset(benchmark=benchmark, **kwargs)
+
+        return self._backend.run(reset_one, [worker])[0]
+
     def step(
         self,
         actions: Sequence[Any],

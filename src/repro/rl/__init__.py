@@ -25,10 +25,12 @@ from repro.rl.trainer import (
     train_agent,
     train_agent_vec,
 )
+from repro.rl.distributed import DistributedTrainer, train_agent_distributed
 
 __all__ = [
     "A2CAgent",
     "ApexDQNAgent",
+    "DistributedTrainer",
     "EvaluationResult",
     "FeatureScaler",
     "ImpalaAgent",
@@ -44,5 +46,6 @@ __all__ = [
     "run_vec_episode",
     "run_vec_rollouts",
     "train_agent",
+    "train_agent_distributed",
     "train_agent_vec",
 ]

@@ -2,15 +2,24 @@
 
 IMPALA decouples acting from learning: actors generate trajectories with a
 (slightly stale) behaviour policy and the learner applies V-trace
-importance-weighted corrections. Here a single process plays both roles, with
-the behaviour policy refreshed only every ``sync_interval`` episodes so the
-off-policy correction machinery is genuinely exercised. The vectorized
-rollout API (``act_batch``/``observe_batch``) runs one trajectory per pool
-worker; each completed per-worker trajectory goes through the same V-trace
-update as a sequential episode.
+importance-weighted corrections. In the single-process harness one agent
+plays both roles, with the behaviour policy refreshed only every
+``sync_interval`` episodes so the off-policy correction machinery is
+genuinely exercised. The vectorized rollout API
+(``act_batch``/``observe_batch``) runs one trajectory per pool worker; each
+completed per-worker trajectory goes through the same V-trace update as a
+sequential episode.
+
+:mod:`repro.rl.distributed` splits the roles across processes — the real
+IMPALA topology: actors record behaviour log-probs into trajectories
+(:meth:`ImpalaAgent.collect_batch`), the learner replays them through the
+same V-trace update (:meth:`ImpalaAgent.learn_items`), and the refreshed
+policy is broadcast back at behaviour-sync boundaries. The importance
+ratios ``pi(a|s) / mu(a|s)`` correct for however stale the actors' policies
+have become between broadcasts.
 """
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -108,7 +117,46 @@ class ImpalaAgent:
         Trajectories accumulate per worker; a worker's completed trajectory
         goes through the same V-trace update as a sequential episode.
         """
+        for trajectory in self.collect_batch(rewards, dones, observations):
+            self._learn(trajectory)
+
+    def end_episode_batch(self) -> None:
+        """Flush any incomplete rollout-worker trajectories."""
+        for trajectory in self.collect_flush():
+            self._learn(trajectory)
+
+    # -- distributed actor/learner protocol --------------------------------
+
+    def get_weights(self) -> Dict[str, Any]:
+        """The acting-relevant parameters: the target policy's weights."""
+        return {"policy": self.policy.get_weights()}
+
+    def set_weights(self, weights: Dict[str, Any]) -> None:
+        """Install broadcast weights as this actor's behaviour (and target) policy.
+
+        On an actor this is the distributed analogue of ``_sync_behaviour``:
+        the learner's policy snapshot becomes the behaviour policy used for
+        acting, and stays frozen until the next broadcast. The target policy
+        is updated too so greedy evaluation reflects the latest weights.
+        """
+        self.policy.set_weights(weights["policy"])
+        self.behaviour.set_weights(weights["policy"])
+
+    def collect_batch(
+        self,
+        rewards: Sequence[Optional[float]],
+        dones: Sequence[bool],
+        observations: Optional[Sequence] = None,
+    ) -> List[List[tuple]]:
+        """Actor-side :meth:`observe_batch`: buffer trajectories, don't learn.
+
+        Returns the trajectories completed by this transition batch (in
+        worker-slot order, the order :meth:`observe_batch` learns them),
+        ready to ship to the learner. Each step carries the behaviour
+        log-prob the learner's V-trace correction needs.
+        """
         del observations  # V-trace bootstraps from the stored features only.
+        items: List[List[tuple]] = []
         for slot, (last, reward, done) in enumerate(zip(self._last_batch, rewards, dones)):
             if last is None:
                 continue
@@ -116,16 +164,34 @@ class ImpalaAgent:
             trajectory = self._slot_trajectories.setdefault(slot, [])
             trajectory.append((features, action, float(reward or 0.0), log_prob))
             if done:
-                self._learn(trajectory)
+                items.append(trajectory)
                 self._slot_trajectories[slot] = []
         self._last_batch = []
+        return items
 
-    def end_episode_batch(self) -> None:
-        """Flush any incomplete rollout-worker trajectories."""
-        for trajectory in self._slot_trajectories.values():
-            self._learn(trajectory)
+    def collect_flush(self) -> List[List[tuple]]:
+        """Actor-side :meth:`end_episode_batch`: hand over incomplete trajectories."""
+        items = [trajectory for trajectory in self._slot_trajectories.values() if trajectory]
         self._slot_trajectories = {}
         self._last_batch = []
+        return items
+
+    def learn_items(self, items: Sequence[List[tuple]]) -> Optional[Dict[str, Any]]:
+        """Learner-side counterpart: V-trace-update each shipped trajectory.
+
+        Returns the policy weights snapshotted at the most recent
+        behaviour-sync boundary crossed while learning (or ``None`` if no
+        boundary was crossed) — exactly the weights a single-process agent
+        would have copied into its behaviour policy, so synchronous one-actor
+        runs stay seed-for-seed equivalent.
+        """
+        broadcast: Optional[Dict[str, Any]] = None
+        for trajectory in items:
+            boundary = self._episodes // self.sync_interval
+            self._learn(trajectory)
+            if self._episodes // self.sync_interval > boundary:
+                broadcast = self.get_weights()
+        return broadcast
 
     # -- learning ----------------------------------------------------------
 

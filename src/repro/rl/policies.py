@@ -29,6 +29,57 @@ class FeatureScaler:
         std = np.sqrt(self.m2 / max(1.0, self.count)) + 1e-6
         return np.clip((x - self.mean) / std, -5.0, 5.0)
 
+    def get_state(self) -> dict:
+        """The running statistics, picklable for actor→learner transfer."""
+        return {"count": self.count, "mean": self.mean.copy(), "m2": self.m2.copy()}
+
+    def set_state(self, state: dict) -> None:
+        self.count = float(state["count"])
+        self.mean = np.array(state["mean"], dtype=np.float64)
+        self.m2 = np.array(state["m2"], dtype=np.float64)
+
+    @staticmethod
+    def merge_states(states) -> dict:
+        """Combine running statistics from several scalers into one state.
+
+        Chan et al.'s parallel variance merge: exact for the counts and
+        means, and for the M2 sums up to the (tiny) initialization priors
+        each scaler starts from. Lets a distributed learner adopt the
+        feature statistics its actors standardized with.
+        """
+        merged = None
+        for state in states:
+            count = float(state["count"])
+            mean = np.array(state["mean"], dtype=np.float64)
+            m2 = np.array(state["m2"], dtype=np.float64)
+            if merged is None:
+                merged = {"count": count, "mean": mean, "m2": m2}
+                continue
+            total = merged["count"] + count
+            delta = mean - merged["mean"]
+            merged["mean"] = merged["mean"] + delta * (count / total)
+            merged["m2"] = (
+                merged["m2"] + m2 + delta**2 * (merged["count"] * count / total)
+            )
+            merged["count"] = total
+        if merged is None:
+            raise ValueError("merge_states() requires at least one state")
+        return merged
+
+
+def _assign_weights(model, weights: Tuple[np.ndarray, np.ndarray]) -> None:
+    """Install a ``(weights, bias)`` pair onto a linear model, shape-checked."""
+    new_weights, new_bias = weights
+    new_weights = np.array(new_weights, dtype=np.float64)
+    new_bias = np.array(new_bias, dtype=np.float64)
+    if new_weights.shape != model.weights.shape or new_bias.shape != model.bias.shape:
+        raise ValueError(
+            f"Weight shapes {new_weights.shape}/{new_bias.shape} do not match "
+            f"the model's {model.weights.shape}/{model.bias.shape}"
+        )
+    model.weights = new_weights
+    model.bias = new_bias
+
 
 def softmax(logits: np.ndarray) -> np.ndarray:
     shifted = logits - logits.max()
@@ -48,6 +99,14 @@ class LinearPolicy:
 
     def logits(self, observation: np.ndarray) -> np.ndarray:
         return self.weights @ observation + self.bias
+
+    def get_weights(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of ``(weights, bias)`` — the broadcastable learner state."""
+        return self.weights.copy(), self.bias.copy()
+
+    def set_weights(self, weights: Tuple[np.ndarray, np.ndarray]) -> None:
+        """Install a ``(weights, bias)`` pair produced by :meth:`get_weights`."""
+        _assign_weights(self, weights)
 
     def probabilities(self, observation: np.ndarray) -> np.ndarray:
         return softmax(self.logits(observation))
@@ -104,6 +163,14 @@ class LinearValueFunction:
 
     def __call__(self, observation: np.ndarray) -> np.ndarray:
         return self.weights @ observation + self.bias
+
+    def get_weights(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of ``(weights, bias)`` — the broadcastable learner state."""
+        return self.weights.copy(), self.bias.copy()
+
+    def set_weights(self, weights: Tuple[np.ndarray, np.ndarray]) -> None:
+        """Install a ``(weights, bias)`` pair produced by :meth:`get_weights`."""
+        _assign_weights(self, weights)
 
     def value(self, observation: np.ndarray) -> float:
         return float(self(observation)[0])

@@ -21,9 +21,21 @@ class PrioritizedReplayBuffer:
         self.buffer: List[Tuple] = []
         self.priorities = np.zeros(capacity, dtype=np.float64)
         self.position = 0
+        self._max_priority = 1.0
 
     def __len__(self) -> int:
         return len(self.buffer)
+
+    @property
+    def max_priority(self) -> float:
+        """The largest priority ever stored (O(1), never recomputed).
+
+        New transitions are conventionally added at this priority so they are
+        replayed at least once. A running maximum (rather than a scan of the
+        live slots) keeps ``add`` O(1) and is insensitive to the slot about
+        to be overwritten.
+        """
+        return self._max_priority
 
     def add(self, transition: Tuple, priority: float = 1.0) -> None:
         priority = max(1e-6, float(priority))
@@ -32,6 +44,7 @@ class PrioritizedReplayBuffer:
         else:
             self.buffer[self.position] = transition
         self.priorities[self.position] = priority
+        self._max_priority = max(self._max_priority, priority)
         self.position = (self.position + 1) % self.capacity
 
     def sample(self, batch_size: int) -> Tuple[List[Tuple], np.ndarray, np.ndarray]:
@@ -48,4 +61,6 @@ class PrioritizedReplayBuffer:
 
     def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
         for index, priority in zip(indices, priorities):
-            self.priorities[int(index)] = max(1e-6, float(priority))
+            priority = max(1e-6, float(priority))
+            self.priorities[int(index)] = priority
+            self._max_priority = max(self._max_priority, priority)

@@ -7,6 +7,7 @@ reward, Csmith training programs, and evaluation by geometric-mean code-size
 reduction relative to -Oz on held-out benchmarks.
 """
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
@@ -17,6 +18,12 @@ from repro.core.vector import VecCompilerEnv
 from repro.core.vector.backends import close_quietly
 from repro.core.wrappers import ConcatActionsHistogram, ConstrainedCommandline, TimeLimit
 from repro.util.statistics import geometric_mean
+
+logger = logging.getLogger(__name__)
+
+# Floor for a benchmark's code-size reduction in geometric-mean evaluation;
+# see evaluate_codesize_reduction().
+MIN_CODESIZE_REDUCTION = 1e-6
 
 # The 42-pass subset used by the paper's replication of Autophase (42 of the
 # 45 original actions survive in recent LLVM releases).
@@ -298,7 +305,7 @@ def run_vec_rollouts(
                     next_benchmark += 1
                     if assigned != current[i]:
                         current[i] = assigned
-                        observations[i] = vec_env.workers[i].reset(benchmark=assigned)
+                        observations[i] = vec_env.reset_worker(i, benchmark=assigned)
     if train and hasattr(agent, "end_episode_batch"):
         agent.end_episode_batch()
     return completed
@@ -363,7 +370,7 @@ def train_agent(
     seed: int = 0,
 ) -> TrainingResult:
     """Train an agent by cycling over the training benchmarks."""
-    rng = random.Random(seed)
+    rng = random.Random(seed)  # noqa: F841 - reserved for future stochastic curricula
     result = TrainingResult(agent_name=getattr(agent, "name", type(agent).__name__), episodes=episodes)
     benchmarks = list(training_benchmarks)
     for episode in range(episodes):
@@ -378,8 +385,6 @@ def train_agent(
             score = evaluate_codesize_reduction(agent, env, validation_benchmarks).geomean_reduction
             result.validation_scores.append(score)
             result.validation_episodes.append(episode + 1)
-        del rng  # Reserved for future stochastic curricula.
-        rng = random.Random(seed + episode + 1)
     return result
 
 
@@ -389,11 +394,26 @@ def evaluate_codesize_reduction(
     benchmarks: Iterable[str],
     dataset_name: str = "",
 ) -> EvaluationResult:
-    """Evaluate a trained agent: greedy rollouts, geomean reduction vs -Oz."""
+    """Evaluate a trained agent: greedy rollouts, geomean reduction vs -Oz.
+
+    A benchmark that degenerates to a non-positive final code size is
+    clamped to :data:`MIN_CODESIZE_REDUCTION` (and logged) rather than
+    contributing a 0.0 reduction, which would zero the entire geometric
+    mean no matter how the other benchmarks fared.
+    """
     reductions = []
     for benchmark in benchmarks:
         run_episode(env, agent, benchmark=benchmark, train=False)
-        reductions.append(final_codesize_reduction(env))
+        reduction = final_codesize_reduction(env)
+        if reduction <= 0.0:
+            logger.warning(
+                "Benchmark %s reported a non-positive final code size; "
+                "clamping its reduction to %g instead of zeroing the geomean",
+                benchmark,
+                MIN_CODESIZE_REDUCTION,
+            )
+            reduction = MIN_CODESIZE_REDUCTION
+        reductions.append(reduction)
     return EvaluationResult(
         dataset=dataset_name,
         geomean_reduction=geometric_mean(reductions),

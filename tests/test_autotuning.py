@@ -15,6 +15,7 @@ from repro.autotuning import (
     SequenceGeneticAlgorithm,
     SequenceHillClimbing,
 )
+from repro.autotuning.base import Budget
 from repro.gcc.compiler import SimulatedGcc
 from repro.gcc.spec import GccSpec
 
@@ -35,6 +36,32 @@ EPISODE_TUNERS = [
     SequenceHillClimbing(seed=1, episode_length=20),
     SequenceGeneticAlgorithm(seed=1, episode_length=20, population_size=4),
 ]
+
+
+class TestBudget:
+    def test_budget_immune_to_wall_clock_jumps(self, monkeypatch):
+        """Regression: the search budget used time.time(), so an NTP step or
+        manual clock change mid-search could terminate (or extend) it. The
+        budget must run on the monotonic clock."""
+        import time as time_module
+
+        budget = Budget(max_seconds=3600)
+        # A huge forward wall-clock jump must not exhaust the budget...
+        monkeypatch.setattr(time_module, "time", lambda: time_module.monotonic() + 1e9)
+        assert not budget.exhausted()
+        assert budget.walltime < 60
+        # ...while monotonic time genuinely elapsing still does.
+        monkeypatch.setattr(
+            time_module, "monotonic", lambda start=budget.start: start + 7200
+        )
+        assert budget.exhausted()
+        assert budget.walltime == pytest.approx(7200)
+
+    def test_step_budget(self):
+        budget = Budget(max_steps=3)
+        assert not budget.exhausted()
+        budget.spend(3)
+        assert budget.exhausted()
 
 
 class TestEpisodeTuners:

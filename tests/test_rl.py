@@ -114,6 +114,24 @@ class TestReplayBuffer:
         buffer.update_priorities(indices, np.array([9.0]))
         assert buffer.priorities[indices[0]] == 9.0
 
+    def test_running_max_priority(self):
+        """Regression: the max priority for new transitions was recomputed
+        with an O(n) scan per add (and the scan included the slot about to
+        be overwritten). The buffer tracks a running maximum instead."""
+        buffer = PrioritizedReplayBuffer(capacity=4, seed=0)
+        assert buffer.max_priority == 1.0
+        buffer.add((0,), priority=5.0)
+        assert buffer.max_priority == 5.0
+        # update_priorities feeds the running max too (TD errors from
+        # learning, the Ape-X priority source).
+        buffer.update_priorities(np.array([0]), np.array([9.0]))
+        assert buffer.max_priority == 9.0
+        # Wrapping around and overwriting the high-priority slot does not
+        # lower the running max.
+        for i in range(8):
+            buffer.add((i,), priority=0.5)
+        assert buffer.max_priority == 9.0
+
 
 class TestAgents:
     @pytest.mark.parametrize("make_agent", AGENTS, ids=["ppo", "a2c", "apex", "impala"])
@@ -191,6 +209,17 @@ class TestAgents:
         assert len(agent.replay) == 6
         assert agent.total_steps == 6
 
+    def test_apex_new_transitions_stored_at_max_priority(self):
+        agent = ApexDQNAgent(obs_dim=4, num_actions=3, seed=0, batch_size=1000)
+        observation = np.ones(4)
+        agent.act(observation)
+        agent.observe(observation, 0, 1.0, False)
+        # Simulate a learning pass raising one transition's priority.
+        agent.replay.update_priorities(np.array([0]), np.array([7.0]))
+        agent.act(observation)
+        agent.observe(observation, 0, 1.0, False)
+        assert agent.replay.priorities[1] == 7.0  # Replayed-at-least-once guarantee.
+
     def test_apex_observe_batch_requires_bootstrap_observations(self):
         """Regression: omitting the post-step observations must fail fast,
         not silently bootstrap TD targets from the pre-step state."""
@@ -213,7 +242,68 @@ class TestAgents:
         assert len(result.validation_scores) == 2
 
 
+class _StubEnv:
+    """Minimal env double for harness-level unit tests (no compiler service)."""
+
+    def __init__(self, final_size=10, oz_size=10):
+        self.observation = {
+            "IrInstructionCount": final_size,
+            "IrInstructionCountOz": oz_size,
+        }
+
+    def reset(self, benchmark=None):
+        return np.zeros(4)
+
+    def step(self, action):
+        return np.zeros(4), 0.0, True, {}
+
+
+class _StubAgent:
+    name = "stub"
+
+    def act(self, observation, greedy=False):
+        return 0
+
+    def observe(self, observation, action, reward, done):
+        pass
+
+    def end_episode(self):
+        pass
+
+
 class TestHarness:
+    def test_evaluation_clamps_degenerate_codesize(self, caplog):
+        """Regression: a benchmark collapsing to a non-positive final size
+        contributed a 0.0 reduction, zeroing the whole geometric mean."""
+        import logging
+
+        env = _StubEnv(final_size=0, oz_size=10)
+        with caplog.at_level(logging.WARNING, logger="repro.rl.trainer"):
+            result = evaluate_codesize_reduction(
+                _StubAgent(), env, ["benchmark://broken-v0/1", "benchmark://broken-v0/2"]
+            )
+        assert result.geomean_reduction > 0
+        assert result.per_benchmark == [1e-6, 1e-6]
+        assert "broken-v0/1" in caplog.text
+
+    def test_train_agent_allocates_one_rng(self, monkeypatch):
+        """Regression: train_agent re-seeded (and discarded) a fresh
+        random.Random every episode; one seeded RNG suffices."""
+        import random
+
+        created = []
+        real_random = random.Random
+
+        class CountingRandom(real_random):
+            def __init__(self, *args):
+                created.append(args)
+                super().__init__(*args)
+
+        monkeypatch.setattr(random, "Random", CountingRandom)
+        result = train_agent(_StubAgent(), _StubEnv(), ["benchmark://b/1"], episodes=5, seed=7)
+        assert len(result.episode_rewards) == 5
+        assert created == [(7,)]
+
     def test_action_subset_has_42_passes(self):
         assert len(AUTOPHASE_ACTION_SUBSET) == 42
 

@@ -447,6 +447,49 @@ class TestAutoReset:
             assert [worker.unwrapped.actions for worker in vec.workers] == [[1], [2]]
 
 
+class TestResetWorker:
+    def test_reset_worker_routes_through_the_backend(self):
+        """Regression: single-worker benchmark re-resets used to call
+        ``workers[i].reset()`` directly, bypassing the execution backend (a
+        blocking out-of-protocol round trip under the process backend).
+        ``reset_worker`` must dispatch through ``backend.run`` like every
+        batched operation."""
+
+        class RecordingBackend(SerialBackend):
+            def __init__(self):
+                self.batches = 0
+
+            def run(self, fn, items):
+                self.batches += 1
+                return super().run(fn, items)
+
+        backend = RecordingBackend()
+        env = _make_root()
+        with VecCompilerEnv(env, n=2, backend=backend) as vec:
+            vec.reset()
+            batches = backend.batches
+            observation = vec.reset_worker(1, benchmark="cbench-v1/qsort")
+            assert backend.batches == batches + 1
+            assert observation is not None
+            assert str(vec.workers[1].benchmark.uri) == "benchmark://cbench-v1/qsort"
+            # The other worker is untouched.
+            assert str(vec.workers[0].benchmark.uri) == f"benchmark://{BENCHMARK}"
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_reset_worker_matches_direct_reset(self, backend):
+        with VecCompilerEnv(_make_root(), n=2, backend=backend) as vec:
+            vec.reset()
+            routed = np.asarray(vec.reset_worker(0, benchmark="cbench-v1/qsort"))
+            direct = np.asarray(vec.workers[1].reset(benchmark="cbench-v1/qsort"))
+            np.testing.assert_array_equal(routed, direct)
+
+    def test_reset_worker_requires_open_pool(self):
+        vec = VecCompilerEnv(_make_root(), n=1)
+        vec.close()
+        with pytest.raises(SessionNotFound, match="reset_worker"):
+            vec.reset_worker(0)
+
+
 class TestResize:
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     def test_grow_and_shrink(self, backend):

@@ -140,6 +140,50 @@ def _measure_distributed_throughput(agent_name: str, actors: int, episodes: int,
     }
 
 
+def _measure_transport_latency(steps: int):
+    """Mean per-step wall time: in-process runtime vs. a socket daemon.
+
+    Measures the *real* overhead of the out-of-process deployment (pickling,
+    framing, TCP round trip, daemon dispatch) with no simulated latency, so
+    the transport tax is tracked release over release.
+    """
+    from repro.core.service.runtime.server import make_env_server
+
+    def mean_step_seconds(env):
+        env.reset()
+        num_actions = env.action_space.n
+        rng = random.Random(0)
+        start = time.perf_counter()
+        for _ in range(steps):
+            env.step(rng.randrange(num_actions))
+        elapsed = time.perf_counter() - start
+        env.close()
+        return elapsed / steps
+
+    in_process = mean_step_seconds(
+        repro.make("llvm-v0", benchmark=BENCHMARK, reward_space="IrInstructionCount")
+    )
+    server = make_env_server("llvm-v0", port=0, session_timeout=None).start()
+    try:
+        socket_step = mean_step_seconds(
+            repro.make(
+                "llvm-v0",
+                benchmark=BENCHMARK,
+                reward_space="IrInstructionCount",
+                service_url=server.url,
+            )
+        )
+    finally:
+        server.shutdown()
+    return {
+        "steps": steps,
+        "in_process_step_ms": in_process * 1e3,
+        "socket_step_ms": socket_step * 1e3,
+        "socket_overhead_ms": (socket_step - in_process) * 1e3,
+        "socket_vs_in_process": socket_step / in_process if in_process else None,
+    }
+
+
 def run_sweep(worker_counts, rounds):
     results = []
     for n in worker_counts:
@@ -161,6 +205,7 @@ def test_vector_throughput():
         _measure_distributed_throughput(agent, actors=2, episodes=rl_episodes)
         for agent in ("impala", "apex")
     ]
+    transport_latency = _measure_transport_latency(steps=max(20, int(50 * bench_scale())))
     save_results(
         "vector_throughput",
         {
@@ -171,10 +216,13 @@ def test_vector_throughput():
             "process_vs_serial_speedup_at_4": by_key[("process", 4)] / by_key[("serial", 4)],
             "rl_agents": {r["agent"]: r for r in rl_results},
             "distributed_rl_agents": {r["agent"]: r for r in distributed_results},
+            "transport_latency": transport_latency,
         },
     )
 
-    # Sanity: every configuration actually stepped.
+    # Sanity: every configuration actually stepped, and the socket transport
+    # round-tripped real steps through the daemon.
+    assert transport_latency["socket_step_ms"] > 0
     assert all(r["steps_per_sec"] > 0 for r in results)
     assert all(r["steps_per_sec"] > 0 and r["episodes"] >= rl_episodes for r in rl_results)
     assert all(
@@ -217,6 +265,12 @@ def main(argv=None):
             f"{result['steps_per_sec']:8.1f} steps/sec "
             f"({result['episodes']} episodes in {result['walltime_s']:.2f}s)"
         )
+    latency = _measure_transport_latency(steps=20)
+    print(
+        f"transport step latency: in-process {latency['in_process_step_ms']:.3f}ms, "
+        f"socket daemon {latency['socket_step_ms']:.3f}ms "
+        f"(+{latency['socket_overhead_ms']:.3f}ms per call)"
+    )
     return 0
 
 

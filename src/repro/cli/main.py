@@ -58,13 +58,64 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the standalone compiler service daemon (`repro serve`)."""
+    import os
+    import signal
+
+    from repro.core.service.runtime.server import make_env_server
+
+    server = make_env_server(
+        args.env,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_socket,
+        session_timeout=args.session_timeout if args.session_timeout > 0 else None,
+    )
+
+    def _handle_signal(signum, frame):  # noqa: ARG001 - signal API
+        del signum, frame
+        # Signal handlers run on the main thread, which may be mid-accept
+        # inside serve_forever() holding server locks; only request the exit
+        # here and do the full (lock-taking) shutdown below in normal
+        # context.
+        server.request_shutdown()
+
+    signal.signal(signal.SIGINT, _handle_signal)
+    signal.signal(signal.SIGTERM, _handle_signal)
+    print(f"Serving {args.env} on {server.url} (pid {os.getpid()})", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+    info = server.server_info()
+    print(
+        f"Service daemon shut down cleanly: {info['connections_served']} connection(s), "
+        f"{info['runtime_stats'].get('start_session', 0)} session(s) served, "
+        f"{info['reaped_sessions']} reaped",
+        flush=True,
+    )
+    return 0
+
+
 def _random_search_worker(
-    env_id: str, benchmark: str, steps: int, patience: int, seed: int, workers: int = 1
+    env_id: str,
+    benchmark: str,
+    steps: int,
+    patience: int,
+    seed: int,
+    workers: int = 1,
+    service_url: Optional[str] = None,
 ):
     from repro.autotuning import RandomSearch
     from repro.core.vector import VecCompilerEnv
 
-    env = repro.make(env_id, benchmark=benchmark, reward_space="IrInstructionCount")
+    env = repro.make(
+        env_id,
+        benchmark=benchmark,
+        reward_space="IrInstructionCount",
+        service_url=service_url,
+    )
     tuner = RandomSearch(seed=seed, patience=patience)
     if workers > 1:
         # Vectorized search: the env is forked into a pool and candidate
@@ -99,6 +150,7 @@ def _cmd_random_search(args) -> int:
                 args.patience,
                 seed,
                 args.workers,
+                args.service_url,
             )
             for seed, benchmark in enumerate(benchmarks)
         ]
@@ -137,11 +189,13 @@ def _train_distributed(args, benchmarks):
     agent_kwargs = {}
     if args.agent == "apex" and args.learner_batch:
         agent_kwargs["batch_size"] = args.learner_batch
+    make_kwargs = {"benchmark": benchmarks[0], "reward_space": "IrInstructionCountNorm"}
     trainer = DistributedTrainer(
         agent=args.agent,
         agent_kwargs=agent_kwargs,
         env_id=args.env,
-        make_kwargs={"benchmark": benchmarks[0], "reward_space": "IrInstructionCountNorm"},
+        make_kwargs=make_kwargs,
+        service_url=args.service_url,
         num_actors=args.actors,
         envs_per_actor=args.workers,
         env_backend=args.backend,
@@ -169,7 +223,12 @@ def _train_single_process(args, benchmarks):
         num_actions=num_actions,
         seed=args.seed,
     )
-    env = repro.make(args.env, benchmark=benchmarks[0], reward_space="IrInstructionCountNorm")
+    env = repro.make(
+        args.env,
+        benchmark=benchmarks[0],
+        reward_space="IrInstructionCountNorm",
+        service_url=args.service_url,
+    )
     # make_vec_rl_environment closes env for us if pool construction fails.
     vec = make_vec_rl_environment(
         env,
@@ -276,6 +335,31 @@ def make_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--env", default="llvm-v0")
     datasets.set_defaults(func=_cmd_datasets)
 
+    serve = sub.add_parser(
+        "serve",
+        help="Run the standalone compiler service daemon: one long-lived "
+             "process hosting many compilation sessions for socket clients",
+        description="Run the standalone compiler service daemon. "
+                    "SECURITY: the wire protocol is pickle with no "
+                    "authentication — unpickling hostile data executes "
+                    "arbitrary code. Serve only on loopback, a Unix socket, "
+                    "or a fully trusted network (tunnel across machines).",
+    )
+    serve.add_argument("--env", default="llvm-v0",
+                       help="Environment whose compiler service to host")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP listen address. Only expose beyond loopback "
+                            "on a trusted network: the pickle protocol is "
+                            "unauthenticated and executes what it unpickles")
+    serve.add_argument("--port", type=int, default=5499,
+                       help="TCP listen port (0 picks a free port)")
+    serve.add_argument("--unix-socket", default=None,
+                       help="Serve on a Unix domain socket path instead of TCP")
+    serve.add_argument("--session-timeout", type=float, default=3600.0,
+                       help="Seconds after which idle sessions are reaped "
+                            "(<= 0 disables reaping)")
+    serve.set_defaults(func=_cmd_serve)
+
     search = sub.add_parser("random-search", help="Run (parallel) random search")
     search.add_argument("--env", default="llvm-ic-v0")
     search.add_argument("--benchmark", action="append", help="Benchmark URI (repeatable)")
@@ -287,6 +371,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="Vectorized environment pool size per search: the environment "
                              "is fork()ed into N workers that evaluate candidate episodes "
                              "concurrently")
+    search.add_argument("--service-url", default=None,
+                        help="Attach search environments to a running compiler "
+                             "service daemon (see `serve`), e.g. tcp://127.0.0.1:5499")
     search.add_argument("--output", help="Write resulting states to a CSV file")
     search.set_defaults(func=_cmd_random_search)
 
@@ -316,6 +403,10 @@ def make_parser() -> argparse.ArgumentParser:
     train.add_argument("--broadcast-interval", type=int, default=8,
                        help="Min experience items between learner weight "
                             "broadcasts (multi-actor async mode)")
+    train.add_argument("--service-url", default=None,
+                       help="Attach training environments (in every actor "
+                            "process) to a running compiler service daemon "
+                            "(see `serve`), e.g. tcp://127.0.0.1:5499")
     train.add_argument("--no-auto-reset", action="store_true",
                        help="Collect per-episode lockstep rollouts instead of "
                             "continuous auto-reset rollouts")

@@ -8,6 +8,7 @@ lightweight ``fork()`` deep copies, state serialization and replay validation,
 and benchmark dataset management.
 """
 
+import logging
 import time
 from typing import Any, Callable, Iterable, List, Optional, Tuple, Type, Union
 
@@ -18,6 +19,7 @@ from repro.core.registration import make, register, registered_env_ids  # noqa: 
 from repro.core.reward_view import RewardView
 from repro.core.service.compilation_session import CompilationSession
 from repro.core.service.connection import ConnectionOpts, ServiceConnection
+from repro.core.service.transport import InProcessTransport, SocketTransport
 from repro.core.service.proto import (
     EndSessionRequest,
     ForkSessionRequest,
@@ -29,6 +31,8 @@ from repro.core.spaces.observation import ObservationSpaceSpec
 from repro.core.spaces.reward import Reward
 from repro.core.spaces.space import Space
 from repro.errors import BenchmarkInitError, ServiceError, SessionNotFound, ValidationError
+
+logger = logging.getLogger(__name__)
 
 
 class CompilerEnv:
@@ -52,16 +56,31 @@ class CompilerEnv:
         action_space: Optional[str] = None,
         connection_opts: Optional[ConnectionOpts] = None,
         service_connection: Optional[ServiceConnection] = None,
+        service_url: Optional[str] = None,
     ):
         self.session_type = session_type
         self.datasets = datasets
         self.connection_opts = connection_opts or ConnectionOpts()
+        self.service_url = service_url
         self._custom_benchmarks = {}
+        # URIs of Benchmark *objects* assigned by the user (rather than
+        # resolved from the datasets). A remote daemon resolves benchmarks
+        # from its own datasets and can never see these — reset() fails fast
+        # on the combination instead of retrying an unresolvable URI.
+        # _daemon_checked_uris memoizes the (successful) probes so the reset
+        # hot path resolves each URI at most once.
+        self._user_benchmark_uris = set()
+        self._daemon_checked_uris = set()
 
         if service_connection is None:
-            self.service = ServiceConnection(
-                runtime_factory=self._make_runtime, opts=self.connection_opts
-            )
+            if service_url is not None:
+                # Attach to a running compiler service daemon (`repro serve`)
+                # instead of hosting a runtime in-process: sessions live on
+                # the daemon and survive this client.
+                transport = self._make_socket_transport()
+            else:
+                transport = InProcessTransport(self._make_runtime)
+            self.service = ServiceConnection(transport, opts=self.connection_opts)
             self._owns_service = True
         else:
             self.service = service_connection
@@ -107,6 +126,17 @@ class CompilerEnv:
             session_type=self.session_type, benchmark_resolver=self._resolve_benchmark
         )
 
+    def _make_socket_transport(self) -> SocketTransport:
+        """A daemon connection for this environment's ``service_url``.
+
+        The socket-level timeout must exceed the connection's call deadline:
+        a call that comes back between the two is classified as a slow
+        *success* (recorded, not retried) rather than a transport failure —
+        retrying an applied step() would re-execute it on the daemon.
+        """
+        deadline = self.connection_opts.rpc_call_max_seconds
+        return SocketTransport(self.service_url, timeout=deadline + max(deadline, 5.0))
+
     def _resolve_benchmark(self, uri: str) -> Benchmark:
         if uri in self._custom_benchmarks:
             return self._custom_benchmarks[uri]
@@ -149,6 +179,7 @@ class CompilerEnv:
     def benchmark(self, benchmark: Union[str, Benchmark]) -> None:
         if isinstance(benchmark, Benchmark):
             self._custom_benchmarks[str(benchmark.uri)] = benchmark
+            self._user_benchmark_uris.add(str(benchmark.uri))
             self._next_benchmark = benchmark
         else:
             self._next_benchmark = self.datasets.benchmark(str(benchmark))
@@ -283,6 +314,35 @@ class CompilerEnv:
         if isinstance(self._benchmark_in_use, Benchmark):
             self._custom_benchmarks.setdefault(
                 str(self._benchmark_in_use.uri), self._benchmark_in_use
+            )
+
+        # A remote daemon resolves benchmarks from its own datasets; a
+        # user-supplied Benchmark object only exists in this process. Fail
+        # fast with a clear error unless the URI is independently resolvable
+        # — and when it is, warn: the daemon compiles *its* dataset entry,
+        # not the local object. Probed once per URI, not per reset.
+        if (
+            self.service_url is not None
+            and str(self._benchmark_in_use.uri) in self._user_benchmark_uris
+            and str(self._benchmark_in_use.uri) not in self._daemon_checked_uris
+        ):
+            uri = str(self._benchmark_in_use.uri)
+            try:
+                self.datasets.benchmark(uri)
+            except Exception as error:  # noqa: BLE001 - translated below
+                raise BenchmarkInitError(
+                    f"Custom benchmark {uri} cannot be used over "
+                    f"service_url={self.service_url!r}: benchmarks are "
+                    "resolved by the daemon from its own datasets, which do "
+                    "not contain this client-side Benchmark object. Use a "
+                    "dataset URI, or host the service in-process"
+                ) from error
+            self._daemon_checked_uris.add(uri)
+            logger.warning(
+                "Benchmark %s was assigned as a client-side object but its "
+                "URI also resolves from the datasets; the remote daemon will "
+                "compile its own dataset entry, not the local object",
+                uri,
             )
 
         action_space_index = self.action_spaces.index(self.action_space)
@@ -485,8 +545,14 @@ class CompilerEnv:
             }
         )
         forked._custom_benchmarks = dict(self._custom_benchmarks)
+        forked._user_benchmark_uris = set(self._user_benchmark_uris)
+        forked._daemon_checked_uris = set(self._daemon_checked_uris)
         # Forks share the service connection; reference counting ensures the
-        # connection stays alive until the last sharer is closed.
+        # connection stays alive until the last sharer is closed. Sequential
+        # fork users (ForkOnStep, backtracking searches) thus pay one
+        # fork_session RPC per fork even against a remote daemon; concurrent
+        # users (pool resize) re-home workers onto private connections
+        # afterwards via use_dedicated_connection().
         forked._owns_service = True
         self.service.acquire()
         forked._session_id = reply.session_id
@@ -511,6 +577,27 @@ class CompilerEnv:
         if self._reward_space is not None:
             forked._reward_space = forked.reward.spaces[self._reward_space.name]
         return forked
+
+    def use_dedicated_connection(self) -> bool:
+        """Swap a shared daemon connection for a private one. Daemon-only.
+
+        Socket RPCs serialize per connection, so environments that will be
+        driven *concurrently* with their fork parent (pool workers created by
+        ``resize()``) call this to stop contending for the shared socket.
+        The compilation session lives on the daemon and is connection-
+        agnostic, so only the transport changes. No-op (returns False) for
+        in-process environments, where the shared resource is the runtime
+        itself. Must not be called with RPCs in flight on this environment.
+        """
+        if self.service_url is None:
+            return False
+        shared = self.service
+        self.service = ServiceConnection(
+            self._make_socket_transport(), opts=self.connection_opts
+        )
+        self._owns_service = True
+        shared.release()
+        return True
 
     def apply(self, state: CompilerEnvState) -> None:
         """Replay a serialized state onto this environment."""

@@ -56,6 +56,16 @@ def make(id: str, **kwargs):  # noqa: A002
     """Construct a registered environment.
 
     >>> env = make("llvm-v0", benchmark="cbench-v1/qsort")
+
+    Pass ``service_url="tcp://host:port"`` (or ``unix:///path``) to attach
+    the environment to a running compiler service daemon (started with
+    ``repro-compilergym serve``) instead of hosting the service in-process:
+
+    >>> env = make("llvm-v0", service_url="tcp://127.0.0.1:5499")
+
+    The URL is stamped into ``env.spec`` with the rest of the construction
+    recipe, so vectorized pools rebuilt from the spec attach their workers to
+    the same daemon.
     """
     if id not in _REGISTRY:
         raise LookupError(

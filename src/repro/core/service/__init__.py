@@ -5,8 +5,10 @@ frontend talks to a compiler service process through RPCs. This reproduction
 keeps the same layering — a message schema (:mod:`proto`), the four-method
 :class:`CompilationSession` integration interface, a service runtime that maps
 sessions to the Gym API, and a :class:`ServiceConnection` that adds timeouts,
-retries and fault tolerance — but transports calls in-process (with an
-optional subprocess worker for crash isolation).
+retries and fault tolerance — over a pluggable :class:`ServiceTransport`:
+in-process (the default), a subprocess pipe for crash isolation, or a socket
+to the standalone multi-client daemon in :mod:`repro.core.service.runtime.
+server` (``repro-compilergym serve``).
 """
 
 from repro.core.service.compilation_session import CompilationSession
@@ -20,6 +22,13 @@ from repro.core.service.proto import (
     StepRequest,
 )
 from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+from repro.core.service.transport import (
+    InProcessTransport,
+    PipeTransport,
+    ServiceTransport,
+    SocketTransport,
+    parse_service_url,
+)
 
 __all__ = [
     "ActionSpaceMessage",
@@ -27,9 +36,14 @@ __all__ = [
     "CompilerGymServiceRuntime",
     "ConnectionOpts",
     "Event",
+    "InProcessTransport",
     "ObservationSpaceMessage",
+    "PipeTransport",
     "ServiceConnection",
+    "ServiceTransport",
     "SessionState",
+    "SocketTransport",
     "StepReply",
     "StepRequest",
+    "parse_service_url",
 ]

@@ -6,16 +6,20 @@ call timeouts, bounded retry loops with exponential backoff, graceful error
 translation, crash detection and service restart, and per-operation wall-time
 accounting (used by the Table II efficiency benchmarks).
 
-Calls are dispatched in-process by default. A ``rpc_latency`` can be
-configured to model the per-call round-trip cost of a real RPC transport,
-which is what the batched-step experiments measure against.
+*Where* the runtime lives is delegated to a
+:class:`~repro.core.service.transport.ServiceTransport`: in-process (the
+default), behind a subprocess pipe, or across a socket to a standalone
+daemon. The fault-tolerance policy here is identical for all of them. A
+``rpc_latency`` can additionally be configured to model the per-call
+round-trip cost of a real RPC transport, which is what the batched-step
+experiments measure against.
 """
 
 import threading
 import time
 from concurrent.futures import Executor, Future
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.service.proto import (
     EndSessionRequest,
@@ -24,7 +28,7 @@ from repro.core.service.proto import (
     StartSessionRequest,
     StepRequest,
 )
-from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+from repro.core.service.transport import ServiceTransport, resolve_transport
 from repro.errors import ServiceError, ServiceIsClosed, ServiceTransportError, SessionNotFound
 
 
@@ -71,8 +75,9 @@ def merge_stats_summaries(summaries) -> Dict[str, Dict[str, float]]:
     """Merge per-connection ``stats_summary()`` dicts into one aggregate.
 
     Used by vectorized pools to combine the accounting of many workers —
-    including subprocess workers, whose connections live in another address
-    space and can only report back picklable summaries.
+    including subprocess workers and daemon-attached workers, whose
+    connections live in another address space (or talk to another machine)
+    and can only report back picklable summaries.
     """
     merged: Dict[str, Dict[str, float]] = {}
     for summary in summaries:
@@ -134,15 +139,24 @@ class AsyncResult:
 
 
 class ServiceConnection:
-    """A fault-tolerant connection to a :class:`CompilerGymServiceRuntime`."""
+    """A fault-tolerant connection to a compiler service.
+
+    Args:
+        transport: How to reach the service: a
+            :class:`~repro.core.service.transport.ServiceTransport` instance,
+            or (for backwards compatibility) a zero-argument runtime factory,
+            which is wrapped in an
+            :class:`~repro.core.service.transport.InProcessTransport`.
+        opts: Retry/timeout configuration.
+    """
 
     def __init__(
         self,
-        runtime_factory: Callable[[], CompilerGymServiceRuntime],
+        transport: Union[ServiceTransport, Callable[[], Any]],
         opts: Optional[ConnectionOpts] = None,
     ):
         self.opts = opts or ConnectionOpts()
-        self._runtime_factory = runtime_factory
+        self._transport = resolve_transport(transport)
         self.closed = False
         self.restart_count = 0
         # Reference count of environments sharing this connection (the
@@ -154,42 +168,40 @@ class ServiceConnection:
         # dispatch calls on this connection from multiple threads at once.
         self._lock = threading.Lock()
         # Serializes crash recovery so concurrent failing calls cannot race
-        # to tear down and recreate the runtime.
+        # to tear down and recreate the transport's channel.
         self._restart_lock = threading.Lock()
         start = time.perf_counter()
-        self._runtime = self._create_runtime()
+        self._transport.connect(max_attempts=self.opts.init_max_attempts)
         self.startup_wall_time = time.perf_counter() - start
-        self.spaces: GetSpacesReply = self._call("get_spaces", self._runtime.get_spaces)
-
-    def _create_runtime(self) -> CompilerGymServiceRuntime:
-        last_error = None
-        for _ in range(max(1, self.opts.init_max_attempts)):
-            try:
-                return self._runtime_factory()
-            except Exception as error:  # noqa: BLE001 - converted to ServiceInitError
-                last_error = error
-        raise ServiceError(f"Failed to create compiler service: {last_error}")
+        self.spaces: GetSpacesReply = self._call("get_spaces")
 
     @property
-    def runtime(self) -> CompilerGymServiceRuntime:
-        return self._runtime
+    def transport(self) -> ServiceTransport:
+        return self._transport
+
+    @property
+    def runtime(self):
+        """The in-process service runtime, if the transport hosts one.
+
+        ``None`` for remote transports — the runtime lives in another process
+        (or on another machine) and can only be reached through RPCs.
+        """
+        return self._transport.runtime
 
     def restart(self) -> None:
-        """Tear down and recreate the backend runtime (crash recovery).
+        """Tear down and re-establish the backend channel (crash recovery).
 
-        Restarting destroys every session on the runtime; concurrent calls on
-        sibling sessions will observe ``SessionNotFound`` and terminate their
-        episodes through the environment's fault-tolerance path.
+        For in-process and pipe transports, restarting destroys every session
+        on the runtime; concurrent calls on sibling sessions will observe
+        ``SessionNotFound`` and terminate their episodes through the
+        environment's fault-tolerance path. For the socket transport only the
+        connection is recreated — the daemon and its sessions live on.
         """
         with self._restart_lock:
-            try:
-                self._runtime.shutdown()
-            except Exception:  # noqa: BLE001 - the old runtime may be in any state
-                pass
-            self._runtime = self._create_runtime()
+            self._transport.restart()
             self.restart_count += 1
 
-    def _call(self, name: str, fn: Callable, *args):
+    def _call(self, name: str, *args):
         """Invoke a service method with timeout, retry, and error translation."""
         if self.closed:
             raise ServiceIsClosed(f"Cannot call {name}() on a closed service")
@@ -203,20 +215,21 @@ class ServiceConnection:
             try:
                 if self.opts.rpc_latency:
                     time.sleep(self.opts.rpc_latency)
-                result = fn(*args)
-                elapsed = time.perf_counter() - start
-                if elapsed > self.opts.rpc_call_max_seconds:
-                    raise ServiceTransportError(
-                        f"Service call {name}() exceeded {self.opts.rpc_call_max_seconds}s timeout"
-                    )
-                with self._lock:
-                    stats.record(elapsed)
-                return result
+                result = self._transport.call(name, *args)
             except (SessionNotFound, ServiceIsClosed):
                 with self._lock:
                     stats.errors += 1
                 raise
             except ServiceError:
+                with self._lock:
+                    stats.errors += 1
+                raise
+            except LookupError:
+                # An unknown benchmark/space is a caller error, not a crash:
+                # no amount of restarting will make it resolvable. Raised
+                # as-is so the environment can translate it (e.g. into
+                # BenchmarkInitError) — identically for local and daemon
+                # services.
                 with self._lock:
                     stats.errors += 1
                 raise
@@ -230,18 +243,29 @@ class ServiceConnection:
                     time.sleep(wait)
                     wait *= self.opts.retry_wait_backoff_exponent
                     self.restart()
-                    # Rebind runtime methods so the retry hits the fresh
-                    # runtime rather than the one that was just torn down.
-                    method = getattr(fn, "__name__", None)
-                    if method is not None and hasattr(self._runtime, method):
-                        fn = getattr(self._runtime, method)
+                continue
+            # The call SUCCEEDED: its effects are applied on the backend, so
+            # it must never be retried — re-executing a non-idempotent call
+            # like step() would corrupt the session. A call that came back
+            # slower than the deadline is recorded as a (slow) success and
+            # surfaced as a non-retryable transport error.
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stats.record(elapsed)
+            if elapsed > self.opts.rpc_call_max_seconds:
+                with self._lock:
+                    stats.errors += 1
+                raise ServiceTransportError(
+                    f"Service call {name}() completed after {elapsed:.3f}s, "
+                    f"exceeding the {self.opts.rpc_call_max_seconds}s deadline; "
+                    "the call was applied and will not be retried"
+                )
+            return result
         raise ServiceError(
             f"Service call {name}() failed after {attempts} attempts: {last_error}"
         ) from last_error
 
-    def _call_async(
-        self, name: str, fn: Callable, *args, executor: Optional[Executor] = None
-    ) -> AsyncResult:
+    def _call_async(self, name: str, *args, executor: Optional[Executor] = None) -> AsyncResult:
         """Dispatch a service call, optionally on an executor.
 
         With an executor the call runs in the background and the returned
@@ -250,49 +274,45 @@ class ServiceConnection:
         eagerly and the result (or error) is captured in the AsyncResult.
         """
         if executor is not None:
-            return AsyncResult(future=executor.submit(self._call, name, fn, *args))
+            return AsyncResult(future=executor.submit(self._call, name, *args))
         try:
-            return AsyncResult.resolved(self._call(name, fn, *args))
+            return AsyncResult.resolved(self._call(name, *args))
         except Exception as error:  # noqa: BLE001 - deferred to .result()
             return AsyncResult.raised(error)
 
     # -- RPC methods ------------------------------------------------------
 
     def get_spaces(self) -> GetSpacesReply:
-        return self._call("get_spaces", self._runtime.get_spaces)
+        return self._call("get_spaces")
 
     def start_session(self, request: StartSessionRequest):
-        return self._call("start_session", self._runtime.start_session, request)
+        return self._call("start_session", request)
 
     def step(self, request: StepRequest):
-        return self._call("step", self._runtime.step, request)
+        return self._call("step", request)
 
     def step_async(
         self, request: StepRequest, executor: Optional[Executor] = None
     ) -> AsyncResult:
         """Asynchronous :meth:`step`: returns an :class:`AsyncResult`."""
-        return self._call_async("step", self._runtime.step, request, executor=executor)
+        return self._call_async("step", request, executor=executor)
 
     def start_session_async(
         self, request: StartSessionRequest, executor: Optional[Executor] = None
     ) -> AsyncResult:
         """Asynchronous :meth:`start_session`: returns an :class:`AsyncResult`."""
-        return self._call_async(
-            "start_session", self._runtime.start_session, request, executor=executor
-        )
+        return self._call_async("start_session", request, executor=executor)
 
     def fork_session(self, request: ForkSessionRequest):
-        return self._call("fork_session", self._runtime.fork_session, request)
+        return self._call("fork_session", request)
 
     def end_session(self, request: EndSessionRequest):
         if self.closed:
             return None
-        return self._call("end_session", self._runtime.end_session, request)
+        return self._call("end_session", request)
 
     def handle_session_parameter(self, session_id: int, key: str, value: str):
-        return self._call(
-            "session_parameter", self._runtime.handle_session_parameter, session_id, key, value
-        )
+        return self._call("handle_session_parameter", session_id, key, value)
 
     def stats_summary(self) -> Dict[str, Dict[str, float]]:
         """A picklable snapshot of the per-method call accounting."""
@@ -317,7 +337,7 @@ class ServiceConnection:
         if self.closed:
             return
         try:
-            self._runtime.shutdown()
+            self._transport.shutdown()
         finally:
             self.closed = True
 

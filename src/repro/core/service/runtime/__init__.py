@@ -1,6 +1,7 @@
-"""Shared service runtime: session management, benchmark cache."""
+"""Shared service runtime: session management, benchmark cache, socket daemon."""
 
 from repro.core.service.runtime.benchmark_cache import BenchmarkCache
 from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+from repro.core.service.runtime.server import ServiceServer, make_env_server
 
-__all__ = ["BenchmarkCache", "CompilerGymServiceRuntime"]
+__all__ = ["BenchmarkCache", "CompilerGymServiceRuntime", "ServiceServer", "make_env_server"]

@@ -1,0 +1,472 @@
+"""The standalone compiler service daemon.
+
+This is the server half of the paper's client/server split: one long-lived
+process hosts a :class:`~repro.core.service.runtime.compiler_gym_service.
+CompilerGymServiceRuntime` and serves the RPC protocol of
+:class:`~repro.core.service.transport.SocketTransport` (length-prefixed
+pickled ``(method, args)`` requests) over a TCP or Unix socket. Many clients
+— environments, vectorized pools, RL actors, possibly on other machines —
+multiplex their sessions onto the one runtime, sharing its benchmark cache
+and amortizing service startup across all of them.
+
+Robustness properties:
+
+* **Per-session locking** — concurrent requests against *different* sessions
+  run in parallel (one handler thread per client connection); concurrent
+  requests against the *same* session serialize, so a session's compiler
+  state can never interleave two ``step()``\\ s.
+* **Client churn** — a dropped client connection ends nothing: its sessions
+  stay alive until explicitly ended, reclaimed by the idle reaper, or the
+  daemon shuts down. This is what lets sequential pools (and successive
+  training runs) reattach to warm state.
+* **Idle-session reaping** — sessions untouched for ``session_timeout``
+  seconds are ended in the background, so leaked sessions from crashed
+  clients cannot accumulate forever.
+* **Graceful shutdown** — ``shutdown()`` (or SIGINT/SIGTERM under ``repro
+  serve``) stops accepting, unblocks every handler, closes all sessions and
+  the runtime, and joins all threads.
+
+Start one from the command line with ``repro-compilergym serve --env llvm-v0
+--port 5499``, then attach environments with ``repro.make("llvm-v0",
+service_url="tcp://127.0.0.1:5499")``.
+
+.. warning::
+    The wire protocol is *pickle*, with no authentication: unpickling a
+    hostile frame executes arbitrary code, on the daemon and on clients
+    alike. Serve only on loopback, a Unix socket, or a network where every
+    peer is trusted (the same trust model as a multiprocessing cluster);
+    front the daemon with an SSH tunnel or VPN to cross machines.
+"""
+
+import logging
+import os
+import socket
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.core.service.proto import EndSessionRequest
+from repro.core.service.transport import (
+    REPLY_ERROR,
+    REPLY_OK,
+    read_frame,
+    write_frame_reply,
+)
+from repro.errors import ServiceError, SessionNotFound
+
+logger = logging.getLogger(__name__)
+
+# RPC methods a client may invoke on the runtime, and where in their argument
+# list the session id lives (for per-session locking / idle accounting).
+# Everything else is rejected — the wire protocol must not become a generic
+# remote getattr.
+_SESSION_ID_FROM_REQUEST = ("step", "fork_session", "end_session")
+_ALLOWED_METHODS = frozenset(
+    {"get_spaces", "start_session", "handle_session_parameter", "server_info"}
+    | set(_SESSION_ID_FROM_REQUEST)
+)
+
+
+class ServiceServer:
+    """Serves a compiler service runtime to socket clients.
+
+    Args:
+        runtime: The shared :class:`CompilerGymServiceRuntime` to serve.
+        host / port: TCP listen address. ``port=0`` picks a free port
+            (exposed afterwards via :attr:`url`).
+        unix_path: Serve on a Unix domain socket instead of TCP.
+        session_timeout: Idle seconds after which a session is reaped.
+            ``None`` disables reaping.
+        reap_interval: How often the reaper thread scans, in seconds.
+        env_id: Optional environment id, reported by ``server_info``.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        session_timeout: Optional[float] = 3600.0,
+        reap_interval: float = 10.0,
+        env_id: Optional[str] = None,
+    ):
+        self.runtime = runtime
+        self.env_id = env_id
+        self.session_timeout = session_timeout
+        self.reap_interval = reap_interval
+        self.started_at = time.monotonic()
+        self.reaped_sessions = 0
+        self.connections_served = 0
+        self.closed = False
+        # Closables released after the runtime at shutdown (e.g. the template
+        # environment whose datasets back the benchmark resolver).
+        self.owned_resources = []
+
+        self._lock = threading.Lock()
+        self._session_locks: Dict[int, threading.Lock] = {}
+        self._session_last_used: Dict[int, float] = {}
+        self._shutdown_event = threading.Event()
+        self._client_sockets = set()
+        self._handler_threads = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._reaper_thread: Optional[threading.Thread] = None
+
+        if unix_path is not None:
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(unix_path)
+            self.url = f"unix://{unix_path}"
+            self._unix_path = unix_path
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            bound_host, bound_port = self._listener.getsockname()[:2]
+            self.url = f"tcp://{bound_host}:{bound_port}"
+            self._unix_path = None
+        self._listener.listen(128)
+        if self.session_timeout is not None:
+            self._reaper_thread = threading.Thread(
+                target=self._reap_loop, name="repro-serve-reaper", daemon=True
+            )
+            self._reaper_thread.start()
+
+    # -- serving -----------------------------------------------------------
+
+    def start(self) -> "ServiceServer":
+        """Begin accepting clients on a background thread (for embedding)."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self.serve_forever, name="repro-serve-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept clients until :meth:`shutdown`. Blocks the calling thread."""
+        logger.info("Compiler service daemon (pid=%d) serving on %s", os.getpid(), self.url)
+        while not self._shutdown_event.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                break  # Listener closed by shutdown().
+            with self._lock:
+                if self.closed:
+                    client.close()
+                    break
+                self.connections_served += 1
+                self._client_sockets.add(client)
+                # Opportunistically forget threads that already finished, so
+                # a long-lived daemon does not accumulate one record per
+                # client ever served.
+                self._handler_threads = [t for t in self._handler_threads if t.is_alive()]
+                thread = threading.Thread(
+                    target=self._handle_client,
+                    args=(client,),
+                    name="repro-serve-client",
+                    daemon=True,
+                )
+                self._handler_threads.append(thread)
+                # Start under the lock: shutdown() snapshots this list and
+                # joins every entry — joining a not-yet-started thread raises.
+                thread.start()
+
+    def _handle_client(self, client: socket.socket) -> None:
+        """Serve one client connection until it disconnects."""
+        try:
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # Unix sockets have no TCP options.
+        rfile = client.makefile("rb")
+        wfile = client.makefile("wb")
+        try:
+            while not self._shutdown_event.is_set():
+                try:
+                    method, args = read_frame(rfile)
+                except (EOFError, ConnectionError, OSError):
+                    break  # Client went away; its sessions live on.
+                except Exception:  # noqa: BLE001 - corrupt/hostile frame
+                    # Anything else is a malformed frame (version-skewed
+                    # unpickle, a non-request payload, a stray writer on the
+                    # port): drop this client like a disconnect instead of
+                    # letting the exception kill the handler thread.
+                    logger.warning(
+                        "Dropping client after malformed request frame",
+                        exc_info=True,
+                    )
+                    break
+                try:
+                    result = self._dispatch(method, args)
+                except BaseException as error:  # noqa: BLE001 - sent to the client
+                    write_frame_reply(wfile, REPLY_ERROR, error)
+                else:
+                    write_frame_reply(wfile, REPLY_OK, result)
+        except (OSError, ConnectionError):
+            pass  # Reply write failed: the client is gone.
+        finally:
+            for stream in (rfile, wfile):
+                try:
+                    stream.close()
+                except Exception:  # noqa: BLE001
+                    pass
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass
+            with self._lock:
+                self._client_sockets.discard(client)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, method: str, args):
+        if method not in _ALLOWED_METHODS:
+            raise ServiceError(f"Unknown service method: {method!r}")
+        if method == "server_info":
+            return self.server_info()
+        if method == "start_session":
+            reply = self.runtime.start_session(*args)
+            self._track_session(reply.session_id)
+            return reply
+        session_id = self._session_id_of(method, args)
+        if session_id is None:
+            return getattr(self.runtime, method)(*args)
+        self._touch_session(session_id)
+        with self._session_lock(session_id):
+            try:
+                result = getattr(self.runtime, method)(*args)
+            except SessionNotFound:
+                # An unknown (or already-ended) session id must not leave a
+                # lock/last-used entry behind — stale clients would otherwise
+                # grow the tracking maps without bound.
+                self._forget_session(session_id)
+                raise
+            # Re-stamp after completion (still under the session lock): a
+            # call longer than the idle timeout must not leave last_used at
+            # its pre-call value, or the reaper — which re-checks under this
+            # lock — would end a session the instant its step finished.
+            self._touch_session(session_id)
+        if method == "fork_session":
+            self._track_session(result.session_id)
+        elif method == "end_session":
+            self._forget_session(session_id)
+        return result
+
+    @staticmethod
+    def _session_id_of(method: str, args) -> Optional[int]:
+        if method in _SESSION_ID_FROM_REQUEST and args:
+            return args[0].session_id
+        if method == "handle_session_parameter" and args:
+            return args[0]
+        return None
+
+    def _session_lock(self, session_id: int) -> threading.Lock:
+        with self._lock:
+            return self._session_locks.setdefault(session_id, threading.Lock())
+
+    def _track_session(self, session_id: int) -> None:
+        with self._lock:
+            self._session_locks.setdefault(session_id, threading.Lock())
+            self._session_last_used[session_id] = time.monotonic()
+
+    def _touch_session(self, session_id: int) -> None:
+        with self._lock:
+            # Refresh known sessions only; unknown ids are either about to
+            # raise SessionNotFound or races with the reaper — neither may
+            # (re)insert a tracking entry.
+            if session_id in self._session_last_used:
+                self._session_last_used[session_id] = time.monotonic()
+
+    def _forget_session(self, session_id: int) -> None:
+        with self._lock:
+            self._session_locks.pop(session_id, None)
+            self._session_last_used.pop(session_id, None)
+
+    # -- idle reaping ------------------------------------------------------
+
+    def _reap_loop(self) -> None:
+        while not self._shutdown_event.wait(self.reap_interval):
+            self.reap_idle_sessions()
+
+    def reap_idle_sessions(self) -> int:
+        """End every session idle for longer than ``session_timeout``.
+
+        Returns the number of sessions reaped. Called periodically by the
+        reaper thread; callable directly (e.g. from tests or an operator
+        console).
+        """
+        if self.session_timeout is None:
+            return 0
+        deadline = time.monotonic() - self.session_timeout
+        with self._lock:
+            idle = [
+                session_id
+                for session_id, last_used in self._session_last_used.items()
+                if last_used < deadline
+            ]
+        reaped = 0
+        for session_id in idle:
+            # Serialize with any in-flight call on the session; re-check the
+            # idle deadline under the lock so a just-touched session survives.
+            with self._session_lock(session_id):
+                with self._lock:
+                    last_used = self._session_last_used.get(session_id)
+                if last_used is None:
+                    # The session was ended between the idle snapshot and
+                    # now; _session_lock() re-created its lock entry above —
+                    # drop it or it leaks forever.
+                    self._forget_session(session_id)
+                    continue
+                if last_used >= deadline:
+                    continue
+                try:
+                    self.runtime.end_session(EndSessionRequest(session_id=session_id))
+                except (ServiceError, SessionNotFound):
+                    pass
+            self._forget_session(session_id)
+            reaped += 1
+        if reaped:
+            with self._lock:
+                self.reaped_sessions += reaped
+            logger.info("Reaped %d idle session(s)", reaped)
+        return reaped
+
+    # -- introspection -----------------------------------------------------
+
+    def server_info(self) -> dict:
+        """Identity and occupancy snapshot, served as the ``server_info`` RPC."""
+        with self._lock:
+            tracked = len(self._session_last_used)
+            reaped = self.reaped_sessions
+            connections = self.connections_served
+        return {
+            "pid": os.getpid(),
+            "env_id": self.env_id,
+            "url": self.url,
+            "uptime_s": time.monotonic() - self.started_at,
+            "active_sessions": tracked,
+            "reaped_sessions": reaped,
+            "connections_served": connections,
+            "runtime_stats": dict(self.runtime.stats),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _close_listener(self) -> None:
+        """Close the listening socket, waking any thread blocked in accept().
+
+        ``close()`` alone does not reliably interrupt an ``accept()`` blocked
+        in *another* thread; ``shutdown(SHUT_RDWR)`` on the listening socket
+        makes that accept fail immediately.
+        """
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # Not connected / already closed, depending on platform.
+        try:
+            self._listener.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to exit. Safe from a signal handler.
+
+        Takes no locks (a signal handler runs on the main thread, which may
+        already hold the server lock inside the accept loop — calling
+        :meth:`shutdown` there would self-deadlock): it only sets the
+        shutdown event and closes the listener so the blocked ``accept()``
+        returns. The caller then runs :meth:`shutdown` in normal context.
+        """
+        self._shutdown_event.set()
+        self._close_listener()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drop every client, close all sessions. Idempotent."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            clients = list(self._client_sockets)
+            threads = list(self._handler_threads)
+        self._shutdown_event.set()
+        self._close_listener()
+        for client in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=5)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=self.reap_interval + 5)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        try:
+            self.runtime.shutdown()
+        finally:
+            if self._unix_path is not None:
+                try:
+                    os.unlink(self._unix_path)
+                except OSError:
+                    pass
+            for resource in self.owned_resources:
+                try:
+                    resource.close()
+                except Exception:  # noqa: BLE001 - teardown must not raise
+                    pass
+        logger.info("Compiler service daemon on %s shut down", self.url)
+
+    def __enter__(self) -> "ServiceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def make_env_server(
+    env_id: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    unix_path: Optional[str] = None,
+    session_timeout: Optional[float] = 3600.0,
+    reap_interval: float = 10.0,
+    **make_kwargs,
+) -> ServiceServer:
+    """Build a :class:`ServiceServer` hosting the runtime of ``env_id``.
+
+    A template environment is constructed once to obtain the session type and
+    the benchmark resolver (its datasets); it is kept alive for the server's
+    lifetime so that benchmark resolution — which happens daemon-side —
+    works exactly as it does in-process. The served runtime is a *fresh*
+    instance: the template's own sessions are never exposed.
+    """
+    from repro.core.registration import make
+    from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+
+    template_env = make(env_id, **make_kwargs)
+    try:
+        runtime = CompilerGymServiceRuntime(
+            session_type=template_env.session_type,
+            benchmark_resolver=template_env._resolve_benchmark,
+        )
+        server = ServiceServer(
+            runtime,
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            session_timeout=session_timeout,
+            reap_interval=reap_interval,
+            env_id=env_id,
+        )
+    except Exception:
+        # Constructor failure (e.g. the port is already bound) must not leak
+        # the template environment and its in-process service.
+        template_env.close()
+        raise
+    # The resolver closes over the template env; pin it to the server so it
+    # lives (and is released) with the daemon.
+    server.owned_resources.append(template_env)
+    return server

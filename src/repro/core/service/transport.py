@@ -1,0 +1,570 @@
+"""Transports carrying service RPCs from the client to a compiler service.
+
+The paper's headline design is a client/server split: compiler environments
+talk to a long-lived compiler *service* over RPC, so one service can host
+many sessions, survive client churn, and live on another machine. A
+:class:`ServiceTransport` is the seam where that split happens: the
+:class:`~repro.core.service.connection.ServiceConnection` owns the
+fault-tolerance policy (timeouts, retries, restart, call accounting) and
+delegates the actual dispatch of each ``(method, *args)`` RPC to a transport.
+
+Three implementations are provided:
+
+* :class:`InProcessTransport` — the runtime lives in the calling process and
+  calls are plain method invocations. The default, and the fastest.
+* :class:`PipeTransport` — the runtime lives in a subprocess and calls are
+  pickled over a ``multiprocessing`` pipe. Gives crash isolation: a compiler
+  bug that takes down the runtime process is observed as a transport error
+  and recovered by the connection's restart loop.
+* :class:`SocketTransport` — the runtime lives in a standalone daemon (see
+  :mod:`repro.core.service.runtime.server`) reachable over a TCP or Unix
+  socket, speaking length-prefixed pickled messages. This is the paper's
+  deployment shape: the daemon multiplexes sessions from many clients,
+  survives client restarts, and can run on a different machine.
+
+The pipe and socket transports share one wire convention, also used by the
+subprocess workers of the vectorized process-pool backend
+(:mod:`repro.core.vector.process`): every request is answered with a
+``(status, payload)`` pair where ``status`` is :data:`REPLY_OK` or
+:data:`REPLY_ERROR`, and an unpicklable payload degrades to a
+:class:`~repro.errors.ServiceError` carrying its string form rather than
+killing the channel.
+"""
+
+import multiprocessing
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import (
+    CompilerGymError,
+    ServiceError,
+    ServiceIsClosed,
+    ServiceTransportError,
+)
+
+# Wire statuses shared by every pickled request/reply protocol in the
+# project (pipe transport, socket transport, process-pool workers).
+REPLY_OK = "ok"
+REPLY_ERROR = "error"
+
+# Frame header of the socket protocol: payload length, big-endian uint64.
+_FRAME_HEADER = struct.Struct(">Q")
+
+# Upper bound on a single message; a frame header announcing more than this
+# is treated as protocol corruption rather than honored with an allocation.
+MAX_FRAME_BYTES = 1 << 31
+
+
+def send_reply(conn, status: str, payload: Any) -> None:
+    """Send a ``(status, payload)`` pair on a multiprocessing connection.
+
+    Falls back to a picklable :class:`ServiceError` describing the payload
+    when the payload itself cannot be pickled, so one exotic result or
+    exception cannot wedge the channel.
+    """
+    try:
+        conn.send((status, payload))
+    except Exception:  # noqa: BLE001 - payload unpicklable; degrade, don't die
+        conn.send((REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}")))
+
+
+def _write_payload(wfile, data: bytes) -> None:
+    """Write one already-pickled payload with the length-prefix framing."""
+    wfile.write(_FRAME_HEADER.pack(len(data)) + data)
+    wfile.flush()
+
+
+def write_frame(wfile, message: Any) -> None:
+    """Write one length-prefixed pickled message to a binary stream."""
+    _write_payload(wfile, pickle.dumps(message))
+
+
+def write_frame_reply(wfile, status: str, payload: Any) -> None:
+    """:func:`write_frame` with the :func:`send_reply` unpicklable fallback.
+
+    Pickling happens before any bytes hit the stream, and *any* pickling
+    failure — ``__reduce__`` of an exotic payload can raise anything —
+    degrades to a picklable :class:`ServiceError` instead of killing the
+    serving thread (which would drop the connection after the request was
+    already applied, tricking the client into a retry). Only genuine stream
+    errors propagate.
+    """
+    try:
+        data = pickle.dumps((status, payload))
+    except Exception:  # noqa: BLE001 - degrade, don't drop the connection
+        data = pickle.dumps(
+            (REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}"))
+        )
+    _write_payload(wfile, data)
+
+
+def read_frame(rfile) -> Any:
+    """Read one length-prefixed pickled message from a binary stream.
+
+    Raises ``EOFError`` on a cleanly closed stream and ``ConnectionError``
+    on a truncated or oversized frame.
+    """
+    header = rfile.read(_FRAME_HEADER.size)
+    if not header:
+        raise EOFError("Connection closed")
+    if len(header) < _FRAME_HEADER.size:
+        raise ConnectionError("Truncated frame header")
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"Frame of {length} bytes exceeds protocol maximum")
+    data = b""
+    while len(data) < length:
+        chunk = rfile.read(length - len(data))
+        if not chunk:
+            raise ConnectionError("Truncated frame payload")
+        data += chunk
+    return pickle.loads(data)
+
+
+def parse_service_url(url: str) -> Tuple[str, Any]:
+    """Parse a service URL into ``(family, address)``.
+
+    Accepted forms: ``tcp://host:port``, ``host:port`` (TCP is implied),
+    ``unix:///path/to/socket``, and bracketed IPv6 literals
+    (``tcp://[::1]:port``).
+    """
+    if url.startswith("unix://"):
+        path = url[len("unix://"):]
+        if not path:
+            raise ValueError(f"Service URL has no socket path: {url!r}")
+        return "unix", path
+    if url.startswith("tcp://"):
+        url = url[len("tcp://"):]
+    host, sep, port = url.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"Invalid service URL {url!r}: expected tcp://host:port, "
+            "host:port, or unix:///path"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    try:
+        return "tcp", (host, int(port))
+    except ValueError:
+        raise ValueError(f"Invalid service port in URL: {url!r}") from None
+
+
+class ServiceTransport:
+    """Strategy interface: carries one ``(method, *args)`` RPC to a runtime.
+
+    Transports are deliberately policy-free: no retries, no timeouts, no
+    accounting. All of that lives in
+    :class:`~repro.core.service.connection.ServiceConnection`, identically
+    for every transport. A transport only knows how to (re)establish its
+    channel and dispatch a call over it.
+    """
+
+    name = "transport"
+    # Seconds to wait between failed connect attempts (doubled per retry).
+    # Zero for channels whose failures are not time-dependent.
+    _connect_retry_wait = 0.0
+
+    def __init__(self):
+        self.closed = False
+        self._connect_attempts = 1
+
+    def connect(self, max_attempts: int = 1) -> None:
+        """Establish the channel, retrying up to ``max_attempts`` times.
+
+        The retry policy lives here once; transports implement :meth:`_open`
+        (establish the channel) and optionally :meth:`_on_connect_failure`
+        (clean up a half-open channel before the next attempt).
+        """
+        self._connect_attempts = max(1, max_attempts)
+        wait = self._connect_retry_wait
+        last_error = None
+        for attempt in range(self._connect_attempts):
+            try:
+                self._open()
+                return
+            except Exception as error:  # noqa: BLE001 - retried, then raised
+                last_error = error
+                self._on_connect_failure()
+                if wait and attempt + 1 < self._connect_attempts:
+                    time.sleep(wait)
+                    wait *= 2
+        raise ServiceError(f"{self._connect_error_prefix}: {last_error}")
+
+    def _open(self) -> None:
+        """Establish the channel (one attempt)."""
+
+    def _on_connect_failure(self) -> None:
+        """Tear down whatever :meth:`_open` half-built. No-op by default."""
+
+    @property
+    def _connect_error_prefix(self) -> str:
+        return "Failed to establish the compiler service channel"
+
+    def call(self, method: str, *args) -> Any:
+        """Dispatch one RPC and return its reply (or raise its error)."""
+        raise NotImplementedError
+
+    def restart(self) -> None:
+        """Tear down and re-establish the backend channel (crash recovery).
+
+        For the in-process and pipe transports this destroys the runtime —
+        and with it every session it hosted. For the socket transport only
+        the *connection* is recreated; the daemon (and its sessions) live on.
+        """
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release the channel. Does not stop a shared remote service."""
+        self.closed = True
+
+    @property
+    def runtime(self):
+        """The in-process runtime, when there is one (else ``None``)."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class InProcessTransport(ServiceTransport):
+    """Dispatches calls directly on a runtime owned by the calling process."""
+
+    name = "in-process"
+
+    def __init__(self, runtime_factory: Callable[[], Any]):
+        super().__init__()
+        self._runtime_factory = runtime_factory
+        self._runtime = None
+
+    def _open(self) -> None:
+        self._runtime = self._runtime_factory()
+
+    @property
+    def _connect_error_prefix(self) -> str:
+        return "Failed to create compiler service"
+
+    def call(self, method: str, *args) -> Any:
+        if self._runtime is None:
+            self.connect(self._connect_attempts)
+        return getattr(self._runtime, method)(*args)
+
+    def restart(self) -> None:
+        if self._runtime is not None:
+            try:
+                self._runtime.shutdown()
+            except Exception:  # noqa: BLE001 - the old runtime may be in any state
+                pass
+        self._runtime = None
+        self.connect(self._connect_attempts)
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._runtime is not None:
+            self._runtime.shutdown()
+
+    @property
+    def runtime(self):
+        return self._runtime
+
+
+def _pipe_service_main(conn, runtime_factory: Callable[[], Any]) -> None:
+    """Subprocess entry point: host a runtime, serve RPCs until closed."""
+    try:
+        runtime = runtime_factory()
+    except BaseException as error:  # noqa: BLE001 - reported to the parent
+        send_reply(conn, REPLY_ERROR, error)
+        conn.close()
+        return
+    send_reply(conn, REPLY_OK, None)
+    try:
+        while True:
+            try:
+                method, args = conn.recv()
+            except (EOFError, OSError):
+                break
+            if method == "__shutdown__":
+                send_reply(conn, REPLY_OK, None)
+                break
+            try:
+                result = getattr(runtime, method)(*args)
+            except BaseException as error:  # noqa: BLE001 - translated client-side
+                send_reply(conn, REPLY_ERROR, error)
+            else:
+                send_reply(conn, REPLY_OK, result)
+    finally:
+        try:
+            runtime.shutdown()
+        except Exception:  # noqa: BLE001 - already shutting down
+            pass
+        conn.close()
+
+
+class PipeTransport(ServiceTransport):
+    """Hosts the runtime in a subprocess behind a pickled-pipe RPC channel.
+
+    The factory must be picklable (it is shipped to the subprocess), and so
+    must every request and reply. In exchange the compiler runtime gets a
+    process boundary: a crash in the backend kills only the child, surfaces
+    here as a transport error, and is healed by the connection's
+    restart/retry loop with a fresh subprocess.
+    """
+
+    name = "pipe"
+
+    def __init__(
+        self, runtime_factory: Callable[[], Any], start_method: Optional[str] = None
+    ):
+        super().__init__()
+        self._runtime_factory = runtime_factory
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._process = None
+        self._conn = None
+        self._lock = threading.Lock()
+
+    def _on_connect_failure(self) -> None:
+        self._teardown()
+
+    @property
+    def _connect_error_prefix(self) -> str:
+        return "Failed to start pipe service subprocess"
+
+    def _open(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        self._process = self._ctx.Process(
+            target=_pipe_service_main,
+            args=(child_conn, self._runtime_factory),
+            daemon=True,
+            name="repro-pipe-service",
+        )
+        self._process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        status, payload = self._receive()
+        if status == REPLY_ERROR:
+            raise payload
+
+    def _receive(self):
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as error:
+            pid = self._process.pid if self._process else None
+            raise ConnectionError(f"Pipe service (pid={pid}) died: {error}") from error
+
+    def call(self, method: str, *args) -> Any:
+        with self._lock:
+            if self.closed:
+                raise ServiceIsClosed("Pipe transport is closed")
+            if self._conn is None:
+                raise ConnectionError("Pipe transport is not connected")
+            try:
+                self._conn.send((method, args))
+            except (OSError, BrokenPipeError) as error:
+                raise ConnectionError(f"Pipe service is gone: {error}") from error
+            status, payload = self._receive()
+        if status == REPLY_ERROR:
+            raise payload
+        return payload
+
+    def _teardown(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+            self._conn = None
+        if self._process is not None:
+            if self._process.is_alive():
+                self._process.terminate()
+            self._process.join(timeout=5)
+            self._process = None
+
+    def restart(self) -> None:
+        with self._lock:
+            self._teardown()
+            self.connect(self._connect_attempts)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            if self._conn is not None:
+                try:
+                    self._conn.send(("__shutdown__", ()))
+                    self._conn.recv()
+                except (OSError, EOFError, BrokenPipeError):
+                    pass
+            self._teardown()
+
+    def __repr__(self) -> str:
+        pid = self._process.pid if self._process else None
+        return f"PipeTransport(pid={pid}, closed={self.closed})"
+
+
+class SocketTransport(ServiceTransport):
+    """Speaks the length-prefixed pickled RPC protocol to a service daemon.
+
+    One transport holds one socket to the daemon; concurrent callers are
+    serialized per connection (workers that need truly parallel round trips each
+    open their own connection — which is exactly what the daemon-attached
+    vectorized pools do). ``restart()`` reconnects without touching the
+    daemon, so crash recovery on the client never destroys server-side
+    sessions other than the caller's own.
+    """
+
+    name = "socket"
+    # The daemon may still be binding when the first client arrives; back
+    # off briefly between connect attempts.
+    _connect_retry_wait = 0.05
+
+    def __init__(self, url: str, timeout: float = 300.0, connect_retry_wait: float = None):
+        super().__init__()
+        self.url = url
+        self.family, self.address = parse_service_url(url)
+        self.timeout = timeout
+        if connect_retry_wait is not None:
+            self._connect_retry_wait = connect_retry_wait
+        self._sock = None
+        self._rfile = None
+        self._wfile = None
+        self._lock = threading.Lock()
+
+    def _open(self) -> None:
+        self._open_socket()
+
+    def _on_connect_failure(self) -> None:
+        self._close_socket()
+
+    @property
+    def _connect_error_prefix(self) -> str:
+        return f"Failed to connect to compiler service at {self.url}"
+
+    def _open_socket(self) -> None:
+        if self.family == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            inet = socket.AF_INET6 if ":" in self.address[0] else socket.AF_INET
+            sock = socket.socket(inet, socket.SOCK_STREAM)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self.timeout)
+        sock.connect(self.address)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+
+    def _close_socket(self) -> None:
+        for stream in (self._rfile, self._wfile, self._sock):
+            if stream is not None:
+                try:
+                    stream.close()
+                except Exception:  # noqa: BLE001
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def call(self, method: str, *args) -> Any:
+        with self._lock:
+            if self.closed:
+                raise ServiceIsClosed("Socket transport is closed")
+            if self._sock is None:
+                # Lazily (re)connect, e.g. on the first call after restart().
+                self._open_socket()
+            try:
+                write_frame(self._wfile, (method, args))
+            except (OSError, EOFError, ValueError) as error:
+                # ValueError: writing to a file object whose socket was
+                # already torn down ("write to closed file").
+                # The request never left this client: safe to retry. Drop the
+                # socket so the retry (the connection's restart()) starts
+                # from a clean connection.
+                self._close_socket()
+                raise ConnectionError(
+                    f"Service connection to {self.url} failed: {error}"
+                ) from error
+            try:
+                status, payload = read_frame(self._rfile)
+            except Exception as error:  # noqa: BLE001 - any post-send failure
+                # The request was sent but the reply was lost or unreadable
+                # (dead socket, truncated frame, version-skewed unpickle...).
+                # Unlike an in-process restart — which destroys the runtime
+                # and every session on it — the daemon survives, so a retry
+                # could re-apply a non-idempotent call (step()) to a live
+                # session. Surface a non-retryable error instead; the
+                # environment's fault-tolerance path ends the episode
+                # cleanly.
+                self._close_socket()
+                raise ServiceTransportError(
+                    f"Lost the reply from {self.url} for {method}(): the call "
+                    f"may already be applied on the daemon and will not be "
+                    f"retried ({error})"
+                ) from error
+        if status == REPLY_ERROR:
+            if isinstance(payload, (CompilerGymError, LookupError)):
+                raise payload
+            # A generic exception raised *inside* the daemon (a compiler
+            # crash mid-multistep, say) reached us over a healthy channel —
+            # the request may be partially applied to a session that, unlike
+            # an in-process runtime, survives the connection's restart().
+            # Wrap it in the non-retryable family so the retry loop cannot
+            # re-apply it; the environment's fault-tolerance path ends the
+            # episode instead.
+            raise ServiceError(
+                f"Compiler service error in {method}(): "
+                f"{type(payload).__name__}: {payload}"
+            ) from payload
+        return payload
+
+    def restart(self) -> None:
+        """Reconnect to the daemon. Server-side sessions are untouched."""
+        with self._lock:
+            self._close_socket()
+            self.connect(self._connect_attempts)
+
+    def shutdown(self) -> None:
+        """Disconnect. The daemon keeps running — it is a shared service."""
+        if self.closed:
+            return
+        self.closed = True
+        # Wake any call() blocked in its socket read BEFORE taking the lock
+        # it holds: against a wedged daemon that read only ends at the
+        # socket timeout (minutes), and shutdown must not wait it out.
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        with self._lock:
+            self._close_socket()
+
+    def server_info(self) -> dict:
+        """Fetch the daemon's identity/occupancy snapshot (pid, sessions...)."""
+        return self.call("server_info")
+
+    def __repr__(self) -> str:
+        return f"SocketTransport(url={self.url!r}, closed={self.closed})"
+
+
+def resolve_transport(target) -> ServiceTransport:
+    """Coerce a transport specifier to a :class:`ServiceTransport`.
+
+    ``target`` may be a transport instance (returned as-is) or a runtime
+    factory callable (wrapped in :class:`InProcessTransport`, preserving the
+    pre-transport ``ServiceConnection(runtime_factory)`` calling convention).
+    """
+    if isinstance(target, ServiceTransport):
+        return target
+    if callable(target):
+        return InProcessTransport(target)
+    raise TypeError(
+        f"Expected a ServiceTransport or a runtime factory, got {target!r}"
+    )

@@ -6,9 +6,20 @@ default value on error, and a translation function from the raw service
 observation message to the user-facing value.
 """
 
+import pickle
 from typing import Any, Callable, Optional
 
 from repro.core.spaces.space import Space
+
+
+def _identity(value: Any) -> Any:
+    """Default translation: the raw service value is the user-facing value.
+
+    A module-level function (not a lambda) so that specs pickle: the socket
+    and pipe service transports ship ``GetSpacesReply`` messages — spec
+    objects included — across process boundaries.
+    """
+    return value
 
 
 class ObservationSpaceSpec:
@@ -31,8 +42,25 @@ class ObservationSpaceSpec:
         self.deterministic = deterministic
         self.platform_dependent = platform_dependent
         self.default_value = default_value
-        self._translate = translate or (lambda value: value)
+        self._translate = translate or _identity
         self._to_string = to_string or str
+
+    def __getstate__(self) -> dict:
+        """Pickle support for the remote service transports.
+
+        Custom ``translate``/``to_string`` callables that cannot cross a
+        process boundary (lambdas, closures) degrade to the defaults on the
+        far side; the environments shipped with this package only install
+        such callables on *derived* spaces, which are constructed client-side
+        and never serialized.
+        """
+        state = dict(self.__dict__)
+        for attr, default in (("_translate", _identity), ("_to_string", str)):
+            try:
+                pickle.dumps(state[attr])
+            except Exception:  # noqa: BLE001 - unpicklable callable
+                state[attr] = default
+        return state
 
     def translate(self, value: Any) -> Any:
         """Convert a raw service observation into the user-facing value."""

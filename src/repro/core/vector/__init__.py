@@ -9,6 +9,7 @@ own subprocess (rebuilt from a picklable :class:`WorkerSpec`) to sidestep the
 GIL for compute-bound sessions.
 """
 
+from repro.core.vector.autoscale import AutoscalePolicy, autoscale_policy
 from repro.core.vector.backends import (
     ExecutionBackend,
     SerialBackend,
@@ -19,6 +20,7 @@ from repro.core.vector.process import ProcessPoolBackend, RemoteWorker, WorkerSp
 from repro.core.vector.vec_env import SKIPPED_STEP, VecCompilerEnv, make_vec_env
 
 __all__ = [
+    "AutoscalePolicy",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "RemoteWorker",
@@ -27,6 +29,7 @@ __all__ = [
     "ThreadPoolBackend",
     "VecCompilerEnv",
     "WorkerSpec",
+    "autoscale_policy",
     "make_vec_env",
     "resolve_backend",
 ]

@@ -1,0 +1,144 @@
+"""Autoscaling policies for :class:`~repro.core.vector.VecCompilerEnv`.
+
+A policy turns the pool's aggregated service-call accounting
+(:meth:`VecCompilerEnv.connection_stats`) into resize decisions: scale the
+worker count up while the service tier has headroom, back off when calls
+slow down or start failing. Policies are plain callables —
+``policy(stats, current_workers) -> Optional[int]`` — returning the target
+pool size, or ``None`` to leave the pool alone; the rollout collector
+(:func:`repro.rl.trainer.run_vec_rollouts`) applies the returned target with
+:meth:`VecCompilerEnv.resize`.
+
+The shipped :class:`AutoscalePolicy` reasons about *interval* statistics: it
+keeps the previous ``connection_stats()`` snapshot and diffs against it, so
+each decision reflects recent behaviour rather than the whole run's average.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# Methods whose latency reflects steady-state per-step service load (rather
+# than one-off session setup).
+_STEP_METHODS = ("step", "multistep")
+
+
+def interval_delta(
+    previous: Dict[str, Dict[str, float]], current: Dict[str, Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-method difference between two ``connection_stats()`` snapshots.
+
+    Counters are monotonic while a pool's membership is stable, but a resize
+    *retires* workers (and their accounting). A negative delta on any of a
+    method's keys means the interval straddled such a membership change, so
+    the *whole method* restarts its interval from the current snapshot —
+    clamping keys independently could pair interval call counts with
+    cumulative wall time and fabricate absurd mean latencies.
+    """
+    delta: Dict[str, Dict[str, float]] = {}
+    for method, stats in current.items():
+        before = previous.get(method, {})
+        diffs = {key: value - before.get(key, 0) for key, value in stats.items()}
+        delta[method] = dict(stats) if any(d < 0 for d in diffs.values()) else diffs
+    return delta
+
+
+@dataclass
+class AutoscalePolicy:
+    """Latency/error-driven pool sizing over ``connection_stats()`` snapshots.
+
+    Decision rules, evaluated over the statistics accumulated since the
+    previous call:
+
+    1. No step-like calls in the interval: no decision (``None``).
+    2. Error rate (errors / calls, across all methods) above
+       ``max_error_rate``: shrink by ``step_size`` — the service tier is
+       failing, adding load would amplify it.
+    3. Mean step latency above ``scale_down_latency_s``: shrink by
+       ``step_size`` — the service is saturated and per-call time is
+       suffering.
+    4. Mean step latency below ``scale_up_latency_s``: grow by
+       ``step_size`` — calls are fast, there is headroom for more
+       concurrent sessions.
+
+    Targets are clamped to ``[min_workers, max_workers]``; a target equal to
+    the current size is reported as ``None`` (no change).
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    scale_up_latency_s: float = 0.05
+    scale_down_latency_s: float = 0.5
+    max_error_rate: float = 0.1
+    step_size: int = 1
+    _previous: Dict[str, Dict[str, float]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                f"AutoscalePolicy requires 1 <= min_workers <= max_workers, got "
+                f"[{self.min_workers}, {self.max_workers}]"
+            )
+        if self.scale_up_latency_s > self.scale_down_latency_s:
+            raise ValueError(
+                "AutoscalePolicy requires scale_up_latency_s <= scale_down_latency_s "
+                f"(got {self.scale_up_latency_s} > {self.scale_down_latency_s})"
+            )
+
+    def __call__(
+        self, stats: Dict[str, Dict[str, float]], current_workers: int
+    ) -> Optional[int]:
+        interval = interval_delta(self._previous, stats)
+        self._previous = stats
+
+        step_calls = sum(interval.get(m, {}).get("calls", 0) for m in _STEP_METHODS)
+        step_wall = sum(interval.get(m, {}).get("wall_time_s", 0.0) for m in _STEP_METHODS)
+        # CallStats only records `calls` for successes, so a failed RPC shows
+        # up in `errors` alone: attempts = calls + errors. The error check
+        # runs before the step-activity gate — an interval where every step
+        # FAILED has step_calls == 0 and is precisely when backing off
+        # matters most.
+        total_calls = sum(entry.get("calls", 0) for entry in interval.values())
+        total_errors = sum(entry.get("errors", 0) for entry in interval.values())
+        total_attempts = total_calls + total_errors
+        if total_attempts <= 0:
+            return None
+
+        target = current_workers
+        if total_errors / total_attempts > self.max_error_rate:
+            target = current_workers - self.step_size
+        elif step_calls <= 0:
+            return None
+        else:
+            mean_step_latency = step_wall / step_calls
+            if mean_step_latency > self.scale_down_latency_s:
+                target = current_workers - self.step_size
+            elif mean_step_latency < self.scale_up_latency_s:
+                target = current_workers + self.step_size
+        target = max(self.min_workers, min(self.max_workers, target))
+        return None if target == current_workers else target
+
+
+def autoscale_policy(
+    stats: Dict[str, Dict[str, float]],
+    current_workers: int,
+    *,
+    min_workers: int = 1,
+    max_workers: int = 8,
+    scale_up_latency_s: float = 0.05,
+    scale_down_latency_s: float = 0.5,
+    max_error_rate: float = 0.1,
+) -> Optional[int]:
+    """One-shot functional form of :class:`AutoscalePolicy`.
+
+    Stateless: ``stats`` is interpreted as the interval itself (useful when
+    the caller already diffs snapshots, or at the first decision of a run).
+    Returns the target worker count, or ``None`` for no change.
+    """
+    policy = AutoscalePolicy(
+        min_workers=min_workers,
+        max_workers=max_workers,
+        scale_up_latency_s=scale_up_latency_s,
+        scale_down_latency_s=scale_down_latency_s,
+        max_error_rate=max_error_rate,
+    )
+    return policy(stats, current_workers)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.datasets import Benchmark
+from repro.core.service.transport import REPLY_ERROR, REPLY_OK, send_reply
 from repro.core.vector.backends import ThreadPoolBackend, close_quietly
 from repro.errors import ServiceError, SessionNotFound
 
@@ -76,13 +77,17 @@ class WorkerSpec:
             actions=list(env.actions) if env.in_episode else None,
             worker_wrapper=worker_wrapper,
         )
-        try:
-            pickle.dumps(spec)
-        except Exception as error:
-            raise ValueError(
-                f"The process backend requires a picklable worker spec "
-                f"(environment kwargs and worker_wrapper): {error}"
-            ) from error
+        if not spec.make_kwargs.get("service_url"):
+            # Only subprocess workers ship the spec across a process
+            # boundary; daemon-attached workers (service_url) are built
+            # in-process, so e.g. a lambda worker_wrapper is fine there.
+            try:
+                pickle.dumps(spec)
+            except Exception as error:
+                raise ValueError(
+                    f"The process backend requires a picklable worker spec "
+                    f"(environment kwargs and worker_wrapper): {error}"
+                ) from error
         return spec
 
     def build(self):
@@ -113,13 +118,6 @@ class WorkerSpec:
         except Exception:
             env.close()
             raise
-
-
-def _send_error(conn, error: BaseException) -> None:
-    try:
-        conn.send(("error", error))
-    except Exception:  # noqa: BLE001 - the error itself is unpicklable
-        conn.send(("error", ServiceError(f"{type(error).__name__}: {error}")))
 
 
 def _dispatch(worker, command: str, payload):
@@ -163,14 +161,21 @@ def _dispatch(worker, command: str, payload):
 
 
 def _worker_main(conn, spec: WorkerSpec) -> None:
-    """Subprocess entry point: build the env, then serve commands until close."""
+    """Subprocess entry point: build the env, then serve commands until close.
+
+    The command loop speaks the shared ``(status, payload)`` reply convention
+    of :mod:`repro.core.service.transport` (:func:`send_reply` degrades
+    unpicklable payloads to a :class:`ServiceError` instead of wedging the
+    pipe); only the request vocabulary — environment commands rather than
+    service RPCs — is specific to pool workers.
+    """
     try:
         worker = spec.build()
     except BaseException as error:  # noqa: BLE001 - reported to the parent
-        _send_error(conn, error)
+        send_reply(conn, REPLY_ERROR, error)
         conn.close()
         return
-    conn.send(("ok", None))
+    send_reply(conn, REPLY_OK, None)
     try:
         while True:
             try:
@@ -183,19 +188,16 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
                     service = getattr(worker, "service", None)
                     stats = service.stats_summary() if service is not None else {}
                     worker.close()
-                    conn.send(("ok", stats))
+                    send_reply(conn, REPLY_OK, stats)
                 except BaseException as error:  # noqa: BLE001
-                    _send_error(conn, error)
+                    send_reply(conn, REPLY_ERROR, error)
                 break
             try:
                 result = _dispatch(worker, command, payload)
             except BaseException as error:  # noqa: BLE001 - translated parent-side
-                _send_error(conn, error)
+                send_reply(conn, REPLY_ERROR, error)
             else:
-                try:
-                    conn.send(("ok", result))
-                except Exception as error:  # noqa: BLE001 - unpicklable result
-                    _send_error(conn, error)
+                send_reply(conn, REPLY_OK, result)
     finally:
         try:
             worker.close()
@@ -275,7 +277,7 @@ class RemoteWorker:
             raise ServiceError(
                 f"Subprocess worker (pid={self._process.pid}) died: {error}"
             ) from error
-        if status == "error":
+        if status == REPLY_ERROR:
             raise result
         return result
 
@@ -373,7 +375,7 @@ class RemoteWorker:
                 self.closed = True
                 self._conn.send(("close", None))
                 status, result = self._conn.recv()
-            if status == "ok":
+            if status == REPLY_OK:
                 self.final_stats = result or {}
             else:
                 error = result
@@ -441,8 +443,19 @@ class ProcessPoolBackend(ThreadPoolBackend):
         and session state live on inside the subprocesses. On failure the
         root is left open for the caller and any subprocesses spawned so far
         are torn down.
+
+        When the root environment is attached to a compiler service daemon
+        (constructed with a ``service_url``), no subprocesses are spawned at
+        all: the daemon *is* the out-of-process compute, so each worker is
+        built in-process as another client of the daemon — one socket
+        connection and one server-side session per worker. Pools created
+        against the same daemon therefore reuse one long-lived service
+        process, amortizing service startup across ``resize()`` calls, across
+        pools, and across whole training runs.
         """
         spec = WorkerSpec.from_env(env, worker_wrapper)
+        if spec.make_kwargs.get("service_url"):
+            return self._populate_from_daemon(env, spec, n)
         workers: List[RemoteWorker] = []
         try:
             # Start every subprocess first, then wait for the build acks, so
@@ -455,5 +468,31 @@ class ProcessPoolBackend(ThreadPoolBackend):
             for worker in workers:
                 close_quietly(worker)
             raise
+        env.close()
+        return workers
+
+    def _populate_from_daemon(self, env, spec: WorkerSpec, n: int) -> List[Any]:
+        """Build ``n`` daemon-attached client workers (sessions, not processes).
+
+        Each worker gets its own socket connection so batched operations
+        dispatched by the thread pool issue truly concurrent RPCs; the
+        daemon's per-session locking keeps them isolated server-side. The
+        builds themselves run on the dispatcher pool — each one is several
+        socket round trips (connect, spaces handshake, session setup,
+        action-history replay), so like subprocess population they overlap
+        instead of running serially.
+        """
+        futures = [self._executor.submit(spec.build) for _ in range(n)]
+        workers: List[Any] = []
+        errors: List[BaseException] = []
+        for future in futures:
+            try:
+                workers.append(future.result())
+            except Exception as error:  # noqa: BLE001 - collected below
+                errors.append(error)
+        if errors:
+            for worker in workers:
+                close_quietly(worker)
+            raise errors[0]
         env.close()
         return workers

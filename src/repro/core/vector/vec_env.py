@@ -342,6 +342,14 @@ class VecCompilerEnv:
                     close_quietly(worker)
                     base = getattr(template, "unwrapped", template)
                     worker = self._worker_wrapper(base.fork())
+                if not getattr(type(worker), "is_remote", False):
+                    # Daemon-attached forks start on the template's shared
+                    # socket; pool workers run concurrently, so re-home each
+                    # onto its own connection (no-op for in-process envs).
+                    base = getattr(worker, "unwrapped", worker)
+                    dedicate = getattr(base, "use_dedicated_connection", None)
+                    if dedicate is not None:
+                        dedicate()
                 self.workers.append(worker)
         if self._owns_backend:
             self._backend.resize(n)

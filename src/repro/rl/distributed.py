@@ -264,6 +264,11 @@ class DistributedTrainer:
         envs_per_actor: Pool size inside each actor.
         env_backend: Execution backend of each actor's pool (``"serial"``,
             ``"thread"``, or ``"process"``).
+        service_url: Attach every actor's environments to a running compiler
+            service daemon (``repro serve``) at this URL instead of hosting a
+            compiler service inside each actor. The daemon multiplexes all
+            actors' sessions over one shared runtime (and benchmark cache) and
+            may live on another machine — the paper's scale-out topology.
         broadcast_interval: Asynchronous mode only — minimum number of
             experience items the learner consumes between weight broadcasts.
         synchronous: Barrier mode (actor blocks for a learner reply after
@@ -284,6 +289,7 @@ class DistributedTrainer:
     num_actors: int = 1
     envs_per_actor: int = 1
     env_backend: str = "serial"
+    service_url: Optional[str] = None
     observation_space: str = "Autophase"
     use_action_histogram: bool = True
     episode_length: int = EPISODE_LENGTH
@@ -301,6 +307,9 @@ class DistributedTrainer:
             raise ValueError(
                 f"DistributedTrainer requires envs_per_actor >= 1, got {self.envs_per_actor}"
             )
+        if self.service_url:
+            self.make_kwargs = dict(self.make_kwargs)
+            self.make_kwargs.setdefault("service_url", self.service_url)
         actions = self.action_subset or AUTOPHASE_ACTION_SUBSET
         self.agent_kwargs = dict(self.agent_kwargs)
         self.agent_kwargs.setdefault(

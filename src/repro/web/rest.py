@@ -29,9 +29,18 @@ from repro.core.wrappers import ForkOnStep
 class ExplorerAPI:
     """Session manager behind the REST endpoints (usable directly in-process)."""
 
-    def __init__(self, env_id: str = "llvm-v0", reward_space: str = "IrInstructionCountOz"):
+    def __init__(
+        self,
+        env_id: str = "llvm-v0",
+        reward_space: str = "IrInstructionCountOz",
+        service_url: Optional[str] = None,
+    ):
         self.env_id = env_id
         self.default_reward_space = reward_space
+        # When set, Explorer sessions attach to a running compiler service
+        # daemon (`repro serve`) instead of each hosting a runtime: the REST
+        # frontend becomes one more client of the shared service tier.
+        self.service_url = service_url
         self.sessions: Dict[int, ForkOnStep] = {}
         self._next_session = 0
         self._lock = threading.Lock()
@@ -39,7 +48,7 @@ class ExplorerAPI:
     # -- session lifecycle ---------------------------------------------------------
 
     def describe(self) -> dict:
-        env = repro.make(self.env_id)
+        env = repro.make(self.env_id, service_url=self.service_url)
         try:
             return {
                 "actions": list(getattr(env.action_space, "names", [])),
@@ -51,7 +60,12 @@ class ExplorerAPI:
             env.close()
 
     def start(self, reward: str, benchmark: str, actions: Optional[List[int]] = None) -> dict:
-        env = repro.make(self.env_id, benchmark=benchmark, reward_space=reward)
+        env = repro.make(
+            self.env_id,
+            benchmark=benchmark,
+            reward_space=reward,
+            service_url=self.service_url,
+        )
         env.reset()
         wrapped = ForkOnStep(env)
         with self._lock:

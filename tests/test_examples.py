@@ -12,6 +12,7 @@ EXAMPLES = [
     ("quickstart.py", ["--steps", "30", "--benchmark", "cbench-v1/crc32"]),
     ("autotune_llvm_phase_ordering.py", ["--benchmark", "cbench-v1/crc32", "--budget", "200"]),
     ("parallel_random_search.py", ["--benchmark", "cbench-v1/crc32", "--workers", "2", "--steps", "120"]),
+    ("remote_service.py", ["--benchmark", "cbench-v1/crc32", "--workers", "2", "--steps", "4"]),
     ("rl_phase_ordering.py", ["--episodes", "6", "--episode-length", "10"]),
     ("gcc_flag_tuning.py", ["--compilations", "60", "--programs", "2"]),
     ("loop_tool_sweep.py", ["--size", "65536"]),

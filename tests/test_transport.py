@@ -1,0 +1,1149 @@
+"""Tests for the service transport layer and the socket daemon.
+
+Covers the client/server split that turns this reproduction into the paper's
+actual architecture: the ``ServiceTransport`` implementations (in-process,
+subprocess pipe, socket), the ``repro serve`` daemon's session multiplexing
+(per-session locking, idle reaping, client-churn survival, graceful
+shutdown), transport equivalence of full environments, persistent-daemon
+reuse across sequential vectorized pools, cross-transport stats aggregation,
+and the autoscaling policy driving ``VecCompilerEnv.resize()``.
+"""
+
+import multiprocessing
+import pickle
+import random
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.service import (
+    CompilationSession,
+    CompilerGymServiceRuntime,
+    ConnectionOpts,
+    ServiceConnection,
+)
+from repro.core.service.proto import StartSessionRequest, StepRequest
+from repro.core.service.runtime.server import ServiceServer, make_env_server
+from repro.core.service.transport import (
+    InProcessTransport,
+    PipeTransport,
+    SocketTransport,
+    parse_service_url,
+    read_frame,
+    write_frame,
+)
+from repro.core.spaces import NamedDiscrete, ObservationSpaceSpec, Scalar
+from repro.core.vector import AutoscalePolicy, VecCompilerEnv, make_vec_env
+from repro.core.vector.autoscale import interval_delta
+from repro.core.service.connection import merge_stats_summaries
+from repro.core.wrappers import TimeLimit
+from repro.errors import (
+    ServiceError,
+    ServiceIsClosed,
+    ServiceTransportError,
+    SessionNotFound,
+)
+from tests.test_service import _CounterSession, _resolver, _runtime
+
+BENCHMARK = "cbench-v1/crc32"
+
+
+class _SlowStepSession(_CounterSession):
+    """A counter session whose actions take a configurable wall time."""
+
+    sleep_seconds = 0.1
+    # Class-level concurrency tracker, observable because the daemon under
+    # test runs in this process.
+    _track_lock = threading.Lock()
+    in_flight = 0
+    max_in_flight = 0
+
+    def apply_action(self, action):
+        cls = _SlowStepSession
+        with cls._track_lock:
+            cls.in_flight += 1
+            cls.max_in_flight = max(cls.max_in_flight, cls.in_flight)
+        try:
+            time.sleep(self.sleep_seconds)
+            return super().apply_action(action)
+        finally:
+            with cls._track_lock:
+                cls.in_flight -= 1
+
+    @classmethod
+    def reset_tracking(cls):
+        with cls._track_lock:
+            cls.in_flight = 0
+            cls.max_in_flight = 0
+
+
+def _slow_runtime() -> CompilerGymServiceRuntime:
+    return CompilerGymServiceRuntime(
+        session_type=_SlowStepSession, benchmark_resolver=_resolver
+    )
+
+
+def _make_llvm_env(**kwargs):
+    return repro.make(
+        "llvm-v0",
+        benchmark=BENCHMARK,
+        observation_space="Autophase",
+        reward_space="IrInstructionCount",
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def llvm_daemon():
+    """A module-scoped LLVM service daemon accepting socket clients."""
+    server = make_env_server("llvm-v0", port=0, session_timeout=None).start()
+    yield server
+    server.shutdown()
+
+
+# -- URL parsing and framing -------------------------------------------------
+
+
+class TestServiceUrl:
+    def test_tcp_with_scheme(self):
+        assert parse_service_url("tcp://127.0.0.1:5499") == ("tcp", ("127.0.0.1", 5499))
+
+    def test_tcp_without_scheme(self):
+        assert parse_service_url("example.org:80") == ("tcp", ("example.org", 80))
+
+    def test_unix(self):
+        assert parse_service_url("unix:///tmp/svc.sock") == ("unix", "/tmp/svc.sock")
+
+    def test_ipv6_brackets_are_stripped(self):
+        assert parse_service_url("tcp://[::1]:5499") == ("tcp", ("::1", 5499))
+
+    @pytest.mark.parametrize("url", ["", "tcp://", "nohost", "host:notaport", "unix://"])
+    def test_invalid(self, url):
+        with pytest.raises(ValueError):
+            parse_service_url(url)
+
+
+class TestFraming:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "frames.bin"
+        with open(path, "wb") as f:
+            write_frame(f, ("step", (1, [2, 3])))
+            write_frame(f, {"nested": np.arange(4)})
+        with open(path, "rb") as f:
+            assert read_frame(f) == ("step", (1, [2, 3]))
+            np.testing.assert_array_equal(read_frame(f)["nested"], np.arange(4))
+            with pytest.raises(EOFError):
+                read_frame(f)
+
+    def test_truncated_frame(self, tmp_path):
+        path = tmp_path / "frames.bin"
+        with open(path, "wb") as f:
+            write_frame(f, "payload")
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with open(path, "rb") as f:
+            with pytest.raises(ConnectionError, match="Truncated"):
+                read_frame(f)
+
+
+# -- transports behind ServiceConnection -------------------------------------
+
+
+@pytest.mark.parametrize(
+    "make_transport",
+    [
+        lambda: InProcessTransport(_runtime),
+        lambda: PipeTransport(_runtime),
+    ],
+    ids=["in-process", "pipe"],
+)
+class TestTransportConnection:
+    def test_full_session_lifecycle(self, make_transport):
+        with ServiceConnection(make_transport()) as connection:
+            assert [s.name for s in connection.spaces.action_spaces] == ["counter"]
+            session = connection.start_session(
+                StartSessionRequest(
+                    benchmark_uri="benchmark://t-v0/5", observation_space_names=["value"]
+                )
+            )
+            assert session.observations[0].value() == 5
+            reply = connection.step(
+                StepRequest(
+                    session_id=session.session_id,
+                    actions=[1, 1],
+                    observation_space_names=["value"],
+                )
+            )
+            assert reply.observations[0].value() == 7
+            assert connection.stats["step"].calls == 1
+
+    def test_backend_crash_restarts_and_surfaces_service_error(self, make_transport):
+        connection = ServiceConnection(
+            make_transport(), ConnectionOpts(rpc_max_retries=3, retry_wait_seconds=0.001)
+        )
+        session = connection.start_session(
+            StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+        )
+        # Action 2 raises inside the backend; the transport channel is
+        # restarted and the session is gone afterwards.
+        with pytest.raises((ServiceError, SessionNotFound)):
+            connection.step(StepRequest(session_id=session.session_id, actions=[2]))
+        assert connection.restart_count >= 1
+        connection.close()
+
+    def test_closed_connection_rejects_calls(self, make_transport):
+        connection = ServiceConnection(make_transport())
+        connection.close()
+        with pytest.raises(ServiceIsClosed):
+            connection.start_session(StartSessionRequest(benchmark_uri="benchmark://t-v0/0"))
+
+
+class TestPipeTransport:
+    def test_runtime_is_not_local(self):
+        with ServiceConnection(PipeTransport(_runtime)) as connection:
+            assert connection.runtime is None
+
+    def test_killed_subprocess_is_replaced_on_retry(self):
+        transport = PipeTransport(_runtime)
+        connection = ServiceConnection(
+            transport, ConnectionOpts(rpc_max_retries=3, retry_wait_seconds=0.001)
+        )
+        transport._process.kill()
+        transport._process.join(timeout=5)
+        # The dead channel surfaces as a transport failure, the connection
+        # restarts it (a fresh subprocess), and the retried call succeeds.
+        session = connection.start_session(
+            StartSessionRequest(
+                benchmark_uri="benchmark://t-v0/3", observation_space_names=["value"]
+            )
+        )
+        assert session.observations[0].value() == 3
+        assert connection.restart_count >= 1
+        connection.close()
+
+    def test_shutdown_terminates_subprocess(self):
+        transport = PipeTransport(_runtime)
+        connection = ServiceConnection(transport)
+        process = transport._process
+        connection.close()
+        assert not process.is_alive()
+
+
+class TestSlowSuccessIsNotRetried:
+    """Regression: a call that *succeeded* but exceeded the deadline must be
+    recorded as a slow success and raised without retrying — re-executing an
+    already-applied step() would corrupt the session."""
+
+    def test_slow_success_raises_without_retry(self):
+        connection = ServiceConnection(
+            _slow_runtime,
+            ConnectionOpts(rpc_call_max_seconds=0.02, rpc_max_retries=5, retry_wait_seconds=0.001),
+        )
+        session = connection.start_session(
+            StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+        )
+        runtime = connection.runtime
+        steps_before = runtime.stats["step"]
+        with pytest.raises(ServiceTransportError, match="will not be retried"):
+            connection.step(StepRequest(session_id=session.session_id, actions=[1]))
+        # Applied exactly once: no restart, no re-execution.
+        assert runtime.stats["step"] == steps_before + 1
+        assert connection.restart_count == 0
+        assert connection.stats["step"].retries == 0
+        # The slow success is recorded in the wall-time accounting.
+        assert connection.stats["step"].calls == 1
+        assert connection.stats["step"].errors == 1
+        assert connection.stats["step"].wall_times[0] >= 0.02
+        # The action WAS applied; the session remains usable and consistent.
+        reply = connection.step(
+            StepRequest(
+                session_id=session.session_id,
+                actions=[],
+                observation_space_names=["value"],
+            )
+        )
+        assert reply.observations[0].value() == 1
+        connection.close()
+
+    def test_fast_success_within_deadline_is_untouched(self):
+        connection = ServiceConnection(
+            _runtime, ConnectionOpts(rpc_call_max_seconds=5.0)
+        )
+        session = connection.start_session(
+            StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+        )
+        connection.step(StepRequest(session_id=session.session_id, actions=[1]))
+        assert connection.stats["step"].errors == 0
+        connection.close()
+
+
+class TestLostReplyIsNotRetryable:
+    """Regression: once a request frame reached the daemon, losing the reply
+    must NOT be retryable — the daemon (unlike an in-process runtime, which a
+    restart destroys) survives with the session live, so a retried step()
+    would be applied twice."""
+
+    def test_reply_loss_after_send_raises_transport_error(self):
+        requests_seen = []
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def serve_one_then_drop():
+            client, _ = listener.accept()
+            rfile = client.makefile("rb")
+            requests_seen.append(read_frame(rfile))
+            client.close()  # Swallow the request, never reply.
+
+        thread = threading.Thread(target=serve_one_then_drop, daemon=True)
+        thread.start()
+        transport = SocketTransport(f"tcp://127.0.0.1:{port}", timeout=5.0)
+        transport.connect()
+        try:
+            with pytest.raises(ServiceTransportError, match="will not be retried"):
+                transport.call("step", StepRequest(session_id=0, actions=[1]))
+            thread.join(timeout=5)
+            # The daemon-side saw the request exactly once, and the error is
+            # in the ServiceError family, which ServiceConnection._call
+            # raises without its restart/retry loop.
+            assert len(requests_seen) == 1
+            assert isinstance(ServiceTransportError("x"), ServiceError)
+        finally:
+            transport.shutdown()
+            listener.close()
+
+    def test_send_failure_stays_retryable(self):
+        # A request that never left the client is safe to retry: the dead
+        # socket surfaces as ConnectionError (the retryable family).
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        transport = SocketTransport(f"tcp://127.0.0.1:{port}", timeout=5.0)
+        transport.connect()
+        listener.close()
+        transport._wfile.close()  # Poison the send path deterministically.
+        with pytest.raises(ConnectionError):
+            transport.call("get_spaces")
+        transport.shutdown()
+
+
+# -- the socket daemon --------------------------------------------------------
+
+
+class TestServiceServer:
+    def _server(self, **kwargs) -> ServiceServer:
+        kwargs.setdefault("session_timeout", None)
+        return ServiceServer(_runtime(), **kwargs).start()
+
+    def test_socket_connection_lifecycle(self):
+        with self._server() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                assert connection.runtime is None
+                session = connection.start_session(
+                    StartSessionRequest(
+                        benchmark_uri="benchmark://t-v0/4",
+                        observation_space_names=["value"],
+                    )
+                )
+                assert session.observations[0].value() == 4
+                reply = connection.step(
+                    StepRequest(
+                        session_id=session.session_id,
+                        actions=[1, 1, 1],
+                        observation_space_names=["value"],
+                    )
+                )
+                assert reply.observations[0].value() == 7
+
+    def test_unix_socket(self, tmp_path):
+        path = str(tmp_path / "service.sock")
+        with ServiceServer(_runtime(), unix_path=path, session_timeout=None).start() as server:
+            assert server.url == f"unix://{path}"
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                session = connection.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/9")
+                )
+                assert session.session_id == 0
+
+    def test_multiplexes_concurrent_clients(self):
+        """Many clients, one runtime: all sessions land on the same backend."""
+        with self._server() as server:
+            connections = [
+                ServiceConnection(SocketTransport(server.url)) for _ in range(4)
+            ]
+            try:
+                sessions = [
+                    connection.start_session(
+                        StartSessionRequest(benchmark_uri=f"benchmark://t-v0/{i}")
+                    )
+                    for i, connection in enumerate(connections)
+                ]
+                # Session ids are allocated by the one shared runtime.
+                assert sorted(s.session_id for s in sessions) == [0, 1, 2, 3]
+                for i, (connection, session) in enumerate(zip(connections, sessions)):
+                    reply = connection.step(
+                        StepRequest(
+                            session_id=session.session_id,
+                            actions=[1],
+                            observation_space_names=["value"],
+                        )
+                    )
+                    assert reply.observations[0].value() == i + 1
+                assert server.runtime.stats["start_session"] == 4
+            finally:
+                for connection in connections:
+                    connection.close()
+
+    def test_sessions_survive_client_churn(self):
+        """A dropped client ends nothing: its sessions remain reachable."""
+        with self._server() as server:
+            first = ServiceConnection(SocketTransport(server.url))
+            session = first.start_session(
+                StartSessionRequest(benchmark_uri="benchmark://t-v0/5")
+            )
+            first.step(StepRequest(session_id=session.session_id, actions=[1]))
+            # Simulate a client crash: drop the socket without end_session.
+            first._transport._close_socket()
+            first.closed = True
+
+            second = ServiceConnection(SocketTransport(server.url))
+            reply = second.step(
+                StepRequest(
+                    session_id=session.session_id,
+                    actions=[1],
+                    observation_space_names=["value"],
+                )
+            )
+            assert reply.observations[0].value() == 7
+            second.close()
+
+    def test_client_restart_preserves_sessions(self):
+        """Transport restart() reconnects without destroying daemon state."""
+        with self._server() as server:
+            transport = SocketTransport(server.url)
+            with ServiceConnection(transport) as connection:
+                session = connection.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/2")
+                )
+                connection.restart()
+                assert connection.restart_count == 1
+                reply = connection.step(
+                    StepRequest(
+                        session_id=session.session_id,
+                        actions=[],
+                        observation_space_names=["value"],
+                    )
+                )
+                assert reply.observations[0].value() == 2
+
+    def test_same_session_calls_serialize_different_sessions_overlap(self):
+        _SlowStepSession.reset_tracking()
+        with ServiceServer(_slow_runtime(), session_timeout=None).start() as server:
+            a = ServiceConnection(SocketTransport(server.url))
+            b = ServiceConnection(SocketTransport(server.url))
+            try:
+                shared = a.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                )
+
+                def hammer(connection, session_id, actions):
+                    connection.step(StepRequest(session_id=session_id, actions=actions))
+
+                # Two clients on the SAME session: per-session locking keeps
+                # the compiler state serialized.
+                threads = [
+                    threading.Thread(target=hammer, args=(c, shared.session_id, [1] * 3))
+                    for c in (a, b)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert _SlowStepSession.max_in_flight == 1
+                reply = a.step(
+                    StepRequest(
+                        session_id=shared.session_id,
+                        actions=[],
+                        observation_space_names=["value"],
+                    )
+                )
+                assert reply.observations[0].value() == 6
+
+                # Two clients on DIFFERENT sessions: their steps overlap.
+                _SlowStepSession.reset_tracking()
+                other = b.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                )
+                threads = [
+                    threading.Thread(target=hammer, args=(a, shared.session_id, [1] * 3)),
+                    threading.Thread(target=hammer, args=(b, other.session_id, [1] * 3)),
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert _SlowStepSession.max_in_flight == 2
+            finally:
+                a.close()
+                b.close()
+
+    def test_daemon_crash_is_not_retried_and_not_double_applied(self):
+        """A generic exception inside the daemon (compiler crash mid-step)
+        must surface as a non-retryable ServiceError: the daemon session
+        survives a client restart(), so a retry would re-apply the request's
+        already-applied prefix."""
+        with self._server() as server:
+            connection = ServiceConnection(
+                SocketTransport(server.url),
+                ConnectionOpts(rpc_max_retries=5, retry_wait_seconds=0.001),
+            )
+            session = connection.start_session(
+                StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+            )
+            # Action 1 applies, then action 2 raises RuntimeError server-side.
+            with pytest.raises(ServiceError, match="simulated compiler crash"):
+                connection.step(
+                    StepRequest(session_id=session.session_id, actions=[1, 2])
+                )
+            assert connection.restart_count == 0
+            assert connection.stats["step"].retries == 0
+            # The prefix was applied exactly once — no silent re-execution.
+            reply = connection.step(
+                StepRequest(
+                    session_id=session.session_id,
+                    actions=[],
+                    observation_space_names=["value"],
+                )
+            )
+            assert reply.observations[0].value() == 1
+            connection.close()
+
+    def test_idle_sessions_are_reaped(self):
+        with ServiceServer(
+            _runtime(), session_timeout=0.2, reap_interval=0.05
+        ).start() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                session = connection.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                )
+                deadline = time.time() + 5
+                while server.reaped_sessions == 0 and time.time() < deadline:
+                    time.sleep(0.05)
+                assert server.reaped_sessions == 1
+                with pytest.raises(SessionNotFound):
+                    connection.step(
+                        StepRequest(session_id=session.session_id, actions=[1])
+                    )
+
+    def test_active_sessions_survive_reaping(self):
+        with ServiceServer(
+            _runtime(), session_timeout=0.3, reap_interval=0.05
+        ).start() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                session = connection.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                )
+                # Keep touching the session for longer than the timeout.
+                for _ in range(6):
+                    time.sleep(0.1)
+                    connection.step(
+                        StepRequest(session_id=session.session_id, actions=[1])
+                    )
+                assert server.reaped_sessions == 0
+
+    def test_malformed_frame_drops_client_not_daemon(self):
+        """A corrupt frame (stray writer, version skew) must cost only that
+        client's connection, never the serving thread or the daemon."""
+        import struct
+
+        with self._server() as server:
+            _, address = parse_service_url(server.url)
+            raw = socket.create_connection(address)
+            garbage = b"not a pickle at all"
+            raw.sendall(struct.pack(">Q", len(garbage)) + garbage)
+            # The daemon drops us: the socket reaches EOF instead of hanging.
+            raw.settimeout(5)
+            assert raw.recv(1) == b""
+            raw.close()
+            # And keeps serving well-formed clients.
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                session = connection.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/1")
+                )
+                assert session.session_id == 0
+
+    def test_unknown_method_is_rejected(self):
+        with self._server() as server:
+            transport = SocketTransport(server.url)
+            transport.connect()
+            with pytest.raises(ServiceError, match="Unknown service method"):
+                transport.call("__class__")
+            transport.shutdown()
+
+    def test_unknown_session_leaves_no_tracking_entry(self):
+        """Calls against ended/unknown sessions must not grow the daemon's
+        session-tracking maps (they would leak forever with reaping off)."""
+        with self._server() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                for bogus_id in (7, 8, 9):
+                    with pytest.raises(SessionNotFound):
+                        connection.step(StepRequest(session_id=bogus_id, actions=[1]))
+                assert server.server_info()["active_sessions"] == 0
+                assert not server._session_locks
+
+    def test_request_shutdown_is_lock_free_and_stops_serving(self):
+        """The signal-handler path: request_shutdown() under a held server
+        lock must not deadlock, and serve_forever must exit afterwards."""
+        server = self._server()
+        with server._lock:
+            server.request_shutdown()  # Deadlocks here if it takes _lock.
+        deadline = time.time() + 5
+        while server._accept_thread.is_alive() and time.time() < deadline:
+            time.sleep(0.01)
+        assert not server._accept_thread.is_alive()
+        server.shutdown()
+
+    def test_server_info(self):
+        with self._server(env_id="counter-v0") as server:
+            transport = SocketTransport(server.url)
+            transport.connect()
+            info = transport.server_info()
+            assert info["env_id"] == "counter-v0"
+            assert info["url"] == server.url
+            assert info["connections_served"] == 1
+            transport.shutdown()
+
+    def test_graceful_shutdown_unblocks_clients(self):
+        server = self._server()
+        connection = ServiceConnection(SocketTransport(server.url))
+        connection.start_session(StartSessionRequest(benchmark_uri="benchmark://t-v0/0"))
+        server.shutdown()
+        assert server.closed
+        # The daemon is gone: further calls surface as service errors after
+        # the retry loop fails to reconnect.
+        connection.opts.rpc_max_retries = 2
+        connection.opts.retry_wait_seconds = 0.001
+        with pytest.raises(ServiceError):
+            connection.start_session(
+                StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+            )
+        connection.close()
+        # Shutdown is idempotent.
+        server.shutdown()
+
+
+# -- full environments over the socket transport ------------------------------
+
+
+class TestSocketEnvEquivalence:
+    """Acceptance: a SocketTransport env produces the same observations,
+    rewards, and episode traces as the InProcessTransport env."""
+
+    ACTIONS = random.Random(7).sample(range(100), 12)
+
+    def _trace(self, env, actions):
+        trace = [np.asarray(env.reset(), dtype=np.float64)]
+        for action in actions:
+            observation, reward, done, info = env.step(action)
+            trace.append(
+                (np.asarray(observation, dtype=np.float64), reward, done,
+                 info["action_had_no_effect"])
+            )
+        return trace
+
+    def test_same_episode_trace_as_in_process(self, llvm_daemon):
+        local = _make_llvm_env()
+        remote = _make_llvm_env(service_url=llvm_daemon.url)
+        try:
+            local_trace = self._trace(local, self.ACTIONS)
+            remote_trace = self._trace(remote, self.ACTIONS)
+            np.testing.assert_array_equal(local_trace[0], remote_trace[0])
+            for (l_obs, l_rew, l_done, l_noop), (r_obs, r_rew, r_done, r_noop) in zip(
+                local_trace[1:], remote_trace[1:]
+            ):
+                np.testing.assert_array_equal(l_obs, r_obs)
+                assert l_rew == r_rew
+                assert l_done == r_done
+                assert l_noop == r_noop
+            assert local.episode_reward == remote.episode_reward
+            assert local.actions == remote.actions
+        finally:
+            local.close()
+            remote.close()
+
+    def test_fork_equivalence_over_socket(self, llvm_daemon):
+        from tests.test_fork_equivalence import _assert_fork_replays_like_parent
+
+        env = _make_llvm_env(service_url=llvm_daemon.url)
+        try:
+            env.reset()
+            env.multistep(self.ACTIONS[:4])
+            fork = env.fork()
+            try:
+                assert fork.actions == env.actions
+                assert fork.episode_reward == env.episode_reward
+                _assert_fork_replays_like_parent(env, fork, self.ACTIONS[4:9])
+            finally:
+                fork.close()
+        finally:
+            env.close()
+
+    def test_observation_spaces_match(self, llvm_daemon):
+        local = _make_llvm_env()
+        remote = _make_llvm_env(service_url=llvm_daemon.url)
+        try:
+            assert sorted(remote.observation.spaces) == sorted(local.observation.spaces)
+            assert remote.action_space.n == local.action_space.n
+            local.reset()
+            remote.reset()
+            assert remote.observation["IrSha1"] == local.observation["IrSha1"]
+            assert int(remote.observation["IrInstructionCount"]) == int(
+                local.observation["IrInstructionCount"]
+            )
+        finally:
+            local.close()
+            remote.close()
+
+    def test_spec_records_service_url(self, llvm_daemon):
+        env = _make_llvm_env(service_url=llvm_daemon.url)
+        try:
+            assert env.spec.kwargs["service_url"] == llvm_daemon.url
+        finally:
+            env.close()
+
+    def test_daemon_fork_shares_then_can_dedicate_connection(self, llvm_daemon):
+        """Sequential forks (ForkOnStep, backtracking) stay cheap — one
+        fork_session RPC on the shared socket; concurrent users re-home a
+        fork onto its own connection with use_dedicated_connection()."""
+        env = _make_llvm_env(service_url=llvm_daemon.url)
+        try:
+            env.reset()
+            env.step(1)
+            fork = env.fork()
+            try:
+                assert fork.service is env.service  # No per-fork handshake.
+                assert fork.use_dedicated_connection()
+                assert fork.service is not env.service
+                # Both connections drive daemon-hosted sessions; closing the
+                # fork's must not disturb the parent's.
+                fork.step(2)
+                fork.close()
+                _, _, done, info = env.step(3)
+                assert not done and "error_details" not in info
+            finally:
+                fork.close()
+        finally:
+            env.close()
+
+    def test_custom_benchmark_fails_fast_over_daemon(self, llvm_daemon):
+        from repro.errors import BenchmarkInitError
+
+        env = _make_llvm_env(service_url=llvm_daemon.url)
+        try:
+            env.reset()
+            custom = env.make_benchmark(
+                env.observation["Ir"], uri="benchmark://user-v0/socket-test"
+            )
+            env.benchmark = custom
+            with pytest.raises(BenchmarkInitError, match="resolved by the daemon"):
+                env.reset()
+        finally:
+            env.close()
+
+    def test_in_process_fork_still_shares_connection(self):
+        env = _make_llvm_env()
+        try:
+            env.reset()
+            fork = env.fork()
+            try:
+                assert fork.service is env.service
+            finally:
+                fork.close()
+        finally:
+            env.close()
+
+
+class TestDaemonPoolReuse:
+    """Acceptance: sequential VecCompilerEnv pools against one daemon reuse
+    its service process — workers become daemon sessions, and no new service
+    subprocess is spawned for the second pool."""
+
+    def _pool(self, url, n):
+        return make_vec_env(
+            env_id="llvm-v0",
+            n=n,
+            backend="process",
+            service_url=url,
+            benchmark=BENCHMARK,
+            observation_space="Autophase",
+            reward_space="IrInstructionCount",
+        )
+
+    def test_sequential_pools_share_one_daemon(self, llvm_daemon):
+        children_before = len(multiprocessing.active_children())
+        sessions_before = llvm_daemon.runtime.stats["start_session"]
+
+        with self._pool(llvm_daemon.url, 2) as pool1:
+            pool1.reset()
+            pool1.step([1, 2])
+            info1 = pool1.workers[0].service.transport.server_info()
+        after_pool1 = llvm_daemon.runtime.stats["start_session"]
+        assert after_pool1 >= sessions_before + 2
+
+        with self._pool(llvm_daemon.url, 2) as pool2:
+            pool2.reset()
+            pool2.step([1, 2])
+            # Daemon-attached workers are local client objects (sessions on
+            # the daemon), not subprocess proxies.
+            from repro.core.vector import RemoteWorker
+
+            assert not any(isinstance(w, RemoteWorker) for w in pool2.workers)
+            info2 = pool2.workers[0].service.transport.server_info()
+
+        # Same daemon process served both pools; its runtime accumulated the
+        # second pool's sessions on top of the first's.
+        assert info1["pid"] == info2["pid"]
+        assert llvm_daemon.runtime.stats["start_session"] >= after_pool1 + 2
+        # No service subprocess was spawned client-side for either pool.
+        assert len(multiprocessing.active_children()) == children_before
+
+    def test_thread_backend_daemon_pool_has_per_worker_connections(self, llvm_daemon):
+        """Fork-populated thread pools must not leave every worker on the
+        root's socket — socket RPCs serialize per connection, which would
+        quietly undo the backend's concurrency."""
+        with make_vec_env(
+            env_id="llvm-v0",
+            n=3,
+            backend="thread",
+            service_url=llvm_daemon.url,
+            benchmark=BENCHMARK,
+            reward_space="IrInstructionCount",
+        ) as pool:
+            services = {id(worker.service) for worker in pool.workers}
+            assert len(services) == pool.num_envs
+            pool.reset()
+            _, rewards, _, _ = pool.step([1, 2, 3])
+            assert len(rewards) == 3
+
+    def test_daemon_pool_accepts_unpicklable_wrapper(self, llvm_daemon):
+        """Daemon-attached workers are built in-process, so the picklable-
+        spec requirement of subprocess workers must not apply."""
+        with make_vec_env(
+            env_id="llvm-v0",
+            n=2,
+            backend="process",
+            service_url=llvm_daemon.url,
+            benchmark=BENCHMARK,
+            reward_space="IrInstructionCount",
+            worker_wrapper=lambda e: TimeLimit(e, max_episode_steps=3),
+        ) as pool:
+            pool.reset()
+            _, _, dones, _ = pool.step([1, 2])
+            assert dones == [False, False]
+
+    def test_resize_amortizes_daemon_sessions(self, llvm_daemon):
+        children_before = len(multiprocessing.active_children())
+        with self._pool(llvm_daemon.url, 2) as pool:
+            pool.reset()
+            pool.resize(4)
+            assert pool.num_envs == 4
+            observations, rewards, dones, _ = pool.step([1, 2, 3, 4])
+            assert len(observations) == 4
+            # Growth forked daemon sessions; still no local subprocesses.
+            assert len(multiprocessing.active_children()) == children_before
+            # Grown workers were re-homed onto private connections so their
+            # RPCs don't serialize on worker 0's socket.
+            services = {id(worker.service) for worker in pool.workers}
+            assert len(services) == pool.num_envs
+
+
+class TestSocketStatsAggregation:
+    """Satellite: connection stats from daemon-hosted sessions merge with
+    local ones through the same summary pipeline."""
+
+    def test_pool_aggregates_across_daemon_workers(self, llvm_daemon):
+        with make_vec_env(
+            env_id="llvm-v0",
+            n=2,
+            backend="process",
+            service_url=llvm_daemon.url,
+            benchmark=BENCHMARK,
+            reward_space="IrInstructionCount",
+        ) as pool:
+            pool.reset()
+            pool.step([1, 2])
+            stats = pool.connection_stats()
+        # Each worker holds its own socket connection; the pool merges them.
+        assert stats["start_session"]["calls"] == 2
+        assert stats["step"]["calls"] >= 2
+        assert stats["step"]["wall_time_s"] > 0
+
+    def test_daemon_and_local_summaries_merge(self, llvm_daemon):
+        remote = _make_llvm_env(service_url=llvm_daemon.url)
+        local = _make_llvm_env()
+        try:
+            for env in (remote, local):
+                env.reset()
+                env.step(1)
+            merged = merge_stats_summaries(
+                [remote.service.stats_summary(), local.service.stats_summary()]
+            )
+            assert merged["step"]["calls"] == (
+                remote.service.stats["step"].calls + local.service.stats["step"].calls
+            )
+            assert merged["start_session"]["calls"] == 2
+            assert merged["get_spaces"]["calls"] == 2
+        finally:
+            remote.close()
+            local.close()
+
+
+# -- spec picklability (required by the remote transports) --------------------
+
+
+class TestSpecPickling:
+    def test_default_spec_roundtrips(self):
+        spec = ObservationSpaceSpec(
+            "value", 0, Scalar(min=0, max=None, dtype=int), default_value=0
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.translate(41) == 41
+        assert clone.to_string(41) == "41"
+
+    def test_unpicklable_callables_degrade_to_defaults(self):
+        spec = ObservationSpaceSpec(
+            "value",
+            0,
+            Scalar(min=0, max=None, dtype=int),
+            translate=lambda value: value * 2,
+            to_string=lambda value: f"<{value}>",
+        )
+        assert spec.translate(4) == 8
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.translate(4) == 4
+        assert clone.to_string(4) == "4"
+
+    def test_get_spaces_reply_is_picklable(self):
+        runtime = CompilerGymServiceRuntime(
+            session_type=_CounterSession, benchmark_resolver=_resolver
+        )
+        reply = pickle.loads(pickle.dumps(runtime.get_spaces()))
+        assert [s.name for s in reply.action_spaces] == ["counter"]
+
+
+# -- autoscaling --------------------------------------------------------------
+
+
+def _stats(step_calls, step_wall, errors=0, extra_calls=0):
+    return {
+        "step": {
+            "calls": step_calls,
+            "errors": errors,
+            "retries": 0,
+            "wall_time_s": step_wall,
+        },
+        "start_session": {
+            "calls": extra_calls,
+            "errors": 0,
+            "retries": 0,
+            "wall_time_s": 0.0,
+        },
+    }
+
+
+class TestAutoscalePolicy:
+    def test_interval_delta(self):
+        before = _stats(10, 1.0)
+        after = _stats(30, 2.0)
+        delta = interval_delta(before, after)
+        assert delta["step"]["calls"] == 20
+        assert delta["step"]["wall_time_s"] == 1.0
+
+    def test_interval_delta_resets_after_shrink(self):
+        # A resize retires workers (and their counters); the delta restarts
+        # from the new pool's values instead of going negative.
+        before = _stats(100, 10.0)
+        after = _stats(40, 1.0)
+        delta = interval_delta(before, after)
+        assert delta["step"]["calls"] == 40
+
+    def test_interval_delta_resets_whole_method_on_any_negative_key(self):
+        # Mixed signs after a resize: calls grew past the retired worker's
+        # count but wall time did not. Clamping per key would pair interval
+        # calls with *cumulative* wall time; the whole method must restart.
+        before = _stats(10, 5.0)
+        after = _stats(15, 3.0)
+        delta = interval_delta(before, after)
+        assert delta["step"]["calls"] == 15
+        assert delta["step"]["wall_time_s"] == 3.0
+
+    def test_scales_up_on_low_latency(self):
+        policy = AutoscalePolicy(max_workers=4, scale_up_latency_s=0.1)
+        assert policy(_stats(10, 0.1), current_workers=2) == 3
+
+    def test_scales_down_on_high_latency(self):
+        policy = AutoscalePolicy(scale_down_latency_s=0.2)
+        assert policy(_stats(10, 10.0), current_workers=3) == 2
+
+    def test_scales_down_on_errors(self):
+        policy = AutoscalePolicy(
+            max_error_rate=0.1, scale_up_latency_s=1.0, scale_down_latency_s=2.0
+        )
+        # Fast calls, but a third of them failed: back off, don't grow.
+        assert policy(_stats(9, 0.01, errors=3), current_workers=4) == 3
+
+    def test_no_decision_without_step_calls(self):
+        policy = AutoscalePolicy()
+        assert policy(_stats(0, 0.0, extra_calls=5), current_workers=2) is None
+
+    def test_scales_down_when_every_step_fails(self):
+        # CallStats records `calls` only for successes, so an interval where
+        # every step errored has step calls == 0 — the error rule must still
+        # fire (that is exactly the failing-service-tier case).
+        policy = AutoscalePolicy(max_error_rate=0.1)
+        assert policy(_stats(0, 0.0, errors=5, extra_calls=2), current_workers=3) == 2
+
+    def test_clamped_to_bounds(self):
+        policy = AutoscalePolicy(min_workers=2, max_workers=2)
+        assert policy(_stats(10, 0.0001), current_workers=2) is None
+        assert policy(_stats(10, 100.0), current_workers=2) is None
+
+    def test_uses_interval_not_lifetime_stats(self):
+        policy = AutoscalePolicy(scale_up_latency_s=0.05, scale_down_latency_s=0.2)
+        # Lifetime mean is fast...
+        assert policy(_stats(100, 1.0), current_workers=2) == 3
+        # ...but the most recent interval is slow: 10 more calls, 10 more
+        # seconds of wall time.
+        assert policy(_stats(110, 11.0), current_workers=3) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            AutoscalePolicy(min_workers=5, max_workers=2)
+        with pytest.raises(ValueError, match="scale_up_latency_s"):
+            AutoscalePolicy(scale_up_latency_s=1.0, scale_down_latency_s=0.1)
+
+
+class _ScriptedAgent:
+    """A minimal act_batch/observe_batch agent for rollout-harness tests."""
+
+    def __init__(self, num_actions):
+        self.rng = random.Random(0)
+        self.num_actions = num_actions
+        self.flushes = 0
+
+    def act_batch(self, observations, greedy=False):
+        return [self.rng.randrange(self.num_actions) for _ in observations]
+
+    def observe_batch(self, rewards, dones, observations=None):
+        pass
+
+    def end_episode_batch(self):
+        self.flushes += 1
+
+
+class TestRolloutAutoscaling:
+    def _vec(self, n=2):
+        env = _make_llvm_env()
+        return VecCompilerEnv(
+            env,
+            n=n,
+            backend="serial",
+            worker_wrapper=lambda e: TimeLimit(e, max_episode_steps=3),
+            auto_reset=True,
+        )
+
+    def test_rollouts_grow_the_pool(self):
+        from repro.rl.trainer import run_vec_rollouts
+
+        vec = self._vec(n=2)
+        try:
+            agent = _ScriptedAgent(vec.action_space.n)
+            policy_calls = []
+
+            def policy(stats, current_workers):
+                policy_calls.append(current_workers)
+                return 3 if current_workers == 2 else None
+
+            rewards = run_vec_rollouts(
+                vec,
+                agent,
+                episodes=8,
+                benchmarks=[BENCHMARK],
+                train=True,
+                autoscale=policy,
+                autoscale_interval=2,
+            )
+            assert len(rewards) >= 8
+            assert vec.num_envs == 3
+            assert policy_calls and policy_calls[0] == 2
+            # The agent's slot bookkeeping was flushed before the resize.
+            assert agent.flushes >= 2
+        finally:
+            vec.close()
+
+    def test_rollouts_shrink_the_pool(self):
+        from repro.rl.trainer import run_vec_rollouts
+
+        vec = self._vec(n=3)
+        try:
+            agent = _ScriptedAgent(vec.action_space.n)
+            rewards = run_vec_rollouts(
+                vec,
+                agent,
+                episodes=9,
+                benchmarks=[BENCHMARK],
+                train=True,
+                autoscale=lambda stats, n: 2 if n == 3 else None,
+                autoscale_interval=3,
+            )
+            assert len(rewards) >= 9
+            assert vec.num_envs == 2
+        finally:
+            vec.close()
+
+    def test_autoscale_policy_end_to_end(self):
+        """The shipped policy drives a real pool through connection_stats()."""
+        from repro.rl.trainer import run_vec_rollouts
+
+        vec = self._vec(n=2)
+        try:
+            agent = _ScriptedAgent(vec.action_space.n)
+            policy = AutoscalePolicy(
+                min_workers=1, max_workers=3,
+                scale_up_latency_s=10.0, scale_down_latency_s=20.0,
+            )  # Steps are far faster than 10s: every decision scales up.
+            run_vec_rollouts(
+                vec,
+                agent,
+                episodes=10,
+                benchmarks=[BENCHMARK],
+                train=True,
+                autoscale=policy,
+                autoscale_interval=2,
+            )
+            assert vec.num_envs == 3
+        finally:
+            vec.close()
+
+    def test_invalid_interval_rejected(self):
+        from repro.rl.trainer import run_vec_rollouts
+
+        vec = self._vec(n=1)
+        try:
+            with pytest.raises(ValueError, match="autoscale_interval"):
+                run_vec_rollouts(
+                    vec,
+                    _ScriptedAgent(vec.action_space.n),
+                    episodes=1,
+                    autoscale=lambda stats, n: None,
+                    autoscale_interval=0,
+                )
+        finally:
+            vec.close()

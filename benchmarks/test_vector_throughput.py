@@ -184,6 +184,57 @@ def _measure_transport_latency(steps: int):
     }
 
 
+def _measure_vec_transport_latency(rounds: int, n: int = 4):
+    """Per-worker-step wall time of an n-worker pool over a socket daemon.
+
+    Compares the batched+multiplexed path (the whole pool on one shared
+    connection, each pool step a single ``step_sessions`` round trip)
+    against the one-RPC-per-worker path (each worker on a dedicated
+    connection, one ``step`` round trip per worker per pool step).
+    """
+    from repro.core.service.runtime.server import make_env_server
+
+    def make_daemon_env(url):
+        return repro.make(
+            "llvm-v0",
+            benchmark=BENCHMARK,
+            reward_space="IrInstructionCount",
+            service_url=url,
+        )
+
+    def mean_worker_step_seconds(vec):
+        rng = random.Random(0)
+        num_actions = vec.action_space.n
+        vec.reset()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            vec.step([rng.randrange(num_actions) for _ in range(vec.num_envs)])
+        return (time.perf_counter() - start) / (rounds * vec.num_envs)
+
+    server = make_env_server("llvm-v0", port=0, session_timeout=None).start()
+    try:
+        with VecCompilerEnv(make_daemon_env(server.url), n=n, backend="thread") as vec:
+            assert len({id(w.service) for w in vec.workers}) == 1
+            batched = mean_worker_step_seconds(vec)
+        with VecCompilerEnv(
+            make_daemon_env(server.url), n=n, backend="thread", use_batched_step=False
+        ) as vec:
+            # The pre-batching deployment shape: every worker fans out its
+            # own step() RPC on a private connection.
+            for worker in vec.workers[1:]:
+                worker.use_dedicated_connection()
+            per_rpc = mean_worker_step_seconds(vec)
+    finally:
+        server.shutdown()
+    return {
+        "workers": n,
+        "rounds": rounds,
+        "batched_step_ms": batched * 1e3,
+        "per_rpc_step_ms": per_rpc * 1e3,
+        "batched_vs_per_rpc": batched / per_rpc if per_rpc else None,
+    }
+
+
 def run_sweep(worker_counts, rounds):
     results = []
     for n in worker_counts:
@@ -206,6 +257,13 @@ def test_vector_throughput():
         for agent in ("impala", "apex")
     ]
     transport_latency = _measure_transport_latency(steps=max(20, int(50 * bench_scale())))
+    vec_latency = _measure_vec_transport_latency(rounds=max(10, int(25 * bench_scale())))
+    transport_latency["vec_pool"] = vec_latency
+    # The batched socket path relative to the in-process baseline of the
+    # same run: the load-independent number the CI regression gate tracks.
+    transport_latency["batched_vs_in_process"] = (
+        vec_latency["batched_step_ms"] / transport_latency["in_process_step_ms"]
+    )
     save_results(
         "vector_throughput",
         {
@@ -223,6 +281,12 @@ def test_vector_throughput():
     # Sanity: every configuration actually stepped, and the socket transport
     # round-tripped real steps through the daemon.
     assert transport_latency["socket_step_ms"] > 0
+    # Acceptance criterion: batched+multiplexed stepping at n=4 beats the
+    # one-RPC-per-worker deployment shape on per-worker-step latency.
+    assert vec_latency["batched_step_ms"] < vec_latency["per_rpc_step_ms"], (
+        f"batched stepping ({vec_latency['batched_step_ms']:.3f}ms/step) is not "
+        f"faster than one RPC per worker ({vec_latency['per_rpc_step_ms']:.3f}ms/step)"
+    )
     assert all(r["steps_per_sec"] > 0 for r in results)
     assert all(r["steps_per_sec"] > 0 and r["episodes"] >= rl_episodes for r in rl_results)
     assert all(
@@ -237,13 +301,60 @@ def test_vector_throughput():
         )
 
 
+def check_transport_regression(max_regression: float = 2.0) -> int:
+    """CI gate: fail when batched socket stepping regresses vs the recorded
+    baseline by more than ``max_regression``.
+
+    Both the fresh reading and the recorded one are expressed as a ratio to
+    the in-process per-step latency *of the same run*, so the comparison is
+    robust to slower or busier CI machines — only a genuine increase in
+    transport overhead (framing, round trips, daemon dispatch) trips it.
+    """
+    import json
+    from pathlib import Path
+
+    results_path = Path(__file__).parent / "results" / "vector_throughput.json"
+    recorded = json.loads(results_path.read_text())["transport_latency"]
+    recorded_ratio = recorded.get("batched_vs_in_process")
+    if recorded_ratio is None:
+        # Results predate batched stepping: the single-env socket ratio is
+        # the only recorded in-process-relative baseline.
+        recorded_ratio = recorded["socket_vs_in_process"]
+    fresh = _measure_transport_latency(steps=50)
+    vec = _measure_vec_transport_latency(rounds=25)
+    fresh_ratio = vec["batched_step_ms"] / fresh["in_process_step_ms"]
+    print(
+        f"batched socket stepping at n={vec['workers']}: "
+        f"{vec['batched_step_ms']:.3f}ms per worker-step, "
+        f"{fresh_ratio:.2f}x in-process (recorded {recorded_ratio:.2f}x, "
+        f"budget {max_regression:.1f}x recorded)"
+    )
+    if fresh_ratio > max_regression * recorded_ratio:
+        print(
+            f"FAIL: transport latency regressed more than {max_regression:.1f}x "
+            f"against the recorded in-process-relative baseline"
+        )
+        return 1
+    print("OK: transport latency within budget")
+    return 0
+
+
 def main(argv=None):
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=2, help="Pool size to measure")
     parser.add_argument("--rounds", type=int, default=10, help="Batched steps per backend")
+    parser.add_argument(
+        "--check-transport-regression",
+        action="store_true",
+        help="Measure transport latency and exit non-zero if the batched "
+        "socket stepping path regressed by more than 2x against the "
+        "recorded in-process-relative baseline",
+    )
     args = parser.parse_args(argv)
+    if args.check_transport_regression:
+        return check_transport_regression()
     for backend in BACKENDS:
         result = _measure_throughput(backend, args.workers, args.rounds)
         print(
@@ -270,6 +381,13 @@ def main(argv=None):
         f"transport step latency: in-process {latency['in_process_step_ms']:.3f}ms, "
         f"socket daemon {latency['socket_step_ms']:.3f}ms "
         f"(+{latency['socket_overhead_ms']:.3f}ms per call)"
+    )
+    vec_latency = _measure_vec_transport_latency(rounds=args.rounds)
+    print(
+        f"vec pool over socket daemon, n={vec_latency['workers']}: "
+        f"batched {vec_latency['batched_step_ms']:.3f}ms/worker-step vs "
+        f"one-RPC-per-worker {vec_latency['per_rpc_step_ms']:.3f}ms/worker-step "
+        f"({vec_latency['batched_vs_per_rpc']:.2f}x)"
     )
     return 0
 

@@ -401,7 +401,28 @@ class CompilerEnv:
         ``observation_spaces``/``reward_spaces`` arguments are given, the
         observation and reward elements are lists with one entry per requested
         space; otherwise they use the environment's default spaces.
+
+        The request/apply phases are split into :meth:`_prepare_multistep`
+        and :meth:`_finish_multistep` so a vectorized pool can prepare many
+        environments' requests, carry them all in one batched
+        ``step_sessions`` RPC, and finish each environment client-side.
         """
+        request, context = self._prepare_multistep(
+            actions, observation_spaces, reward_spaces
+        )
+        try:
+            reply = self.service.step(request)
+        except (ServiceError, SessionNotFound) as error:
+            return self._finish_multistep_error(error, context)
+        return self._finish_multistep(reply, context)
+
+    def _prepare_multistep(
+        self,
+        actions: Iterable[Any],
+        observation_spaces: Optional[List[Union[str, ObservationSpaceSpec]]] = None,
+        reward_spaces: Optional[List[Union[str, Reward]]] = None,
+    ) -> Tuple[StepRequest, dict]:
+        """Build the service request (and client-side context) for one step."""
         if self._session_id is None:
             if self._closed:
                 raise SessionNotFound(
@@ -423,47 +444,64 @@ class CompilerEnv:
             name = self.observation.raw_space_id(spec.id)
             if name not in request_names:
                 request_names.append(name)
-        reward_observation_names: List[str] = []
         for reward in reward_space_objects:
             for name in reward.observation_spaces:
-                if name not in reward_observation_names:
-                    reward_observation_names.append(name)
                 if name not in request_names:
                     request_names.append(name)
 
+        request = StepRequest(
+            session_id=self._session_id,
+            actions=actions,
+            observation_space_names=request_names,
+        )
+        context = {
+            "actions": actions,
+            "explicit_observations": explicit_observations,
+            "explicit_rewards": explicit_rewards,
+            "observation_specs": observation_specs,
+            "reward_space_objects": reward_space_objects,
+            "request_names": request_names,
+        }
+        return request, context
+
+    def _finish_multistep_error(self, error: BaseException, context: dict) -> Tuple[Any, Any, bool, dict]:
+        """Terminate the episode on a failed step (fault-tolerance path).
+
+        A crashed or errored backend terminates the episode with the reward
+        space's error default rather than propagating an exception into user
+        code.
+        """
         info = {
             "action_had_no_effect": False,
             "new_action_space": False,
+            "error_details": str(error),
         }
+        observation = [spec.default_value for spec in context["observation_specs"]]
+        rewards = [
+            reward.reward_on_error(self.episode_reward or 0)
+            for reward in context["reward_space_objects"]
+        ]
+        self._session_id = None
+        return (
+            self._unpack(observation, context["explicit_observations"]),
+            self._unpack(rewards, context["explicit_rewards"]),
+            True,
+            info,
+        )
 
-        try:
-            reply = self.service.step(
-                StepRequest(
-                    session_id=self._session_id,
-                    actions=actions,
-                    observation_space_names=request_names,
-                )
-            )
-        except (ServiceError, SessionNotFound) as error:
-            # Fault tolerance: a crashed or errored backend terminates the
-            # episode with the reward space's error default rather than
-            # propagating an exception into user code.
-            info["error_details"] = str(error)
-            observation = [spec.default_value for spec in observation_specs]
-            rewards = [
-                reward.reward_on_error(self.episode_reward or 0) for reward in reward_space_objects
-            ]
-            self._session_id = None
-            return (
-                self._unpack(observation, explicit_observations),
-                self._unpack(rewards, explicit_rewards),
-                True,
-                info,
-            )
+    def _finish_multistep(self, reply, context: dict) -> Tuple[Any, Any, bool, dict]:
+        """Apply a successful step reply to this environment's state."""
+        actions = context["actions"]
+        explicit_rewards = context["explicit_rewards"]
+        reward_space_objects = context["reward_space_objects"]
+        request_names = context["request_names"]
+        info = {
+            "action_had_no_effect": reply.action_had_no_effect,
+            "new_action_space": False,
+        }
 
         self.actions += actions
         done = reply.end_of_session
-        info["action_had_no_effect"] = reply.action_had_no_effect
         if reply.new_action_space is not None:
             self.action_space = reply.new_action_space.space
             info["new_action_space"] = True
@@ -472,7 +510,7 @@ class CompilerEnv:
 
         observation = [
             spec.translate(raw_values[self.observation.raw_space_id(spec.id)])
-            for spec in observation_specs
+            for spec in context["observation_specs"]
         ]
         rewards = []
         for reward in reward_space_objects:
@@ -490,8 +528,8 @@ class CompilerEnv:
                     self.episode_reward = (self.episode_reward or 0) + value
 
         return (
-            self._unpack(observation, explicit_observations),
-            self._unpack(rewards, explicit_rewards),
+            self._unpack(observation, context["explicit_observations"]),
+            self._unpack(rewards, context["explicit_rewards"]),
             done,
             info,
         )
@@ -548,11 +586,10 @@ class CompilerEnv:
         forked._user_benchmark_uris = set(self._user_benchmark_uris)
         forked._daemon_checked_uris = set(self._daemon_checked_uris)
         # Forks share the service connection; reference counting ensures the
-        # connection stays alive until the last sharer is closed. Sequential
-        # fork users (ForkOnStep, backtracking searches) thus pay one
-        # fork_session RPC per fork even against a remote daemon; concurrent
-        # users (pool resize) re-home workers onto private connections
-        # afterwards via use_dedicated_connection().
+        # connection stays alive until the last sharer is closed. The socket
+        # transport multiplexes concurrent calls by request id, so forks
+        # driven in parallel with their parent (pool workers) overlap their
+        # RPCs on the shared connection too.
         forked._owns_service = True
         self.service.acquire()
         forked._session_id = reply.session_id
@@ -581,9 +618,11 @@ class CompilerEnv:
     def use_dedicated_connection(self) -> bool:
         """Swap a shared daemon connection for a private one. Daemon-only.
 
-        Socket RPCs serialize per connection, so environments that will be
-        driven *concurrently* with their fork parent (pool workers created by
-        ``resize()``) call this to stop contending for the shared socket.
+        The multiplexed socket transport lets any number of concurrent
+        callers share one connection, so pools no longer need this for
+        parallelism; it remains for callers that want per-environment
+        connection isolation (independent failure domains, per-environment
+        accounting, the benchmark harness's one-RPC-per-worker baseline).
         The compilation session lives on the daemon and is connection-
         agnostic, so only the transport changes. No-op (returns False) for
         in-process environments, where the shared resource is the runtime

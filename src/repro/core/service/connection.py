@@ -25,11 +25,36 @@ from repro.core.service.proto import (
     EndSessionRequest,
     ForkSessionRequest,
     GetSpacesReply,
+    SessionStepResult,
     StartSessionRequest,
     StepRequest,
+    StepSessionsRequest,
 )
 from repro.core.service.transport import ServiceTransport, resolve_transport
 from repro.errors import ServiceError, ServiceIsClosed, ServiceTransportError, SessionNotFound
+
+# Client-side cache of static space metadata, keyed by the transport's
+# ``spaces_cache_key`` (the service URL for sockets). The spaces a daemon
+# serves never change over its lifetime, so every connection after the first
+# skips the ``get_spaces`` round trip — one fewer RPC per pool worker, per
+# fork, per dedicated-connection re-home. Transports without a cache key
+# (in-process, pipe: each owns a private runtime) always fetch.
+_SPACES_CACHE: Dict[str, GetSpacesReply] = {}
+_SPACES_CACHE_LOCK = threading.Lock()
+
+
+def clear_spaces_cache(key: Optional[str] = None) -> None:
+    """Drop cached space metadata (all of it, or one service URL's entry).
+
+    Needed when a service URL is *reused* by a daemon serving a different
+    environment — ports from one test to the next, say. Production daemons
+    never mutate their spaces, so normal code has no reason to call this.
+    """
+    with _SPACES_CACHE_LOCK:
+        if key is None:
+            _SPACES_CACHE.clear()
+        else:
+            _SPACES_CACHE.pop(key, None)
 
 
 @dataclass
@@ -173,7 +198,17 @@ class ServiceConnection:
         start = time.perf_counter()
         self._transport.connect(max_attempts=self.opts.init_max_attempts)
         self.startup_wall_time = time.perf_counter() - start
-        self.spaces: GetSpacesReply = self._call("get_spaces")
+        cache_key = getattr(self._transport, "spaces_cache_key", None)
+        if cache_key is None:
+            self.spaces: GetSpacesReply = self._call("get_spaces")
+        else:
+            with _SPACES_CACHE_LOCK:
+                cached = _SPACES_CACHE.get(cache_key)
+            if cached is None:
+                cached = self._call("get_spaces")
+                with _SPACES_CACHE_LOCK:
+                    cached = _SPACES_CACHE.setdefault(cache_key, cached)
+            self.spaces = cached
 
     @property
     def transport(self) -> ServiceTransport:
@@ -296,6 +331,39 @@ class ServiceConnection:
     ) -> AsyncResult:
         """Asynchronous :meth:`step`: returns an :class:`AsyncResult`."""
         return self._call_async("step", request, executor=executor)
+
+    @property
+    def supports_step_sessions(self) -> bool:
+        """Whether the transport can batch many session steps into one RPC."""
+        return bool(getattr(self._transport, "supports_step_sessions", False))
+
+    def step_sessions(self, requests: List[StepRequest]) -> List[SessionStepResult]:
+        """Step many sessions in one round trip (daemon transports only).
+
+        Returns one :class:`SessionStepResult` per request, in request order.
+        Per-session failures are *reported*, not raised — only a failure of
+        the batch RPC itself (the transport, the daemon) raises.
+
+        Accounting is attributed per session, not per batch: each successful
+        sub-step is recorded under ``"step"`` with its daemon-measured wall
+        time and each failed one as a ``"step"`` error, so
+        ``connection_stats()``-driven autoscaling keeps seeing per-worker
+        load and latency after pools switch to batched stepping. The batch
+        round trip itself is accounted under ``"step_sessions"`` as usual.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        reply = self._call("step_sessions", StepSessionsRequest(requests=requests))
+        results = list(reply.results)
+        with self._lock:
+            stats = self.stats.setdefault("step", CallStats())
+            for result in results:
+                if result.error is None:
+                    stats.record(result.wall_time_s)
+                else:
+                    stats.errors += 1
+        return results
 
     def start_session_async(
         self, request: StartSessionRequest, executor: Optional[Executor] = None

@@ -110,6 +110,45 @@ class StepReply:
 
 
 @dataclass
+class StepSessionsRequest:
+    """Batch of independent per-session step requests, applied in one RPC.
+
+    The daemon executes the sub-requests concurrently (each under its own
+    session lock) and replies once with every outcome, collapsing a
+    vectorized pool's whole step into a single round trip.
+    """
+
+    requests: List[StepRequest] = field(default_factory=list)
+
+
+@dataclass
+class SessionStepResult:
+    """Outcome of one sub-request of a :class:`StepSessionsRequest`.
+
+    ``wall_time_s`` is the daemon-measured service time of this sub-step
+    (including any wait on the session lock), letting the client attribute
+    per-session latency to its call accounting even though the batch
+    traveled as one RPC.
+    """
+
+    session_id: int
+    reply: Optional[StepReply] = None
+    error: Optional[Any] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class StepSessionsReply:
+    """Per-session outcomes, in the order of the request batch."""
+
+    results: List[SessionStepResult] = field(default_factory=list)
+
+
+@dataclass
 class ForkSessionRequest:
     session_id: int
 

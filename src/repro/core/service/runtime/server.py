@@ -43,10 +43,17 @@ import os
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor, wait as wait_futures
 from typing import Dict, Optional
 
-from repro.core.service.proto import EndSessionRequest
+from repro.core.service.proto import (
+    EndSessionRequest,
+    SessionStepResult,
+    StepSessionsReply,
+    StepSessionsRequest,
+)
 from repro.core.service.transport import (
+    PROTOCOL_VERSION,
     REPLY_ERROR,
     REPLY_OK,
     read_frame,
@@ -56,13 +63,26 @@ from repro.errors import ServiceError, SessionNotFound
 
 logger = logging.getLogger(__name__)
 
+
+def _picklable_error(error: BaseException) -> BaseException:
+    """Degrade an unpicklable exception to a :class:`ServiceError` so one
+    exotic per-session failure cannot poison a whole batched reply frame."""
+    import pickle
+
+    try:
+        pickle.dumps(error)
+        return error
+    except Exception:  # noqa: BLE001 - degrade, don't die
+        return ServiceError(f"{type(error).__name__}: {error}")
+
 # RPC methods a client may invoke on the runtime, and where in their argument
 # list the session id lives (for per-session locking / idle accounting).
 # Everything else is rejected — the wire protocol must not become a generic
 # remote getattr.
 _SESSION_ID_FROM_REQUEST = ("step", "fork_session", "end_session")
 _ALLOWED_METHODS = frozenset(
-    {"get_spaces", "start_session", "handle_session_parameter", "server_info"}
+    {"get_spaces", "start_session", "handle_session_parameter", "server_info",
+     "step_sessions"}
     | set(_SESSION_ID_FROM_REQUEST)
 )
 
@@ -98,6 +118,7 @@ class ServiceServer:
         self.started_at = time.monotonic()
         self.reaped_sessions = 0
         self.connections_served = 0
+        self.batched_steps = 0
         self.closed = False
         # Closables released after the runtime at shutdown (e.g. the template
         # environment whose datasets back the benchmark resolver).
@@ -111,6 +132,18 @@ class ServiceServer:
         self._handler_threads = []
         self._accept_thread: Optional[threading.Thread] = None
         self._reaper_thread: Optional[threading.Thread] = None
+        # Requests from one multiplexed client connection are served
+        # concurrently on this pool (replies return in completion order, not
+        # arrival order). The *sub-steps* of a step_sessions batch run on a
+        # separate pool: a dispatch task blocks waiting for its batch's
+        # sub-steps, and tasks must never wait on their own executor.
+        self._dispatch_executor = ThreadPoolExecutor(
+            max_workers=32, thread_name_prefix="repro-serve-dispatch"
+        )
+        self._batch_executor = ThreadPoolExecutor(
+            max_workers=max(4, (os.cpu_count() or 4)),
+            thread_name_prefix="repro-serve-batch",
+        )
 
         if unix_path is not None:
             self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -172,17 +205,26 @@ class ServiceServer:
                 thread.start()
 
     def _handle_client(self, client: socket.socket) -> None:
-        """Serve one client connection until it disconnects."""
+        """Serve one client connection until it disconnects.
+
+        The handler thread only *reads*: each request frame is handed to the
+        dispatch pool, so concurrent requests multiplexed onto one
+        connection (request ids distinguish them) execute in parallel and
+        their replies return in completion order. Reply writes are
+        serialized by a per-connection lock so frames never interleave.
+        """
         try:
             client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
             pass  # Unix sockets have no TCP options.
         rfile = client.makefile("rb")
         wfile = client.makefile("wb")
+        write_lock = threading.Lock()
+        in_flight = []
         try:
             while not self._shutdown_event.is_set():
                 try:
-                    method, args = read_frame(rfile)
+                    request_id, method, args = read_frame(rfile)
                 except (EOFError, ConnectionError, OSError):
                     break  # Client went away; its sessions live on.
                 except Exception:  # noqa: BLE001 - corrupt/hostile frame
@@ -195,15 +237,22 @@ class ServiceServer:
                         exc_info=True,
                     )
                     break
+                in_flight = [f for f in in_flight if not f.done()]
                 try:
-                    result = self._dispatch(method, args)
-                except BaseException as error:  # noqa: BLE001 - sent to the client
-                    write_frame_reply(wfile, REPLY_ERROR, error)
-                else:
-                    write_frame_reply(wfile, REPLY_OK, result)
-        except (OSError, ConnectionError):
-            pass  # Reply write failed: the client is gone.
+                    in_flight.append(
+                        self._dispatch_executor.submit(
+                            self._serve_request, wfile, write_lock,
+                            request_id, method, args,
+                        )
+                    )
+                except RuntimeError:
+                    break  # Executor shut down: the daemon is stopping.
         finally:
+            # Let in-flight requests finish before tearing the streams down:
+            # their session work completes either way, but an orderly drain
+            # lets final replies reach a client that is still listening.
+            if in_flight:
+                wait_futures(in_flight, timeout=5)
             for stream in (rfile, wfile):
                 try:
                     stream.close()
@@ -216,6 +265,22 @@ class ServiceServer:
             with self._lock:
                 self._client_sockets.discard(client)
 
+    def _serve_request(
+        self, wfile, write_lock: threading.Lock, request_id, method, args
+    ) -> None:
+        """Execute one request on a dispatch thread and write its reply."""
+        try:
+            result = self._dispatch(method, args)
+        except BaseException as error:  # noqa: BLE001 - sent to the client
+            status, payload = REPLY_ERROR, error
+        else:
+            status, payload = REPLY_OK, result
+        try:
+            with write_lock:
+                write_frame_reply(wfile, request_id, status, payload)
+        except (OSError, ConnectionError, ValueError):
+            pass  # Reply write failed: the client is gone.
+
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, method: str, args):
@@ -223,6 +288,8 @@ class ServiceServer:
             raise ServiceError(f"Unknown service method: {method!r}")
         if method == "server_info":
             return self.server_info()
+        if method == "step_sessions":
+            return self._step_sessions(*args)
         if method == "start_session":
             reply = self.runtime.start_session(*args)
             self._track_session(reply.session_id)
@@ -250,6 +317,55 @@ class ServiceServer:
         elif method == "end_session":
             self._forget_session(session_id)
         return result
+
+    def _step_sessions(self, request: StepSessionsRequest) -> StepSessionsReply:
+        """Execute a batch of per-session steps concurrently, reply once.
+
+        Each sub-request runs under the same per-session lock + ``last_used``
+        re-stamp discipline as a standalone ``step``: touched before taking
+        the lock, re-stamped after completing under it, so the idle reaper —
+        which re-checks ``last_used`` under the session lock — can never end
+        a session that is mid-flight inside a batch. Per-session wall times
+        (including lock wait) are measured here and returned so the client
+        can attribute load to each session despite the single round trip.
+        """
+        if not isinstance(request, StepSessionsRequest):
+            raise ServiceError(
+                f"step_sessions expects a StepSessionsRequest, got "
+                f"{type(request).__name__}"
+            )
+        with self._lock:
+            self.batched_steps += 1
+
+        def step_one(sub) -> SessionStepResult:
+            started = time.monotonic()
+            session_id = sub.session_id
+            try:
+                self._touch_session(session_id)
+                with self._session_lock(session_id):
+                    try:
+                        reply = self.runtime.step(sub)
+                    except SessionNotFound:
+                        self._forget_session(session_id)
+                        raise
+                    self._touch_session(session_id)
+            except BaseException as error:  # noqa: BLE001 - reported per-result
+                return SessionStepResult(
+                    session_id=session_id,
+                    error=_picklable_error(error),
+                    wall_time_s=time.monotonic() - started,
+                )
+            return SessionStepResult(
+                session_id=session_id,
+                reply=reply,
+                wall_time_s=time.monotonic() - started,
+            )
+
+        # Sub-steps run on the dedicated batch pool (never on the dispatch
+        # pool this batch RPC itself occupies). Two sub-requests naming the
+        # same session serialize on its lock like any other concurrent pair.
+        futures = [self._batch_executor.submit(step_one, sub) for sub in request.requests]
+        return StepSessionsReply(results=[future.result() for future in futures])
 
     @staticmethod
     def _session_id_of(method: str, args) -> Optional[int]:
@@ -338,14 +454,17 @@ class ServiceServer:
             tracked = len(self._session_last_used)
             reaped = self.reaped_sessions
             connections = self.connections_served
+            batched = self.batched_steps
         return {
             "pid": os.getpid(),
             "env_id": self.env_id,
             "url": self.url,
+            "protocol_version": PROTOCOL_VERSION,
             "uptime_s": time.monotonic() - self.started_at,
             "active_sessions": tracked,
             "reaped_sessions": reaped,
             "connections_served": connections,
+            "batched_steps": batched,
             "runtime_stats": dict(self.runtime.stats),
         }
 
@@ -400,6 +519,12 @@ class ServiceServer:
                 pass
         for thread in threads:
             thread.join(timeout=5)
+        # Handlers have drained their in-flight requests; retire the dispatch
+        # pools (batch first: dispatch tasks wait on batch tasks, not vice
+        # versa, so this order cannot deadlock either way — it just reads in
+        # dependency order).
+        self._batch_executor.shutdown(wait=True)
+        self._dispatch_executor.shutdown(wait=True)
         if self._reaper_thread is not None:
             self._reaper_thread.join(timeout=self.reap_interval + 5)
         if self._accept_thread is not None:
@@ -417,6 +542,15 @@ class ServiceServer:
                     resource.close()
                 except Exception:  # noqa: BLE001 - teardown must not raise
                     pass
+            # This daemon's URL (an ephemeral port, often) may be reused by
+            # a different daemon later; retire its spaces-cache entry so a
+            # same-process successor cannot serve stale metadata.
+            try:
+                from repro.core.service.connection import clear_spaces_cache
+
+                clear_spaces_cache(self.url)
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                pass
         logger.info("Compiler service daemon on %s shut down", self.url)
 
     def __enter__(self) -> "ServiceServer":

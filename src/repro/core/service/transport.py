@@ -29,8 +29,17 @@ subprocess workers of the vectorized process-pool backend
 :data:`REPLY_ERROR`, and an unpicklable payload degrades to a
 :class:`~repro.errors.ServiceError` carrying its string form rather than
 killing the channel.
+
+The socket protocol is additionally *multiplexed*: every frame starts with a
+protocol-version byte (:data:`PROTOCOL_VERSION`), requests carry a
+monotonically increasing request id, and replies echo it back. One
+:class:`SocketTransport` holds one socket plus a single reader thread that
+routes replies to the caller that issued each request, so any number of
+concurrent callers — forked environments, pool workers, batched steppers —
+overlap their RPCs on the shared connection instead of serializing on it.
 """
 
+import itertools
 import multiprocessing
 import os
 import pickle
@@ -38,7 +47,7 @@ import socket
 import struct
 import threading
 import time
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import (
     CompilerGymError,
@@ -52,8 +61,15 @@ from repro.errors import (
 REPLY_OK = "ok"
 REPLY_ERROR = "error"
 
-# Frame header of the socket protocol: payload length, big-endian uint64.
+# Version byte leading every frame. Bump on incompatible wire changes so a
+# version-skewed peer fails with a clear error on its first frame instead of
+# unpickling garbage (the seed of a fully versioned wire format).
+PROTOCOL_VERSION = 1
+
+# Frame header of the socket protocol, after the version byte: payload
+# length, big-endian uint64.
 _FRAME_HEADER = struct.Struct(">Q")
+_VERSION_BYTE = bytes([PROTOCOL_VERSION])
 
 # Upper bound on a single message; a frame header announcing more than this
 # is treated as protocol corruption rather than honored with an allocation.
@@ -73,19 +89,27 @@ def send_reply(conn, status: str, payload: Any) -> None:
         conn.send((REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}")))
 
 
+def frame_bytes(message: Any) -> bytes:
+    """Serialize one message to its on-the-wire frame: version byte,
+    length prefix, pickled payload."""
+    data = pickle.dumps(message)
+    return _VERSION_BYTE + _FRAME_HEADER.pack(len(data)) + data
+
+
 def _write_payload(wfile, data: bytes) -> None:
-    """Write one already-pickled payload with the length-prefix framing."""
-    wfile.write(_FRAME_HEADER.pack(len(data)) + data)
+    """Write one already-pickled payload with the version+length framing."""
+    wfile.write(_VERSION_BYTE + _FRAME_HEADER.pack(len(data)) + data)
     wfile.flush()
 
 
 def write_frame(wfile, message: Any) -> None:
-    """Write one length-prefixed pickled message to a binary stream."""
+    """Write one version-prefixed, length-prefixed pickled message."""
     _write_payload(wfile, pickle.dumps(message))
 
 
-def write_frame_reply(wfile, status: str, payload: Any) -> None:
-    """:func:`write_frame` with the :func:`send_reply` unpicklable fallback.
+def write_frame_reply(wfile, request_id: Optional[int], status: str, payload: Any) -> None:
+    """Write a ``(request_id, status, payload)`` reply frame, with the
+    :func:`send_reply` unpicklable fallback.
 
     Pickling happens before any bytes hit the stream, and *any* pickling
     failure — ``__reduce__`` of an exotic payload can raise anything —
@@ -95,23 +119,29 @@ def write_frame_reply(wfile, status: str, payload: Any) -> None:
     errors propagate.
     """
     try:
-        data = pickle.dumps((status, payload))
+        data = pickle.dumps((request_id, status, payload))
     except Exception:  # noqa: BLE001 - degrade, don't drop the connection
         data = pickle.dumps(
-            (REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}"))
+            (request_id, REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}"))
         )
     _write_payload(wfile, data)
 
 
 def read_frame(rfile) -> Any:
-    """Read one length-prefixed pickled message from a binary stream.
+    """Read one framed pickled message from a binary stream.
 
     Raises ``EOFError`` on a cleanly closed stream and ``ConnectionError``
-    on a truncated or oversized frame.
+    on a version-skewed, truncated, or oversized frame.
     """
-    header = rfile.read(_FRAME_HEADER.size)
-    if not header:
+    version = rfile.read(1)
+    if not version:
         raise EOFError("Connection closed")
+    if version[0] != PROTOCOL_VERSION:
+        raise ConnectionError(
+            f"Unsupported wire protocol version {version[0]} "
+            f"(this peer speaks version {PROTOCOL_VERSION})"
+        )
+    header = rfile.read(_FRAME_HEADER.size)
     if len(header) < _FRAME_HEADER.size:
         raise ConnectionError("Truncated frame header")
     (length,) = _FRAME_HEADER.unpack(header)
@@ -411,18 +441,210 @@ class PipeTransport(ServiceTransport):
         return f"PipeTransport(pid={pid}, closed={self.closed})"
 
 
-class SocketTransport(ServiceTransport):
-    """Speaks the length-prefixed pickled RPC protocol to a service daemon.
+class _SendError(Exception):
+    """Internal: a socket send failed after ``bytes_flushed`` bytes left."""
 
-    One transport holds one socket to the daemon; concurrent callers are
-    serialized per connection (workers that need truly parallel round trips each
-    open their own connection — which is exactly what the daemon-attached
-    vectorized pools do). ``restart()`` reconnects without touching the
-    daemon, so crash recovery on the client never destroys server-side
-    sessions other than the caller's own.
+    def __init__(self, cause: BaseException, bytes_flushed: int):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.bytes_flushed = bytes_flushed
+
+
+class _PendingReply:
+    """One caller's slot in the demultiplexer: an event plus the outcome."""
+
+    __slots__ = ("event", "status", "payload", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.status = None
+        self.payload = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, status: str, payload: Any) -> None:
+        self.status = status
+        self.payload = payload
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class _MuxSocketConnection:
+    """One live multiplexed socket to the daemon.
+
+    Owns the connection *epoch*: the socket, the per-connection request-id
+    counter, the pending map, and the single reader thread that routes each
+    ``(request_id, status, payload)`` reply frame to the caller that issued
+    the matching request. Concurrent callers interleave freely — sends are
+    serialized under a send lock (frames must not interleave on the wire)
+    but nobody waits for anyone else's reply. A dead connection is never
+    revived: the transport opens a fresh epoch instead, so a stale reader
+    can never consume frames meant for a successor connection.
+    """
+
+    def __init__(self, url: str, family: str, address, timeout: float):
+        self.url = url
+        self.timeout = timeout
+        if family == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            inet = socket.AF_INET6 if ":" in address[0] else socket.AF_INET
+            sock = socket.socket(inet, socket.SOCK_STREAM)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(timeout)
+        sock.connect(address)
+        self.sock = sock
+        self._rfile = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, _PendingReply] = {}
+        self._request_ids = itertools.count()
+        self.dead: Optional[BaseException] = None
+        self.closed = False  # Set by a deliberate local close/shutdown.
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-socket-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- request lifecycle -------------------------------------------------
+
+    def register(self) -> Tuple[int, _PendingReply]:
+        """Allocate a request id and its reply slot.
+
+        Registration happens *before* the send so a reply can never race
+        past its waiter.
+        """
+        pending = _PendingReply()
+        with self._pending_lock:
+            if self.dead is not None:
+                raise ConnectionError(f"Connection to {self.url} is down: {self.dead}")
+            request_id = next(self._request_ids)
+            self._pending[request_id] = pending
+        return request_id, pending
+
+    def discard(self, request_id: int) -> None:
+        with self._pending_lock:
+            self._pending.pop(request_id, None)
+
+    def send_request(self, request_id: int, method: str, args: tuple) -> None:
+        """Send one request frame, tracking exactly how many bytes left.
+
+        Raises :class:`_SendError` carrying ``bytes_flushed`` so the caller
+        can classify the failure: 0 bytes flushed means the request cannot
+        have reached the daemon (safe to retry); anything more is ambiguous
+        (must not be retried).
+        """
+        frame = frame_bytes((request_id, method, args))
+        view = memoryview(frame)
+        sent = 0
+        with self._send_lock:
+            try:
+                while sent < len(view):
+                    sent += self.sock.send(view[sent:])
+            except (OSError, ValueError) as error:
+                raise _SendError(error, bytes_flushed=sent) from error
+
+    # -- reader thread -----------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = read_frame(self._rfile)
+            except socket.timeout:
+                # An idle read timeout is fatal only when somebody is
+                # actually waiting: it means a request overran the transport
+                # timeout. A quiet connection with nothing pending just
+                # keeps listening.
+                with self._pending_lock:
+                    waiting = bool(self._pending)
+                if not waiting:
+                    continue
+                self._fail_pending(
+                    ServiceTransportError(
+                        f"No reply from {self.url} within {self.timeout}s: the "
+                        f"call may already be applied on the daemon and will "
+                        f"not be retried"
+                    )
+                )
+                self._close_streams()
+                return
+            except Exception as error:  # noqa: BLE001 - EOF, reset, corruption
+                self._fail_pending(self._death_error(error))
+                self._close_streams()
+                return
+            try:
+                request_id, status, payload = message
+            except (TypeError, ValueError):
+                self._fail_pending(
+                    ServiceTransportError(
+                        f"Malformed reply frame from {self.url}: in-flight "
+                        f"calls may already be applied and will not be retried"
+                    )
+                )
+                self._close_streams()
+                return
+            with self._pending_lock:
+                pending = self._pending.pop(request_id, None)
+            if pending is not None:
+                pending.resolve(status, payload)
+            # An unmatched id is a reply whose waiter gave up; drop it.
+
+    def _death_error(self, error: BaseException) -> BaseException:
+        if self.closed:
+            return ServiceIsClosed("Socket transport is closed")
+        return ServiceTransportError(
+            f"Connection to {self.url} was lost with calls in flight: they "
+            f"may already be applied on the daemon and will not be retried "
+            f"({type(error).__name__}: {error})"
+        )
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._pending_lock:
+            if self.dead is None:
+                self.dead = error
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for slot in pending:
+            slot.fail(error)
+
+    # -- teardown ----------------------------------------------------------
+
+    def _close_streams(self) -> None:
+        for stream in (self._rfile, self.sock):
+            try:
+                stream.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def close(self, error: Optional[BaseException] = None) -> None:
+        """Deliberate local teardown: fail in-flight calls, wake the reader."""
+        self.closed = True
+        self._fail_pending(error if error is not None else self._death_error(EOFError()))
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._close_streams()
+
+
+class SocketTransport(ServiceTransport):
+    """Speaks the multiplexed pickled RPC protocol to a service daemon.
+
+    One transport holds one socket to the daemon, shared by any number of
+    concurrent callers: every request carries a connection-unique request id,
+    and a single reader thread routes each reply to the caller that issued
+    it, so forked environments and pool workers overlap their round trips on
+    the one connection instead of serializing. ``restart()`` reconnects
+    without touching the daemon, so crash recovery on the client never
+    destroys server-side sessions other than the caller's own.
     """
 
     name = "socket"
+    # The daemon understands the step_sessions batch RPC (vec pools use this
+    # to collapse a whole pool step into one round trip).
+    supports_step_sessions = True
     # The daemon may still be binding when the first client arrives; back
     # off briefly between connect attempts.
     _connect_retry_wait = 0.05
@@ -434,13 +656,19 @@ class SocketTransport(ServiceTransport):
         self.timeout = timeout
         if connect_retry_wait is not None:
             self._connect_retry_wait = connect_retry_wait
-        self._sock = None
-        self._rfile = None
-        self._wfile = None
-        self._lock = threading.Lock()
+        self._conn: Optional[_MuxSocketConnection] = None
+        self._lock = threading.RLock()
+
+    @property
+    def spaces_cache_key(self) -> str:
+        """Key under which static space metadata of this service is cached
+        client-side (all connections to one URL see the same spaces)."""
+        return self.url
 
     def _open(self) -> None:
-        self._open_socket()
+        self._conn = _MuxSocketConnection(
+            self.url, self.family, self.address, self.timeout
+        )
 
     def _on_connect_failure(self) -> None:
         self._close_socket()
@@ -449,64 +677,80 @@ class SocketTransport(ServiceTransport):
     def _connect_error_prefix(self) -> str:
         return f"Failed to connect to compiler service at {self.url}"
 
-    def _open_socket(self) -> None:
-        if self.family == "unix":
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        else:
-            inet = socket.AF_INET6 if ":" in self.address[0] else socket.AF_INET
-            sock = socket.socket(inet, socket.SOCK_STREAM)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        sock.settimeout(self.timeout)
-        sock.connect(self.address)
-        self._sock = sock
-        self._rfile = sock.makefile("rb")
-        self._wfile = sock.makefile("wb")
+    def _close_socket(self, error: Optional[BaseException] = None) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close(error)
 
-    def _close_socket(self) -> None:
-        for stream in (self._rfile, self._wfile, self._sock):
-            if stream is not None:
-                try:
-                    stream.close()
-                except Exception:  # noqa: BLE001
-                    pass
-        self._sock = self._rfile = self._wfile = None
-
-    def call(self, method: str, *args) -> Any:
+    def _acquire_connection(self) -> _MuxSocketConnection:
         with self._lock:
             if self.closed:
                 raise ServiceIsClosed("Socket transport is closed")
-            if self._sock is None:
+            conn = self._conn
+            if conn is None or conn.dead is not None:
                 # Lazily (re)connect, e.g. on the first call after restart().
-                self._open_socket()
-            try:
-                write_frame(self._wfile, (method, args))
-            except (OSError, EOFError, ValueError) as error:
-                # ValueError: writing to a file object whose socket was
-                # already torn down ("write to closed file").
-                # The request never left this client: safe to retry. Drop the
-                # socket so the retry (the connection's restart()) starts
-                # from a clean connection.
-                self._close_socket()
+                self._conn = None
+                self._open()
+                conn = self._conn
+            return conn
+
+    def call(self, method: str, *args) -> Any:
+        conn = self._acquire_connection()
+        request_id, pending = conn.register()
+        try:
+            conn.send_request(request_id, method, args)
+        except _SendError as error:
+            conn.discard(request_id)
+            # The socket is broken for every caller sharing it; retire this
+            # connection epoch (failing other in-flight calls, whose frames
+            # WERE fully sent, as non-retryable).
+            with self._lock:
+                if self._conn is conn:
+                    self._conn = None
+            if error.bytes_flushed == 0:
+                # Nothing reached the wire: the request cannot be applied on
+                # the daemon, so the connection's restart/retry loop may
+                # safely re-send it on a fresh connection.
+                conn.close(
+                    ServiceTransportError(
+                        f"Connection to {self.url} was lost: in-flight calls "
+                        f"may already be applied and will not be retried"
+                    )
+                )
                 raise ConnectionError(
-                    f"Service connection to {self.url} failed: {error}"
-                ) from error
-            try:
-                status, payload = read_frame(self._rfile)
-            except Exception as error:  # noqa: BLE001 - any post-send failure
-                # The request was sent but the reply was lost or unreadable
-                # (dead socket, truncated frame, version-skewed unpickle...).
-                # Unlike an in-process restart — which destroys the runtime
-                # and every session on it — the daemon survives, so a retry
-                # could re-apply a non-idempotent call (step()) to a live
-                # session. Surface a non-retryable error instead; the
-                # environment's fault-tolerance path ends the episode
-                # cleanly.
-                self._close_socket()
-                raise ServiceTransportError(
-                    f"Lost the reply from {self.url} for {method}(): the call "
-                    f"may already be applied on the daemon and will not be "
-                    f"retried ({error})"
-                ) from error
+                    f"Service connection to {self.url} failed before any of "
+                    f"the request was sent: {error.cause}"
+                ) from error.cause
+            # Part of the frame left this client. The daemon may have read a
+            # complete request off the socket buffer before the failure — a
+            # retry could re-apply a non-idempotent step() to a live session,
+            # exactly the bug class the post-send path guards against.
+            failure = ServiceTransportError(
+                f"Service connection to {self.url} failed after "
+                f"{error.bytes_flushed} bytes of {method}() were flushed: the "
+                f"call may already be applied on the daemon and will not be "
+                f"retried ({error.cause})"
+            )
+            conn.close(failure)
+            raise failure from error.cause
+        # Wait for the reader thread to route our reply. The reader enforces
+        # the transport timeout centrally; the slack here is only a backstop
+        # against the reader itself dying without failing this slot.
+        if not pending.event.wait(self.timeout + 30):
+            conn.discard(request_id)
+            with self._lock:
+                if self._conn is conn:
+                    self._conn = None
+            failure = ServiceTransportError(
+                f"No reply from {self.url} for {method}() within "
+                f"{self.timeout}s: the call may already be applied on the "
+                f"daemon and will not be retried"
+            )
+            conn.close(failure)
+            raise failure
+        if pending.error is not None:
+            raise pending.error
+        status, payload = pending.status, pending.payload
         if status == REPLY_ERROR:
             if isinstance(payload, (CompilerGymError, LookupError)):
                 raise payload
@@ -534,17 +778,10 @@ class SocketTransport(ServiceTransport):
         if self.closed:
             return
         self.closed = True
-        # Wake any call() blocked in its socket read BEFORE taking the lock
-        # it holds: against a wedged daemon that read only ends at the
-        # socket timeout (minutes), and shutdown must not wait it out.
-        sock = self._sock
-        if sock is not None:
-            try:
-                sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
+        # Closing the connection epoch wakes every in-flight caller (their
+        # reply slots fail with ServiceIsClosed) and unblocks the reader.
         with self._lock:
-            self._close_socket()
+            self._close_socket(ServiceIsClosed("Socket transport is closed"))
 
     def server_info(self) -> dict:
         """Fetch the daemon's identity/occupancy snapshot (pid, sessions...)."""

@@ -138,29 +138,11 @@ class ThreadPoolBackend(ExecutionBackend):
     def executor(self) -> Optional[Executor]:
         return None if self._closed else self._executor
 
-    def populate(self, env, n: int, worker_wrapper: Optional[Callable[[Any], Any]]) -> List[Any]:
-        """Fork-populate like the base strategy, then de-share daemon sockets.
-
-        Forks of a daemon-attached root start on the root's socket, and
-        socket RPCs serialize per connection — which would quietly turn this
-        backend's concurrent batches back into serial ones. Every fork is
-        re-homed onto its own connection (``use_dedicated_connection()`` is
-        a no-op for in-process environments).
-        """
-        workers = super().populate(env, n, worker_wrapper)
-        try:
-            for worker in workers[1:]:
-                base = getattr(worker, "unwrapped", worker)
-                dedicate = getattr(base, "use_dedicated_connection", None)
-                if dedicate is not None:
-                    dedicate()
-        except Exception:
-            # The root (workers[0]) stays open for the caller, matching the
-            # base populate() failure contract; its forks are ours to clean.
-            for worker in workers[1:]:
-                close_quietly(worker)
-            raise
-        return workers
+    # Fork-populated workers of a daemon-attached root share the root's
+    # socket. That is now what we want: the socket transport multiplexes
+    # concurrent RPCs by request id, so this backend's batches overlap on
+    # the one connection (and batched stepping collapses them into a single
+    # round trip) — no per-fork connection re-homing needed.
 
     def run(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         if self._closed:

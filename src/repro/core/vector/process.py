@@ -90,7 +90,7 @@ class WorkerSpec:
                 ) from error
         return spec
 
-    def build(self):
+    def build(self, service_connection=None):
         """Construct the worker environment described by this spec.
 
         Runs inside the subprocess. The compiler session state is recreated
@@ -98,11 +98,19 @@ class WorkerSpec:
         environment, after which the wrapper (if any) is applied fresh — the
         same semantics as the in-process backends, whose ``fork()``-based
         population also applies wrappers on top of cloned sessions.
+
+        ``service_connection`` (daemon-attached, in-process builds only)
+        hands the new worker an existing connection to share instead of
+        opening its own — the multiplexed transport carries all sharers'
+        RPCs concurrently. The caller owns the refcounting.
         """
         import repro  # noqa: F401 - ensure the environment registry is populated
         from repro.core.registration import make
 
-        env = make(self.env_id, **self.make_kwargs)
+        kwargs = dict(self.make_kwargs)
+        if service_connection is not None:
+            kwargs["service_connection"] = service_connection
+        env = make(self.env_id, **kwargs)
         try:
             if self.benchmark is not None:
                 env.benchmark = self.benchmark
@@ -474,17 +482,42 @@ class ProcessPoolBackend(ThreadPoolBackend):
     def _populate_from_daemon(self, env, spec: WorkerSpec, n: int) -> List[Any]:
         """Build ``n`` daemon-attached client workers (sessions, not processes).
 
-        Each worker gets its own socket connection so batched operations
-        dispatched by the thread pool issue truly concurrent RPCs; the
-        daemon's per-session locking keeps them isolated server-side. The
-        builds themselves run on the dispatcher pool — each one is several
-        socket round trips (connect, spaces handshake, session setup,
-        action-history replay), so like subprocess population they overlap
-        instead of running serially.
+        All workers share one multiplexed socket connection: the first build
+        opens it, the rest attach to it (refcounted, like ``fork()``), so
+        concurrent RPCs overlap on the shared socket and the pool qualifies
+        for batched ``step_sessions`` stepping — one round trip per pool
+        step instead of one per worker. The daemon's per-session locking
+        keeps the sessions isolated server-side. Builds after the first run
+        on the dispatcher pool — each is several RPCs (session setup,
+        action-history replay), so they overlap instead of running serially.
         """
-        futures = [self._executor.submit(spec.build) for _ in range(n)]
-        workers: List[Any] = []
+
+        def build_shared(connection):
+            if connection is None:
+                return spec.build()
+            connection.acquire()
+            try:
+                worker = spec.build(service_connection=connection)
+            except BaseException:
+                connection.release()
+                raise
+            # The worker must release its share of the connection on close,
+            # exactly like a fork() of the first worker would.
+            base = getattr(worker, "unwrapped", worker)
+            base._owns_service = True
+            return worker
+
+        # The first worker is built synchronously: it establishes the shared
+        # connection (a failure here leaves the root env open, per the
+        # populate() contract).
+        workers: List[Any] = [spec.build()]
         errors: List[BaseException] = []
+        connection = getattr(
+            getattr(workers[0], "unwrapped", workers[0]), "service", None
+        )
+        futures = [
+            self._executor.submit(build_shared, connection) for _ in range(n - 1)
+        ]
         for future in futures:
             try:
                 workers.append(future.result())

@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.core.datasets import Benchmark
 from repro.core.service.connection import merge_stats_summaries
 from repro.core.vector.backends import ExecutionBackend, close_quietly, resolve_backend
-from repro.errors import SessionNotFound
+from repro.errors import CompilerGymError, ServiceError, SessionNotFound
 
 logger = logging.getLogger(__name__)
 
@@ -65,6 +65,14 @@ class VecCompilerEnv:
             initial observation, ``done=True``, and the final observation of
             the finished episode under ``info["terminal_observation"]`` —
             the standard VecEnv contract for continuous rollout collection.
+        use_batched_step: When True (the default), a pool whose workers
+            share one daemon connection collapses each batched step into a
+            single ``step_sessions`` RPC executed concurrently on the
+            daemon, instead of one RPC per worker. Pools that do not qualify
+            (in-process workers, wrapped workers, mixed connections) fall
+            back to per-worker dispatch automatically; set False to force
+            the per-worker path (the benchmark harness does, to measure the
+            batching win).
     """
 
     def __init__(
@@ -74,14 +82,21 @@ class VecCompilerEnv:
         backend: Union[str, ExecutionBackend, None] = None,
         worker_wrapper: Optional[Callable[[Any], Any]] = None,
         auto_reset: bool = False,
+        use_batched_step: bool = True,
     ):
         if n < 1:
             raise ValueError(f"VecCompilerEnv requires n >= 1, got {n}")
         self._backend = resolve_backend(backend, n)
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.auto_reset = auto_reset
+        self.use_batched_step = use_batched_step
         self.closed = False
         self._worker_wrapper = worker_wrapper
+        # Cache of each worker's default observation-space id (static
+        # metadata), so auto-reset re-fetches can recognize "the requested
+        # space IS the default" without a per-reset metadata round trip.
+        # Invalidated on resize and on any reset that changes the space.
+        self._default_space_ids: Dict[int, Optional[str]] = {}
         self.workers: List[Any] = []
         try:
             # The backend owns the population strategy: in-process backends
@@ -181,6 +196,8 @@ class VecCompilerEnv:
         Extra keyword arguments are forwarded to every worker's ``reset()``.
         """
         self._check_open("reset")
+        if "observation_space" in kwargs:
+            self._default_space_ids.clear()
         if benchmarks is None or isinstance(benchmarks, (str, Benchmark)):
             per_worker = [benchmarks] * self.num_envs
         else:
@@ -208,6 +225,8 @@ class VecCompilerEnv:
         """
         self._check_open("reset_worker")
         worker = self.workers[index]
+        if "observation_space" in kwargs:
+            self._default_space_ids.pop(id(worker), None)
 
         def reset_one(target):
             if benchmark is None:
@@ -248,40 +267,182 @@ class VecCompilerEnv:
         ``done`` is reset inside the same batched call: its observation slot
         holds the new episode's initial observation and the terminal
         observation is preserved in ``info["terminal_observation"]``.
+
+        When every stepped worker shares one daemon connection that supports
+        the batched-step RPC (and :attr:`use_batched_step` is on), the whole
+        pool step travels as a single ``step_sessions`` round trip and the
+        daemon executes the per-session steps concurrently; otherwise each
+        worker's step is dispatched through the execution backend as its own
+        service call.
         """
         self._check_open("multistep")
         self._check_batch("action_lists", action_lists)
+        action_lists = list(action_lists)
+
+        results = None
+        if self.use_batched_step:
+            results = self._batched_multistep(
+                action_lists, observation_spaces, reward_spaces
+            )
+        if results is None:
+            results = self._fanout_multistep(
+                action_lists, observation_spaces, reward_spaces
+            )
+        observations = [result[0] for result in results]
+        rewards = [result[1] for result in results]
+        dones = [result[2] for result in results]
+        infos = [result[3] for result in results]
+        return observations, rewards, dones, infos
+
+    def _fanout_multistep(
+        self,
+        action_lists: Sequence[Optional[Iterable[Any]]],
+        observation_spaces: Optional[List[Any]],
+        reward_spaces: Optional[List[Any]],
+    ) -> List[Tuple[Any, Any, bool, dict]]:
+        """One service call per worker, dispatched through the backend."""
         auto_reset = self.auto_reset
 
         def step_one(pair):
             worker, actions = pair
             if actions is None:
                 return SKIPPED_STEP
-            observation, reward, done, info = worker.multistep(
+            result = worker.multistep(
                 list(actions),
                 observation_spaces=observation_spaces,
                 reward_spaces=reward_spaces,
             )
-            if done and auto_reset:
-                info = dict(info)
-                info["terminal_observation"] = observation
-                observation = worker.reset()
-                if observation_spaces is not None:
-                    # The caller asked for explicit spaces; re-fetch the new
-                    # episode's initial observation in those, not the
-                    # worker's default space.
-                    observation = _fetch_observations(
-                        worker,
-                        [getattr(space, "id", space) for space in observation_spaces],
-                    )
-            return observation, reward, done, info
+            if result[2] and auto_reset:
+                result = self._auto_reset_worker(worker, result, observation_spaces)
+            return result
 
-        results = self._backend.run(step_one, list(zip(self.workers, action_lists)))
-        observations = [result[0] for result in results]
-        rewards = [result[1] for result in results]
-        dones = [result[2] for result in results]
-        infos = [result[3] for result in results]
-        return observations, rewards, dones, infos
+        return self._backend.run(step_one, list(zip(self.workers, action_lists)))
+
+    def _batched_multistep(
+        self,
+        action_lists: Sequence[Optional[Iterable[Any]]],
+        observation_spaces: Optional[List[Any]],
+        reward_spaces: Optional[List[Any]],
+    ) -> Optional[List[Tuple[Any, Any, bool, dict]]]:
+        """The whole pool step as one ``step_sessions`` RPC.
+
+        Returns ``None`` when the pool does not qualify — fewer than two
+        actionable workers, a worker whose ``multistep`` is wrapped or
+        overridden, workers on different (or batching-unaware) connections,
+        or a worker outside an episode (the per-worker path owns that error)
+        — in which case the caller falls back to :meth:`_fanout_multistep`.
+        """
+        from repro.core.env import CompilerEnv
+
+        actionable = [
+            (index, worker, actions)
+            for index, (worker, actions) in enumerate(zip(self.workers, action_lists))
+            if actions is not None
+        ]
+        if len(actionable) < 2:
+            return None
+        connection = None
+        for _, worker, _ in actionable:
+            # An exact-method check: any wrapper/override (TimeLimit, remote
+            # proxies, test doubles) opts the pool out of batching, because
+            # only the unmodified CompilerEnv.multistep splits into the
+            # prepare/finish phases the batch path re-composes.
+            if getattr(type(worker), "multistep", None) is not CompilerEnv.multistep:
+                return None
+            if not worker.in_episode:
+                return None
+            service = getattr(worker, "service", None)
+            if connection is None:
+                connection = service
+            elif service is not connection:
+                return None
+        if connection is None or not getattr(connection, "supports_step_sessions", False):
+            return None
+
+        prepared = []
+        requests = []
+        for index, worker, actions in actionable:
+            request, context = worker._prepare_multistep(
+                list(actions), observation_spaces, reward_spaces
+            )
+            prepared.append((index, worker, context))
+            requests.append(request)
+
+        results: List[Tuple[Any, Any, bool, dict]] = [SKIPPED_STEP] * self.num_envs
+        try:
+            outcomes = connection.step_sessions(requests)
+        except (ServiceError, SessionNotFound) as error:
+            # The batch RPC itself failed (transport loss, daemon death).
+            # Mirror the per-worker fault-tolerance contract: every stepped
+            # worker ends its episode with the error defaults.
+            for index, worker, context in prepared:
+                results[index] = worker._finish_multistep_error(error, context)
+        else:
+            for (index, worker, context), outcome in zip(prepared, outcomes):
+                if outcome.error is None:
+                    results[index] = worker._finish_multistep(outcome.reply, context)
+                    continue
+                error = outcome.error
+                if isinstance(error, (ServiceError, SessionNotFound)):
+                    results[index] = worker._finish_multistep_error(error, context)
+                elif isinstance(error, (CompilerGymError, LookupError)):
+                    # The per-worker path would raise these through; so does
+                    # the batch (after every other worker's result above was
+                    # applied — siblings keep their state consistent).
+                    raise error
+                else:
+                    # A generic daemon-side exception: wrap it non-retryable,
+                    # exactly as the transport does for unbatched calls.
+                    results[index] = worker._finish_multistep_error(
+                        ServiceError(
+                            f"Compiler service error in step(): "
+                            f"{type(error).__name__}: {error}"
+                        ),
+                        context,
+                    )
+
+        if self.auto_reset:
+            reset_indices = [index for index, _, _ in prepared if results[index][2]]
+            if reset_indices:
+                def reset_one(index):
+                    return self._auto_reset_worker(
+                        self.workers[index], results[index], observation_spaces
+                    )
+
+                for index, result in zip(
+                    reset_indices, self._backend.run(reset_one, reset_indices)
+                ):
+                    results[index] = result
+        return results
+
+    def _default_space_id(self, worker) -> Optional[str]:
+        """The worker's default observation-space id, cached (it is static
+        metadata — for subprocess proxies the lookup is a round trip)."""
+        key = id(worker)
+        if key not in self._default_space_ids:
+            spec = getattr(worker, "observation_space_spec", None)
+            self._default_space_ids[key] = getattr(spec, "id", None)
+        return self._default_space_ids[key]
+
+    def _auto_reset_worker(
+        self, worker, result: Tuple[Any, Any, bool, dict], observation_spaces
+    ) -> Tuple[Any, Any, bool, dict]:
+        """Reset a finished worker in-place per the auto-reset contract."""
+        observation, reward, done, info = result
+        info = dict(info)
+        info["terminal_observation"] = observation
+        observation = worker.reset()
+        if observation_spaces is not None:
+            # The caller asked for explicit spaces; the new episode's initial
+            # observation must be expressed in those, not the worker's
+            # default space. When the request is exactly the default space,
+            # reset() already produced it — skip the re-fetch round trip.
+            requested = [getattr(space, "id", space) for space in observation_spaces]
+            if requested == [self._default_space_id(worker)]:
+                observation = [observation]
+            else:
+                observation = _fetch_observations(worker, requested)
+        return observation, reward, done, info
 
     def observations(self, spaces: Union[str, Sequence[str]]) -> List[Any]:
         """Batched observation fetch across all workers.
@@ -317,6 +478,9 @@ class VecCompilerEnv:
         self._check_open("resize")
         if n < 1:
             raise ValueError(f"VecCompilerEnv requires n >= 1, got {n}")
+        # Pool membership is changing; drop the per-worker metadata cache
+        # (id()s of retired workers may be recycled by new ones).
+        self._default_space_ids.clear()
         errors: List[Exception] = []
         while len(self.workers) > n:
             worker = self.workers.pop()
@@ -342,14 +506,9 @@ class VecCompilerEnv:
                     close_quietly(worker)
                     base = getattr(template, "unwrapped", template)
                     worker = self._worker_wrapper(base.fork())
-                if not getattr(type(worker), "is_remote", False):
-                    # Daemon-attached forks start on the template's shared
-                    # socket; pool workers run concurrently, so re-home each
-                    # onto its own connection (no-op for in-process envs).
-                    base = getattr(worker, "unwrapped", worker)
-                    dedicate = getattr(base, "use_dedicated_connection", None)
-                    if dedicate is not None:
-                        dedicate()
+                # Daemon-attached forks stay on the template's shared
+                # connection: the multiplexed socket overlaps their RPCs and
+                # qualifies the grown pool for batched stepping.
                 self.workers.append(worker)
         if self._owns_backend:
             self._backend.resize(n)
@@ -446,6 +605,7 @@ def make_vec_env(
     env=None,
     worker_wrapper: Optional[Callable[[Any], Any]] = None,
     auto_reset: bool = False,
+    use_batched_step: bool = True,
     **make_kwargs,
 ) -> VecCompilerEnv:
     """Construct a :class:`VecCompilerEnv` from an environment ID or instance.
@@ -465,7 +625,12 @@ def make_vec_env(
         raise ValueError("make_kwargs are only valid with env_id")
     try:
         return VecCompilerEnv(
-            env, n=n, backend=backend, worker_wrapper=worker_wrapper, auto_reset=auto_reset
+            env,
+            n=n,
+            backend=backend,
+            worker_wrapper=worker_wrapper,
+            auto_reset=auto_reset,
+            use_batched_step=use_batched_step,
         )
     except Exception:
         # Pool construction failed. A caller-provided env remains the

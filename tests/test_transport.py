@@ -13,6 +13,7 @@ import multiprocessing
 import pickle
 import random
 import socket
+import struct
 import threading
 import time
 
@@ -29,6 +30,7 @@ from repro.core.service import (
 from repro.core.service.proto import StartSessionRequest, StepRequest
 from repro.core.service.runtime.server import ServiceServer, make_env_server
 from repro.core.service.transport import (
+    PROTOCOL_VERSION,
     InProcessTransport,
     PipeTransport,
     SocketTransport,
@@ -39,7 +41,7 @@ from repro.core.service.transport import (
 from repro.core.spaces import NamedDiscrete, ObservationSpaceSpec, Scalar
 from repro.core.vector import AutoscalePolicy, VecCompilerEnv, make_vec_env
 from repro.core.vector.autoscale import interval_delta
-from repro.core.service.connection import merge_stats_summaries
+from repro.core.service.connection import clear_spaces_cache, merge_stats_summaries
 from repro.core.wrappers import TimeLimit
 from repro.errors import (
     ServiceError,
@@ -317,20 +319,105 @@ class TestLostReplyIsNotRetryable:
             transport.shutdown()
             listener.close()
 
-    def test_send_failure_stays_retryable(self):
-        # A request that never left the client is safe to retry: the dead
-        # socket surfaces as ConnectionError (the retryable family).
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.bind(("127.0.0.1", 0))
-        listener.listen(1)
-        port = listener.getsockname()[1]
-        transport = SocketTransport(f"tcp://127.0.0.1:{port}", timeout=5.0)
-        transport.connect()
-        listener.close()
-        transport._wfile.close()  # Poison the send path deterministically.
-        with pytest.raises(ConnectionError):
-            transport.call("get_spaces")
-        transport.shutdown()
+class _FlushLimitedSocket:
+    """Fault injector: a socket whose ``send()`` path fails after flushing a
+    fixed number of bytes (0 = fail before anything leaves the client)."""
+
+    def __init__(self, sock, flush_budget: int):
+        self._sock = sock
+        self._budget = flush_budget
+
+    def send(self, data):
+        if self._budget <= 0:
+            raise OSError("injected send failure")
+        sent = self._sock.send(data[: self._budget])
+        self._budget -= sent
+        return sent
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+
+class TestSendFailureClassification:
+    """Regression (headline): send-side failures must be classified by
+    whether any bytes may have been flushed. A clean pre-flush failure
+    cannot have reached the daemon, so it stays retryable ConnectionError;
+    once part of the frame may be on the wire, the daemon may already own a
+    complete request, so the failure is non-retryable."""
+
+    def _server(self) -> ServiceServer:
+        return ServiceServer(_runtime(), session_timeout=None).start()
+
+    def test_presend_failure_surfaces_as_retryable_connection_error(self):
+        with self._server() as server:
+            transport = SocketTransport(server.url, timeout=5.0)
+            transport.connect()
+            conn = transport._conn
+            conn.sock = _FlushLimitedSocket(conn.sock, flush_budget=0)
+            with pytest.raises(ConnectionError, match="before any of the request") as excinfo:
+                transport.call("server_info")
+            # The retryable family, NOT the non-retryable ServiceError one.
+            assert not isinstance(excinfo.value, ServiceError)
+            transport.shutdown()
+
+    def test_presend_failure_is_retried_and_applied_exactly_once(self):
+        with self._server() as server:
+            connection = ServiceConnection(
+                SocketTransport(server.url, timeout=5.0),
+                ConnectionOpts(rpc_max_retries=3, retry_wait_seconds=0.001),
+            )
+            session = connection.start_session(
+                StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+            )
+            steps_before = server.runtime.stats["step"]
+            conn = connection.transport._conn
+            conn.sock = _FlushLimitedSocket(conn.sock, flush_budget=0)
+            reply = connection.step(
+                StepRequest(
+                    session_id=session.session_id,
+                    actions=[1],
+                    observation_space_names=["value"],
+                )
+            )
+            # The retry transparently reconnected and applied the step once.
+            assert reply.observations[0].value() == 1
+            assert connection.stats["step"].retries == 1
+            assert server.runtime.stats["step"] == steps_before + 1
+            connection.close()
+
+    def test_partial_flush_failure_is_never_retried(self):
+        with self._server() as server:
+            connection = ServiceConnection(
+                SocketTransport(server.url, timeout=5.0),
+                ConnectionOpts(rpc_max_retries=5, retry_wait_seconds=0.001),
+            )
+            session = connection.start_session(
+                StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+            )
+            steps_before = server.runtime.stats["step"]
+            conn = connection.transport._conn
+            # Let 5 bytes of the frame out, then fail: from the client's view
+            # the daemon may or may not own a complete request.
+            conn.sock = _FlushLimitedSocket(conn.sock, flush_budget=5)
+            with pytest.raises(ServiceTransportError, match="will not be retried"):
+                connection.step(
+                    StepRequest(session_id=session.session_id, actions=[1])
+                )
+            # Never retried, never restarted, never re-sent to the daemon.
+            assert connection.stats["step"].retries == 0
+            assert connection.restart_count == 0
+            assert server.runtime.stats["step"] == steps_before
+            # The daemon session is untouched; a fresh connection epoch
+            # carries on where the episode left off.
+            reply = connection.step(
+                StepRequest(
+                    session_id=session.session_id,
+                    actions=[],
+                    observation_space_names=["value"],
+                )
+            )
+            assert reply.observations[0].value() == 0
+            connection.close()
 
 
 # -- the socket daemon --------------------------------------------------------
@@ -560,8 +647,6 @@ class TestServiceServer:
     def test_malformed_frame_drops_client_not_daemon(self):
         """A corrupt frame (stray writer, version skew) must cost only that
         client's connection, never the serving thread or the daemon."""
-        import struct
-
         with self._server() as server:
             _, address = parse_service_url(server.url)
             raw = socket.create_connection(address)
@@ -577,6 +662,27 @@ class TestServiceServer:
                     StartSessionRequest(benchmark_uri="benchmark://t-v0/1")
                 )
                 assert session.session_id == 0
+
+    def test_version_skewed_client_is_dropped(self):
+        """A frame announcing a future protocol version must be rejected on
+        its first byte — dropped cleanly, never unpickled."""
+        with self._server() as server:
+            _, address = parse_service_url(server.url)
+            raw = socket.create_connection(address)
+            payload = pickle.dumps((0, "server_info", ()))
+            raw.sendall(
+                bytes([PROTOCOL_VERSION + 1])
+                + struct.pack(">Q", len(payload))
+                + payload
+            )
+            raw.settimeout(5)
+            assert raw.recv(1) == b""
+            raw.close()
+            # The daemon survives and still speaks the current version.
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                assert connection.transport.server_info()["protocol_version"] == (
+                    PROTOCOL_VERSION
+                )
 
     def test_unknown_method_is_rejected(self):
         with self._server() as server:
@@ -636,6 +742,292 @@ class TestServiceServer:
         connection.close()
         # Shutdown is idempotent.
         server.shutdown()
+
+
+# -- batched stepping and request-id multiplexing -----------------------------
+
+
+class TestBatchedStepSessions:
+    """The daemon-side batched stepping RPC: a vec pool's whole step in one
+    round trip, concurrent under per-session locks, reaper-safe, and with
+    per-session accounting."""
+
+    def _server(self, **kwargs) -> ServiceServer:
+        kwargs.setdefault("session_timeout", None)
+        return ServiceServer(_runtime(), **kwargs).start()
+
+    def test_batch_matches_individual_steps(self):
+        with self._server() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                assert connection.supports_step_sessions
+                sessions = [
+                    connection.start_session(
+                        StartSessionRequest(benchmark_uri=f"benchmark://t-v0/{i}")
+                    )
+                    for i in range(3)
+                ]
+                results = connection.step_sessions(
+                    [
+                        StepRequest(
+                            session_id=session.session_id,
+                            actions=[1] * (i + 1),
+                            observation_space_names=["value"],
+                        )
+                        for i, session in enumerate(sessions)
+                    ]
+                )
+                assert [r.session_id for r in results] == [
+                    s.session_id for s in sessions
+                ]
+                assert all(r.ok for r in results)
+                # Counter i stepped (i + 1) times: same values as individual
+                # step() calls would produce.
+                assert [r.reply.observations[0].value() for r in results] == [1, 3, 5]
+                assert server.batched_steps == 1
+                assert server.server_info()["batched_steps"] == 1
+
+    def test_batched_sub_steps_overlap_under_session_locks(self):
+        _SlowStepSession.reset_tracking()
+        with ServiceServer(_slow_runtime(), session_timeout=None).start() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                sessions = [
+                    connection.start_session(
+                        StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                    )
+                    for _ in range(3)
+                ]
+                results = connection.step_sessions(
+                    [
+                        StepRequest(session_id=s.session_id, actions=[1])
+                        for s in sessions
+                    ]
+                )
+                assert all(r.ok for r in results)
+                # Distinct sessions stepped concurrently inside the batch.
+                assert _SlowStepSession.max_in_flight >= 2
+
+    def test_per_session_failure_is_reported_not_raised(self):
+        with self._server() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                session = connection.start_session(
+                    StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                )
+                results = connection.step_sessions(
+                    [
+                        StepRequest(session_id=session.session_id, actions=[1]),
+                        StepRequest(session_id=999, actions=[1]),
+                    ]
+                )
+                assert results[0].ok
+                assert not results[1].ok
+                assert isinstance(results[1].error, SessionNotFound)
+                # The bogus id left no tracking entry behind; the live
+                # session is untouched.
+                assert server.server_info()["active_sessions"] == 1
+
+    def test_batched_stats_attribute_per_session_for_autoscaling(self):
+        # Satellite: connection_stats()-driven autoscaling keeps seeing
+        # per-worker load when the pool steps through the batched RPC.
+        with self._server() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                sessions = [
+                    connection.start_session(
+                        StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                    )
+                    for _ in range(4)
+                ]
+                before = connection.stats_summary()
+                connection.step_sessions(
+                    [
+                        StepRequest(session_id=s.session_id, actions=[1])
+                        for s in sessions
+                    ]
+                )
+                after = connection.stats_summary()
+                delta = interval_delta(before, after)
+                # One round trip, but four per-session step records — NOT one
+                # shared counter.
+                assert delta["step_sessions"]["calls"] == 1
+                assert delta["step"]["calls"] == 4
+                assert delta["step"]["wall_time_s"] > 0
+                # Paired autoscale observation: the policy sees the batched
+                # steps as per-worker load and makes a scaling decision.
+                policy = AutoscalePolicy(
+                    max_workers=8, scale_up_latency_s=10.0, scale_down_latency_s=20.0
+                )
+                assert policy(after, current_workers=4) == 5
+
+    def test_reaper_cannot_reap_mid_batch(self):
+        # Satellite: a session stepping inside a batch holds its per-session
+        # lock and re-stamps last_used, so a reaper firing mid-batch (the
+        # step here takes 2x the idle timeout) must never end it.
+        _SlowStepSession.reset_tracking()
+        with ServiceServer(
+            _slow_runtime(), session_timeout=0.2, reap_interval=0.02
+        ).start() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                sessions = [
+                    connection.start_session(
+                        StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                    )
+                    for _ in range(2)
+                ]
+                results = connection.step_sessions(
+                    [
+                        StepRequest(
+                            session_id=s.session_id,
+                            actions=[1] * 4,  # 4 x 0.1s >> 0.2s idle timeout
+                            observation_space_names=["value"],
+                        )
+                        for s in sessions
+                    ]
+                )
+                assert all(r.ok for r in results)
+                assert server.reaped_sessions == 0
+                # Both sessions are still alive and consistent.
+                for session in sessions:
+                    reply = connection.step(
+                        StepRequest(
+                            session_id=session.session_id,
+                            actions=[],
+                            observation_space_names=["value"],
+                        )
+                    )
+                    assert reply.observations[0].value() == 4
+
+
+class TestMultiplexedConcurrency:
+    """Request-id multiplexing: concurrent callers share one socket without
+    serializing on it, and produce exactly the traces dedicated connections
+    would."""
+
+    def _trace_sessions(self, url, shared: bool, action_plans):
+        n = len(action_plans)
+        if shared:
+            owned = [ServiceConnection(SocketTransport(url))]
+            connections = owned * n
+        else:
+            owned = [ServiceConnection(SocketTransport(url)) for _ in range(n)]
+            connections = owned
+        traces = [None] * n
+        try:
+            sessions = [
+                connections[i].start_session(
+                    StartSessionRequest(benchmark_uri=f"benchmark://t-v0/{i}")
+                )
+                for i in range(n)
+            ]
+
+            def run(i):
+                trace = []
+                for action in action_plans[i]:
+                    reply = connections[i].step(
+                        StepRequest(
+                            session_id=sessions[i].session_id,
+                            actions=[action],
+                            observation_space_names=["value"],
+                        )
+                    )
+                    trace.append(reply.observations[0].value())
+                traces[i] = trace
+
+            threads = [threading.Thread(target=run, args=(i,)) for i in range(n)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads)
+        finally:
+            for connection in owned:
+                connection.close()
+        return traces
+
+    def test_shared_connection_traces_match_dedicated_connections(self):
+        rng = random.Random(3)
+        plans = [[rng.choice([0, 1]) for _ in range(8)] for _ in range(4)]
+        with ServiceServer(_runtime(), session_timeout=None).start() as server:
+            dedicated = self._trace_sessions(server.url, shared=False, action_plans=plans)
+        with ServiceServer(_runtime(), session_timeout=None).start() as server:
+            shared = self._trace_sessions(server.url, shared=True, action_plans=plans)
+        assert shared == dedicated
+
+    def test_concurrent_callers_overlap_on_one_socket(self):
+        # The point of multiplexing: independent sessions driven through ONE
+        # transport reach the daemon concurrently instead of queueing on a
+        # client-side lock.
+        _SlowStepSession.reset_tracking()
+        with ServiceServer(_slow_runtime(), session_timeout=None).start() as server:
+            with ServiceConnection(SocketTransport(server.url)) as connection:
+                sessions = [
+                    connection.start_session(
+                        StartSessionRequest(benchmark_uri="benchmark://t-v0/0")
+                    )
+                    for _ in range(3)
+                ]
+
+                def hammer(session):
+                    connection.step(
+                        StepRequest(session_id=session.session_id, actions=[1] * 2)
+                    )
+
+                threads = [
+                    threading.Thread(target=hammer, args=(s,)) for s in sessions
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+                assert _SlowStepSession.max_in_flight >= 2
+
+    def test_connection_death_fails_every_in_flight_caller_without_retry(self):
+        # Satellite: the daemon dying with a batch of calls in flight must
+        # fail EVERY caller promptly and non-retryably — no hang, no retry,
+        # no chance of double-applying the lost steps.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def swallow_three_then_die():
+            client, _ = listener.accept()
+            rfile = client.makefile("rb")
+            for _ in range(3):
+                read_frame(rfile)
+            client.close()  # The daemon "dies" with three calls in flight.
+
+        thread = threading.Thread(target=swallow_three_then_die, daemon=True)
+        thread.start()
+        transport = SocketTransport(f"tcp://127.0.0.1:{port}", timeout=60.0)
+        transport.connect()
+        errors = []
+        errors_lock = threading.Lock()
+
+        def call_step(i):
+            try:
+                transport.call("step", StepRequest(session_id=i, actions=[1]))
+            except BaseException as error:  # noqa: BLE001 - collected for asserts
+                with errors_lock:
+                    errors.append(error)
+
+        try:
+            callers = [
+                threading.Thread(target=call_step, args=(i,)) for i in range(3)
+            ]
+            for caller in callers:
+                caller.start()
+            for caller in callers:
+                caller.join(timeout=10)
+            # Nobody hangs until the 60s transport timeout...
+            assert not any(caller.is_alive() for caller in callers)
+            # ...and every caller got the non-retryable classification (the
+            # requests DID reach the wire, so a retry could double-apply).
+            assert len(errors) == 3
+            for error in errors:
+                assert isinstance(error, ServiceTransportError)
+                assert "will not be retried" in str(error)
+        finally:
+            transport.shutdown()
+            listener.close()
 
 
 # -- full environments over the socket transport ------------------------------
@@ -813,10 +1205,11 @@ class TestDaemonPoolReuse:
         # No service subprocess was spawned client-side for either pool.
         assert len(multiprocessing.active_children()) == children_before
 
-    def test_thread_backend_daemon_pool_has_per_worker_connections(self, llvm_daemon):
-        """Fork-populated thread pools must not leave every worker on the
-        root's socket — socket RPCs serialize per connection, which would
-        quietly undo the backend's concurrency."""
+    def test_thread_backend_daemon_pool_shares_one_multiplexed_connection(self, llvm_daemon):
+        """Fork-populated thread pools keep every worker on the root's
+        socket: the transport multiplexes concurrent RPCs by request id (and
+        batched stepping collapses a pool step into one round trip), so
+        sharing no longer serializes the backend's concurrency."""
         with make_vec_env(
             env_id="llvm-v0",
             n=3,
@@ -826,7 +1219,7 @@ class TestDaemonPoolReuse:
             reward_space="IrInstructionCount",
         ) as pool:
             services = {id(worker.service) for worker in pool.workers}
-            assert len(services) == pool.num_envs
+            assert len(services) == 1
             pool.reset()
             _, rewards, _, _ = pool.step([1, 2, 3])
             assert len(rewards) == 3
@@ -857,10 +1250,10 @@ class TestDaemonPoolReuse:
             assert len(observations) == 4
             # Growth forked daemon sessions; still no local subprocesses.
             assert len(multiprocessing.active_children()) == children_before
-            # Grown workers were re-homed onto private connections so their
-            # RPCs don't serialize on worker 0's socket.
+            # Grown workers stay on the shared multiplexed connection — no
+            # per-worker handshake, and batched steps cover the whole pool.
             services = {id(worker.service) for worker in pool.workers}
-            assert len(services) == pool.num_envs
+            assert len(services) == 1
 
 
 class TestSocketStatsAggregation:
@@ -885,6 +1278,9 @@ class TestSocketStatsAggregation:
         assert stats["step"]["wall_time_s"] > 0
 
     def test_daemon_and_local_summaries_merge(self, llvm_daemon):
+        # Earlier tests against the same daemon populated the client-side
+        # spaces cache; drop it so the remote env records a get_spaces call.
+        clear_spaces_cache(llvm_daemon.url)
         remote = _make_llvm_env(service_url=llvm_daemon.url)
         local = _make_llvm_env()
         try:
@@ -902,6 +1298,50 @@ class TestSocketStatsAggregation:
         finally:
             remote.close()
             local.close()
+
+
+class TestSpacesCache:
+    """Static space metadata of a daemon is cached client-side by service
+    URL, so auto-reset re-fetches and pool-worker handshakes stop costing a
+    get_spaces round trip each."""
+
+    def test_second_connection_to_same_daemon_skips_get_spaces(self):
+        with ServiceServer(_runtime(), session_timeout=None).start() as server:
+            clear_spaces_cache()
+            first = ServiceConnection(SocketTransport(server.url))
+            second = ServiceConnection(SocketTransport(server.url))
+            try:
+                assert first.stats["get_spaces"].calls == 1
+                # The second connection was served from the cache: no RPC.
+                assert "get_spaces" not in second.stats
+                assert second.spaces is first.spaces
+            finally:
+                first.close()
+                second.close()
+                clear_spaces_cache(server.url)
+
+    def test_shutdown_retires_the_urls_cache_entry(self):
+        # A daemon's ephemeral port can be reused by a later, different
+        # daemon; its cache entry must die with it.
+        with ServiceServer(_runtime(), session_timeout=None).start() as server:
+            url = server.url
+            with ServiceConnection(SocketTransport(url)) as connection:
+                assert connection.stats["get_spaces"].calls == 1
+        from repro.core.service.connection import _SPACES_CACHE
+
+        assert url not in _SPACES_CACHE
+
+    def test_private_runtime_transports_always_fetch(self):
+        # In-process transports own a private runtime each: nothing to share.
+        first = ServiceConnection(_runtime)
+        second = ServiceConnection(_runtime)
+        try:
+            assert first.stats["get_spaces"].calls == 1
+            assert second.stats["get_spaces"].calls == 1
+            assert second.spaces is not first.spaces
+        finally:
+            first.close()
+            second.close()
 
 
 # -- spec picklability (required by the remote transports) --------------------

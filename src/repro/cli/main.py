@@ -71,6 +71,7 @@ def _cmd_serve(args) -> int:
         port=args.port,
         unix_path=args.unix_socket,
         session_timeout=args.session_timeout if args.session_timeout > 0 else None,
+        auth_tokens=args.auth_token or None,
     )
 
     def _handle_signal(signum, frame):  # noqa: ARG001 - signal API
@@ -93,6 +94,54 @@ def _cmd_serve(args) -> int:
         f"Service daemon shut down cleanly: {info['connections_served']} connection(s), "
         f"{info['runtime_stats'].get('start_session', 0)} session(s) served, "
         f"{info['reaped_sessions']} reaped",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    """Run the session-routing gateway over a daemon fleet (`repro gateway`)."""
+    import os
+    import signal
+
+    from repro.core.service.gateway import ServiceGateway
+
+    daemon_urls = []
+    for entry in args.daemon_url or []:
+        daemon_urls.extend(u for u in entry.split(",") if u)
+    gateway = ServiceGateway(
+        daemon_urls=daemon_urls or None,
+        env_id=args.env,
+        daemons=args.daemons,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_socket,
+        auth_tokens=args.auth_token or None,
+        fleet_token=args.fleet_token,
+    )
+
+    def _handle_signal(signum, frame):  # noqa: ARG001 - signal API
+        del signum, frame
+        gateway.request_shutdown()
+
+    signal.signal(signal.SIGINT, _handle_signal)
+    signal.signal(signal.SIGTERM, _handle_signal)
+    for daemon in gateway.live_daemons():
+        origin = f"pid {daemon.pid}" if daemon.pid is not None else "attached"
+        print(f"Gateway daemon {daemon.index}: {origin} url {daemon.url}", flush=True)
+    print(
+        f"Serving gateway for {args.env} on {gateway.url} (pid {os.getpid()}) "
+        f"fronting {len(gateway.live_daemons())} daemon(s)",
+        flush=True,
+    )
+    try:
+        gateway.serve_forever()
+    finally:
+        gateway.shutdown()
+    info = gateway.server_info()
+    print(
+        f"Gateway shut down cleanly: {info['connections_served']} connection(s), "
+        f"{info['failovers']} failover(s)",
         flush=True,
     )
     return 0
@@ -340,17 +389,18 @@ def make_parser() -> argparse.ArgumentParser:
         help="Run the standalone compiler service daemon: one long-lived "
              "process hosting many compilation sessions for socket clients",
         description="Run the standalone compiler service daemon. "
-                    "SECURITY: the wire protocol is pickle with no "
-                    "authentication — unpickling hostile data executes "
-                    "arbitrary code. Serve only on loopback, a Unix socket, "
-                    "or a fully trusted network (tunnel across machines).",
+                    "Clients are authenticated with --auth-token bearer "
+                    "tokens and messages travel on the versioned typed wire "
+                    "codec, but non-message values still embed pickles: "
+                    "serve only on loopback, a Unix socket, or a trusted "
+                    "network (tunnel across machines).",
     )
     serve.add_argument("--env", default="llvm-v0",
                        help="Environment whose compiler service to host")
     serve.add_argument("--host", default="127.0.0.1",
                        help="TCP listen address. Only expose beyond loopback "
-                            "on a trusted network: the pickle protocol is "
-                            "unauthenticated and executes what it unpickles")
+                            "on a trusted network: auth tokens separate "
+                            "tenants but the wire is not hardened transport")
     serve.add_argument("--port", type=int, default=5499,
                        help="TCP listen port (0 picks a free port)")
     serve.add_argument("--unix-socket", default=None,
@@ -358,7 +408,46 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--session-timeout", type=float, default=3600.0,
                        help="Seconds after which idle sessions are reaped "
                             "(<= 0 disables reaping)")
+    serve.add_argument("--auth-token", action="append", default=None,
+                       help="Require clients to present one of these auth "
+                            "tokens in the connection handshake (repeatable). "
+                            "Omit to serve unauthenticated")
     serve.set_defaults(func=_cmd_serve)
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="Run the session-routing gateway: one URL fronting a fleet of "
+             "compiler daemons, with least-load placement and failover",
+        description="Run the session-routing gateway. Clients attach to the "
+                    "gateway URL exactly as they would to a single daemon "
+                    "(make(..., service_url=...), vectorized pools, train "
+                    "--service-url, the Explorer REST API); the gateway "
+                    "places each session on the least-loaded daemon and "
+                    "replays sessions onto survivors when a daemon dies.",
+    )
+    gateway.add_argument("--env", default="llvm-v0",
+                         help="Environment id for locally spawned daemons")
+    gateway.add_argument("--daemons", type=int, default=2,
+                         help="Local daemon worker processes to spawn (0 to "
+                              "front only --daemon-url fleet members)")
+    gateway.add_argument("--daemon-url", action="append", default=None,
+                         help="Attach an already-running daemon by URL "
+                              "(repeatable; comma-separated lists accepted)")
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="TCP listen address of the gateway itself")
+    gateway.add_argument("--port", type=int, default=5498,
+                         help="TCP listen port (0 picks a free port)")
+    gateway.add_argument("--unix-socket", default=None,
+                         help="Serve on a Unix domain socket path instead of TCP")
+    gateway.add_argument("--auth-token", action="append", default=None,
+                         help="Require clients to present one of these auth "
+                              "tokens (repeatable). Tokens also scope session "
+                              "ownership: one tenant cannot touch another's "
+                              "sessions. Omit to serve unauthenticated")
+    gateway.add_argument("--fleet-token", default=None,
+                         help="Auth token the gateway presents to its daemons; "
+                              "spawned daemons are configured to require it")
+    gateway.set_defaults(func=_cmd_gateway)
 
     search = sub.add_parser("random-search", help="Run (parallel) random search")
     search.add_argument("--env", default="llvm-ic-v0")

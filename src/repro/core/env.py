@@ -57,11 +57,13 @@ class CompilerEnv:
         connection_opts: Optional[ConnectionOpts] = None,
         service_connection: Optional[ServiceConnection] = None,
         service_url: Optional[str] = None,
+        service_token: Optional[str] = None,
     ):
         self.session_type = session_type
         self.datasets = datasets
         self.connection_opts = connection_opts or ConnectionOpts()
         self.service_url = service_url
+        self.service_token = service_token
         self._custom_benchmarks = {}
         # URIs of Benchmark *objects* assigned by the user (rather than
         # resolved from the datasets). A remote daemon resolves benchmarks
@@ -135,7 +137,11 @@ class CompilerEnv:
         retrying an applied step() would re-execute it on the daemon.
         """
         deadline = self.connection_opts.rpc_call_max_seconds
-        return SocketTransport(self.service_url, timeout=deadline + max(deadline, 5.0))
+        return SocketTransport(
+            self.service_url,
+            timeout=deadline + max(deadline, 5.0),
+            auth_token=self.service_token,
+        )
 
     def _resolve_benchmark(self, uri: str) -> Benchmark:
         if uri in self._custom_benchmarks:

@@ -44,17 +44,23 @@ _SPACES_CACHE_LOCK = threading.Lock()
 
 
 def clear_spaces_cache(key: Optional[str] = None) -> None:
-    """Drop cached space metadata (all of it, or one service URL's entry).
+    """Drop cached space metadata (all of it, or one service URL's entries).
 
     Needed when a service URL is *reused* by a daemon serving a different
-    environment — ports from one test to the next, say. Production daemons
-    never mutate their spaces, so normal code has no reason to call this.
+    environment — ports from one test to the next, say — and when a gateway
+    re-homes sessions across its fleet (its clients' cache keys carry a
+    ``#e<epoch>`` suffix; clearing the bare URL retires every epoch of it).
+    Production daemons never mutate their spaces, so normal code has no
+    reason to call this.
     """
     with _SPACES_CACHE_LOCK:
         if key is None:
             _SPACES_CACHE.clear()
         else:
             _SPACES_CACHE.pop(key, None)
+            prefix = f"{key}#"
+            for stale in [k for k in _SPACES_CACHE if k.startswith(prefix)]:
+                _SPACES_CACHE.pop(stale, None)
 
 
 @dataclass

@@ -1,0 +1,781 @@
+"""Session-routing gateway: one URL fronting a fleet of compiler daemons.
+
+The paper's service architecture is sized for "millions of users", and one
+daemon is a single point of saturation and failure. A
+:class:`ServiceGateway` refactors the deployment from *a client dials one
+daemon* into *a client resolves sessions through a routing layer*: it
+serves the exact same wire protocol as a daemon (clients, vectorized pools,
+RL actors, and the Explorer REST API attach to a gateway URL with zero code
+changes), places each new session on the least-loaded live daemon, proxies
+session-scoped RPCs to the owning daemon over the multiplexed transport,
+and fails sessions over when a daemon dies.
+
+**Session routing.** The gateway speaks *gateway-scoped* session ids to its
+clients and translates to ``(daemon, remote session id)`` pairs
+internally, so clients never observe which daemon hosts them — or that the
+hosting daemon changed. Batched ``step_sessions`` RPCs are split by owning
+daemon, fanned out concurrently, and reassembled in request order.
+
+**Failover.** Every routed session records its construction recipe and the
+acknowledged action sequence as a :class:`~repro.core.compiler_env_state.
+CompilerEnvState`-backed record. When a daemon dies (detected by a failed
+RPC plus a failed liveness probe), each of its sessions is re-created on a
+surviving daemon by replaying the recorded actions, and the failed call is
+retried once against the new home. Only *acknowledged* actions are
+replayed, so a step lost in flight with the dying daemon is applied at most
+once on the successor. The gateway's ``spaces_epoch`` is bumped on every
+failover so reconnecting clients retire cached space metadata.
+
+**Multi-tenancy.** Client auth tokens (checked by the inherited hello
+handshake) own their sessions at the gateway: one tenant's session-scoped
+calls can never touch another tenant's sessions, whichever daemon they
+landed on. Toward the fleet the gateway speaks a single ``fleet_token``,
+letting daemons be locked down to gateway-only access.
+
+**Fleet scaling.** Daemons are either *attached* (URLs handed in) or
+*spawned* (local worker processes started from an ``env_id``). The
+:class:`~repro.core.vector.autoscale.FleetAutoscalePolicy` turns aggregated
+per-daemon call accounting into drain/spawn decisions applied by
+:meth:`ServiceGateway.scale_to`.
+"""
+
+import itertools
+import logging
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.compiler_env_state import CompilerEnvState
+from repro.core.service.connection import ConnectionOpts, ServiceConnection
+from repro.core.service.proto import (
+    EndSessionReply,
+    EndSessionRequest,
+    ForkSessionReply,
+    ForkSessionRequest,
+    SessionStepResult,
+    StartSessionReply,
+    StartSessionRequest,
+    StepRequest,
+    StepSessionsReply,
+    StepSessionsRequest,
+)
+from repro.core.service.rpc_server import ClientConnectionState, SocketRPCServer
+from repro.core.service.transport import SocketTransport
+from repro.core.service.wire import (
+    LEGACY_WIRE_VERSION,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+)
+from repro.errors import (
+    PermissionDeniedError,
+    ServiceError,
+    SessionNotFound,
+)
+
+logger = logging.getLogger(__name__)
+
+# RPC methods the gateway accepts from clients — the same vocabulary a
+# daemon serves, so every existing client works unchanged against a gateway.
+_GATEWAY_METHODS = frozenset(
+    {"get_spaces", "start_session", "step", "fork_session", "end_session",
+     "handle_session_parameter", "step_sessions", "server_info"}
+)
+
+
+def _spawned_daemon_main(pipe, env_id, host, auth_tokens, make_kwargs):
+    """Entry point of a gateway-spawned daemon worker process."""
+    from repro.core.service.runtime.server import make_env_server
+
+    try:
+        server = make_env_server(
+            env_id, host=host, port=0, auth_tokens=auth_tokens, **make_kwargs
+        )
+    except BaseException as error:  # noqa: BLE001 - reported to the gateway
+        try:
+            pipe.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            pipe.close()
+        return
+    pipe.send(("ok", server.url))
+    pipe.close()
+
+    def _on_term(signum, frame):
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_term)
+    signal.signal(signal.SIGINT, _on_term)
+    server.serve_forever()
+    server.shutdown()
+
+
+@dataclass
+class DaemonHandle:
+    """One fleet member: its URL, client connection, and (if spawned) process."""
+
+    index: int
+    url: str
+    connection: ServiceConnection
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    draining: bool = False
+    dead: bool = False
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+
+@dataclass
+class _RoutedSession:
+    """Gateway-side record of one client session: where it lives and how to
+    rebuild it. ``state`` carries the replay recipe (benchmark + acknowledged
+    actions) in :class:`CompilerEnvState` form; only acknowledged actions are
+    replayed on failover, preserving at-most-once step application."""
+
+    gateway_sid: int
+    daemon: DaemonHandle
+    remote_sid: int
+    owner: Optional[str]
+    benchmark_uri: str
+    action_space: int = 0
+    actions: List[Any] = field(default_factory=list)
+    replayed: int = 0  # Times this session was re-homed by failover.
+
+    def env_state(self) -> CompilerEnvState:
+        """The session's episode so far, as a portable CompilerEnvState."""
+        return CompilerEnvState(
+            benchmark=self.benchmark_uri,
+            commandline=" ".join(str(action) for action in self.actions),
+        )
+
+
+class ServiceGateway(SocketRPCServer):
+    """Routes compiler service sessions across a fleet of daemons.
+
+    Args:
+        daemon_urls: URLs of already-running daemons to attach to.
+        env_id: Environment id for locally spawned daemons.
+        daemons: Number of local daemon processes to spawn at startup
+            (requires ``env_id``).
+        make_kwargs: Extra ``repro.make`` kwargs for spawned daemons.
+        host / port / unix_path: Where the gateway itself listens.
+        auth_tokens: Client auth tokens accepted by the gateway (``None``
+            serves everyone; tenants are then distinguished by whatever
+            token each client presented, including none).
+        fleet_token: Auth token the gateway presents to its daemons, and
+            which spawned daemons are configured to require.
+        daemon_timeout: Per-RPC transport timeout toward the daemons.
+    """
+
+    server_kind = "gateway"
+    # Proxy latency is pure overhead: serve idle-connection requests on the
+    # reader thread, skipping the dispatch-pool handoff (see base class).
+    serve_inline_when_idle = True
+
+    def __init__(
+        self,
+        daemon_urls: Optional[List[str]] = None,
+        env_id: Optional[str] = None,
+        daemons: int = 0,
+        make_kwargs: Optional[Dict[str, Any]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        auth_tokens=None,
+        fleet_token: Optional[str] = None,
+        daemon_timeout: float = 300.0,
+    ):
+        if not daemon_urls and not daemons:
+            raise ValueError(
+                "ServiceGateway needs a fleet: pass daemon_urls and/or daemons > 0"
+            )
+        if daemons and not env_id:
+            raise ValueError("Spawning local daemons requires env_id")
+        self.env_id = env_id
+        self.fleet_token = fleet_token
+        self.daemon_timeout = daemon_timeout
+        self._make_kwargs = dict(make_kwargs or {})
+        self._fleet_lock = threading.RLock()
+        self._daemons: List[DaemonHandle] = []
+        self._daemon_indexes = itertools.count()
+        self._sessions: Dict[int, _RoutedSession] = {}
+        self._session_ids = itertools.count()
+        self._epoch = 0
+        self.failovers = 0
+        # step_sessions fan-out runs per-daemon batches on this pool (the
+        # inherited dispatch pool carries the batch RPC itself, and tasks
+        # must never wait on their own executor).
+        self._fanout_executor = ThreadPoolExecutor(
+            max_workers=16, thread_name_prefix="repro-gateway-fanout"
+        )
+        self._mp = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+
+        for url in daemon_urls or []:
+            self._attach_daemon(url)
+        for _ in range(daemons):
+            self.spawn_daemon()
+
+        super().__init__(host=host, port=port, unix_path=unix_path, auth_tokens=auth_tokens)
+
+    # -- fleet membership --------------------------------------------------
+
+    def _connect_daemon(self, url: str) -> ServiceConnection:
+        # Fleet links are authenticated and co-released with the gateway, so
+        # pin them to the compact legacy codec: the typed codec's schema-skew
+        # tolerance buys nothing here and its cost would be paid per proxied
+        # hop. Client-facing connections still negotiate the typed codec.
+        transport = SocketTransport(
+            url,
+            timeout=self.daemon_timeout,
+            auth_token=self.fleet_token,
+            wire_version=LEGACY_WIRE_VERSION,
+            # Read daemon replies on the dispatch thread itself
+            # (leader/follower) rather than bouncing through a per-connection
+            # reader thread: two fewer thread wakeups per proxied hop.
+            inline_reads=True,
+        )
+        # Fast failure detection: the gateway owns failover, so its daemon
+        # calls should fail fast rather than retry at length.
+        return ServiceConnection(
+            transport,
+            ConnectionOpts(
+                rpc_call_max_seconds=self.daemon_timeout,
+                rpc_max_retries=2,
+                retry_wait_seconds=0.05,
+                init_max_attempts=5,
+            ),
+        )
+
+    def _attach_daemon(self, url: str) -> DaemonHandle:
+        handle = DaemonHandle(
+            index=next(self._daemon_indexes),
+            url=url,
+            connection=self._connect_daemon(url),
+        )
+        with self._fleet_lock:
+            self._daemons.append(handle)
+        logger.info("Gateway attached daemon %d at %s", handle.index, url)
+        return handle
+
+    def spawn_daemon(self) -> DaemonHandle:
+        """Start one local daemon worker process and attach to it."""
+        if not self.env_id:
+            raise ServiceError("This gateway has no env_id: cannot spawn daemons")
+        parent_pipe, child_pipe = self._mp.Pipe()
+        fleet_tokens = [self.fleet_token] if self.fleet_token is not None else None
+        process = self._mp.Process(
+            target=_spawned_daemon_main,
+            args=(child_pipe, self.env_id, "127.0.0.1", fleet_tokens, self._make_kwargs),
+            name="repro-gateway-daemon",
+        )
+        process.start()
+        child_pipe.close()
+        try:
+            if not parent_pipe.poll(120):
+                raise ServiceError("Spawned daemon did not report a URL within 120s")
+            status, payload = parent_pipe.recv()
+        except (EOFError, OSError) as error:
+            process.join(timeout=5)
+            raise ServiceError(f"Spawned daemon died during startup: {error}") from error
+        finally:
+            parent_pipe.close()
+        if status != "ok":
+            process.join(timeout=5)
+            raise ServiceError(f"Spawned daemon failed to start: {payload}")
+        handle = self._attach_daemon(payload)
+        handle.process = process
+        logger.info("Gateway spawned daemon pid=%d at %s", process.pid, payload)
+        return handle
+
+    def live_daemons(self) -> List[DaemonHandle]:
+        """Fleet members that are alive (draining ones included)."""
+        with self._fleet_lock:
+            return [d for d in self._daemons if not d.dead]
+
+    def _placement_candidates(self) -> List[DaemonHandle]:
+        with self._fleet_lock:
+            return [d for d in self._daemons if not d.dead and not d.draining]
+
+    def _place_session(self) -> DaemonHandle:
+        """Pick the least-loaded live daemon for a new session."""
+        candidates = self._placement_candidates()
+        if not candidates:
+            raise ServiceError("Gateway has no live daemons to place the session on")
+        with self._fleet_lock:
+            load = {id(d): 0 for d in candidates}
+            for record in self._sessions.values():
+                if id(record.daemon) in load:
+                    load[id(record.daemon)] += 1
+        return min(candidates, key=lambda d: (load[id(d)], d.index))
+
+    # -- failure handling --------------------------------------------------
+
+    def _daemon_alive(self, daemon: DaemonHandle) -> bool:
+        """Liveness probe: can the daemon still answer server_info?"""
+        try:
+            daemon.connection.transport.server_info()
+            return True
+        except Exception:  # noqa: BLE001 - any failure means "not provably alive"
+            return False
+
+    def _handle_daemon_failure(self, daemon: DaemonHandle, error: BaseException) -> None:
+        """Retire a dead daemon and re-home its sessions onto survivors.
+
+        Each session is re-created by replaying its recorded (acknowledged)
+        action sequence. Sessions that cannot be replayed — no surviving
+        daemon, or the replay itself failed — are dropped, surfacing as
+        :class:`SessionNotFound` to their clients (the same contract as a
+        daemon-side session crash).
+        """
+        with self._fleet_lock:
+            if daemon.dead:
+                return
+            daemon.dead = True
+            self._epoch += 1
+            self.failovers += 1
+            stranded = [r for r in self._sessions.values() if r.daemon is daemon]
+        logger.warning(
+            "Gateway daemon %d at %s died (%s); re-homing %d session(s)",
+            daemon.index, daemon.url, error, len(stranded),
+        )
+        try:
+            daemon.connection.close()
+        except Exception:  # noqa: BLE001 - it is already dead
+            pass
+        if daemon.process is not None:
+            daemon.process.join(timeout=5)
+        for record in stranded:
+            try:
+                self._replay_session(record)
+            except Exception as replay_error:  # noqa: BLE001 - drop, don't wedge
+                logger.warning(
+                    "Gateway could not replay session %d (%s after %d actions): %s",
+                    record.gateway_sid, record.benchmark_uri, len(record.actions),
+                    replay_error,
+                )
+                with self._fleet_lock:
+                    self._sessions.pop(record.gateway_sid, None)
+
+    def _replay_session(self, record: _RoutedSession) -> None:
+        """Re-create one routed session on a live daemon by replaying its
+        :class:`CompilerEnvState` (benchmark + acknowledged actions)."""
+        state = record.env_state()
+        target = self._place_session()
+        reply = target.connection.start_session(
+            StartSessionRequest(
+                benchmark_uri=state.benchmark,
+                action_space=record.action_space,
+            )
+        )
+        if record.actions:
+            target.connection.step(
+                StepRequest(session_id=reply.session_id, actions=list(record.actions))
+            )
+        with self._fleet_lock:
+            record.daemon = target
+            record.remote_sid = reply.session_id
+            record.replayed += 1
+        logger.info(
+            "Replayed session %d (%d actions) onto daemon %d at %s",
+            record.gateway_sid, len(record.actions), target.index, target.url,
+        )
+
+    def _routed(self, state: ClientConnectionState, gateway_sid: int) -> _RoutedSession:
+        with self._fleet_lock:
+            record = self._sessions.get(gateway_sid)
+        if record is None:
+            raise SessionNotFound(f"Session not found: {gateway_sid}")
+        if record.owner != state.token:
+            raise PermissionDeniedError(
+                f"Session {gateway_sid} belongs to another tenant"
+            )
+        return record
+
+    def _call_routed(self, record: _RoutedSession, call):
+        """Invoke ``call(daemon, remote_sid)``, failing over once if the
+        owning daemon died mid-call."""
+        for attempt in (0, 1):
+            daemon, remote_sid = record.daemon, record.remote_sid
+            try:
+                return call(daemon, remote_sid)
+            except (SessionNotFound, PermissionDeniedError):
+                raise
+            except (ServiceError, ConnectionError, OSError) as error:
+                if attempt or self._daemon_alive(daemon):
+                    # Either we already failed over once, or the daemon is
+                    # healthy and the error is the call's own (a compiler
+                    # crash, say) — failover cannot help, report it.
+                    raise
+                self._handle_daemon_failure(daemon, error)
+                with self._fleet_lock:
+                    if record.gateway_sid not in self._sessions:
+                        raise SessionNotFound(
+                            f"Session {record.gateway_sid} was lost with its daemon"
+                        ) from error
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, state: ClientConnectionState, method: str, args):
+        if method not in _GATEWAY_METHODS:
+            raise ServiceError(f"Unknown service method: {method!r}")
+        handler = getattr(self, f"_rpc_{method}")
+        return handler(state, *args)
+
+    def _rpc_get_spaces(self, state: ClientConnectionState):
+        candidates = self.live_daemons()
+        if not candidates:
+            raise ServiceError("Gateway has no live daemons")
+        return candidates[0].connection.spaces
+
+    def _rpc_start_session(self, state: ClientConnectionState, request: StartSessionRequest):
+        daemon = self._place_session()
+        reply = daemon.connection.start_session(request)
+        with self._fleet_lock:
+            gateway_sid = next(self._session_ids)
+            self._sessions[gateway_sid] = _RoutedSession(
+                gateway_sid=gateway_sid,
+                daemon=daemon,
+                remote_sid=reply.session_id,
+                owner=state.token,
+                benchmark_uri=request.benchmark_uri,
+                action_space=request.action_space,
+            )
+        return StartSessionReply(
+            session_id=gateway_sid,
+            observations=reply.observations,
+            new_action_space=reply.new_action_space,
+        )
+
+    def _rpc_step(self, state: ClientConnectionState, request: StepRequest):
+        record = self._routed(state, request.session_id)
+
+        def do_step(daemon, remote_sid):
+            return daemon.connection.step(
+                StepRequest(
+                    session_id=remote_sid,
+                    actions=request.actions,
+                    observation_space_names=request.observation_space_names,
+                )
+            )
+
+        reply = self._call_routed(record, do_step)
+        # Acknowledged: these actions are now part of the session's replay
+        # recipe. (A step lost with a dying daemon was NOT recorded, so the
+        # failover replay + this retry apply it exactly once.)
+        record.actions.extend(request.actions)
+        return reply
+
+    def _rpc_fork_session(self, state: ClientConnectionState, request: ForkSessionRequest):
+        record = self._routed(state, request.session_id)
+
+        def do_fork(daemon, remote_sid):
+            return daemon.connection.fork_session(
+                ForkSessionRequest(session_id=remote_sid)
+            )
+
+        reply = self._call_routed(record, do_fork)
+        with self._fleet_lock:
+            gateway_sid = next(self._session_ids)
+            self._sessions[gateway_sid] = _RoutedSession(
+                gateway_sid=gateway_sid,
+                daemon=record.daemon,
+                remote_sid=reply.session_id,
+                owner=state.token,
+                benchmark_uri=record.benchmark_uri,
+                action_space=record.action_space,
+                actions=list(record.actions),
+            )
+        return ForkSessionReply(session_id=gateway_sid)
+
+    def _rpc_end_session(self, state: ClientConnectionState, request: EndSessionRequest):
+        record = self._routed(state, request.session_id)
+        with self._fleet_lock:
+            self._sessions.pop(record.gateway_sid, None)
+            remaining = len(self._sessions)
+        try:
+            record.daemon.connection.end_session(
+                EndSessionRequest(session_id=record.remote_sid)
+            )
+        except (ServiceError, ConnectionError, OSError, SessionNotFound):
+            pass  # The daemon (or the session) is already gone either way.
+        self._retire_empty_drains()
+        return EndSessionReply(remaining_sessions=remaining)
+
+    def _rpc_handle_session_parameter(
+        self, state: ClientConnectionState, session_id: int, key: str, value: str
+    ):
+        record = self._routed(state, session_id)
+
+        def do_param(daemon, remote_sid):
+            return daemon.connection.handle_session_parameter(remote_sid, key, value)
+
+        return self._call_routed(record, do_param)
+
+    def _rpc_step_sessions(self, state: ClientConnectionState, request: StepSessionsRequest):
+        """Split a batch by owning daemon, fan out, reassemble in order.
+
+        When a daemon dies mid-batch, its group's sessions are failed over —
+        which may scatter them across *several* survivors — so the retry
+        re-buckets the group's positions by each session's new home rather
+        than replaying the whole group against one daemon.
+        """
+        if not isinstance(request, StepSessionsRequest):
+            raise ServiceError(
+                f"step_sessions expects a StepSessionsRequest, got "
+                f"{type(request).__name__}"
+            )
+        results: List[Optional[SessionStepResult]] = [None] * len(request.requests)
+        records: Dict[int, _RoutedSession] = {}
+        # Route and bucket the whole batch under one fleet-lock pass: this
+        # runs once per vec-pool step, so per-sub lock churn is measurable.
+        by_daemon: Dict[int, tuple] = {}
+        with self._fleet_lock:
+            for position, sub in enumerate(request.requests):
+                sid = sub.session_id
+                record = self._sessions.get(sid)
+                if record is None:
+                    results[position] = SessionStepResult(
+                        session_id=sid,
+                        error=SessionNotFound(f"Session not found: {sid}"),
+                    )
+                    continue
+                if record.owner != state.token:
+                    results[position] = SessionStepResult(
+                        session_id=sid,
+                        error=PermissionDeniedError(
+                            f"Session {sid} belongs to another tenant"
+                        ),
+                    )
+                    continue
+                records[sid] = record
+                by_daemon.setdefault(record.daemon.index, (record.daemon, []))[
+                    1
+                ].append(position)
+        groups = list(by_daemon.values())
+
+        def bucket_by_home(positions: List[int]) -> List[tuple]:
+            """Group positions by their session's current owning daemon."""
+            by_daemon: Dict[int, tuple] = {}
+            with self._fleet_lock:
+                for position in positions:
+                    sid = request.requests[position].session_id
+                    if sid not in self._sessions:
+                        results[position] = SessionStepResult(
+                            session_id=sid,
+                            error=SessionNotFound(
+                                f"Session {sid} was lost with its daemon"
+                            ),
+                        )
+                        continue
+                    daemon = records[sid].daemon
+                    by_daemon.setdefault(daemon.index, (daemon, []))[1].append(position)
+            return list(by_daemon.values())
+
+        def step_group(daemon: DaemonHandle, positions: List[int], depth: int = 0):
+            started = time.monotonic()
+            subs = [request.requests[p] for p in positions]
+            translated = [
+                StepRequest(
+                    session_id=records[sub.session_id].remote_sid,
+                    actions=sub.actions,
+                    observation_space_names=sub.observation_space_names,
+                )
+                for sub in subs
+            ]
+            try:
+                batch = daemon.connection.step_sessions(translated)
+            except (ServiceError, ConnectionError, OSError) as error:
+                if depth == 0 and not self._daemon_alive(daemon):
+                    self._handle_daemon_failure(daemon, error)
+                    # The group's sessions were re-homed (possibly onto
+                    # different survivors): re-bucket and retry each
+                    # sub-group once against its new home.
+                    for new_daemon, new_positions in bucket_by_home(positions):
+                        step_group(new_daemon, new_positions, depth=1)
+                    return
+                wall = time.monotonic() - started
+                for position, sub in zip(positions, subs):
+                    results[position] = SessionStepResult(
+                        session_id=sub.session_id, error=error, wall_time_s=wall
+                    )
+                return
+            for position, sub, result in zip(positions, subs, batch):
+                if result.error is None:
+                    records[sub.session_id].actions.extend(sub.actions)
+                # The daemon's result object is ours alone (freshly decoded):
+                # translate its session id back in place instead of copying.
+                result.session_id = sub.session_id
+                results[position] = result
+
+        # The last group runs inline on this dispatch thread: a batch that
+        # maps to a single daemon (the common case — a pool's forked
+        # sessions co-locate) then pays no executor handoff at all.
+        futures = [
+            self._fanout_executor.submit(step_group, daemon, positions)
+            for daemon, positions in groups[:-1]
+        ]
+        if groups:
+            step_group(*groups[-1])
+        for future in futures:
+            future.result()
+        return StepSessionsReply(results=results)
+
+    def _rpc_server_info(self, state: ClientConnectionState):
+        return self.server_info()
+
+    # -- introspection -----------------------------------------------------
+
+    def spaces_epoch(self) -> int:
+        with self._fleet_lock:
+            return self._epoch
+
+    def session_states(self) -> Dict[int, CompilerEnvState]:
+        """Every routed session's episode so far, as CompilerEnvStates."""
+        with self._fleet_lock:
+            return {sid: r.env_state() for sid, r in self._sessions.items()}
+
+    def daemon_stats(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-daemon call accounting (fuel for fleet autoscaling)."""
+        return {
+            daemon.url: daemon.connection.stats_summary()
+            for daemon in self.live_daemons()
+        }
+
+    def server_info(self) -> dict:
+        with self._fleet_lock:
+            sessions = len(self._sessions)
+            epoch = self._epoch
+            failovers = self.failovers
+            fleet = [
+                {
+                    "index": d.index,
+                    "url": d.url,
+                    "pid": d.pid,
+                    "draining": d.draining,
+                    "sessions": sum(
+                        1 for r in self._sessions.values() if r.daemon is d
+                    ),
+                }
+                for d in self._daemons
+                if not d.dead
+            ]
+        return {
+            "pid": os.getpid(),
+            "env_id": self.env_id,
+            "url": self.url,
+            "role": "gateway",
+            "protocol_version": WIRE_VERSION,
+            "wire_versions": sorted(SUPPORTED_WIRE_VERSIONS),
+            "uptime_s": time.monotonic() - self.started_at,
+            "active_sessions": sessions,
+            "connections_served": self.connections_served,
+            "spaces_epoch": epoch,
+            "failovers": failovers,
+            "daemons": fleet,
+        }
+
+    # -- fleet scaling -----------------------------------------------------
+
+    def scale_to(self, target: int) -> int:
+        """Spawn or drain daemons toward ``target`` live members.
+
+        Growing requires an ``env_id`` (only spawned daemons can be added).
+        Shrinking marks the least-loaded daemons as *draining*: they take no
+        new sessions and are retired as soon as their last session ends.
+        Returns the number of live (non-draining) daemons after the change.
+        """
+        target = max(1, target)
+        with self._fleet_lock:
+            active = [d for d in self._daemons if not d.dead and not d.draining]
+            draining = [d for d in self._daemons if not d.dead and d.draining]
+        if target > len(active):
+            # Un-drain first — cheaper than spawning a fresh process.
+            for daemon in draining[: target - len(active)]:
+                daemon.draining = False
+                active.append(daemon)
+            while len(active) < target and self.env_id:
+                active.append(self.spawn_daemon())
+        elif target < len(active):
+            with self._fleet_lock:
+                load = {
+                    id(d): sum(1 for r in self._sessions.values() if r.daemon is d)
+                    for d in active
+                }
+            # Drain the emptiest members first.
+            for daemon in sorted(active, key=lambda d: (load[id(d)], -d.index))[
+                : len(active) - target
+            ]:
+                daemon.draining = True
+                logger.info("Gateway draining daemon %d at %s", daemon.index, daemon.url)
+            self._retire_empty_drains()
+        with self._fleet_lock:
+            return sum(1 for d in self._daemons if not d.dead and not d.draining)
+
+    def _retire_empty_drains(self) -> None:
+        """Terminate draining daemons whose last session has ended."""
+        with self._fleet_lock:
+            empty = [
+                d
+                for d in self._daemons
+                if d.draining
+                and not d.dead
+                and not any(r.daemon is d for r in self._sessions.values())
+            ]
+            for daemon in empty:
+                daemon.dead = True
+        for daemon in empty:
+            logger.info("Gateway retiring drained daemon %d at %s", daemon.index, daemon.url)
+            self._stop_daemon(daemon)
+
+    def autoscale_tick(self, policy) -> Optional[int]:
+        """One fleet-autoscaling decision: feed per-daemon stats to ``policy``
+        (a :class:`~repro.core.vector.autoscale.FleetAutoscalePolicy`) and
+        apply the returned target with :meth:`scale_to`."""
+        self._retire_empty_drains()
+        with self._fleet_lock:
+            current = sum(1 for d in self._daemons if not d.dead and not d.draining)
+        target = policy(self.daemon_stats(), current)
+        if target is None:
+            return None
+        return self.scale_to(target)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _stop_daemon(self, daemon: DaemonHandle) -> None:
+        try:
+            daemon.connection.close()
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+        if daemon.process is not None and daemon.process.is_alive():
+            daemon.process.terminate()  # SIGTERM -> daemon shuts down cleanly.
+            daemon.process.join(timeout=15)
+            if daemon.process.is_alive():
+                daemon.process.kill()
+                daemon.process.join(timeout=5)
+
+    def shutdown(self) -> None:
+        """Stop serving and reap every spawned daemon. Idempotent."""
+        if not self._begin_shutdown():
+            return
+        self._fanout_executor.shutdown(wait=True)
+        self._finish_shutdown()
+        with self._fleet_lock:
+            fleet = list(self._daemons)
+            self._daemons = []
+            self._sessions.clear()
+        for daemon in fleet:
+            if not daemon.dead:
+                self._stop_daemon(daemon)
+        try:
+            from repro.core.service.connection import clear_spaces_cache
+
+            clear_spaces_cache(self.url)
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+        logger.info("Compiler service gateway on %s shut down", self.url)

@@ -10,7 +10,10 @@ design and lets the optional subprocess transport pickle them.
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.core.service.wire import wire_message
 
+
+@wire_message
 @dataclass
 class Event:
     """A tagged union value used for observations and action payloads."""
@@ -61,6 +64,7 @@ class Event:
         return cls(opaque=value)
 
 
+@wire_message
 @dataclass
 class ActionSpaceMessage:
     """Description of an action space exposed by a compilation session."""
@@ -69,6 +73,7 @@ class ActionSpaceMessage:
     space: Any
 
 
+@wire_message
 @dataclass
 class ObservationSpaceMessage:
     """Description of an observation space exposed by a compilation session."""
@@ -80,6 +85,7 @@ class ObservationSpaceMessage:
     default_observation: Any = None
 
 
+@wire_message
 @dataclass
 class StartSessionRequest:
     benchmark_uri: str
@@ -87,6 +93,7 @@ class StartSessionRequest:
     observation_space_names: List[str] = field(default_factory=list)
 
 
+@wire_message
 @dataclass
 class StartSessionReply:
     session_id: int
@@ -94,6 +101,7 @@ class StartSessionReply:
     new_action_space: Optional[ActionSpaceMessage] = None
 
 
+@wire_message
 @dataclass
 class StepRequest:
     session_id: int
@@ -101,6 +109,7 @@ class StepRequest:
     observation_space_names: List[str] = field(default_factory=list)
 
 
+@wire_message
 @dataclass
 class StepReply:
     end_of_session: bool = False
@@ -109,6 +118,7 @@ class StepReply:
     observations: List[Event] = field(default_factory=list)
 
 
+@wire_message
 @dataclass
 class StepSessionsRequest:
     """Batch of independent per-session step requests, applied in one RPC.
@@ -121,6 +131,7 @@ class StepSessionsRequest:
     requests: List[StepRequest] = field(default_factory=list)
 
 
+@wire_message
 @dataclass
 class SessionStepResult:
     """Outcome of one sub-request of a :class:`StepSessionsRequest`.
@@ -141,6 +152,7 @@ class SessionStepResult:
         return self.error is None
 
 
+@wire_message
 @dataclass
 class StepSessionsReply:
     """Per-session outcomes, in the order of the request batch."""
@@ -148,32 +160,38 @@ class StepSessionsReply:
     results: List[SessionStepResult] = field(default_factory=list)
 
 
+@wire_message
 @dataclass
 class ForkSessionRequest:
     session_id: int
 
 
+@wire_message
 @dataclass
 class ForkSessionReply:
     session_id: int
 
 
+@wire_message
 @dataclass
 class EndSessionRequest:
     session_id: int
 
 
+@wire_message
 @dataclass
 class EndSessionReply:
     remaining_sessions: int = 0
 
 
+@wire_message
 @dataclass
 class GetSpacesReply:
     action_spaces: List[ActionSpaceMessage] = field(default_factory=list)
     observation_spaces: List[ObservationSpaceMessage] = field(default_factory=list)
 
 
+@wire_message
 @dataclass
 class SessionState:
     """Snapshot of a compilation session used for checkpoint/restore."""
@@ -181,3 +199,38 @@ class SessionState:
     benchmark_uri: str
     actions: List[Any] = field(default_factory=list)
     metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@wire_message
+@dataclass
+class HelloRequest:
+    """Connection handshake: the first RPC a client sends on every socket.
+
+    Carries the client's auth token (checked against the server's accepted
+    set when authentication is configured) and the wire versions it can
+    decode, from which the server picks the highest shared one. Sent encoded
+    at the *oldest* supported wire version so any compatible server can read
+    it before negotiation has happened.
+    """
+
+    token: Optional[str] = None
+    wire_versions: List[int] = field(default_factory=list)
+    client: str = ""
+
+
+@wire_message
+@dataclass
+class HelloReply:
+    """The server's half of the handshake.
+
+    ``wire_version`` is the negotiated version both sides use from now on.
+    ``spaces_epoch`` is bumped by a gateway whenever it re-homes sessions
+    across its fleet, and keys the client-side ``get_spaces`` cache so a
+    post-failover connection never trusts pre-failover metadata.
+    """
+
+    wire_version: int
+    server_wire_version: int = 0
+    supported_wire_versions: List[int] = field(default_factory=list)
+    spaces_epoch: int = 0
+    server: str = ""

@@ -2,12 +2,13 @@
 
 This is the server half of the paper's client/server split: one long-lived
 process hosts a :class:`~repro.core.service.runtime.compiler_gym_service.
-CompilerGymServiceRuntime` and serves the RPC protocol of
-:class:`~repro.core.service.transport.SocketTransport` (length-prefixed
-pickled ``(method, args)`` requests) over a TCP or Unix socket. Many clients
-— environments, vectorized pools, RL actors, possibly on other machines —
-multiplex their sessions onto the one runtime, sharing its benchmark cache
-and amortizing service startup across all of them.
+CompilerGymServiceRuntime` and serves the versioned RPC protocol of
+:class:`~repro.core.service.transport.SocketTransport` (see
+:mod:`repro.core.service.wire`) over a TCP or Unix socket. Many clients
+— environments, vectorized pools, RL actors, a session-routing gateway,
+possibly on other machines — multiplex their sessions onto the one runtime,
+sharing its benchmark cache and amortizing service startup across all of
+them.
 
 Robustness properties:
 
@@ -22,28 +23,34 @@ Robustness properties:
 * **Idle-session reaping** — sessions untouched for ``session_timeout``
   seconds are ended in the background, so leaked sessions from crashed
   clients cannot accumulate forever.
+* **Session ownership** — every session is stamped with the auth token of
+  the connection that created it; a session-scoped call from a different
+  tenant is rejected with :class:`~repro.errors.PermissionDeniedError`.
+  Anonymous connections (no token) share one anonymous tenant, preserving
+  the pre-auth behaviour of trusted single-tenant deployments.
 * **Graceful shutdown** — ``shutdown()`` (or SIGINT/SIGTERM under ``repro
   serve``) stops accepting, unblocks every handler, closes all sessions and
   the runtime, and joins all threads.
 
 Start one from the command line with ``repro-compilergym serve --env llvm-v0
 --port 5499``, then attach environments with ``repro.make("llvm-v0",
-service_url="tcp://127.0.0.1:5499")``.
+service_url="tcp://127.0.0.1:5499")``. To front a fleet of daemons with one
+URL, see :mod:`repro.core.service.gateway`.
 
-.. warning::
-    The wire protocol is *pickle*, with no authentication: unpickling a
-    hostile frame executes arbitrary code, on the daemon and on clients
-    alike. Serve only on loopback, a Unix socket, or a network where every
-    peer is trusted (the same trust model as a multiprocessing cluster);
-    front the daemon with an SSH tunnel or VPN to cross machines.
+The accept loop, handshake, and reply framing are inherited from
+:class:`~repro.core.service.rpc_server.SocketRPCServer`; this module adds
+what requests *mean* against a compiler runtime. Typed-codec frames plus
+``--service-token`` authentication replace the historical "bare pickle from
+anyone who can connect" trust model; still prefer loopback, Unix sockets,
+or a trusted network segment, since opaque payloads remain pickled for
+token-holding peers.
 """
 
 import logging
 import os
-import socket
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor, wait as wait_futures
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional
 
 from repro.core.service.proto import (
@@ -52,16 +59,15 @@ from repro.core.service.proto import (
     StepSessionsReply,
     StepSessionsRequest,
 )
-from repro.core.service.transport import (
-    PROTOCOL_VERSION,
-    REPLY_ERROR,
-    REPLY_OK,
-    read_frame,
-    write_frame_reply,
-)
-from repro.errors import ServiceError, SessionNotFound
+from repro.core.service.rpc_server import ClientConnectionState, SocketRPCServer
+from repro.core.service.wire import SUPPORTED_WIRE_VERSIONS, WIRE_VERSION
+from repro.errors import PermissionDeniedError, ServiceError, SessionNotFound
 
 logger = logging.getLogger(__name__)
+
+# Historical alias; the daemon reports its current wire version under this
+# name in server_info.
+PROTOCOL_VERSION = WIRE_VERSION
 
 
 def _picklable_error(error: BaseException) -> BaseException:
@@ -78,7 +84,7 @@ def _picklable_error(error: BaseException) -> BaseException:
 # RPC methods a client may invoke on the runtime, and where in their argument
 # list the session id lives (for per-session locking / idle accounting).
 # Everything else is rejected — the wire protocol must not become a generic
-# remote getattr.
+# remote getattr. (``hello`` is handled by the base server, not listed here.)
 _SESSION_ID_FROM_REQUEST = ("step", "fork_session", "end_session")
 _ALLOWED_METHODS = frozenset(
     {"get_spaces", "start_session", "handle_session_parameter", "server_info",
@@ -87,7 +93,7 @@ _ALLOWED_METHODS = frozenset(
 )
 
 
-class ServiceServer:
+class ServiceServer(SocketRPCServer):
     """Serves a compiler service runtime to socket clients.
 
     Args:
@@ -99,7 +105,11 @@ class ServiceServer:
             ``None`` disables reaping.
         reap_interval: How often the reaper thread scans, in seconds.
         env_id: Optional environment id, reported by ``server_info``.
+        auth_tokens: Accepted client auth tokens; ``None`` serves everyone
+            (the anonymous single-tenant mode).
     """
+
+    server_kind = "serve"
 
     def __init__(
         self,
@@ -110,193 +120,58 @@ class ServiceServer:
         session_timeout: Optional[float] = 3600.0,
         reap_interval: float = 10.0,
         env_id: Optional[str] = None,
+        auth_tokens=None,
     ):
         self.runtime = runtime
         self.env_id = env_id
         self.session_timeout = session_timeout
         self.reap_interval = reap_interval
-        self.started_at = time.monotonic()
         self.reaped_sessions = 0
-        self.connections_served = 0
         self.batched_steps = 0
-        self.closed = False
         # Closables released after the runtime at shutdown (e.g. the template
         # environment whose datasets back the benchmark resolver).
         self.owned_resources = []
 
-        self._lock = threading.Lock()
         self._session_locks: Dict[int, threading.Lock] = {}
         self._session_last_used: Dict[int, float] = {}
-        self._shutdown_event = threading.Event()
-        self._client_sockets = set()
-        self._handler_threads = []
-        self._accept_thread: Optional[threading.Thread] = None
+        # Auth token of the connection that created each session. ``None`` is
+        # the shared anonymous tenant.
+        self._session_owner: Dict[int, Optional[str]] = {}
         self._reaper_thread: Optional[threading.Thread] = None
-        # Requests from one multiplexed client connection are served
-        # concurrently on this pool (replies return in completion order, not
-        # arrival order). The *sub-steps* of a step_sessions batch run on a
-        # separate pool: a dispatch task blocks waiting for its batch's
-        # sub-steps, and tasks must never wait on their own executor.
-        self._dispatch_executor = ThreadPoolExecutor(
-            max_workers=32, thread_name_prefix="repro-serve-dispatch"
-        )
+        # The *sub-steps* of a step_sessions batch run on a separate pool
+        # from the base server's dispatch pool: a dispatch task blocks
+        # waiting for its batch's sub-steps, and tasks must never wait on
+        # their own executor.
         self._batch_executor = ThreadPoolExecutor(
             max_workers=max(4, (os.cpu_count() or 4)),
             thread_name_prefix="repro-serve-batch",
         )
 
-        if unix_path is not None:
-            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._listener.bind(unix_path)
-            self.url = f"unix://{unix_path}"
-            self._unix_path = unix_path
-        else:
-            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            self._listener.bind((host, port))
-            bound_host, bound_port = self._listener.getsockname()[:2]
-            self.url = f"tcp://{bound_host}:{bound_port}"
-            self._unix_path = None
-        self._listener.listen(128)
+        super().__init__(host=host, port=port, unix_path=unix_path, auth_tokens=auth_tokens)
+
         if self.session_timeout is not None:
             self._reaper_thread = threading.Thread(
                 target=self._reap_loop, name="repro-serve-reaper", daemon=True
             )
             self._reaper_thread.start()
 
-    # -- serving -----------------------------------------------------------
-
-    def start(self) -> "ServiceServer":
-        """Begin accepting clients on a background thread (for embedding)."""
-        if self._accept_thread is None:
-            self._accept_thread = threading.Thread(
-                target=self.serve_forever, name="repro-serve-accept", daemon=True
-            )
-            self._accept_thread.start()
-        return self
-
-    def serve_forever(self) -> None:
-        """Accept clients until :meth:`shutdown`. Blocks the calling thread."""
-        logger.info("Compiler service daemon (pid=%d) serving on %s", os.getpid(), self.url)
-        while not self._shutdown_event.is_set():
-            try:
-                client, _ = self._listener.accept()
-            except OSError:
-                break  # Listener closed by shutdown().
-            with self._lock:
-                if self.closed:
-                    client.close()
-                    break
-                self.connections_served += 1
-                self._client_sockets.add(client)
-                # Opportunistically forget threads that already finished, so
-                # a long-lived daemon does not accumulate one record per
-                # client ever served.
-                self._handler_threads = [t for t in self._handler_threads if t.is_alive()]
-                thread = threading.Thread(
-                    target=self._handle_client,
-                    args=(client,),
-                    name="repro-serve-client",
-                    daemon=True,
-                )
-                self._handler_threads.append(thread)
-                # Start under the lock: shutdown() snapshots this list and
-                # joins every entry — joining a not-yet-started thread raises.
-                thread.start()
-
-    def _handle_client(self, client: socket.socket) -> None:
-        """Serve one client connection until it disconnects.
-
-        The handler thread only *reads*: each request frame is handed to the
-        dispatch pool, so concurrent requests multiplexed onto one
-        connection (request ids distinguish them) execute in parallel and
-        their replies return in completion order. Reply writes are
-        serialized by a per-connection lock so frames never interleave.
-        """
-        try:
-            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        except OSError:
-            pass  # Unix sockets have no TCP options.
-        rfile = client.makefile("rb")
-        wfile = client.makefile("wb")
-        write_lock = threading.Lock()
-        in_flight = []
-        try:
-            while not self._shutdown_event.is_set():
-                try:
-                    request_id, method, args = read_frame(rfile)
-                except (EOFError, ConnectionError, OSError):
-                    break  # Client went away; its sessions live on.
-                except Exception:  # noqa: BLE001 - corrupt/hostile frame
-                    # Anything else is a malformed frame (version-skewed
-                    # unpickle, a non-request payload, a stray writer on the
-                    # port): drop this client like a disconnect instead of
-                    # letting the exception kill the handler thread.
-                    logger.warning(
-                        "Dropping client after malformed request frame",
-                        exc_info=True,
-                    )
-                    break
-                in_flight = [f for f in in_flight if not f.done()]
-                try:
-                    in_flight.append(
-                        self._dispatch_executor.submit(
-                            self._serve_request, wfile, write_lock,
-                            request_id, method, args,
-                        )
-                    )
-                except RuntimeError:
-                    break  # Executor shut down: the daemon is stopping.
-        finally:
-            # Let in-flight requests finish before tearing the streams down:
-            # their session work completes either way, but an orderly drain
-            # lets final replies reach a client that is still listening.
-            if in_flight:
-                wait_futures(in_flight, timeout=5)
-            for stream in (rfile, wfile):
-                try:
-                    stream.close()
-                except Exception:  # noqa: BLE001
-                    pass
-            try:
-                client.close()
-            except Exception:  # noqa: BLE001
-                pass
-            with self._lock:
-                self._client_sockets.discard(client)
-
-    def _serve_request(
-        self, wfile, write_lock: threading.Lock, request_id, method, args
-    ) -> None:
-        """Execute one request on a dispatch thread and write its reply."""
-        try:
-            result = self._dispatch(method, args)
-        except BaseException as error:  # noqa: BLE001 - sent to the client
-            status, payload = REPLY_ERROR, error
-        else:
-            status, payload = REPLY_OK, result
-        try:
-            with write_lock:
-                write_frame_reply(wfile, request_id, status, payload)
-        except (OSError, ConnectionError, ValueError):
-            pass  # Reply write failed: the client is gone.
-
     # -- dispatch ----------------------------------------------------------
 
-    def _dispatch(self, method: str, args):
+    def _dispatch(self, state: ClientConnectionState, method: str, args):
         if method not in _ALLOWED_METHODS:
             raise ServiceError(f"Unknown service method: {method!r}")
         if method == "server_info":
             return self.server_info()
         if method == "step_sessions":
-            return self._step_sessions(*args)
+            return self._step_sessions(state, *args)
         if method == "start_session":
             reply = self.runtime.start_session(*args)
-            self._track_session(reply.session_id)
+            self._track_session(reply.session_id, owner=state.token)
             return reply
         session_id = self._session_id_of(method, args)
         if session_id is None:
             return getattr(self.runtime, method)(*args)
+        self._check_session_owner(state, session_id)
         self._touch_session(session_id)
         with self._session_lock(session_id):
             try:
@@ -313,12 +188,16 @@ class ServiceServer:
             # lock — would end a session the instant its step finished.
             self._touch_session(session_id)
         if method == "fork_session":
-            self._track_session(result.session_id)
+            # A fork belongs to whoever forked it (same tenant as the parent,
+            # by the ownership check above).
+            self._track_session(result.session_id, owner=state.token)
         elif method == "end_session":
             self._forget_session(session_id)
         return result
 
-    def _step_sessions(self, request: StepSessionsRequest) -> StepSessionsReply:
+    def _step_sessions(
+        self, state: ClientConnectionState, request: StepSessionsRequest
+    ) -> StepSessionsReply:
         """Execute a batch of per-session steps concurrently, reply once.
 
         Each sub-request runs under the same per-session lock + ``last_used``
@@ -341,6 +220,7 @@ class ServiceServer:
             started = time.monotonic()
             session_id = sub.session_id
             try:
+                self._check_session_owner(state, session_id)
                 self._touch_session(session_id)
                 with self._session_lock(session_id):
                     try:
@@ -375,14 +255,34 @@ class ServiceServer:
             return args[0]
         return None
 
+    def _check_session_owner(
+        self, state: ClientConnectionState, session_id: int
+    ) -> None:
+        """Reject a session-scoped call from a tenant that does not own it.
+
+        Unknown session ids pass through: they fail with the usual
+        :class:`SessionNotFound` from the runtime, which is also what a
+        cross-tenant prober sees after its rightful owner ends a session —
+        ownership does not outlive the session it protects.
+        """
+        with self._lock:
+            if session_id not in self._session_owner:
+                return
+            owner = self._session_owner[session_id]
+        if owner != state.token:
+            raise PermissionDeniedError(
+                f"Session {session_id} belongs to another tenant"
+            )
+
     def _session_lock(self, session_id: int) -> threading.Lock:
         with self._lock:
             return self._session_locks.setdefault(session_id, threading.Lock())
 
-    def _track_session(self, session_id: int) -> None:
+    def _track_session(self, session_id: int, owner: Optional[str] = None) -> None:
         with self._lock:
             self._session_locks.setdefault(session_id, threading.Lock())
             self._session_last_used[session_id] = time.monotonic()
+            self._session_owner[session_id] = owner
 
     def _touch_session(self, session_id: int) -> None:
         with self._lock:
@@ -396,6 +296,7 @@ class ServiceServer:
         with self._lock:
             self._session_locks.pop(session_id, None)
             self._session_last_used.pop(session_id, None)
+            self._session_owner.pop(session_id, None)
 
     # -- idle reaping ------------------------------------------------------
 
@@ -460,6 +361,7 @@ class ServiceServer:
             "env_id": self.env_id,
             "url": self.url,
             "protocol_version": PROTOCOL_VERSION,
+            "wire_versions": sorted(SUPPORTED_WIRE_VERSIONS),
             "uptime_s": time.monotonic() - self.started_at,
             "active_sessions": tracked,
             "reaped_sessions": reaped,
@@ -470,73 +372,21 @@ class ServiceServer:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _close_listener(self) -> None:
-        """Close the listening socket, waking any thread blocked in accept().
-
-        ``close()`` alone does not reliably interrupt an ``accept()`` blocked
-        in *another* thread; ``shutdown(SHUT_RDWR)`` on the listening socket
-        makes that accept fail immediately.
-        """
-        try:
-            self._listener.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass  # Not connected / already closed, depending on platform.
-        try:
-            self._listener.close()
-        except Exception:  # noqa: BLE001
-            pass
-
-    def request_shutdown(self) -> None:
-        """Ask :meth:`serve_forever` to exit. Safe from a signal handler.
-
-        Takes no locks (a signal handler runs on the main thread, which may
-        already hold the server lock inside the accept loop — calling
-        :meth:`shutdown` there would self-deadlock): it only sets the
-        shutdown event and closes the listener so the blocked ``accept()``
-        returns. The caller then runs :meth:`shutdown` in normal context.
-        """
-        self._shutdown_event.set()
-        self._close_listener()
-
     def shutdown(self) -> None:
         """Stop accepting, drop every client, close all sessions. Idempotent."""
-        with self._lock:
-            if self.closed:
-                return
-            self.closed = True
-            clients = list(self._client_sockets)
-            threads = list(self._handler_threads)
-        self._shutdown_event.set()
-        self._close_listener()
-        for client in clients:
-            try:
-                client.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                client.close()
-            except OSError:
-                pass
-        for thread in threads:
-            thread.join(timeout=5)
+        if not self._begin_shutdown():
+            return
         # Handlers have drained their in-flight requests; retire the dispatch
         # pools (batch first: dispatch tasks wait on batch tasks, not vice
         # versa, so this order cannot deadlock either way — it just reads in
         # dependency order).
         self._batch_executor.shutdown(wait=True)
-        self._dispatch_executor.shutdown(wait=True)
         if self._reaper_thread is not None:
             self._reaper_thread.join(timeout=self.reap_interval + 5)
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5)
+        self._finish_shutdown()
         try:
             self.runtime.shutdown()
         finally:
-            if self._unix_path is not None:
-                try:
-                    os.unlink(self._unix_path)
-                except OSError:
-                    pass
             for resource in self.owned_resources:
                 try:
                     resource.close()
@@ -553,12 +403,6 @@ class ServiceServer:
                 pass
         logger.info("Compiler service daemon on %s shut down", self.url)
 
-    def __enter__(self) -> "ServiceServer":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.shutdown()
-
 
 def make_env_server(
     env_id: str,
@@ -567,6 +411,7 @@ def make_env_server(
     unix_path: Optional[str] = None,
     session_timeout: Optional[float] = 3600.0,
     reap_interval: float = 10.0,
+    auth_tokens=None,
     **make_kwargs,
 ) -> ServiceServer:
     """Build a :class:`ServiceServer` hosting the runtime of ``env_id``.
@@ -594,6 +439,7 @@ def make_env_server(
             session_timeout=session_timeout,
             reap_interval=reap_interval,
             env_id=env_id,
+            auth_tokens=auth_tokens,
         )
     except Exception:
         # Constructor failure (e.g. the port is already bound) must not leak

@@ -22,166 +22,56 @@ Three implementations are provided:
   deployment shape: the daemon multiplexes sessions from many clients,
   survives client restarts, and can run on a different machine.
 
-The pipe and socket transports share one wire convention, also used by the
-subprocess workers of the vectorized process-pool backend
-(:mod:`repro.core.vector.process`): every request is answered with a
-``(status, payload)`` pair where ``status`` is :data:`REPLY_OK` or
-:data:`REPLY_ERROR`, and an unpicklable payload degrades to a
-:class:`~repro.errors.ServiceError` carrying its string form rather than
-killing the channel.
+The framing and encoding of every byte on the wire — the ``(status,
+payload)`` reply convention, the version-prefixed frame layout, the codec
+registry, service URL parsing — live in :mod:`repro.core.service.wire`, the
+single source of truth shared with the daemon, the gateway, and the
+process-pool worker protocol. This module re-exports the common names for
+backwards compatibility.
 
-The socket protocol is additionally *multiplexed*: every frame starts with a
-protocol-version byte (:data:`PROTOCOL_VERSION`), requests carry a
-monotonically increasing request id, and replies echo it back. One
-:class:`SocketTransport` holds one socket plus a single reader thread that
-routes replies to the caller that issued each request, so any number of
-concurrent callers — forked environments, pool workers, batched steppers —
-overlap their RPCs on the shared connection instead of serializing on it.
+The socket protocol is *multiplexed*: every frame starts with a wire-version
+byte, requests carry a monotonically increasing request id, and replies echo
+it back. One :class:`SocketTransport` holds one socket plus a single reader
+thread that routes replies to the caller that issued each request, so any
+number of concurrent callers — forked environments, pool workers, batched
+steppers — overlap their RPCs on the shared connection instead of
+serializing on it. On connect the transport performs the ``hello``
+handshake: it presents its auth token and the wire versions it speaks, and
+adopts the negotiated version (falling back to the legacy bare-pickle
+dialect against a pre-handshake daemon).
 """
 
 import itertools
 import multiprocessing
 import os
-import pickle
 import socket
-import struct
 import threading
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.core.service.wire import (  # noqa: F401 - re-exported wire API
+    LEGACY_WIRE_VERSION,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REPLY_ERROR,
+    REPLY_OK,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    frame_bytes,
+    parse_service_url,
+    read_frame,
+    read_frame_ex,
+    send_reply,
+    write_frame,
+    write_frame_reply,
+)
 from repro.errors import (
     CompilerGymError,
+    PermissionDeniedError,
     ServiceError,
     ServiceIsClosed,
     ServiceTransportError,
 )
-
-# Wire statuses shared by every pickled request/reply protocol in the
-# project (pipe transport, socket transport, process-pool workers).
-REPLY_OK = "ok"
-REPLY_ERROR = "error"
-
-# Version byte leading every frame. Bump on incompatible wire changes so a
-# version-skewed peer fails with a clear error on its first frame instead of
-# unpickling garbage (the seed of a fully versioned wire format).
-PROTOCOL_VERSION = 1
-
-# Frame header of the socket protocol, after the version byte: payload
-# length, big-endian uint64.
-_FRAME_HEADER = struct.Struct(">Q")
-_VERSION_BYTE = bytes([PROTOCOL_VERSION])
-
-# Upper bound on a single message; a frame header announcing more than this
-# is treated as protocol corruption rather than honored with an allocation.
-MAX_FRAME_BYTES = 1 << 31
-
-
-def send_reply(conn, status: str, payload: Any) -> None:
-    """Send a ``(status, payload)`` pair on a multiprocessing connection.
-
-    Falls back to a picklable :class:`ServiceError` describing the payload
-    when the payload itself cannot be pickled, so one exotic result or
-    exception cannot wedge the channel.
-    """
-    try:
-        conn.send((status, payload))
-    except Exception:  # noqa: BLE001 - payload unpicklable; degrade, don't die
-        conn.send((REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}")))
-
-
-def frame_bytes(message: Any) -> bytes:
-    """Serialize one message to its on-the-wire frame: version byte,
-    length prefix, pickled payload."""
-    data = pickle.dumps(message)
-    return _VERSION_BYTE + _FRAME_HEADER.pack(len(data)) + data
-
-
-def _write_payload(wfile, data: bytes) -> None:
-    """Write one already-pickled payload with the version+length framing."""
-    wfile.write(_VERSION_BYTE + _FRAME_HEADER.pack(len(data)) + data)
-    wfile.flush()
-
-
-def write_frame(wfile, message: Any) -> None:
-    """Write one version-prefixed, length-prefixed pickled message."""
-    _write_payload(wfile, pickle.dumps(message))
-
-
-def write_frame_reply(wfile, request_id: Optional[int], status: str, payload: Any) -> None:
-    """Write a ``(request_id, status, payload)`` reply frame, with the
-    :func:`send_reply` unpicklable fallback.
-
-    Pickling happens before any bytes hit the stream, and *any* pickling
-    failure — ``__reduce__`` of an exotic payload can raise anything —
-    degrades to a picklable :class:`ServiceError` instead of killing the
-    serving thread (which would drop the connection after the request was
-    already applied, tricking the client into a retry). Only genuine stream
-    errors propagate.
-    """
-    try:
-        data = pickle.dumps((request_id, status, payload))
-    except Exception:  # noqa: BLE001 - degrade, don't drop the connection
-        data = pickle.dumps(
-            (request_id, REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}"))
-        )
-    _write_payload(wfile, data)
-
-
-def read_frame(rfile) -> Any:
-    """Read one framed pickled message from a binary stream.
-
-    Raises ``EOFError`` on a cleanly closed stream and ``ConnectionError``
-    on a version-skewed, truncated, or oversized frame.
-    """
-    version = rfile.read(1)
-    if not version:
-        raise EOFError("Connection closed")
-    if version[0] != PROTOCOL_VERSION:
-        raise ConnectionError(
-            f"Unsupported wire protocol version {version[0]} "
-            f"(this peer speaks version {PROTOCOL_VERSION})"
-        )
-    header = rfile.read(_FRAME_HEADER.size)
-    if len(header) < _FRAME_HEADER.size:
-        raise ConnectionError("Truncated frame header")
-    (length,) = _FRAME_HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ConnectionError(f"Frame of {length} bytes exceeds protocol maximum")
-    data = b""
-    while len(data) < length:
-        chunk = rfile.read(length - len(data))
-        if not chunk:
-            raise ConnectionError("Truncated frame payload")
-        data += chunk
-    return pickle.loads(data)
-
-
-def parse_service_url(url: str) -> Tuple[str, Any]:
-    """Parse a service URL into ``(family, address)``.
-
-    Accepted forms: ``tcp://host:port``, ``host:port`` (TCP is implied),
-    ``unix:///path/to/socket``, and bracketed IPv6 literals
-    (``tcp://[::1]:port``).
-    """
-    if url.startswith("unix://"):
-        path = url[len("unix://"):]
-        if not path:
-            raise ValueError(f"Service URL has no socket path: {url!r}")
-        return "unix", path
-    if url.startswith("tcp://"):
-        url = url[len("tcp://"):]
-    host, sep, port = url.rpartition(":")
-    if not sep or not host:
-        raise ValueError(
-            f"Invalid service URL {url!r}: expected tcp://host:port, "
-            "host:port, or unix:///path"
-        )
-    if host.startswith("[") and host.endswith("]"):
-        host = host[1:-1]
-    try:
-        return "tcp", (host, int(port))
-    except ValueError:
-        raise ValueError(f"Invalid service port in URL: {url!r}") from None
 
 
 class ServiceTransport:
@@ -217,6 +107,12 @@ class ServiceTransport:
             try:
                 self._open()
                 return
+            except PermissionDeniedError:
+                # The channel is fine; the credentials are not. Retrying (or
+                # wrapping in a generic, retryable-looking error) would only
+                # hammer the service with the same rejected token.
+                self._on_connect_failure()
+                raise
             except Exception as error:  # noqa: BLE001 - retried, then raised
                 last_error = error
                 self._on_connect_failure()
@@ -482,9 +378,21 @@ class _MuxSocketConnection:
     but nobody waits for anyone else's reply. A dead connection is never
     revived: the transport opens a fresh epoch instead, so a stale reader
     can never consume frames meant for a successor connection.
+
+    With ``inline_reads=True`` there is no reader thread: waiters share the
+    read side cooperatively (leader/follower — see :meth:`await_reply`), so
+    a single-flight caller pays zero cross-thread handoffs per round trip.
+    Sends are unaffected, so concurrent requests still overlap in flight.
     """
 
-    def __init__(self, url: str, family: str, address, timeout: float):
+    def __init__(
+        self,
+        url: str,
+        family: str,
+        address,
+        timeout: float,
+        inline_reads: bool = False,
+    ):
         self.url = url
         self.timeout = timeout
         if family == "unix":
@@ -503,10 +411,24 @@ class _MuxSocketConnection:
         self._request_ids = itertools.count()
         self.dead: Optional[BaseException] = None
         self.closed = False  # Set by a deliberate local close/shutdown.
-        self._reader = threading.Thread(
-            target=self._read_loop, name="repro-socket-reader", daemon=True
-        )
-        self._reader.start()
+        # Wire version this connection encodes requests at. Starts at the
+        # legacy dialect — which any server can decode — and is raised by the
+        # transport after the hello handshake settles on a shared version.
+        # Replies are self-describing (each frame carries its version byte)
+        # so the reader needs no matching state.
+        self.negotiated_version = LEGACY_WIRE_VERSION
+        self._inline_reads = inline_reads
+        # Leader/follower state for inline reads: at most one waiter (the
+        # leader) blocks in recv at a time; the rest wait on this condition
+        # for either their reply or the reader role.
+        self._role_cv = threading.Condition()
+        self._reading = False
+        self._reader: Optional[threading.Thread] = None
+        if not inline_reads:
+            self._reader = threading.Thread(
+                target=self._read_loop, name="repro-socket-reader", daemon=True
+            )
+            self._reader.start()
 
     # -- request lifecycle -------------------------------------------------
 
@@ -536,7 +458,7 @@ class _MuxSocketConnection:
         have reached the daemon (safe to retry); anything more is ambiguous
         (must not be retried).
         """
-        frame = frame_bytes((request_id, method, args))
+        frame = frame_bytes((request_id, method, args), self.negotiated_version)
         view = memoryview(frame)
         sent = 0
         with self._send_lock:
@@ -546,50 +468,91 @@ class _MuxSocketConnection:
             except (OSError, ValueError) as error:
                 raise _SendError(error, bytes_flushed=sent) from error
 
-    # -- reader thread -----------------------------------------------------
+    # -- reply routing (reader thread or inline leader) --------------------
 
     def _read_loop(self) -> None:
-        while True:
-            try:
-                message = read_frame(self._rfile)
-            except socket.timeout:
-                # An idle read timeout is fatal only when somebody is
-                # actually waiting: it means a request overran the transport
-                # timeout. A quiet connection with nothing pending just
-                # keeps listening.
-                with self._pending_lock:
-                    waiting = bool(self._pending)
-                if not waiting:
-                    continue
-                self._fail_pending(
-                    ServiceTransportError(
-                        f"No reply from {self.url} within {self.timeout}s: the "
-                        f"call may already be applied on the daemon and will "
-                        f"not be retried"
-                    )
-                )
-                self._close_streams()
-                return
-            except Exception as error:  # noqa: BLE001 - EOF, reset, corruption
-                self._fail_pending(self._death_error(error))
-                self._close_streams()
-                return
-            try:
-                request_id, status, payload = message
-            except (TypeError, ValueError):
-                self._fail_pending(
-                    ServiceTransportError(
-                        f"Malformed reply frame from {self.url}: in-flight "
-                        f"calls may already be applied and will not be retried"
-                    )
-                )
-                self._close_streams()
-                return
+        while self.dead is None:
+            self._read_one()
+
+    def _read_one(self) -> None:
+        """Read and route one reply frame; on failure, kill the connection."""
+        try:
+            message = read_frame(self._rfile)
+        except socket.timeout:
+            # An idle read timeout is fatal only when somebody is
+            # actually waiting: it means a request overran the transport
+            # timeout. A quiet connection with nothing pending just
+            # keeps listening.
             with self._pending_lock:
-                pending = self._pending.pop(request_id, None)
-            if pending is not None:
-                pending.resolve(status, payload)
-            # An unmatched id is a reply whose waiter gave up; drop it.
+                waiting = bool(self._pending)
+            if not waiting:
+                return
+            self._fail_pending(
+                ServiceTransportError(
+                    f"No reply from {self.url} within {self.timeout}s: the "
+                    f"call may already be applied on the daemon and will "
+                    f"not be retried"
+                )
+            )
+            self._close_streams()
+            return
+        except Exception as error:  # noqa: BLE001 - EOF, reset, corruption
+            self._fail_pending(self._death_error(error))
+            self._close_streams()
+            return
+        try:
+            request_id, status, payload = message
+        except (TypeError, ValueError):
+            self._fail_pending(
+                ServiceTransportError(
+                    f"Malformed reply frame from {self.url}: in-flight "
+                    f"calls may already be applied and will not be retried"
+                )
+            )
+            self._close_streams()
+            return
+        with self._pending_lock:
+            pending = self._pending.pop(request_id, None)
+        if pending is not None:
+            pending.resolve(status, payload)
+        # An unmatched id is a reply whose waiter gave up; drop it.
+
+    def await_reply(
+        self, request_id: int, pending: _PendingReply, timeout: float
+    ) -> bool:
+        """Block until this request's reply slot resolves; False on timeout.
+
+        Mux connections just park on the slot's event — the reader thread
+        routes frames. Inline connections run a leader/follower protocol
+        instead: the first waiter reads the socket on its *own* thread, so a
+        single-flight caller (the common gateway fleet-link case) pays zero
+        cross-thread handoffs per round trip. A leader whose frame resolves
+        somebody else's slot keeps reading; when its own reply lands it hands
+        the reader role to the next waiter via the condition variable.
+        """
+        if not self._inline_reads:
+            return pending.event.wait(timeout)
+        deadline = time.monotonic() + timeout
+        while not pending.event.is_set():
+            with self._role_cv:
+                while not pending.event.is_set() and self._reading:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return pending.event.is_set()
+                    self._role_cv.wait(remaining)
+                if pending.event.is_set():
+                    return True
+                self._reading = True
+            try:
+                self._read_one()
+            finally:
+                with self._role_cv:
+                    self._reading = False
+                    self._role_cv.notify_all()
+            if self.dead is not None:
+                # _read_one failed every pending slot, ours included.
+                break
+        return pending.event.is_set()
 
     def _death_error(self, error: BaseException) -> BaseException:
         if self.closed:
@@ -608,6 +571,10 @@ class _MuxSocketConnection:
             self._pending.clear()
         for slot in pending:
             slot.fail(error)
+        # Wake inline followers parked on the role condition (their slots
+        # just failed, but only a notify re-checks the wait predicate).
+        with self._role_cv:
+            self._role_cv.notify_all()
 
     # -- teardown ----------------------------------------------------------
 
@@ -649,26 +616,119 @@ class SocketTransport(ServiceTransport):
     # off briefly between connect attempts.
     _connect_retry_wait = 0.05
 
-    def __init__(self, url: str, timeout: float = 300.0, connect_retry_wait: float = None):
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 300.0,
+        connect_retry_wait: float = None,
+        auth_token: Optional[str] = None,
+        wire_version: Optional[int] = None,
+        inline_reads: bool = False,
+    ):
         super().__init__()
         self.url = url
         self.family, self.address = parse_service_url(url)
         self.timeout = timeout
+        self.auth_token = auth_token
+        # Optional ceiling on the negotiated wire version. A gateway pins its
+        # authenticated fleet links to the compact legacy codec: the typed
+        # codec's skew tolerance buys nothing between co-released peers, and
+        # the encode/decode premium is pure tax on every proxied hop.
+        self.wire_version = wire_version
+        # Read replies on the waiting caller's thread (leader/follower)
+        # instead of a dedicated reader thread. Gateways use this on fleet
+        # links, where the dispatch thread is almost always the only waiter:
+        # it trims two thread wakeups off every proxied round trip.
+        self.inline_reads = inline_reads
         if connect_retry_wait is not None:
             self._connect_retry_wait = connect_retry_wait
         self._conn: Optional[_MuxSocketConnection] = None
         self._lock = threading.RLock()
+        self._spaces_epoch = 0
 
     @property
     def spaces_cache_key(self) -> str:
         """Key under which static space metadata of this service is cached
-        client-side (all connections to one URL see the same spaces)."""
+        client-side (all connections to one URL see the same spaces).
+
+        A gateway bumps its ``spaces_epoch`` whenever it re-homes sessions
+        across its fleet; folding the epoch into the key retires pre-failover
+        metadata without any cross-client invalidation protocol. Epoch 0 —
+        every plain daemon — keeps the bare URL so existing cache clears
+        keyed by URL keep working.
+        """
+        if self._spaces_epoch:
+            return f"{self.url}#e{self._spaces_epoch}"
         return self.url
 
     def _open(self) -> None:
-        self._conn = _MuxSocketConnection(
-            self.url, self.family, self.address, self.timeout
+        conn = _MuxSocketConnection(
+            self.url,
+            self.family,
+            self.address,
+            self.timeout,
+            inline_reads=self.inline_reads,
         )
+        try:
+            self._handshake(conn)
+        except BaseException:
+            conn.close(ServiceIsClosed("Handshake failed"))
+            raise
+        self._conn = conn
+
+    def _handshake(self, conn: _MuxSocketConnection) -> None:
+        """Run the hello exchange on a fresh connection.
+
+        The request is encoded at the connection's initial (legacy) version
+        so any server can read it. A pre-handshake daemon answers with
+        "unknown method", which downgrades this client to the legacy
+        bare-pickle dialect instead of failing — one full version of skew in
+        either direction keeps working.
+        """
+        from repro.core.service.proto import HelloReply, HelloRequest
+
+        advertised = sorted(SUPPORTED_WIRE_VERSIONS)
+        if self.wire_version is not None:
+            advertised = [v for v in advertised if v <= self.wire_version]
+        request = HelloRequest(
+            token=self.auth_token,
+            wire_versions=advertised,
+            client=f"repro-client-pid{os.getpid()}",
+        )
+        request_id, pending = conn.register()
+        try:
+            conn.send_request(request_id, "hello", (request,))
+        except _SendError as error:
+            conn.discard(request_id)
+            raise ConnectionError(
+                f"Connection to {self.url} failed during handshake: {error.cause}"
+            ) from error.cause
+        if not conn.await_reply(request_id, pending, self.timeout + 30):
+            conn.discard(request_id)
+            raise ConnectionError(
+                f"No hello reply from {self.url} within {self.timeout}s"
+            )
+        if pending.error is not None:
+            raise pending.error
+        if pending.status == REPLY_ERROR:
+            if isinstance(pending.payload, PermissionDeniedError):
+                raise pending.payload
+            # Legacy daemon: no hello method. Stay on the legacy dialect.
+            return
+        reply = pending.payload
+        if isinstance(reply, HelloReply) and reply.wire_version in SUPPORTED_WIRE_VERSIONS:
+            conn.negotiated_version = reply.wire_version
+            self._note_spaces_epoch(reply.spaces_epoch)
+
+    def _note_spaces_epoch(self, epoch: int) -> None:
+        """Adopt the server's spaces epoch, retiring the stale cache entry."""
+        if epoch == self._spaces_epoch:
+            return
+        stale_key = self.spaces_cache_key
+        self._spaces_epoch = epoch
+        from repro.core.service.connection import clear_spaces_cache
+
+        clear_spaces_cache(stale_key)
 
     def _on_connect_failure(self) -> None:
         self._close_socket()
@@ -733,10 +793,11 @@ class SocketTransport(ServiceTransport):
             )
             conn.close(failure)
             raise failure from error.cause
-        # Wait for the reader thread to route our reply. The reader enforces
-        # the transport timeout centrally; the slack here is only a backstop
-        # against the reader itself dying without failing this slot.
-        if not pending.event.wait(self.timeout + 30):
+        # Wait for our reply to be routed (by the reader thread, or by
+        # reading inline on this thread). The read side enforces the
+        # transport timeout centrally; the slack here is only a backstop
+        # against the reader dying without failing this slot.
+        if not conn.await_reply(request_id, pending, self.timeout + 30):
             conn.discard(request_id)
             with self._lock:
                 if self._conn is conn:

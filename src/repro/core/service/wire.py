@@ -1,0 +1,425 @@
+"""The versioned binary wire format of the compiler service protocol.
+
+Every byte that crosses a process boundary in this project — socket RPCs to
+a daemon or gateway, the subprocess pipe transport, the process-pool worker
+protocol — is framed and encoded by this module. It is the single source of
+truth for the wire conventions that used to be scattered across
+:mod:`repro.core.service.transport` and :mod:`repro.core.vector.process`:
+
+* the ``(status, payload)`` reply convention (:data:`REPLY_OK` /
+  :data:`REPLY_ERROR`) and its degrade-on-unpicklable fallback
+  (:func:`send_reply`, :func:`write_frame_reply`);
+* the socket frame layout — one version byte, a big-endian uint64 length
+  prefix, then the encoded payload (:func:`frame_bytes`, :func:`read_frame`);
+* service URL parsing (:func:`parse_service_url`).
+
+**Versioning.** Frames are self-describing: the leading byte names the
+*wire version* the payload is encoded with, and each version maps to a
+:class:`Codec` in :data:`CODECS`. The current version is
+:data:`WIRE_VERSION`; a peer also accepts the previous version, so a client
+and a daemon fleet may be upgraded independently as long as they are within
+one version of each other. A frame announcing a version with no registered
+codec (two or more versions of skew, or garbage) is rejected on its first
+byte with a :class:`ConnectionError`, never decoded.
+
+The version each side *sends* is negotiated on connect: clients open every
+connection with a ``hello`` RPC encoded at the oldest supported version,
+the server answers with the highest version both sides speak, and both
+sides use that negotiated version from then on. A server replies to every
+request at the version of the request's own frame, so an un-negotiated
+(legacy) peer is answered in the dialect it spoke.
+
+**Codecs.**
+
+* Version 1 (:class:`PickleCodec`) — the legacy format: the payload is one
+  bare pickle. Kept so one-version-older peers interoperate.
+* Version 2 (:class:`TypedPickleCodec`) — the typed format: the message
+  graph is first lowered to a tagged primitive structure in which every
+  registered protocol message (see :func:`wire_message`) travels as
+  ``(tag, field-dict)`` *by registry name*, not by pickle's module path.
+  Decoding looks the tag up in the registry and rebuilds the dataclass from
+  its fields, ignoring unknown field names — so messages can gain fields,
+  move between modules, or be reordered without breaking the wire. Values
+  outside the registry (numpy arrays, spaces, exceptions) travel as
+  explicitly-tagged opaque pickles.
+
+The typed codec narrows what a frame can instantiate to the registered
+message vocabulary plus tagged opaque payloads; together with the
+connection auth tokens enforced by the server it replaces the old
+"bare pickle from anyone who can connect" trust model. Opaque payloads are
+still pickle, so peers must hold a valid token to be worth trusting —
+tokens gate *who* may speak, the typed layer pins *what* they may say.
+"""
+
+import dataclasses
+import pickle
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.errors import ServiceError
+
+# Wire statuses shared by every request/reply protocol in the project
+# (socket transport, pipe transport, process-pool workers).
+REPLY_OK = "ok"
+REPLY_ERROR = "error"
+
+# The wire version this build encodes by default. Bump when the encoding
+# changes incompatibly; keep the previous version's codec registered so
+# one-version-older peers continue to interoperate.
+WIRE_VERSION = 2
+
+# The oldest version still spoken: the bare-pickle format of the original
+# socket protocol. ``hello`` handshakes are sent at this version so that any
+# compatible peer can decode them before negotiation has happened.
+LEGACY_WIRE_VERSION = 1
+
+# Historical alias (the original single-version protocol constant).
+PROTOCOL_VERSION = WIRE_VERSION
+
+# Frame header after the version byte: payload length, big-endian uint64.
+_FRAME_HEADER = struct.Struct(">Q")
+
+# Upper bound on a single message; a frame header announcing more than this
+# is treated as protocol corruption rather than honored with an allocation.
+MAX_FRAME_BYTES = 1 << 31
+
+
+# -- typed message registry ---------------------------------------------------
+
+# Registry name -> dataclass, for every message allowed to travel typed.
+_MESSAGE_REGISTRY: Dict[str, Type] = {}
+_MESSAGE_TAGS: Dict[Type, str] = {}
+# Per-class field names, precomputed at registration: dataclasses.fields()
+# is too slow to call once per message on the encode/decode hot path.
+_MESSAGE_FIELDS: Dict[Type, Tuple[str, ...]] = {}
+# Per-class (name, default-singleton) pairs for the encoder. Fields whose
+# value *is* its declared default are omitted from the wire — the decoder
+# already reconstructs missing fields from dataclass defaults (that is the
+# schema-skew mechanism), and most messages are sparse (an Event sets one
+# of its eight slots). Identity, not equality: only default singletons like
+# None/True/False/interned small ints are safely elidable; anything else
+# compares ``is``-false and travels explicitly.
+_NO_DEFAULT = object()
+_MESSAGE_ENCODE_FIELDS: Dict[Type, Tuple[Tuple[str, Any], ...]] = {}
+
+
+def wire_message(cls=None, *, name: Optional[str] = None):
+    """Class decorator registering a dataclass as a typed wire message.
+
+    Registered messages are encoded by *registry name* rather than by
+    pickle's module path, which is what makes the typed format stable across
+    refactors: the name is the wire contract, the import location is not.
+    """
+
+    def register(message_cls):
+        if not dataclasses.is_dataclass(message_cls):
+            raise TypeError(f"wire_message requires a dataclass, got {message_cls!r}")
+        tag = name or message_cls.__name__
+        existing = _MESSAGE_REGISTRY.get(tag)
+        if existing is not None and existing is not message_cls:
+            raise ValueError(f"Duplicate wire message tag {tag!r}")
+        _MESSAGE_REGISTRY[tag] = message_cls
+        _MESSAGE_TAGS[message_cls] = tag
+        _MESSAGE_FIELDS[message_cls] = tuple(
+            f.name for f in dataclasses.fields(message_cls)
+        )
+        _MESSAGE_ENCODE_FIELDS[message_cls] = tuple(
+            (
+                f.name,
+                f.default if f.default is not dataclasses.MISSING else _NO_DEFAULT,
+            )
+            for f in dataclasses.fields(message_cls)
+        )
+        return message_cls
+
+    return register(cls) if cls is not None else register
+
+
+def message_registry() -> Dict[str, Type]:
+    """A snapshot of the registered wire message types, by tag."""
+    return dict(_MESSAGE_REGISTRY)
+
+
+# -- codecs -------------------------------------------------------------------
+
+
+class Codec:
+    """Encodes one message to payload bytes (and back) for one wire version."""
+
+    version: int = 0
+    name = "codec"
+
+    def encode(self, message: Any) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(version={self.version})"
+
+
+class PickleCodec(Codec):
+    """Wire version 1: the payload is one bare pickle (the legacy format)."""
+
+    version = LEGACY_WIRE_VERSION
+    name = "pickle"
+
+    def encode(self, message: Any) -> bytes:
+        return pickle.dumps(message)
+
+    def decode(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+# Structure tags of the typed codec's lowered form. Raw primitives travel
+# as themselves; every tuple in the lowered structure is one of these tags,
+# so user tuples (lowered to ("t", ...)) can never be confused with them.
+_TAG_MESSAGE = "M"
+_TAG_OPAQUE = "P"
+_TAG_LIST = "l"
+_TAG_FLAT_LIST = "F"  # list of primitives only: no per-item lowering needed
+_TAG_TUPLE = "t"
+_TAG_DICT = "d"
+
+_PRIMITIVES = (type(None), bool, int, float, str, bytes)
+# Exact-type set for the flat-list scan: ``set(map(type, ...)) <= this`` runs
+# the whole check in C, where a per-item isinstance() genexpr would dominate
+# encode time for long observation vectors. Exactness is safe: a primitive
+# *subclass* just falls back to the per-item tagged-list path.
+_PRIMITIVE_TYPES = frozenset(_PRIMITIVES)
+
+
+class TypedPickleCodec(Codec):
+    """Wire version 2: registered messages travel as ``(tag, fields)`` pairs.
+
+    The message graph is lowered to a primitive structure — primitives raw,
+    containers tagged, registered dataclasses as ``("M", tag, field-dict)``,
+    anything else as a tagged opaque pickle — and that structure is then
+    serialized. Decoding validates every message tag against the registry
+    and drops unknown field names, giving one version of schema skew for
+    free (new fields fall back to the dataclass defaults on an old peer).
+    """
+
+    version = 2
+    name = "typed-pickle"
+
+    def encode(self, message: Any) -> bytes:
+        return pickle.dumps(self._lower(message), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Any:
+        return self._raise_(pickle.loads(data))
+
+    def _lower(self, value: Any) -> Any:
+        if isinstance(value, _PRIMITIVES):
+            return value
+        cls = type(value)
+        tag = _MESSAGE_TAGS.get(cls)
+        if tag is not None:
+            lower = self._lower
+            fields = {}
+            for name, default in _MESSAGE_ENCODE_FIELDS[cls]:
+                item = getattr(value, name)
+                if item is default:
+                    continue  # The decoder rebuilds it from the default.
+                fields[name] = lower(item)
+            return (_TAG_MESSAGE, tag, fields)
+        if isinstance(value, list):
+            # Observation vectors are long lists of floats; skipping per-item
+            # lowering (and per-item raising on the peer) dominates codec cost.
+            if cls is list and set(map(type, value)) <= _PRIMITIVE_TYPES:
+                return (_TAG_FLAT_LIST, value)
+            return (_TAG_LIST, [self._lower(item) for item in value])
+        if isinstance(value, tuple):
+            return (_TAG_TUPLE, tuple(self._lower(item) for item in value))
+        if isinstance(value, dict):
+            return (_TAG_DICT, {key: self._lower(item) for key, item in value.items()})
+        # Everything else — numpy arrays, spaces, exceptions — travels as an
+        # explicitly-tagged opaque pickle: the escape hatch is visible on the
+        # wire instead of being the whole format.
+        return (_TAG_OPAQUE, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _raise_(self, value: Any) -> Any:
+        if isinstance(value, _PRIMITIVES):
+            return value
+        if not isinstance(value, tuple) or not value:
+            raise ServiceError(f"Malformed typed wire payload: {type(value).__name__}")
+        tag = value[0]
+        if tag == _TAG_MESSAGE:
+            _, name, fields = value
+            cls = _MESSAGE_REGISTRY.get(name)
+            if cls is None:
+                raise ServiceError(f"Unknown wire message type: {name!r}")
+            known = _MESSAGE_FIELDS[cls]
+            raise_ = self._raise_
+            return cls(**{
+                key: raise_(item)
+                for key, item in fields.items()
+                if key in known
+            })
+        if tag == _TAG_FLAT_LIST:
+            return value[1]
+        if tag == _TAG_LIST:
+            return [self._raise_(item) for item in value[1]]
+        if tag == _TAG_TUPLE:
+            return tuple(self._raise_(item) for item in value[1])
+        if tag == _TAG_DICT:
+            return {key: self._raise_(item) for key, item in value[1].items()}
+        if tag == _TAG_OPAQUE:
+            return pickle.loads(value[1])
+        raise ServiceError(f"Unknown typed wire tag: {tag!r}")
+
+
+#: Every wire version this build can decode, by version byte. A peer within
+#: one version of :data:`WIRE_VERSION` finds its codec here; anything else
+#: is rejected on the frame's first byte.
+CODECS: Dict[int, Codec] = {
+    codec.version: codec for codec in (PickleCodec(), TypedPickleCodec())
+}
+
+SUPPORTED_WIRE_VERSIONS = tuple(sorted(CODECS))
+
+
+def negotiate_wire_version(peer_versions) -> int:
+    """The highest wire version shared with a peer's advertised versions."""
+    shared = [v for v in (peer_versions or ()) if v in CODECS]
+    return max(shared) if shared else LEGACY_WIRE_VERSION
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_payload(message: Any, version: int = WIRE_VERSION) -> bytes:
+    """Encode one message with the codec of ``version``."""
+    return CODECS[version].encode(message)
+
+
+def decode_payload(data: bytes, version: int) -> Any:
+    """Decode one payload with the codec of ``version``."""
+    return CODECS[version].decode(data)
+
+
+def frame_bytes(message: Any, version: int = WIRE_VERSION) -> bytes:
+    """Serialize one message to its on-the-wire frame: version byte,
+    length prefix, encoded payload."""
+    data = encode_payload(message, version)
+    return bytes([version]) + _FRAME_HEADER.pack(len(data)) + data
+
+
+def _write_payload(wfile, data: bytes, version: int) -> None:
+    """Write one already-encoded payload with the version+length framing."""
+    wfile.write(bytes([version]) + _FRAME_HEADER.pack(len(data)) + data)
+    wfile.flush()
+
+
+def write_frame(wfile, message: Any, version: int = WIRE_VERSION) -> None:
+    """Write one version-prefixed, length-prefixed encoded message."""
+    _write_payload(wfile, encode_payload(message, version), version)
+
+
+def write_frame_reply(
+    wfile, request_id: Optional[int], status: str, payload: Any,
+    version: int = WIRE_VERSION,
+) -> None:
+    """Write a ``(request_id, status, payload)`` reply frame, degrading an
+    unencodable payload to a :class:`ServiceError`.
+
+    Encoding happens before any bytes hit the stream, and *any* encoding
+    failure — ``__reduce__`` of an exotic payload can raise anything —
+    degrades to an encodable :class:`ServiceError` instead of killing the
+    serving thread (which would drop the connection after the request was
+    already applied, tricking the client into a retry). Only genuine stream
+    errors propagate.
+    """
+    try:
+        data = encode_payload((request_id, status, payload), version)
+    except Exception:  # noqa: BLE001 - degrade, don't drop the connection
+        data = encode_payload(
+            (request_id, REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}")),
+            version,
+        )
+    _write_payload(wfile, data, version)
+
+
+def read_frame_ex(rfile) -> Tuple[int, Any]:
+    """Read one frame, returning ``(wire_version, message)``.
+
+    Raises ``EOFError`` on a cleanly closed stream and ``ConnectionError``
+    on a version-skewed, truncated, or oversized frame. A frame whose
+    version byte has no registered codec — two or more versions of skew —
+    is rejected here, before a single payload byte is decoded.
+    """
+    version_byte = rfile.read(1)
+    if not version_byte:
+        raise EOFError("Connection closed")
+    version = version_byte[0]
+    if version not in CODECS:
+        raise ConnectionError(
+            f"Unsupported wire protocol version {version}: this peer speaks "
+            f"{sorted(CODECS)} (current {WIRE_VERSION}; more than one version "
+            f"of skew is rejected)"
+        )
+    header = rfile.read(_FRAME_HEADER.size)
+    if len(header) < _FRAME_HEADER.size:
+        raise ConnectionError("Truncated frame header")
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"Frame of {length} bytes exceeds protocol maximum")
+    data = b""
+    while len(data) < length:
+        chunk = rfile.read(length - len(data))
+        if not chunk:
+            raise ConnectionError("Truncated frame payload")
+        data += chunk
+    return version, decode_payload(data, version)
+
+
+def read_frame(rfile) -> Any:
+    """Read one framed message from a binary stream (any supported version)."""
+    return read_frame_ex(rfile)[1]
+
+
+def send_reply(conn, status: str, payload: Any) -> None:
+    """Send a ``(status, payload)`` pair on a multiprocessing connection.
+
+    Falls back to a picklable :class:`ServiceError` describing the payload
+    when the payload itself cannot be pickled, so one exotic result or
+    exception cannot wedge the channel. This is the pipe-side sibling of
+    :func:`write_frame_reply`, shared by the pipe transport and the
+    process-pool worker protocol.
+    """
+    try:
+        conn.send((status, payload))
+    except Exception:  # noqa: BLE001 - payload unpicklable; degrade, don't die
+        conn.send((REPLY_ERROR, ServiceError(f"{type(payload).__name__}: {payload}")))
+
+
+# -- service URLs -------------------------------------------------------------
+
+
+def parse_service_url(url: str) -> Tuple[str, Any]:
+    """Parse a service URL into ``(family, address)``.
+
+    Accepted forms: ``tcp://host:port``, ``host:port`` (TCP is implied),
+    ``unix:///path/to/socket``, and bracketed IPv6 literals
+    (``tcp://[::1]:port``).
+    """
+    if url.startswith("unix://"):
+        path = url[len("unix://"):]
+        if not path:
+            raise ValueError(f"Service URL has no socket path: {url!r}")
+        return "unix", path
+    if url.startswith("tcp://"):
+        url = url[len("tcp://"):]
+    host, sep, port = url.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"Invalid service URL {url!r}: expected tcp://host:port, "
+            "host:port, or unix:///path"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    try:
+        return "tcp", (host, int(port))
+    except ValueError:
+        raise ValueError(f"Invalid service port in URL: {url!r}") from None

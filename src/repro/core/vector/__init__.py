@@ -9,7 +9,11 @@ own subprocess (rebuilt from a picklable :class:`WorkerSpec`) to sidestep the
 GIL for compute-bound sessions.
 """
 
-from repro.core.vector.autoscale import AutoscalePolicy, autoscale_policy
+from repro.core.vector.autoscale import (
+    AutoscalePolicy,
+    FleetAutoscalePolicy,
+    autoscale_policy,
+)
 from repro.core.vector.backends import (
     ExecutionBackend,
     SerialBackend,
@@ -21,6 +25,7 @@ from repro.core.vector.vec_env import SKIPPED_STEP, VecCompilerEnv, make_vec_env
 
 __all__ = [
     "AutoscalePolicy",
+    "FleetAutoscalePolicy",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "RemoteWorker",

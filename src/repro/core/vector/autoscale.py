@@ -118,6 +118,79 @@ class AutoscalePolicy:
         return None if target == current_workers else target
 
 
+@dataclass
+class FleetAutoscalePolicy:
+    """Daemon-count sizing for a :class:`~repro.core.service.gateway.
+    ServiceGateway` over aggregated per-daemon call accounting.
+
+    Where :class:`AutoscalePolicy` resizes one pool of workers against one
+    service, this sizes the *fleet itself*: the gateway feeds it a
+    ``{daemon_url: stats_summary()}`` mapping (one entry per live daemon) and
+    the current daemon count, and it returns the target count — applied by
+    :meth:`ServiceGateway.scale_to` as spawn/drain operations — or ``None``
+    for no change.
+
+    Interval accounting is kept *per daemon* before aggregation: when a
+    daemon dies and is replaced, its successor's counters restart from zero,
+    and diffing fleet-wide totals would see a regression and discard the
+    whole interval. Per-daemon diffs localize the reset to the one member
+    that actually changed (handled by :func:`interval_delta`'s restart rule);
+    daemons that vanished from the snapshot simply drop out. The aggregated
+    interval is then judged by the same latency/error rules as
+    :class:`AutoscalePolicy`, via :func:`autoscale_policy`.
+    """
+
+    min_daemons: int = 1
+    max_daemons: int = 8
+    scale_up_latency_s: float = 0.05
+    scale_down_latency_s: float = 0.5
+    max_error_rate: float = 0.1
+    step_size: int = 1
+    _previous: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self):
+        if not 1 <= self.min_daemons <= self.max_daemons:
+            raise ValueError(
+                f"FleetAutoscalePolicy requires 1 <= min_daemons <= max_daemons, "
+                f"got [{self.min_daemons}, {self.max_daemons}]"
+            )
+        if self.scale_up_latency_s > self.scale_down_latency_s:
+            raise ValueError(
+                "FleetAutoscalePolicy requires scale_up_latency_s <= "
+                f"scale_down_latency_s (got {self.scale_up_latency_s} > "
+                f"{self.scale_down_latency_s})"
+            )
+
+    def __call__(
+        self,
+        per_daemon_stats: Dict[str, Dict[str, Dict[str, float]]],
+        current_daemons: int,
+    ) -> Optional[int]:
+        aggregated: Dict[str, Dict[str, float]] = {}
+        for key, stats in per_daemon_stats.items():
+            interval = interval_delta(self._previous.get(key, {}), stats)
+            for method, entry in interval.items():
+                into = aggregated.setdefault(method, {})
+                for stat, value in entry.items():
+                    into[stat] = into.get(stat, 0) + value
+        self._previous = {
+            key: {method: dict(entry) for method, entry in stats.items()}
+            for key, stats in per_daemon_stats.items()
+        }
+        return autoscale_policy(
+            aggregated,
+            current_daemons,
+            min_workers=self.min_daemons,
+            max_workers=self.max_daemons,
+            scale_up_latency_s=self.scale_up_latency_s,
+            scale_down_latency_s=self.scale_down_latency_s,
+            max_error_rate=self.max_error_rate,
+            step_size=self.step_size,
+        )
+
+
 def autoscale_policy(
     stats: Dict[str, Dict[str, float]],
     current_workers: int,
@@ -127,6 +200,7 @@ def autoscale_policy(
     scale_up_latency_s: float = 0.05,
     scale_down_latency_s: float = 0.5,
     max_error_rate: float = 0.1,
+    step_size: int = 1,
 ) -> Optional[int]:
     """One-shot functional form of :class:`AutoscalePolicy`.
 
@@ -140,5 +214,6 @@ def autoscale_policy(
         scale_up_latency_s=scale_up_latency_s,
         scale_down_latency_s=scale_down_latency_s,
         max_error_rate=max_error_rate,
+        step_size=step_size,
     )
     return policy(stats, current_workers)

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.datasets import Benchmark
-from repro.core.service.transport import REPLY_ERROR, REPLY_OK, send_reply
+from repro.core.service.wire import REPLY_ERROR, REPLY_OK, send_reply
 from repro.core.vector.backends import ThreadPoolBackend, close_quietly
 from repro.errors import ServiceError, SessionNotFound
 
@@ -172,7 +172,7 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
     """Subprocess entry point: build the env, then serve commands until close.
 
     The command loop speaks the shared ``(status, payload)`` reply convention
-    of :mod:`repro.core.service.transport` (:func:`send_reply` degrades
+    of :mod:`repro.core.service.wire` (:func:`send_reply` degrades
     unpicklable payloads to a :class:`ServiceError` instead of wedging the
     pipe); only the request vocabulary — environment commands rather than
     service RPCs — is specific to pool workers.

@@ -58,6 +58,16 @@ class ServiceIsClosed(ServiceError):
     """An operation was attempted on a closed service."""
 
 
+class PermissionDeniedError(ServiceError):
+    """The service rejected the call on authentication or ownership grounds.
+
+    Raised when a client presents no (or an invalid) auth token to a service
+    that requires one, or when a session-scoped call names a session owned
+    by a different tenant. Never retried: no amount of restarting makes a
+    foreign session yours.
+    """
+
+
 class EnvironmentNotSupported(ServiceInitError):
     """The environment is not supported on the current system."""
 

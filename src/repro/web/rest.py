@@ -34,13 +34,17 @@ class ExplorerAPI:
         env_id: str = "llvm-v0",
         reward_space: str = "IrInstructionCountOz",
         service_url: Optional[str] = None,
+        service_token: Optional[str] = None,
     ):
         self.env_id = env_id
         self.default_reward_space = reward_space
         # When set, Explorer sessions attach to a running compiler service
-        # daemon (`repro serve`) instead of each hosting a runtime: the REST
-        # frontend becomes one more client of the shared service tier.
+        # daemon (`repro serve`) or session-routing gateway (`repro gateway`)
+        # instead of each hosting a runtime: the REST frontend becomes one
+        # more client of the shared service tier. ``service_token``
+        # authenticates those connections when the service requires it.
         self.service_url = service_url
+        self.service_token = service_token
         self.sessions: Dict[int, ForkOnStep] = {}
         self._next_session = 0
         self._lock = threading.Lock()
@@ -48,7 +52,11 @@ class ExplorerAPI:
     # -- session lifecycle ---------------------------------------------------------
 
     def describe(self) -> dict:
-        env = repro.make(self.env_id, service_url=self.service_url)
+        env = repro.make(
+            self.env_id,
+            service_url=self.service_url,
+            service_token=self.service_token,
+        )
         try:
             return {
                 "actions": list(getattr(env.action_space, "names", [])),
@@ -65,6 +73,7 @@ class ExplorerAPI:
             benchmark=benchmark,
             reward_space=reward,
             service_url=self.service_url,
+            service_token=self.service_token,
         )
         env.reset()
         wrapped = ForkOnStep(env)

@@ -27,16 +27,19 @@ from repro.core.service import (
     ConnectionOpts,
     ServiceConnection,
 )
-from repro.core.service.proto import StartSessionRequest, StepRequest
+from repro.core.service.proto import HelloReply, StartSessionRequest, StepRequest
 from repro.core.service.runtime.server import ServiceServer, make_env_server
 from repro.core.service.transport import (
+    LEGACY_WIRE_VERSION,
     PROTOCOL_VERSION,
+    REPLY_OK,
     InProcessTransport,
     PipeTransport,
     SocketTransport,
     parse_service_url,
     read_frame,
     write_frame,
+    write_frame_reply,
 )
 from repro.core.spaces import NamedDiscrete, ObservationSpaceSpec, Scalar
 from repro.core.vector import AutoscalePolicy, VecCompilerEnv, make_vec_env
@@ -52,6 +55,27 @@ from repro.errors import (
 from tests.test_service import _CounterSession, _resolver, _runtime
 
 BENCHMARK = "cbench-v1/crc32"
+
+
+def _serve_handshake(client: socket.socket, rfile=None):
+    """Answer the hello handshake on a raw fake-daemon socket.
+
+    Every SocketTransport opens its connection with a hello RPC; a
+    hand-rolled fake daemon must answer it before the transport's connect()
+    returns. Returns the read stream so the fake can keep consuming frames.
+    """
+    rfile = rfile if rfile is not None else client.makefile("rb")
+    request_id, method, _args = read_frame(rfile)
+    assert method == "hello"
+    wfile = client.makefile("wb")
+    write_frame_reply(
+        wfile,
+        request_id,
+        REPLY_OK,
+        HelloReply(wire_version=PROTOCOL_VERSION),
+        version=LEGACY_WIRE_VERSION,
+    )
+    return rfile
 
 
 class _SlowStepSession(_CounterSession):
@@ -298,7 +322,7 @@ class TestLostReplyIsNotRetryable:
 
         def serve_one_then_drop():
             client, _ = listener.accept()
-            rfile = client.makefile("rb")
+            rfile = _serve_handshake(client)
             requests_seen.append(read_frame(rfile))
             client.close()  # Swallow the request, never reply.
 
@@ -990,7 +1014,7 @@ class TestMultiplexedConcurrency:
 
         def swallow_three_then_die():
             client, _ = listener.accept()
-            rfile = client.makefile("rb")
+            rfile = _serve_handshake(client)
             for _ in range(3):
                 read_frame(rfile)
             client.close()  # The daemon "dies" with three calls in flight.

@@ -194,6 +194,36 @@ def _measure_transport_latency(steps: int):
     }
 
 
+def _measure_verifier_overhead(steps: int):
+    """Mean per-step wall time with REPRO_VERIFY_IR off vs. on.
+
+    Quantifies the cost of verify-after-every-pass (a dominator-tree
+    construction plus type/dominance checks per function per step), so the
+    README's "measured overhead" claim tracks the implementation.
+    """
+
+    def mean_step_seconds(verify_ir):
+        env = repro.make("llvm-v0", benchmark=BENCHMARK, verify_ir=verify_ir)
+        env.reset()
+        num_actions = env.action_space.n
+        rng = random.Random(0)
+        start = time.perf_counter()
+        for _ in range(steps):
+            env.step(rng.randrange(num_actions))
+        elapsed = time.perf_counter() - start
+        env.close()
+        return elapsed / steps
+
+    verify_off = mean_step_seconds(False)
+    verify_on = mean_step_seconds(True)
+    return {
+        "steps": steps,
+        "verify_off_step_ms": verify_off * 1e3,
+        "verify_on_step_ms": verify_on * 1e3,
+        "verify_on_vs_off": verify_on / verify_off if verify_off else None,
+    }
+
+
 def _measure_vec_transport_latency(rounds: int, n: int = 4):
     """Per-worker-step wall time of an n-worker pool over a socket daemon.
 
@@ -381,6 +411,7 @@ def test_vector_throughput():
         for agent in ("impala", "apex")
     ]
     transport_latency = _measure_transport_latency(steps=max(20, int(50 * bench_scale())))
+    verifier_overhead = _measure_verifier_overhead(steps=max(20, int(50 * bench_scale())))
     vec_latency = _measure_vec_transport_latency(rounds=max(10, int(25 * bench_scale())))
     transport_latency["vec_pool"] = vec_latency
     # The gateway comparison is the suite's most scheduling-sensitive
@@ -416,8 +447,12 @@ def test_vector_throughput():
             "distributed_rl_agents": {r["agent"]: r for r in distributed_results},
             "transport_latency": transport_latency,
             "gateway_overhead": gateway_overhead,
+            "verifier_overhead": verifier_overhead,
         },
     )
+    # Sanity: verified stepping still steps (the mode is a debug tool, so it
+    # only has to be affordable, not free).
+    assert verifier_overhead["verify_on_step_ms"] > 0
 
     # Sanity: every configuration actually stepped, and the socket transport
     # round-tripped real steps through the daemon.
@@ -500,9 +535,22 @@ def main(argv=None):
         "socket stepping path regressed by more than 2x against the "
         "recorded in-process-relative baseline",
     )
+    parser.add_argument(
+        "--measure-verifier-overhead",
+        action="store_true",
+        help="Measure per-step overhead of REPRO_VERIFY_IR and exit",
+    )
     args = parser.parse_args(argv)
     if args.check_transport_regression:
         return check_transport_regression()
+    if args.measure_verifier_overhead:
+        overhead = _measure_verifier_overhead(steps=50)
+        print(
+            f"verify-after-every-pass: off {overhead['verify_off_step_ms']:.3f}ms/step, "
+            f"on {overhead['verify_on_step_ms']:.3f}ms/step "
+            f"({overhead['verify_on_vs_off']:.2f}x)"
+        )
+        return 0
     for backend in BACKENDS:
         result = _measure_throughput(backend, args.workers, args.rounds)
         print(

@@ -366,6 +366,35 @@ def _cmd_validate(args) -> int:
     return exit_code
 
 
+def _cmd_lint(args) -> int:
+    from repro.llvm.passes.validate import lint_datasets, verifier_self_test
+
+    # The self-test guards the sweep: a regressed verifier that rejects
+    # nothing would otherwise green-light every pass.
+    self_test = verifier_self_test()
+    if self_test:
+        for failure in self_test:
+            print(f"SELF-TEST FAIL: {failure}")
+        return 1
+    print("verifier self-test: ok (5/5 seeded miscompiles rejected)")
+
+    progress = print if not args.quiet else None
+    report = lint_datasets(
+        dataset_names=args.dataset or None,
+        benchmarks_per_dataset=args.benchmarks_per_dataset,
+        passes=args.passes or None,
+        differential=not args.no_differential,
+        progress=progress,
+    )
+    print(
+        f"lint: {report.benchmarks} benchmark(s), {report.checks} pass-checks, "
+        f"{len(report.failures)} failure(s)"
+    )
+    for failure in report.failures:
+        print(f"FAIL {failure}")
+    return 0 if report.ok else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-compilergym",
@@ -508,6 +537,37 @@ def make_parser() -> argparse.ArgumentParser:
     replay.add_argument("--env", default="llvm-v0")
     replay.add_argument("--reward", default="IrInstructionCount")
     replay.set_defaults(func=_cmd_replay)
+
+    lint = sub.add_parser(
+        "lint",
+        help="Validate every registered pass over the builtin datasets "
+             "(semantic IR verifier + interpreter differential check)",
+    )
+    lint.add_argument(
+        "--dataset",
+        action="append",
+        default=[],
+        help="Dataset(s) to lint (repeatable; default: all builtin datasets)",
+    )
+    lint.add_argument(
+        "--benchmarks-per-dataset",
+        type=int,
+        default=2,
+        help="Benchmarks sampled per dataset (default: 2)",
+    )
+    lint.add_argument(
+        "--passes",
+        nargs="*",
+        default=[],
+        help="Passes to validate (default: every registered pass)",
+    )
+    lint.add_argument(
+        "--no-differential",
+        action="store_true",
+        help="Skip the interpreter-based differential check",
+    )
+    lint.add_argument("--quiet", action="store_true", help="Only print the summary")
+    lint.set_defaults(func=_cmd_lint)
 
     validate = sub.add_parser("validate", help="Validate recorded states")
     validate.add_argument("states", help="CSV/JSON file of CompilerEnvStates")

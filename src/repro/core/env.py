@@ -9,6 +9,7 @@ and benchmark dataset management.
 """
 
 import logging
+import os
 import time
 from typing import Any, Callable, Iterable, List, Optional, Tuple, Type, Union
 
@@ -58,12 +59,20 @@ class CompilerEnv:
         service_connection: Optional[ServiceConnection] = None,
         service_url: Optional[str] = None,
         service_token: Optional[str] = None,
+        verify_ir: Optional[bool] = None,
     ):
         self.session_type = session_type
         self.datasets = datasets
         self.connection_opts = connection_opts or ConnectionOpts()
         self.service_url = service_url
         self.service_token = service_token
+        # Verify-after-every-pass debug mode: the backend re-verifies the IR
+        # after each applied action and fails the step on corruption. Off by
+        # default (it adds a dominator-tree construction per function per
+        # step); enable with make(..., verify_ir=True) or REPRO_VERIFY_IR=1.
+        if verify_ir is None:
+            verify_ir = os.environ.get("REPRO_VERIFY_IR", "") not in ("", "0", "false", "False")
+        self.verify_ir = verify_ir
         self._custom_benchmarks = {}
         # URIs of Benchmark *objects* assigned by the user (rather than
         # resolved from the datasets). A remote daemon resolves benchmarks
@@ -370,6 +379,10 @@ class CompilerEnv:
 
         self._closed = False
         self._session_id = reply.session_id
+        if self.verify_ir:
+            self.service.handle_session_parameter(
+                self._session_id, "llvm.set_verify_ir", "1"
+            )
         self.actions = []
         self.episode_reward = 0 if self._reward_space else None
         self.episode_start_time = time.time()

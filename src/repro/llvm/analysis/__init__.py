@@ -1,16 +1,59 @@
-"""Feature extractors (observation spaces) for the LLVM environment."""
+"""Static analyses: feature extractors (observation spaces) and the dataflow
+framework backing the semantic verifier."""
 
 from repro.llvm.analysis.instcount import INSTCOUNT_FEATURE_NAMES, instcount_features
 from repro.llvm.analysis.autophase import AUTOPHASE_FEATURE_NAMES, autophase_features
 from repro.llvm.analysis.inst2vec import inst2vec_embeddings, inst2vec_preprocess
 from repro.llvm.analysis.programl import programl_graph
+from repro.llvm.analysis.dominators import (
+    DominatorTree,
+    dominance_frontiers,
+    dominator_tree,
+    dom_tree_depths,
+)
+from repro.llvm.analysis.dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    def_use_chains,
+    liveness,
+    reaching_definitions,
+    solve,
+    use_def_chains,
+)
+from repro.llvm.analysis.summaries import (
+    LIVENESS_DIMS,
+    LIVENESS_FEATURE_NAMES,
+    REACHINGDEFS_DIMS,
+    REACHINGDEFS_FEATURE_NAMES,
+    liveness_features,
+    max_domtree_depth,
+    reachingdefs_features,
+)
 
 __all__ = [
     "AUTOPHASE_FEATURE_NAMES",
+    "DataflowProblem",
+    "DataflowResult",
+    "DominatorTree",
     "INSTCOUNT_FEATURE_NAMES",
+    "LIVENESS_DIMS",
+    "LIVENESS_FEATURE_NAMES",
+    "REACHINGDEFS_DIMS",
+    "REACHINGDEFS_FEATURE_NAMES",
     "autophase_features",
+    "def_use_chains",
+    "dom_tree_depths",
+    "dominance_frontiers",
+    "dominator_tree",
     "inst2vec_embeddings",
     "inst2vec_preprocess",
     "instcount_features",
+    "liveness",
+    "liveness_features",
+    "max_domtree_depth",
     "programl_graph",
+    "reaching_definitions",
+    "reachingdefs_features",
+    "solve",
+    "use_def_chains",
 ]

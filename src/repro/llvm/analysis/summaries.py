@@ -1,0 +1,100 @@
+"""Summary-vector observation spaces derived from the dataflow analyses.
+
+Each space compresses a per-block analysis (liveness, reaching definitions,
+dominator-tree shape) into a small fixed-shape integer vector, so the values
+flow unchanged through :class:`ObservationView`, vec pools, the daemon wire
+format, and the gateway. Everything here is a deterministic aggregate —
+independent of set iteration order — so observations compare equal across
+transports and python versions.
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro.llvm.analysis.dataflow import liveness, reaching_definitions
+from repro.llvm.analysis.dominators import DominatorTree
+from repro.llvm.ir.module import Module
+
+LIVENESS_FEATURE_NAMES: List[str] = [
+    "TotalBlocks",
+    "TotalLiveIn",
+    "TotalLiveOut",
+    "MaxLiveIn",
+    "MaxLiveOut",
+    "TotalTrackedValues",
+    "TotalPhiEdgeUses",
+    "BlocksWithEmptyLiveIn",
+]
+LIVENESS_DIMS = len(LIVENESS_FEATURE_NAMES)
+
+REACHINGDEFS_FEATURE_NAMES: List[str] = [
+    "TotalBlocks",
+    "TotalReachingIn",
+    "TotalReachingOut",
+    "MaxReachingIn",
+    "MaxReachingOut",
+    "TotalDefs",
+    "TotalArgs",
+    "UnreachableBlocks",
+]
+REACHINGDEFS_DIMS = len(REACHINGDEFS_FEATURE_NAMES)
+
+
+def liveness_features(module: Module) -> np.ndarray:
+    """Aggregate live-range pressure statistics over all defined functions."""
+    features = np.zeros(LIVENESS_DIMS, dtype=np.int64)
+    for function in module.functions.values():
+        if function.is_declaration:
+            continue
+        result = liveness(function)
+        problem = result.problem
+        features[5] += len(function.args) + sum(
+            1 for inst in function.instructions() if inst.has_result
+        )
+        features[6] += sum(len(uses) for uses in problem.phi_uses.values())
+        for block in function.blocks:
+            live_in = len(result.in_of(block))
+            live_out = len(result.out_of(block))
+            features[0] += 1
+            features[1] += live_in
+            features[2] += live_out
+            features[3] = max(features[3], live_in)
+            features[4] = max(features[4], live_out)
+            if live_in == 0:
+                features[7] += 1
+    return features
+
+
+def reachingdefs_features(module: Module) -> np.ndarray:
+    """Aggregate reaching-definition statistics over all defined functions."""
+    features = np.zeros(REACHINGDEFS_DIMS, dtype=np.int64)
+    for function in module.functions.values():
+        if function.is_declaration:
+            continue
+        result = reaching_definitions(function)
+        tree = DominatorTree(function)
+        features[5] += sum(1 for inst in function.instructions() if inst.has_result)
+        features[6] += len(function.args)
+        features[7] += len(tree.unreachable)
+        for block in function.blocks:
+            reach_in = len(result.in_of(block))
+            reach_out = len(result.out_of(block))
+            features[0] += 1
+            features[1] += reach_in
+            features[2] += reach_out
+            features[3] = max(features[3], reach_in)
+            features[4] = max(features[4], reach_out)
+    return features
+
+
+def max_domtree_depth(module: Module) -> int:
+    """The deepest dominator-tree node across all defined functions."""
+    deepest = 0
+    for function in module.functions.values():
+        if function.is_declaration:
+            continue
+        tree = DominatorTree(function)
+        if tree.depth:
+            deepest = max(deepest, max(tree.depth.values()))
+    return deepest

@@ -1,0 +1,336 @@
+"""Pass-validation harness: vet every registered pass against the verifier.
+
+Two layers of defense against miscompiling passes, mirroring how CompilerGym
+leans on LLVM's ``-verify`` machinery and differential testing:
+
+1. **Verify-after-each-pass**: run a pass on a benchmark's module, then run the
+   semantic verifier (SSA dominance, phi coherence, operand typing). Any error
+   is a pass bug — the input modules are verified first.
+2. **Differential check**: for benchmarks the reference interpreter can run,
+   compare the program's output before and after the pass. A pass that keeps
+   the IR well-formed but changes behavior is caught here.
+
+The harness also carries five *seeded miscompile mutations* — hand-written IR
+corruptions of the kinds optimizer bugs actually produce — and a self-test
+that asserts the verifier rejects each one. The self-test runs first in
+``repro-compilergym lint`` so that a regressed verifier cannot silently
+green-light the pass sweep.
+"""
+
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional
+
+from repro.llvm.interpreter import (
+    ExecutionError,
+    ExecutionResult,
+    OpaqueFunctionError,
+    run_module,
+)
+from repro.llvm.ir.basic_block import BasicBlock
+from repro.llvm.ir.instructions import Instruction
+from repro.llvm.ir.module import Module
+from repro.llvm.ir.parser import parse_module
+from repro.llvm.ir.types import I64
+from repro.llvm.ir.values import Constant
+from repro.llvm.ir.verifier import verify_module
+from repro.llvm.passes.registry import (
+    O3_PIPELINE,
+    OZ_PIPELINE,
+    PASS_REGISTRY,
+    run_pass,
+)
+
+# Passes excluded from linting: gvn-sink is the registry's deliberately
+# nondeterministic pass (kept out of the action space for the same reason).
+LINT_EXCLUDED_PASSES = frozenset({"gvn-sink"})
+
+
+# -- seeded miscompile mutations ----------------------------------------------
+
+# A small diamond CFG with a phi — enough surface for every mutation kind.
+_SELF_TEST_IR = """
+define i32 @main(i32 %a, i32 %b) {
+entry:
+  %cmp = icmp slt i32 %a, %b
+  br i1 %cmp, label %then, label %else
+then:
+  %x = add i32 %a, 1
+  br label %join
+else:
+  %y = mul i32 %b, 2
+  br label %join
+join:
+  %p = phi i32 [ %x, %then ], [ %y, %else ]
+  %z = add i32 %p, %a
+  ret i32 %z
+}
+"""
+
+
+def self_test_module() -> Module:
+    """A fresh, verifier-clean module that every seeded mutation applies to."""
+    return parse_module(_SELF_TEST_IR)
+
+
+def _main_blocks(module: Module) -> Dict[str, BasicBlock]:
+    return {block.name: block for block in module.function("main").blocks}
+
+
+def _named(module: Module, name: str) -> Instruction:
+    for inst in module.function("main").instructions():
+        if inst.name == name:
+            return inst
+    raise ValueError(f"self-test module has no %{name}")
+
+
+def _clobber_phi_edge(module: Module) -> None:
+    """Retarget a phi's incoming edge at a block that is not a predecessor."""
+    phi = _named(module, "p")
+    phi.operands[1] = _main_blocks(module)["entry"]
+
+
+def _hoist_use_before_def(module: Module) -> None:
+    """Hoist a use above its definition (an illegal LICM-style hoist)."""
+    blocks = _main_blocks(module)
+    use = _named(module, "z")  # Uses %p, defined in join.
+    blocks["join"].remove(use)
+    blocks["entry"].insert(0, use)
+
+
+def _mismatch_operand_type(module: Module) -> None:
+    """Swap a binary operand for one of a different type."""
+    _named(module, "x").operands[1] = Constant(I64, 1)
+
+
+def _dangle_block_ref(module: Module) -> None:
+    """Point a branch at a block that is not part of the function."""
+    limbo = BasicBlock("limbo")
+    _main_blocks(module)["entry"].terminator.operands[1] = limbo
+
+
+def _duplicate_name(module: Module) -> None:
+    """Give two instructions the same result name."""
+    _named(module, "y").name = "x"
+
+
+MISCOMPILE_MUTATIONS: Dict[str, Callable[[Module], None]] = {
+    "clobbered-phi-edge": _clobber_phi_edge,
+    "use-before-def-hoist": _hoist_use_before_def,
+    "type-mismatched-operand": _mismatch_operand_type,
+    "dangling-block-ref": _dangle_block_ref,
+    "duplicate-name": _duplicate_name,
+}
+
+
+def verifier_self_test() -> List[str]:
+    """Assert the verifier accepts the clean module and rejects each mutation.
+
+    Returns a list of failure descriptions (empty when the verifier is sound).
+    """
+    failures: List[str] = []
+    baseline = verify_module(self_test_module(), raise_on_error=False)
+    if baseline:
+        failures.append(f"self-test module does not verify clean: {baseline[:2]}")
+    for name, mutate in MISCOMPILE_MUTATIONS.items():
+        module = self_test_module()
+        mutate(module)
+        if not verify_module(module, raise_on_error=False):
+            failures.append(f"seeded mutation {name!r} was NOT rejected by the verifier")
+    return failures
+
+
+# -- per-pass validation -------------------------------------------------------
+
+
+class ValidationFailure(NamedTuple):
+    """One pass-validation failure on one benchmark."""
+
+    benchmark: str
+    pass_name: str
+    kind: str  # "crash" | "verifier" | "differential"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.benchmark} × {self.pass_name}: {self.detail}"
+
+
+def _reference_output(module: Module) -> Optional[ExecutionResult]:
+    """The program's behavior under the reference interpreter, if runnable."""
+    try:
+        return run_module(module.clone())
+    except (ExecutionError, OpaqueFunctionError, KeyError):
+        return None
+
+
+def validate_pass(
+    module: Module,
+    pass_name: str,
+    benchmark: str = "<module>",
+    reference: Optional[ExecutionResult] = None,
+) -> List[ValidationFailure]:
+    """Run one pass over a clone of ``module`` and check it did no harm.
+
+    ``reference`` is the interpreter's output for the unoptimized module; pass
+    ``None`` to skip the differential check (e.g. for non-runnable IR).
+    """
+    failures: List[ValidationFailure] = []
+    clone = module.clone()
+    try:
+        run_pass(clone, pass_name)
+    except Exception as error:  # noqa: BLE001 - any pass crash is a finding.
+        return [
+            ValidationFailure(
+                benchmark, pass_name, "crash", f"{type(error).__name__}: {error}"
+            )
+        ]
+    errors = verify_module(clone, raise_on_error=False)
+    if errors:
+        failures.append(
+            ValidationFailure(benchmark, pass_name, "verifier", "; ".join(errors[:3]))
+        )
+    elif reference is not None:
+        try:
+            result = run_module(clone)
+        except (ExecutionError, OpaqueFunctionError) as error:
+            failures.append(
+                ValidationFailure(
+                    benchmark,
+                    pass_name,
+                    "differential",
+                    f"optimized module no longer runs: {error}",
+                )
+            )
+        else:
+            if result != reference:
+                failures.append(
+                    ValidationFailure(
+                        benchmark,
+                        pass_name,
+                        "differential",
+                        f"output changed: {reference!r} -> {result!r}",
+                    )
+                )
+    return failures
+
+
+class LintReport(NamedTuple):
+    """The outcome of a lint sweep."""
+
+    benchmarks: int
+    checks: int
+    failures: List[ValidationFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def lint_module(
+    module: Module,
+    benchmark: str = "<module>",
+    passes: Optional[Iterable[str]] = None,
+    differential: bool = True,
+) -> List[ValidationFailure]:
+    """Validate every pass (and the Oz/O3 pipelines) against one module."""
+    failures: List[ValidationFailure] = []
+    baseline = verify_module(module, raise_on_error=False)
+    if baseline:
+        # A benchmark that does not verify clean is a generator/parser bug;
+        # report it once rather than blaming all the passes.
+        return [
+            ValidationFailure(benchmark, "<input>", "verifier", "; ".join(baseline[:3]))
+        ]
+    if passes is None:
+        passes = sorted(set(PASS_REGISTRY) - LINT_EXCLUDED_PASSES)
+    reference = _reference_output(module) if differential else None
+    for pass_name in passes:
+        failures.extend(validate_pass(module, pass_name, benchmark, reference))
+    # The pipelines exercise pass *interactions* the per-pass sweep cannot.
+    for label, pipeline in (("pipeline:Oz", OZ_PIPELINE), ("pipeline:O3", O3_PIPELINE)):
+        clone = module.clone()
+        try:
+            for pass_name in pipeline:
+                run_pass(clone, pass_name)
+        except Exception as error:  # noqa: BLE001
+            failures.append(
+                ValidationFailure(
+                    benchmark, label, "crash", f"{type(error).__name__}: {error}"
+                )
+            )
+            continue
+        errors = verify_module(clone, raise_on_error=False)
+        if errors:
+            failures.append(
+                ValidationFailure(benchmark, label, "verifier", "; ".join(errors[:3]))
+            )
+        elif reference is not None:
+            try:
+                result = run_module(clone)
+            except (ExecutionError, OpaqueFunctionError) as error:
+                failures.append(
+                    ValidationFailure(
+                        benchmark, label, "differential", f"no longer runs: {error}"
+                    )
+                )
+            else:
+                if result != reference:
+                    failures.append(
+                        ValidationFailure(
+                            benchmark,
+                            label,
+                            "differential",
+                            f"output changed: {reference!r} -> {result!r}",
+                        )
+                    )
+    return failures
+
+
+def lint_datasets(
+    dataset_names: Optional[Iterable[str]] = None,
+    benchmarks_per_dataset: int = 2,
+    passes: Optional[Iterable[str]] = None,
+    differential: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> LintReport:
+    """Lint every registered pass over samples of the builtin datasets.
+
+    Datasets are effectively unbounded (several are generated), so the sweep
+    takes the first ``benchmarks_per_dataset`` benchmarks of each dataset —
+    deterministic, so CI failures reproduce locally.
+    """
+    from repro.llvm.datasets.suites import make_llvm_datasets
+
+    datasets = make_llvm_datasets()
+    if dataset_names is not None:
+        wanted = set(dataset_names)
+        datasets = [d for d in datasets if d.name in wanted]
+        missing = wanted - {d.name for d in datasets}
+        if missing:
+            raise ValueError(f"unknown dataset(s): {sorted(missing)}")
+
+    pass_list = (
+        sorted(set(PASS_REGISTRY) - LINT_EXCLUDED_PASSES)
+        if passes is None
+        else list(passes)
+    )
+    benchmarks = 0
+    checks = 0
+    failures: List[ValidationFailure] = []
+    for dataset in datasets:
+        taken = 0
+        for bench in dataset.benchmarks():
+            if taken >= benchmarks_per_dataset:
+                break
+            taken += 1
+            benchmarks += 1
+            uri = str(bench.uri)
+            if progress:
+                progress(f"lint {uri} ({len(pass_list)} passes)")
+            bench_failures = lint_module(
+                bench.program, uri, passes=pass_list, differential=differential
+            )
+            checks += len(pass_list) + 2  # +2 for the Oz/O3 pipelines.
+            failures.extend(bench_failures)
+            if progress:
+                for failure in bench_failures:
+                    progress(f"  FAIL {failure}")
+    return LintReport(benchmarks=benchmarks, checks=checks, failures=failures)

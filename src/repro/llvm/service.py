@@ -22,11 +22,20 @@ from repro.llvm.analysis.autophase import AUTOPHASE_DIMS, autophase_features
 from repro.llvm.analysis.inst2vec import inst2vec_embeddings, inst2vec_preprocess
 from repro.llvm.analysis.instcount import INSTCOUNT_DIMS, instcount_features
 from repro.llvm.analysis.programl import programl_graph
+from repro.llvm.analysis.summaries import (
+    LIVENESS_DIMS,
+    REACHINGDEFS_DIMS,
+    liveness_features,
+    max_domtree_depth,
+    reachingdefs_features,
+)
 from repro.llvm.cost.binary_size import object_text_size_bytes
 from repro.llvm.cost.code_size import ir_instruction_count
 from repro.llvm.cost.runtime import measure_runtime
 from repro.llvm.ir.module import Module
 from repro.llvm.ir.printer import print_module
+from repro.errors import ServiceError
+from repro.llvm.ir.verifier import verify_module
 from repro.llvm.passes.registry import (
     ACTION_SPACE_PASSES,
     O3_PIPELINE,
@@ -125,6 +134,22 @@ def _make_observation_spaces() -> List[ObservationSpaceSpec]:
             "Buildtime", 16, Scalar(min=0, max=None, dtype=float, name="Buildtime"),
             deterministic=False, platform_dependent=True, default_value=0.0,
         ),
+        ObservationSpaceSpec(
+            "Liveness", 17,
+            Box(low=0, high=int64_max, shape=(LIVENESS_DIMS,), dtype=np.int64, name="Liveness"),
+            deterministic=True, platform_dependent=False,
+            default_value=np.zeros(LIVENESS_DIMS, dtype=np.int64),
+        ),
+        ObservationSpaceSpec(
+            "DomTreeDepth", 18, Scalar(min=0, max=None, dtype=int, name="DomTreeDepth"),
+            deterministic=True, platform_dependent=False, default_value=0,
+        ),
+        ObservationSpaceSpec(
+            "ReachingDefs", 19,
+            Box(low=0, high=int64_max, shape=(REACHINGDEFS_DIMS,), dtype=np.int64, name="ReachingDefs"),
+            deterministic=True, platform_dependent=False,
+            default_value=np.zeros(REACHINGDEFS_DIMS, dtype=np.int64),
+        ),
     ]
     return specs
 
@@ -147,6 +172,7 @@ class LlvmCompilationSession(CompilationSession):
         self.actions_applied: List[int] = []
         self._runtime_rng = random.Random(0xC0FFEE)
         self._runtimes_per_observation = 1
+        self._verify_ir = False
 
     # -- baselines --------------------------------------------------------------
 
@@ -181,6 +207,14 @@ class LlvmCompilationSession(CompilationSession):
         pass_name = self.action_space.names[index] if hasattr(self.action_space, "names") else ACTION_SPACE_PASSES[index]
         changed = run_pass(self.module, pass_name)
         self.actions_applied.append(index)
+        if self._verify_ir:
+            errors = verify_module(self.module, raise_on_error=False)
+            if errors:
+                # ServiceError propagates through every transport and ends
+                # only this episode; any other exception type would look like
+                # a backend crash and trigger a service restart.
+                detail = "; ".join(errors[:10])
+                raise ServiceError(f"-{pass_name} produced invalid IR: {detail}")
         return False, None, not changed
 
     def get_observation(self, observation_space: ObservationSpaceSpec):
@@ -217,6 +251,12 @@ class LlvmCompilationSession(CompilationSession):
             # Build time scales with module size, with measurement noise.
             base = 1e-5 * max(1, self.module.instruction_count)
             return base * max(0.5, self._runtime_rng.gauss(1.0, 0.1))
+        if space_id == "Liveness":
+            return liveness_features(self.module)
+        if space_id == "DomTreeDepth":
+            return max_domtree_depth(self.module)
+        if space_id == "ReachingDefs":
+            return reachingdefs_features(self.module)
         raise LookupError(f"Unknown observation space: {space_id!r}")
 
     def fork(self) -> "LlvmCompilationSession":
@@ -226,6 +266,7 @@ class LlvmCompilationSession(CompilationSession):
         forked.actions_applied = list(self.actions_applied)
         forked._runtime_rng = random.Random(self._runtime_rng.random())
         forked._runtimes_per_observation = self._runtimes_per_observation
+        forked._verify_ir = self._verify_ir
         return forked
 
     def handle_session_parameter(self, key: str, value: str) -> Optional[str]:
@@ -234,6 +275,11 @@ class LlvmCompilationSession(CompilationSession):
             return value
         if key == "llvm.get_runtimes_per_observation_count":
             return str(self._runtimes_per_observation)
+        if key == "llvm.set_verify_ir":
+            self._verify_ir = value not in ("", "0", "false", "False")
+            return value
+        if key == "llvm.get_verify_ir":
+            return "1" if self._verify_ir else "0"
         if key == "llvm.apply_baseline_pipeline":
             pipeline = OZ_PIPELINE if value == "-Oz" else O3_PIPELINE
             run_pipeline(self.module, pipeline)

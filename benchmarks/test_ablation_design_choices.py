@@ -22,46 +22,60 @@ import repro
 
 
 def test_ablation_benchmark_cache(benchmark):
-    resets = int(30 * bench_scale())
+    resolves = int(30 * bench_scale())
+    uri = "benchmark://cbench-v1/jpeg-c"
 
     def run_experiment():
-        env = repro.make("llvm-v0", benchmark="benchmark://cbench-v1/jpeg-c")
+        env = repro.make("llvm-v0", benchmark=uri)
         try:
             env.reset()
+            runtime = env.service.runtime
 
-            def mean_reset_seconds(clear_cache: bool) -> float:
-                # Best of three repetitions: resets are fast enough that a
+            # The cost the cache amortizes is benchmark *resolution*: URI
+            # lookup plus program generation/parse into a module. Timing it
+            # directly (rather than through env.reset(), whose session
+            # bookkeeping is cache-independent and used to drown the signal)
+            # isolates the "amortized O(1) environment initialization" claim.
+            def mean_resolve_seconds(clear_cache: bool) -> float:
+                # Best of three repetitions: resolves are fast enough that a
                 # single scheduler stall during one loop would otherwise
                 # dominate the mean and flip the speedup ratio.
                 best = float("inf")
                 for _ in range(3):
                     start = time.perf_counter()
-                    for _ in range(resets):
+                    for _ in range(resolves):
                         if clear_cache:
-                            env.service.runtime.benchmark_cache.clear()
-                        env.reset()
-                    best = min(best, (time.perf_counter() - start) / resets)
+                            runtime.benchmark_cache.clear()
+                        runtime._resolve_benchmark(uri)
+                    best = min(best, (time.perf_counter() - start) / resolves)
                 return best
 
-            cached = mean_reset_seconds(clear_cache=False)
-            uncached = mean_reset_seconds(clear_cache=True)
+            cached = mean_resolve_seconds(clear_cache=False)
+            uncached = mean_resolve_seconds(clear_cache=True)
+
+            # End-to-end reset latency with the warm cache, for context: the
+            # number a user actually experiences per episode.
+            start = time.perf_counter()
+            for _ in range(resolves):
+                env.reset()
+            reset_ms = (time.perf_counter() - start) / resolves * 1e3
         finally:
             env.close()
-        return {"cached_reset_ms": cached * 1e3, "uncached_reset_ms": uncached * 1e3,
-                "speedup": uncached / cached}
+        return {"cached_resolve_ms": cached * 1e3, "uncached_resolve_ms": uncached * 1e3,
+                "cached_reset_ms": reset_ms, "speedup": uncached / cached}
 
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     save_table("ablation_cache", "Ablation: benchmark cache", [
-        f"reset with cache:    {results['cached_reset_ms']:.3f} ms",
-        f"reset without cache: {results['uncached_reset_ms']:.3f} ms",
-        f"speedup from cache:  {results['speedup']:.1f}x",
+        f"resolve with cache:    {results['cached_resolve_ms']:.3f} ms",
+        f"resolve without cache: {results['uncached_resolve_ms']:.3f} ms",
+        f"reset (warm cache):    {results['cached_reset_ms']:.3f} ms",
+        f"speedup from cache:    {results['speedup']:.1f}x",
     ])
     save_results("ablation_cache", results)
-    # In the real system the cached item is an expensively-parsed bitcode, so
-    # the cache is worth orders of magnitude; in this reproduction benchmark
-    # *generation* is cheap relative to per-session state setup, so the check
-    # is only that the cache never hurts and typically helps.
-    assert results["speedup"] > 0.9
+    # A cached resolution is a dict hit; an uncached one regenerates and
+    # re-ingests the program. Anything under an order of magnitude means the
+    # cache stopped short-circuiting that work.
+    assert results["speedup"] > 10.0
 
 
 def test_ablation_fork_vs_replay_backtracking(benchmark):

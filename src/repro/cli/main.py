@@ -72,6 +72,11 @@ def _cmd_serve(args) -> int:
         unix_path=args.unix_socket,
         session_timeout=args.session_timeout if args.session_timeout > 0 else None,
         auth_tokens=args.auth_token or None,
+        result_cache=(
+            False
+            if args.result_cache_mb <= 0
+            else int(args.result_cache_mb * 1024 * 1024)
+        ),
     )
 
     def _handle_signal(signum, frame):  # noqa: ARG001 - signal API
@@ -96,6 +101,16 @@ def _cmd_serve(args) -> int:
         f"{info['reaped_sessions']} reaped",
         flush=True,
     )
+    result_cache = (info.get("cache_stats") or {}).get("result_cache")
+    if result_cache:
+        print(
+            f"Result cache: {result_cache['hits']} hit(s), "
+            f"{result_cache['misses']} miss(es) "
+            f"({100.0 * result_cache['hit_rate']:.1f}% hit rate), "
+            f"{result_cache['evictions']} eviction(s), "
+            f"{result_cache['size_in_bytes'] / (1024 * 1024):.1f} MiB used",
+            flush=True,
+        )
     return 0
 
 
@@ -441,6 +456,10 @@ def make_parser() -> argparse.ArgumentParser:
                        help="Require clients to present one of these auth "
                             "tokens in the connection handshake (repeatable). "
                             "Omit to serve unauthenticated")
+    serve.add_argument("--result-cache-mb", type=float, default=64.0,
+                       help="Byte budget (in MiB) for the daemon-wide "
+                            "(benchmark, action-prefix) result cache shared "
+                            "across sessions and tenants (0 disables)")
     serve.set_defaults(func=_cmd_serve)
 
     gateway = sub.add_parser(

@@ -60,12 +60,20 @@ class CompilerEnv:
         service_url: Optional[str] = None,
         service_token: Optional[str] = None,
         verify_ir: Optional[bool] = None,
+        result_cache=None,
     ):
         self.session_type = session_type
         self.datasets = datasets
         self.connection_opts = connection_opts or ConnectionOpts()
         self.service_url = service_url
         self.service_token = service_token
+        # Daemon-wide (benchmark, action-prefix) result memoization for the
+        # in-process runtime: None enables a default-sized cache, False/0
+        # disables, an int sets the byte budget, a ResultCache is shared
+        # as-is. Remote daemons own their own cache (see `serve
+        # --result-cache-mb`); the setting only applies when this env hosts
+        # its runtime in-process.
+        self.result_cache = result_cache
         # Verify-after-every-pass debug mode: the backend re-verifies the IR
         # after each applied action and fails the step on corruption. Off by
         # default (it adds a dominator-tree construction per function per
@@ -134,7 +142,9 @@ class CompilerEnv:
 
     def _make_runtime(self) -> CompilerGymServiceRuntime:
         return CompilerGymServiceRuntime(
-            session_type=self.session_type, benchmark_resolver=self._resolve_benchmark
+            session_type=self.session_type,
+            benchmark_resolver=self._resolve_benchmark,
+            result_cache=self.result_cache,
         )
 
     def _make_socket_transport(self) -> SocketTransport:

@@ -647,6 +647,36 @@ class ServiceGateway(SocketRPCServer):
             for daemon in self.live_daemons()
         }
 
+    def result_cache_stats(self) -> dict:
+        """Fleet-wide result-cache accounting, aggregated across daemons.
+
+        Each daemon owns its own (benchmark, action-prefix) result cache;
+        this sums their counters (a dead or unreachable daemon is skipped)
+        and recomputes the fleet hit rate from the summed totals.
+        """
+        totals = {
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0,
+            "size": 0, "size_in_bytes": 0,
+        }
+        per_daemon: Dict[str, dict] = {}
+        caching_daemons = 0
+        for daemon in self.live_daemons():
+            try:
+                info = daemon.connection.transport.server_info()
+            except Exception:  # noqa: BLE001 - a dying daemon is not an error here
+                continue
+            stats = (info or {}).get("cache_stats", {}).get("result_cache")
+            if not stats:
+                continue
+            caching_daemons += 1
+            per_daemon[daemon.url] = stats
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        queries = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / queries if queries else 0.0
+        totals["daemons"] = caching_daemons
+        return {"total": totals, "per_daemon": per_daemon}
+
     def server_info(self) -> dict:
         with self._fleet_lock:
             sessions = len(self._sessions)
@@ -678,6 +708,8 @@ class ServiceGateway(SocketRPCServer):
             "spaces_epoch": epoch,
             "failovers": failovers,
             "daemons": fleet,
+            # Fleet-wide result-cache counters (summed across live daemons).
+            "cache_stats": {"result_cache": self.result_cache_stats()["total"]},
         }
 
     # -- fleet scaling -----------------------------------------------------

@@ -1,7 +1,14 @@
-"""Shared service runtime: session management, benchmark cache, socket daemon."""
+"""Shared service runtime: session management, caches, socket daemon."""
 
 from repro.core.service.runtime.benchmark_cache import BenchmarkCache
 from repro.core.service.runtime.compiler_gym_service import CompilerGymServiceRuntime
+from repro.core.service.runtime.result_cache import ResultCache
 from repro.core.service.runtime.server import ServiceServer, make_env_server
 
-__all__ = ["BenchmarkCache", "CompilerGymServiceRuntime", "ServiceServer", "make_env_server"]
+__all__ = [
+    "BenchmarkCache",
+    "CompilerGymServiceRuntime",
+    "ResultCache",
+    "ServiceServer",
+    "make_env_server",
+]

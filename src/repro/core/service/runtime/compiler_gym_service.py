@@ -27,7 +27,49 @@ from repro.core.service.proto import (
     StepRequest,
 )
 from repro.core.service.runtime.benchmark_cache import BenchmarkCache
+from repro.core.service.runtime.result_cache import ResultCache
 from repro.errors import ServiceError, SessionNotFound
+
+
+def _copy_value(value):
+    """Defensive copy for cached payloads handed to in-process callers."""
+    if hasattr(value, "nbytes") and hasattr(value, "copy"):  # numpy arrays
+        return value.copy()
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, dict):
+        return dict(value)
+    return value
+
+
+class _SessionCacheState:
+    """Result-cache bookkeeping for one session.
+
+    ``prefix`` is the canonical action prefix acknowledged to the client;
+    ``pending`` is the suffix of it served from the cache but not yet applied
+    to the real session — the compile debt a later miss must materialize.
+    ``action_space`` is kept so a session whose reset was fully served from
+    the cache can defer construction entirely until its first miss.
+    A session goes permanently uncacheable (``cacheable=False``) when its
+    state diverges from a pure action prefix (session parameters, dynamic
+    action spaces, failed replay).
+    """
+
+    __slots__ = ("uri", "action_space", "prefix", "pending", "cacheable")
+
+    def __init__(self, uri: str, action_space=None):
+        self.uri = uri
+        self.action_space = action_space
+        self.prefix: tuple = ()
+        self.pending: list = []
+        self.cacheable = True
+
+    def forked(self) -> "_SessionCacheState":
+        child = _SessionCacheState(self.uri, self.action_space)
+        child.prefix = self.prefix
+        child.pending = list(self.pending)
+        child.cacheable = self.cacheable
+        return child
 
 
 class CompilerGymServiceRuntime:
@@ -38,6 +80,10 @@ class CompilerGymServiceRuntime:
             for each new session.
         benchmark_resolver: Callable mapping a benchmark URI to a
             :class:`Benchmark`. Results are stored in the benchmark cache.
+        result_cache: Daemon-wide (benchmark, action-prefix) memoization,
+            shared across all sessions of this runtime. ``None`` (default)
+            enables a default-sized cache; ``False``/``0`` disables; an int
+            sets the byte budget; a :class:`ResultCache` is used as-is.
     """
 
     def __init__(
@@ -45,12 +91,17 @@ class CompilerGymServiceRuntime:
         session_type: Type[CompilationSession],
         benchmark_resolver: Callable[[str], Benchmark],
         working_dir: Optional[str] = None,
+        result_cache=None,
     ):
         self.session_type = session_type
         self.benchmark_resolver = benchmark_resolver
         self.working_dir = working_dir or tempfile.mkdtemp(prefix="repro-compiler-service-")
         self.benchmark_cache = BenchmarkCache()
-        self.sessions: Dict[int, CompilationSession] = {}
+        self.result_cache: Optional[ResultCache] = ResultCache.coerce(result_cache)
+        # ``None`` marks a lazy session: reset was served from the result
+        # cache and the real session has not been constructed yet.
+        self.sessions: Dict[int, Optional[CompilationSession]] = {}
+        self._cache_states: Dict[int, _SessionCacheState] = {}
         self._next_session_id = 0
         self._lock = threading.Lock()
         self.closed = False
@@ -90,7 +141,7 @@ class CompilerGymServiceRuntime:
             self.benchmark_cache[uri] = benchmark
         return benchmark
 
-    def _session(self, session_id: int) -> CompilationSession:
+    def _session(self, session_id: int) -> Optional[CompilationSession]:
         if session_id not in self.sessions:
             raise SessionNotFound(f"Session not found: {session_id}")
         return self.sessions[session_id]
@@ -101,24 +152,91 @@ class CompilerGymServiceRuntime:
         if self.closed:
             raise ServiceError("Service is closed")
         self.stats["start_session"] += 1
+        # Resolve eagerly (amortized O(1) via the benchmark cache) so an
+        # unknown benchmark URI still fails at reset, not at the first miss.
         benchmark = self._resolve_benchmark(request.benchmark_uri)
         action_space = self.session_type.action_spaces[request.action_space]
-        session = self.session_type(
-            working_dir=self.working_dir, action_space=action_space, benchmark=benchmark
+        state = (
+            _SessionCacheState(str(request.benchmark_uri), action_space)
+            if self.result_cache is not None
+            else None
         )
+        # With the result cache on, session construction (which clones the
+        # benchmark's module) is deferred: if every reset observation comes
+        # from the cache, the session stays a ``None`` placeholder until the
+        # first step that actually misses.
+        session: Optional[CompilationSession] = None
+
+        def ensure_session() -> CompilationSession:
+            nonlocal session
+            if session is None:
+                session = self.session_type(
+                    working_dir=self.working_dir,
+                    action_space=action_space,
+                    benchmark=benchmark,
+                )
+            return session
+
+        if state is None:
+            ensure_session()
+        observations = []
+        for name in request.observation_space_names:
+            spec = self._observation_spec(name)
+            if state is not None and spec.deterministic:
+                value = self.result_cache.get_observation(state.uri, (), name)
+                if value is None:
+                    value = ensure_session().get_observation(spec)
+                    # Store a private copy: the returned object is handed to
+                    # (possibly in-process) callers who may mutate it.
+                    self.result_cache.put_observation(
+                        state.uri, (), name, _copy_value(value)
+                    )
+                else:
+                    value = _copy_value(value)
+            else:
+                value = ensure_session().get_observation(spec)
+            observations.append(Event.from_value(value))
         with self._lock:
             session_id = self._next_session_id
             self._next_session_id += 1
             self.sessions[session_id] = session
-        observations = [
-            Event.from_value(session.get_observation(self._observation_spec(name)))
-            for name in request.observation_space_names
-        ]
+            if state is not None:
+                self._cache_states[session_id] = state
         return StartSessionReply(session_id=session_id, observations=observations)
 
-    def step(self, request: StepRequest) -> StepReply:
-        self.stats["step"] += 1
-        session = self._session(request.session_id)
+    def _materialize(self, session_id: int, state: _SessionCacheState) -> CompilationSession:
+        """Settle a session's compile debt before executing a cache miss.
+
+        Constructs the real session if reset was served entirely from the
+        cache, then replays the cache-served actions onto it. The replayed
+        steps were previously executed (their results are in the cache), so
+        deterministic sessions replay without surprises; if materialization
+        nevertheless fails, the session's state no longer matches its prefix
+        and it leaves the cache protocol for good.
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            try:
+                session = self.session_type(
+                    working_dir=self.working_dir,
+                    action_space=state.action_space,
+                    benchmark=self._resolve_benchmark(state.uri),
+                )
+            except Exception:
+                state.cacheable = False
+                raise
+            self.sessions[session_id] = session
+        if state.pending:
+            pending, state.pending = state.pending, []
+            try:
+                for action in pending:
+                    session.apply_action(action)
+            except Exception:
+                state.cacheable = False
+                raise
+        return session
+
+    def _execute_step(self, session: CompilationSession, request: StepRequest) -> StepReply:
         end_of_session = False
         action_had_no_effect = True
         new_action_space = None
@@ -142,28 +260,123 @@ class CompilerGymServiceRuntime:
             observations=observations,
         )
 
+    def step(self, request: StepRequest) -> StepReply:
+        self.stats["step"] += 1
+        session = self._session(request.session_id)
+        state = self._cache_states.get(request.session_id)
+        if state is None or not state.cacheable:
+            if session is None and state is not None:
+                # A previous materialization failed: retry constructing the
+                # real session so the error (or the session) is not lost.
+                session = self._materialize(request.session_id, state)
+            return self._execute_step(session, request)
+
+        specs = [self._observation_spec(name) for name in request.observation_space_names]
+        deterministic = all(spec.deterministic for spec in specs)
+        actions = tuple(int(action) for action in request.actions)
+        candidate = state.prefix + actions
+
+        if deterministic:
+            entry = self.result_cache.lookup_step(
+                state.uri, candidate, len(actions), request.observation_space_names
+            )
+            if entry is not None:
+                # Served without compiling: the actions become pending debt,
+                # materialized only if a later step misses.
+                state.prefix = candidate
+                state.pending.extend(actions)
+                return StepReply(
+                    end_of_session=entry.end_of_session,
+                    action_had_no_effect=entry.action_had_no_effect,
+                    new_action_space=None,
+                    observations=[
+                        Event.from_value(_copy_value(entry.observations[name]))
+                        for name in request.observation_space_names
+                    ],
+                )
+
+        session = self._materialize(request.session_id, state)
+        reply = self._execute_step(session, request)
+        if reply.new_action_space is not None:
+            # A dynamic action-space change breaks prefix canonicality.
+            state.cacheable = False
+            return reply
+        state.prefix = candidate
+        # Populate the cache for the next session to walk this prefix. The
+        # flags are deterministic; only deterministic payloads are stored,
+        # each as a private copy so callers mutating the reply cannot
+        # corrupt the cached entry.
+        cacheable_observations = {
+            name: _copy_value(observation.value())
+            for name, spec, observation in zip(
+                request.observation_space_names, specs, reply.observations
+            )
+            if spec.deterministic
+        }
+        self.result_cache.store_step(
+            state.uri,
+            candidate,
+            len(actions),
+            reply.end_of_session,
+            reply.action_had_no_effect,
+            cacheable_observations,
+        )
+        return reply
+
     def fork_session(self, request: ForkSessionRequest) -> ForkSessionReply:
         self.stats["fork_session"] += 1
         session = self._session(request.session_id)
-        forked = session.fork()
+        parent_state = self._cache_states.get(request.session_id)
+        # Forking a still-lazy session is free: the child is lazy too, and
+        # inherits the parent's prefix (and compile debt) via its state.
+        forked = session.fork() if session is not None else None
         with self._lock:
             session_id = self._next_session_id
             self._next_session_id += 1
             self.sessions[session_id] = forked
+            if parent_state is not None:
+                # The fork starts at the parent's prefix (and pending debt),
+                # so it inherits every warm cache entry along it.
+                self._cache_states[session_id] = parent_state.forked()
         return ForkSessionReply(session_id=session_id)
 
     def end_session(self, request: EndSessionRequest) -> EndSessionReply:
         self.stats["end_session"] += 1
         session = self.sessions.pop(request.session_id, None)
+        self._cache_states.pop(request.session_id, None)
         if session is not None:
             session.close()
         return EndSessionReply(remaining_sessions=len(self.sessions))
 
     def handle_session_parameter(self, session_id: int, key: str, value: str) -> Optional[str]:
-        return self._session(session_id).handle_session_parameter(key, value)
+        session = self._session(session_id)
+        state = self._cache_states.get(session_id)
+        if state is not None:
+            # Parameters may read or mutate backend state (e.g. baseline
+            # pipelines): settle the compile debt first, then stop treating
+            # the session as a pure action prefix.
+            session = self._materialize(session_id, state)
+            state.cacheable = False
+        return session.handle_session_parameter(key, value)
+
+    def cache_stats(self) -> Dict[str, Optional[Dict[str, float]]]:
+        """Stats for both cache layers owned by this runtime."""
+        return {
+            "benchmark_cache": {
+                "hits": self.benchmark_cache.hits,
+                "misses": self.benchmark_cache.misses,
+                "evictions": self.benchmark_cache.evictions,
+                "size": self.benchmark_cache.size,
+                "size_in_bytes": self.benchmark_cache.size_in_bytes,
+            },
+            "result_cache": (
+                self.result_cache.stats() if self.result_cache is not None else None
+            ),
+        }
 
     def shutdown(self) -> None:
         for session in self.sessions.values():
-            session.close()
+            if session is not None:
+                session.close()
         self.sessions.clear()
         self.closed = True

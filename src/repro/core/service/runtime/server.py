@@ -368,6 +368,7 @@ class ServiceServer(SocketRPCServer):
             "connections_served": connections,
             "batched_steps": batched,
             "runtime_stats": dict(self.runtime.stats),
+            "cache_stats": self.runtime.cache_stats(),
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -412,6 +413,7 @@ def make_env_server(
     session_timeout: Optional[float] = 3600.0,
     reap_interval: float = 10.0,
     auth_tokens=None,
+    result_cache=None,
     **make_kwargs,
 ) -> ServiceServer:
     """Build a :class:`ServiceServer` hosting the runtime of ``env_id``.
@@ -430,6 +432,7 @@ def make_env_server(
         runtime = CompilerGymServiceRuntime(
             session_type=template_env.session_type,
             benchmark_resolver=template_env._resolve_benchmark,
+            result_cache=result_cache,
         )
         server = ServiceServer(
             runtime,

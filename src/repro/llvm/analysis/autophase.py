@@ -102,15 +102,18 @@ _OPCODE_FEATURES = {
 }
 
 
-def autophase_features(module: Module) -> np.ndarray:
-    """Compute the 56-D Autophase feature vector of a module."""
+def autophase_function_features(function) -> np.ndarray:
+    """One defined function's contribution to the 56-D Autophase vector.
+
+    Every Autophase feature is a plain counter, so the module vector is the
+    elementwise sum of the per-function vectors — which lets the session
+    cache features per function and recompute only what a pass touched.
+    """
     from repro.llvm.ir.cfg import predecessors
 
     features = {name: 0 for name in AUTOPHASE_FEATURE_NAMES}
 
-    for function in module.functions.values():
-        if function.is_declaration:
-            continue
+    if not function.is_declaration:
         features["TotalFuncs"] += 1
         preds = predecessors(function)
         for block in function.blocks:
@@ -193,3 +196,11 @@ def autophase_features(module: Module) -> np.ndarray:
                             features["numConstOnes"] += 1
 
     return np.array([features[name] for name in AUTOPHASE_FEATURE_NAMES], dtype=np.int64)
+
+
+def autophase_features(module: Module) -> np.ndarray:
+    """Compute the 56-D Autophase feature vector of a module."""
+    total = np.zeros(AUTOPHASE_DIMS, dtype=np.int64)
+    for function in module.functions.values():
+        total += autophase_function_features(function)
+    return total

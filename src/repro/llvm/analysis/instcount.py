@@ -64,9 +64,36 @@ INSTCOUNT_DIMS = 70
 INSTCOUNT_FEATURE_NAMES = INSTCOUNT_FEATURE_NAMES[:INSTCOUNT_DIMS]
 assert len(INSTCOUNT_FEATURE_NAMES) == INSTCOUNT_DIMS, len(INSTCOUNT_FEATURE_NAMES)
 
+# Features that combine across functions with max() rather than sum(). Only
+# the indices that survived the 70-D trim participate.
+INSTCOUNT_MAX_FEATURE_INDICES: List[int] = [
+    INSTCOUNT_FEATURE_NAMES.index(name)
+    for name in ("MaxLoopDepth", "MaxBlockInstructions")
+    if name in INSTCOUNT_FEATURE_NAMES
+]
 
-def instcount_features(module: Module) -> np.ndarray:
-    """Compute the 70-D InstCount feature vector of a module."""
+
+def _vectorize(total_insts: int, total_blocks: int, total_functions: int,
+               opcode_counts: dict, derived: dict) -> np.ndarray:
+    values = [total_insts, total_blocks, total_functions]
+    values += [opcode_counts[op] for op in _OPCODE_ORDER]
+    values += [derived[name] for name in _DERIVED_FEATURES]
+    return np.array(values[:INSTCOUNT_DIMS], dtype=np.int64)
+
+
+def instcount_function_features(function, module: Module) -> np.ndarray:
+    """One function's contribution to the 70-D InstCount vector.
+
+    Declarations contribute only ``TotalDeclarations``; module-level features
+    (``TotalGlobals``) live in :func:`instcount_module_features`. Summing the
+    per-function vectors — with max-combination at
+    ``INSTCOUNT_MAX_FEATURE_INDICES`` — reproduces :func:`instcount_features`
+    exactly, which is what lets the session cache features per function.
+
+    Note the ``call`` features consult ``module`` for the callee's
+    declaration status, so a cached per-function vector is only valid while
+    the module's set of (name, is_declaration) pairs is unchanged.
+    """
     from repro.llvm.ir.cfg import natural_loops, predecessors
     from repro.llvm.ir.values import Constant
 
@@ -76,74 +103,108 @@ def instcount_features(module: Module) -> np.ndarray:
     total_blocks = 0
     total_functions = 0
 
-    for function in module.functions.values():
-        if function.is_declaration:
-            derived["TotalDeclarations"] += 1
-            continue
-        total_functions += 1
-        derived["TotalArgs"] += len(function.args)
-        preds = predecessors(function)
-        loops = natural_loops(function)
-        derived["TotalLoops"] += len(loops)
-        if loops:
-            derived["MaxLoopDepth"] = max(
-                derived["MaxLoopDepth"], max(loop.depth for loop in loops)
-            )
-        for block in function.blocks:
-            total_blocks += 1
-            derived["MaxBlockInstructions"] = max(
-                derived["MaxBlockInstructions"], len(block.instructions)
-            )
-            if len(block.instructions) <= 1:
-                derived["TotalEmptyishBlocks"] += 1
-            successors = block.successors()
-            derived["TotalCfgEdges"] += len(successors)
-            if len(successors) == 2:
-                derived["TotalBlocksWithTwoSuccessors"] += 1
-            if len(preds.get(block, [])) == 1:
-                derived["TotalBlocksWithOnePredecessor"] += 1
-            if block in successors:
-                derived["TotalSelfLoops"] += 1
-            for inst in block.instructions:
-                total_insts += 1
-                opcode_counts[inst.opcode] = opcode_counts.get(inst.opcode, 0) + 1
-                derived["TotalOperands"] += len(inst.operands)
-                if len(inst.operands) == 1:
-                    derived["TotalSingleOperandInsts"] += 1
-                if inst.name:
-                    derived["TotalNamedValues"] += 1
-                if inst.is_commutative:
-                    derived["TotalCommutativeOps"] += 1
-                for operand in inst.operands:
-                    if isinstance(operand, Constant):
-                        derived["TotalConstOperands"] += 1
-                        if operand.type.is_float:
-                            derived["TotalFloatConstants"] += 1
-                        else:
-                            derived["TotalIntegerConstants"] += 1
-                if inst.opcode == "br":
-                    if len(inst.operands) == 3:
-                        derived["TotalConditionalBranches"] += 1
+    if function.is_declaration:
+        derived["TotalDeclarations"] = 1
+        return _vectorize(total_insts, total_blocks, total_functions, opcode_counts, derived)
+
+    total_functions = 1
+    derived["TotalArgs"] += len(function.args)
+    preds = predecessors(function)
+    loops = natural_loops(function)
+    derived["TotalLoops"] += len(loops)
+    if loops:
+        derived["MaxLoopDepth"] = max(
+            derived["MaxLoopDepth"], max(loop.depth for loop in loops)
+        )
+    for block in function.blocks:
+        total_blocks += 1
+        derived["MaxBlockInstructions"] = max(
+            derived["MaxBlockInstructions"], len(block.instructions)
+        )
+        if len(block.instructions) <= 1:
+            derived["TotalEmptyishBlocks"] += 1
+        successors = block.successors()
+        derived["TotalCfgEdges"] += len(successors)
+        if len(successors) == 2:
+            derived["TotalBlocksWithTwoSuccessors"] += 1
+        if len(preds.get(block, [])) == 1:
+            derived["TotalBlocksWithOnePredecessor"] += 1
+        if block in successors:
+            derived["TotalSelfLoops"] += 1
+        for inst in block.instructions:
+            total_insts += 1
+            opcode_counts[inst.opcode] = opcode_counts.get(inst.opcode, 0) + 1
+            derived["TotalOperands"] += len(inst.operands)
+            if len(inst.operands) == 1:
+                derived["TotalSingleOperandInsts"] += 1
+            if inst.name:
+                derived["TotalNamedValues"] += 1
+            if inst.is_commutative:
+                derived["TotalCommutativeOps"] += 1
+            for operand in inst.operands:
+                if isinstance(operand, Constant):
+                    derived["TotalConstOperands"] += 1
+                    if operand.type.is_float:
+                        derived["TotalFloatConstants"] += 1
                     else:
-                        derived["TotalUnconditionalBranches"] += 1
-                elif inst.opcode == "switch":
-                    derived["TotalSwitchCases"] += (len(inst.operands) - 2) // 2
-                elif inst.opcode == "phi":
-                    derived["TotalPhiIncomingValues"] += len(inst.operands) // 2
-                elif inst.opcode == "call":
-                    callee = module.function(inst.attrs.get("callee", ""))
-                    if callee is None or callee.is_declaration:
-                        derived["TotalCallsToDeclaredFunctions"] += 1
-                    if inst.attrs.get("pure"):
-                        derived["TotalPureCalls"] += 1
-                elif inst.opcode == "ret" and inst.operands and isinstance(inst.operands[0], Constant):
-                    derived["TotalReturnsOfConstant"] += 1
-                elif inst.opcode == "store" and isinstance(inst.operands[0], Constant):
-                    derived["TotalStoresOfConstants"] += 1
+                        derived["TotalIntegerConstants"] += 1
+            if inst.opcode == "br":
+                if len(inst.operands) == 3:
+                    derived["TotalConditionalBranches"] += 1
+                else:
+                    derived["TotalUnconditionalBranches"] += 1
+            elif inst.opcode == "switch":
+                derived["TotalSwitchCases"] += (len(inst.operands) - 2) // 2
+            elif inst.opcode == "phi":
+                derived["TotalPhiIncomingValues"] += len(inst.operands) // 2
+            elif inst.opcode == "call":
+                callee = module.function(inst.attrs.get("callee", ""))
+                if callee is None or callee.is_declaration:
+                    derived["TotalCallsToDeclaredFunctions"] += 1
+                if inst.attrs.get("pure"):
+                    derived["TotalPureCalls"] += 1
+            elif inst.opcode == "ret" and inst.operands and isinstance(inst.operands[0], Constant):
+                derived["TotalReturnsOfConstant"] += 1
+            elif inst.opcode == "store" and isinstance(inst.operands[0], Constant):
+                derived["TotalStoresOfConstants"] += 1
 
+    return _vectorize(total_insts, total_blocks, total_functions, opcode_counts, derived)
+
+
+def instcount_module_features(module: Module) -> np.ndarray:
+    """Module-level features that belong to no single function."""
+    opcode_counts = {op: 0 for op in _OPCODE_ORDER}
+    derived = {name: 0 for name in _DERIVED_FEATURES}
     derived["TotalGlobals"] = len(module.globals)
+    return _vectorize(0, 0, 0, opcode_counts, derived)
 
-    values = [total_insts, total_blocks, total_functions]
-    values += [opcode_counts[op] for op in _OPCODE_ORDER]
-    values += [derived[name] for name in _DERIVED_FEATURES]
-    return np.array(values[:INSTCOUNT_DIMS], dtype=np.int64)
+
+def combine_function_features(
+    vectors: List[np.ndarray],
+    dims: int,
+    max_indices: List[int] = (),
+    extra: np.ndarray = None,
+) -> np.ndarray:
+    """Aggregate per-function feature vectors into a module vector.
+
+    Every dimension sums across functions except ``max_indices``, which take
+    the max (e.g. ``MaxLoopDepth``). ``extra`` adds module-level features.
+    """
+    total = np.zeros(dims, dtype=np.int64)
+    for vector in vectors:
+        total += vector
+    for index in max_indices:
+        total[index] = max((int(vector[index]) for vector in vectors), default=0)
+    if extra is not None:
+        total += extra
+    return total
+
+
+def instcount_features(module: Module) -> np.ndarray:
+    """Compute the 70-D InstCount feature vector of a module."""
+    return combine_function_features(
+        [instcount_function_features(f, module) for f in module.functions.values()],
+        INSTCOUNT_DIMS,
+        INSTCOUNT_MAX_FEATURE_INDICES,
+        extra=instcount_module_features(module),
+    )

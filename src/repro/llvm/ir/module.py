@@ -21,6 +21,16 @@ class Module:
         self.functions: Dict[str, Function] = {}
         # Free-form module metadata (used e.g. to tag generator provenance).
         self.metadata: Dict[str, str] = {}
+        # Monotonic mutation counter: bumped by every pass that reports a
+        # change (see passes.registry.run_pass). Observation caches key on it,
+        # so a stale version must never describe a mutated module — passes
+        # that mutate while reporting ``changed=False`` are lint failures.
+        self.version: int = 0
+
+    def bump_version(self) -> int:
+        """Record a mutation. Returns the new version."""
+        self.version += 1
+        return self.version
 
     # -- construction ---------------------------------------------------------
 
@@ -65,7 +75,11 @@ class Module:
         return self.instruction_count
 
     def clone(self) -> "Module":
-        """Deep copy of the module (used by fork() and baseline computation)."""
+        """Deep copy of the module (used by fork() and baseline computation).
+
+        The clone keeps the parent's ``version``: it describes identical IR,
+        so version-keyed caches carried across a fork stay valid.
+        """
         return copy.deepcopy(self)
 
     def __repr__(self) -> str:

@@ -302,8 +302,17 @@ def get_pass(name: str) -> PassFn:
 
 
 def run_pass(module: Module, name: str) -> bool:
-    """Run a single named pass. Returns whether the module changed."""
-    return get_pass(name)(module)
+    """Run a single named pass. Returns whether the module changed.
+
+    A reported change bumps the module's monotonic ``version`` counter, which
+    is what invalidates version-keyed observation caches. Passes must
+    therefore be honest about ``changed`` — ``repro-compilergym lint``
+    cross-checks every registered pass against the printed IR.
+    """
+    changed = get_pass(name)(module)
+    if changed:
+        module.bump_version()
+    return changed
 
 
 def run_pipeline(module: Module, names: List[str]) -> bool:

@@ -29,6 +29,7 @@ from repro.llvm.ir.basic_block import BasicBlock
 from repro.llvm.ir.instructions import Instruction
 from repro.llvm.ir.module import Module
 from repro.llvm.ir.parser import parse_module
+from repro.llvm.ir.printer import print_module
 from repro.llvm.ir.types import I64
 from repro.llvm.ir.values import Constant
 from repro.llvm.ir.verifier import verify_module
@@ -146,7 +147,7 @@ class ValidationFailure(NamedTuple):
 
     benchmark: str
     pass_name: str
-    kind: str  # "crash" | "verifier" | "differential"
+    kind: str  # "crash" | "verifier" | "differential" | "cache"
     detail: str
 
     def __str__(self) -> str:
@@ -171,17 +172,56 @@ def validate_pass(
 
     ``reference`` is the interpreter's output for the unoptimized module; pass
     ``None`` to skip the differential check (e.g. for non-runnable IR).
+
+    Beyond the verifier and differential checks, the pass's ``changed``
+    return value is audited against the module: the session-level observation
+    cache keys on the module version, which only bumps when a pass reports a
+    change — a pass that mutates IR while reporting ``changed=False`` would
+    silently serve stale cached observations.
     """
     failures: List[ValidationFailure] = []
     clone = module.clone()
+    ir_before = print_module(clone)
+    version_before = clone.version
     try:
-        run_pass(clone, pass_name)
+        changed = run_pass(clone, pass_name)
     except Exception as error:  # noqa: BLE001 - any pass crash is a finding.
         return [
             ValidationFailure(
                 benchmark, pass_name, "crash", f"{type(error).__name__}: {error}"
             )
         ]
+    if changed and clone.version != version_before + 1:
+        failures.append(
+            ValidationFailure(
+                benchmark,
+                pass_name,
+                "cache",
+                f"changed=True but module version went {version_before} -> "
+                f"{clone.version} (expected exactly one bump)",
+            )
+        )
+    elif not changed:
+        if clone.version != version_before:
+            failures.append(
+                ValidationFailure(
+                    benchmark,
+                    pass_name,
+                    "cache",
+                    f"changed=False but module version went {version_before} -> "
+                    f"{clone.version}",
+                )
+            )
+        if print_module(clone) != ir_before:
+            failures.append(
+                ValidationFailure(
+                    benchmark,
+                    pass_name,
+                    "cache",
+                    "changed=False but the printed IR differs — version-keyed "
+                    "observation caches would serve stale results",
+                )
+            )
     errors = verify_module(clone, raise_on_error=False)
     if errors:
         failures.append(

@@ -10,7 +10,8 @@ observation spaces from the current module.
 
 import hashlib
 import random
-from typing import Dict, List, Optional, Tuple
+import threading
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,22 +19,30 @@ from repro.core.datasets.benchmark import Benchmark
 from repro.core.service.compilation_session import CompilationSession
 from repro.core.spaces import Box, Commandline, CommandlineFlag, ObservationSpaceSpec, Scalar, SequenceSpace
 from repro.core.spaces.space import Space
-from repro.llvm.analysis.autophase import AUTOPHASE_DIMS, autophase_features
+from repro.llvm.analysis.autophase import AUTOPHASE_DIMS, autophase_function_features
 from repro.llvm.analysis.inst2vec import inst2vec_embeddings, inst2vec_preprocess
-from repro.llvm.analysis.instcount import INSTCOUNT_DIMS, instcount_features
+from repro.llvm.analysis.instcount import (
+    INSTCOUNT_DIMS,
+    INSTCOUNT_MAX_FEATURE_INDICES,
+    combine_function_features,
+    instcount_function_features,
+    instcount_module_features,
+)
 from repro.llvm.analysis.programl import programl_graph
 from repro.llvm.analysis.summaries import (
     LIVENESS_DIMS,
+    LIVENESS_MAX_FEATURE_INDICES,
     REACHINGDEFS_DIMS,
-    liveness_features,
-    max_domtree_depth,
-    reachingdefs_features,
+    REACHINGDEFS_MAX_FEATURE_INDICES,
+    function_domtree_depth,
+    liveness_function_features,
+    reachingdefs_function_features,
 )
 from repro.llvm.cost.binary_size import object_text_size_bytes
 from repro.llvm.cost.code_size import ir_instruction_count
 from repro.llvm.cost.runtime import measure_runtime
 from repro.llvm.ir.module import Module
-from repro.llvm.ir.printer import print_module
+from repro.llvm.ir.printer import print_function, print_module
 from repro.errors import ServiceError
 from repro.llvm.ir.verifier import verify_module
 from repro.llvm.passes.registry import (
@@ -45,6 +54,27 @@ from repro.llvm.passes.registry import (
 )
 
 _PASS_DESCRIPTIONS = {name: f"Run the -{name} optimization pass" for name in ACTION_SPACE_PASSES}
+
+# Baseline pipelines are computed once per benchmark and published onto the
+# shared benchmark object. The lock serializes concurrent sessions landing on
+# an un-baselined benchmark (one daemon can step many sessions in parallel);
+# without it two sessions would duplicate the multi-pipeline work and one
+# could read a torn, partially-populated dict.
+_BASELINES_LOCK = threading.Lock()
+
+
+def _copy_observation(value):
+    """Defensive copy for cached observation values with mutable types.
+
+    Cached hits hand the same stored object to every caller (including
+    in-process clients that never cross a serialization boundary), so mutable
+    containers must not be shared with user code.
+    """
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, list):
+        return list(value)
+    return value
 
 
 def _make_action_space() -> Commandline:
@@ -173,30 +203,51 @@ class LlvmCompilationSession(CompilationSession):
         self._runtime_rng = random.Random(0xC0FFEE)
         self._runtimes_per_observation = 1
         self._verify_ir = False
+        # Session-incremental observation cache: memoizes deterministic
+        # observations per (space_id, module.version), so a no-op step serves
+        # every observation with zero recompute. Invalidation is the version
+        # counter bumped by run_pass on change.
+        self._obs_memo: Dict[str, Tuple[int, Any]] = {}
+        # Per-function feature memo for the summable feature spaces: maps
+        # space_id -> {function name -> (fingerprint key, feature value)}, so
+        # a pass that touched one function only recomputes that function.
+        self._function_memo: Dict[str, Dict[str, Tuple[tuple, Any]]] = {}
+        # Function fingerprints for the current module version, computed
+        # lazily and at most once per version.
+        self._fingerprint_state: Tuple[int, Dict[str, int]] = (-1, {})
 
     # -- baselines --------------------------------------------------------------
 
     def _baselines(self) -> Dict[str, int]:
         """O0/Oz/O3 metric baselines, computed once per benchmark and cached on
-        the benchmark object (shared across sessions via the benchmark cache)."""
-        cache = self.benchmark.dynamic_config.setdefault("_baselines", {})
-        if not cache:
+        the benchmark object (shared across sessions via the benchmark cache).
+
+        The computed dict is published atomically (assignment, not in-place
+        update) under a lock, so concurrent sessions either see the complete
+        baselines or compute-and-wait — never a torn partial dict.
+        """
+        cache = self.benchmark.dynamic_config.get("_baselines")
+        if cache:
+            return cache
+        with _BASELINES_LOCK:
+            cache = self.benchmark.dynamic_config.get("_baselines")
+            if cache:
+                return cache
             unoptimized = self.benchmark.program
             oz = self.benchmark.program.clone()
             run_pipeline(oz, OZ_PIPELINE)
             o3 = self.benchmark.program.clone()
             run_pipeline(o3, O3_PIPELINE)
-            cache.update(
-                {
-                    "IrInstructionCountO0": ir_instruction_count(unoptimized),
-                    "IrInstructionCountOz": ir_instruction_count(oz),
-                    "IrInstructionCountO3": ir_instruction_count(o3),
-                    "ObjectTextSizeO0": object_text_size_bytes(unoptimized),
-                    "ObjectTextSizeOz": object_text_size_bytes(oz),
-                    "ObjectTextSizeO3": object_text_size_bytes(o3),
-                }
-            )
-        return cache
+            computed = {
+                "IrInstructionCountO0": ir_instruction_count(unoptimized),
+                "IrInstructionCountOz": ir_instruction_count(oz),
+                "IrInstructionCountO3": ir_instruction_count(o3),
+                "ObjectTextSizeO0": object_text_size_bytes(unoptimized),
+                "ObjectTextSizeOz": object_text_size_bytes(oz),
+                "ObjectTextSizeO3": object_text_size_bytes(o3),
+            }
+            self.benchmark.dynamic_config["_baselines"] = computed
+            return computed
 
     # -- CompilationSession interface ---------------------------------------------
 
@@ -219,6 +270,64 @@ class LlvmCompilationSession(CompilationSession):
 
     def get_observation(self, observation_space: ObservationSpaceSpec):
         space_id = observation_space.id
+        if not observation_space.deterministic:
+            # Runtime/Buildtime draw from the session RNG; memoizing them
+            # would change the observation semantics.
+            return self._compute_observation(space_id)
+        version = self.module.version
+        memo = self._obs_memo.get(space_id)
+        if memo is not None and memo[0] == version:
+            return _copy_observation(memo[1])
+        value = self._compute_observation(space_id)
+        self._obs_memo[space_id] = (version, value)
+        return _copy_observation(value)
+
+    # -- incremental per-function features ---------------------------------------
+
+    def _function_fingerprints(self) -> Dict[str, int]:
+        """A content fingerprint per function, computed once per version."""
+        version, fingerprints = self._fingerprint_state
+        if version != self.module.version:
+            fingerprints = {
+                name: hash(print_function(function))
+                for name, function in self.module.functions.items()
+            }
+            self._fingerprint_state = (self.module.version, fingerprints)
+        return fingerprints
+
+    def _module_signature(self) -> int:
+        """Hash of the module's (function name, is_declaration) set.
+
+        InstCount's call features depend on whether the *callee* is declared,
+        so per-function vectors are additionally keyed on this signature.
+        """
+        return hash(
+            tuple(
+                sorted(
+                    (name, function.is_declaration)
+                    for name, function in self.module.functions.items()
+                )
+            )
+        )
+
+    def _per_function_values(self, space_id: str, compute, extra_key: tuple = ()) -> List[Any]:
+        """Per-function feature values, recomputing only changed functions."""
+        fingerprints = self._function_fingerprints()
+        memo = self._function_memo.setdefault(space_id, {})
+        for name in list(memo):
+            if name not in fingerprints:
+                del memo[name]
+        values = []
+        for name, function in self.module.functions.items():
+            key = (fingerprints[name],) + extra_key
+            entry = memo.get(name)
+            if entry is None or entry[0] != key:
+                entry = (key, compute(function))
+                memo[name] = entry
+            values.append(entry[1])
+        return values
+
+    def _compute_observation(self, space_id: str):
         if space_id == "Ir":
             return print_module(self.module)
         if space_id == "IrSha1":
@@ -228,9 +337,21 @@ class LlvmCompilationSession(CompilationSession):
         if space_id in ("IrInstructionCountO0", "IrInstructionCountO3", "IrInstructionCountOz"):
             return self._baselines()[space_id]
         if space_id == "InstCount":
-            return instcount_features(self.module)
+            signature = self._module_signature()
+            vectors = self._per_function_values(
+                space_id,
+                lambda function: instcount_function_features(function, self.module),
+                extra_key=(signature,),
+            )
+            return combine_function_features(
+                vectors,
+                INSTCOUNT_DIMS,
+                INSTCOUNT_MAX_FEATURE_INDICES,
+                extra=instcount_module_features(self.module),
+            )
         if space_id == "Autophase":
-            return autophase_features(self.module)
+            vectors = self._per_function_values(space_id, autophase_function_features)
+            return combine_function_features(vectors, AUTOPHASE_DIMS)
         if space_id == "Inst2vec":
             return inst2vec_embeddings(self.module)
         if space_id == "Inst2vecPreprocessedText":
@@ -252,11 +373,18 @@ class LlvmCompilationSession(CompilationSession):
             base = 1e-5 * max(1, self.module.instruction_count)
             return base * max(0.5, self._runtime_rng.gauss(1.0, 0.1))
         if space_id == "Liveness":
-            return liveness_features(self.module)
+            vectors = self._per_function_values(space_id, liveness_function_features)
+            return combine_function_features(
+                vectors, LIVENESS_DIMS, LIVENESS_MAX_FEATURE_INDICES
+            )
         if space_id == "DomTreeDepth":
-            return max_domtree_depth(self.module)
+            depths = self._per_function_values(space_id, function_domtree_depth)
+            return max((int(depth) for depth in depths), default=0)
         if space_id == "ReachingDefs":
-            return reachingdefs_features(self.module)
+            vectors = self._per_function_values(space_id, reachingdefs_function_features)
+            return combine_function_features(
+                vectors, REACHINGDEFS_DIMS, REACHINGDEFS_MAX_FEATURE_INDICES
+            )
         raise LookupError(f"Unknown observation space: {space_id!r}")
 
     def fork(self) -> "LlvmCompilationSession":
@@ -267,6 +395,14 @@ class LlvmCompilationSession(CompilationSession):
         forked._runtime_rng = random.Random(self._runtime_rng.random())
         forked._runtimes_per_observation = self._runtimes_per_observation
         forked._verify_ir = self._verify_ir
+        # The clone describes identical IR at the same version, so the fork
+        # inherits the parent's warm observation caches. The inner dicts are
+        # copied (they are mutated in place); cached values never are.
+        forked._obs_memo = dict(self._obs_memo)
+        forked._function_memo = {
+            space: dict(entries) for space, entries in self._function_memo.items()
+        }
+        forked._fingerprint_state = self._fingerprint_state
         return forked
 
     def handle_session_parameter(self, key: str, value: str) -> Optional[str]:

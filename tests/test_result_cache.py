@@ -1,0 +1,235 @@
+"""Tests for the two-layer result cache.
+
+Layer 1 is the session-incremental observation memo keyed on the module
+version counter; layer 2 is the daemon-wide (benchmark, action-prefix)
+store shared across sessions. The acceptance criteria covered here:
+
+- Cached and uncached rollouts are bit-identical across all three
+  transports (in-process, socket daemon, 2-daemon gateway).
+- fork() inherits the parent's warm prefix (and stays lazy until a miss).
+- The LRU store evicts to its byte budget, oldest entries first.
+- Every registered pass honors the version-counter contract the layer-1
+  memo keys on (``changed`` return value <=> exactly one version bump).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.service.gateway import ServiceGateway
+from repro.core.service.runtime.result_cache import ResultCache
+from repro.core.service.runtime.server import make_env_server
+from repro.llvm.datasets.generators import generate_module
+from repro.llvm.ir.printer import print_module
+from repro.llvm.passes.registry import PASS_REGISTRY, run_pass
+from repro.llvm.passes.validate import LINT_EXCLUDED_PASSES
+
+BENCHMARK = "cbench-v1/crc32"
+SEQUENCES = [
+    [0, 11, 3, 7, 1],
+    [23, 5, 0, 11, 2],
+]
+
+
+def _make_env(**kwargs):
+    return repro.make(
+        "llvm-v0",
+        benchmark=BENCHMARK,
+        observation_space="Autophase",
+        reward_space="IrInstructionCount",
+        **kwargs,
+    )
+
+
+def _trace(env, actions):
+    """One episode's full observable record, in plain comparable types."""
+    observation = env.reset()
+    trace = [np.asarray(observation).tolist()]
+    for action in actions:
+        observation, reward, done, info = env.step(action)
+        trace.append(
+            (
+                np.asarray(observation).tolist(),
+                reward,
+                done,
+                info["action_had_no_effect"],
+            )
+        )
+        if done:
+            break
+    return trace
+
+
+def _traces(env):
+    return [_trace(env, actions) for actions in SEQUENCES]
+
+
+class TestTraceEquivalence:
+    def test_in_process_cached_traces_bit_identical(self):
+        cached = _make_env()
+        uncached = _make_env(result_cache=False)
+        try:
+            cold = _traces(cached)  # populates the cache
+            warm = _traces(cached)  # served from it
+            reference = _traces(uncached)
+            assert cold == reference
+            assert warm == reference
+            stats = cached.service.runtime.result_cache.stats()
+            assert stats["hits"] > 0
+        finally:
+            cached.close()
+            uncached.close()
+
+    def test_daemon_cached_traces_bit_identical(self):
+        cached_server = make_env_server("llvm-v0").start()
+        uncached_server = make_env_server("llvm-v0", result_cache=False).start()
+        try:
+            cached = _make_env(service_url=cached_server.url)
+            uncached = _make_env(service_url=uncached_server.url)
+            try:
+                cold = _traces(cached)
+                warm = _traces(cached)
+                reference = _traces(uncached)
+                assert cold == reference
+                assert warm == reference
+                # The daemon reports its cache accounting via server_info.
+                info = cached.service.transport.server_info()
+                stats = info["cache_stats"]["result_cache"]
+                assert stats["hits"] > 0
+                assert uncached_server.runtime.result_cache is None
+            finally:
+                cached.close()
+                uncached.close()
+        finally:
+            cached_server.shutdown()
+            uncached_server.shutdown()
+
+    def test_gateway_cached_traces_bit_identical(self):
+        gateway = ServiceGateway(env_id="llvm-v0", daemons=2).start()
+        uncached_server = make_env_server("llvm-v0", result_cache=False).start()
+        try:
+            uncached = _make_env(service_url=uncached_server.url)
+            try:
+                reference = _traces(uncached)
+            finally:
+                uncached.close()
+            # Sessions round-robin across the fleet, so repeated rollouts
+            # warm both daemons; every rollout, cold or warm, must match.
+            for _ in range(4):
+                env = _make_env(service_url=gateway.url)
+                try:
+                    assert _traces(env) == reference
+                finally:
+                    env.close()
+            totals = gateway.result_cache_stats()["total"]
+            assert totals["daemons"] == 2
+            assert totals["hits"] > 0
+        finally:
+            gateway.shutdown()
+            uncached_server.shutdown()
+
+
+class TestForkInheritsPrefix:
+    def test_fork_of_lazy_session_replays_warm_prefix(self):
+        prefix, extra = SEQUENCES[0], 42
+        uncached = _make_env(result_cache=False)
+        try:
+            reference = _trace(uncached, prefix + [extra])
+        finally:
+            uncached.close()
+
+        env = _make_env()
+        try:
+            runtime = env.service.runtime
+            _trace(env, prefix)  # cold: populates the cache
+            _trace(env, prefix)  # warm: the session is never constructed
+            assert runtime.sessions[env._session_id] is None
+            fork = env.fork()
+            try:
+                # Forking a lazy session is free: the child is lazy too.
+                assert runtime.sessions[fork._session_id] is None
+                # The child's first miss materializes the inherited prefix
+                # and continues from it, matching the uncached rollout.
+                observation, reward, done, info = fork.step(extra)
+                assert runtime.sessions[fork._session_id] is not None
+                assert (
+                    np.asarray(observation).tolist(),
+                    reward,
+                    done,
+                    info["action_had_no_effect"],
+                ) == reference[-1]
+            finally:
+                fork.close()
+        finally:
+            env.close()
+
+
+class TestLruEviction:
+    def test_evicts_oldest_to_byte_budget(self):
+        cache = ResultCache(max_size_in_bytes=2000)
+        payload = {"obs": b"x" * 200}
+        for i in range(20):
+            cache.store_step("b://x", tuple(range(i + 1)), 1, False, False, payload)
+        assert cache.evictions > 0
+        assert cache.size_in_bytes <= 2000
+        # Oldest prefixes are gone, the newest survives.
+        assert cache.lookup_step("b://x", (0,), 1, ["obs"]) is None
+        assert cache.lookup_step("b://x", tuple(range(20)), 1, ["obs"]) is not None
+
+    def test_oversized_entry_still_kept_alone(self):
+        cache = ResultCache(max_size_in_bytes=64)
+        cache.put_observation("b://x", (), "obs", b"y" * 500)
+        assert cache.get_observation("b://x", (), "obs") == b"y" * 500
+        assert cache.size == 1
+
+    def test_disabled_and_coerced_budgets(self):
+        assert ResultCache.coerce(False) is None
+        assert ResultCache.coerce(0) is None
+        assert ResultCache.coerce(1 << 20).max_size_in_bytes == 1 << 20
+        default = ResultCache.coerce(None)
+        assert default is not None
+        shared = ResultCache()
+        assert ResultCache.coerce(shared) is shared
+
+
+class TestVersionCounterContract:
+    def test_every_registered_pass_bumps_version_iff_changed(self):
+        """The layer-1 memo keys on (space, module.version): a pass that
+        mutates IR while reporting changed=False would serve stale
+        observations, so the contract is audited for every registered pass."""
+        module = generate_module(seed=7, size_scale=5)
+        for name in sorted(set(PASS_REGISTRY) - LINT_EXCLUDED_PASSES):
+            clone = module.clone()
+            ir_before = print_module(clone)
+            version_before = clone.version
+            changed = run_pass(clone, name)
+            expected = version_before + (1 if changed else 0)
+            assert clone.version == expected, (
+                f"{name}: changed={changed} but version went "
+                f"{version_before} -> {clone.version}"
+            )
+            if not changed:
+                assert print_module(clone) == ir_before, (
+                    f"{name}: changed=False but the printed IR differs"
+                )
+
+    def test_noop_steps_leave_version_and_memo_untouched(self):
+        env = _make_env(result_cache=False)
+        try:
+            env.reset()
+            session = env.service.runtime.sessions[env._session_id]
+            version = session.module.version
+            # A mutating pass bumps the version and invalidates the memo.
+            mem2reg = env.action_space.names.index("mem2reg")
+            _, _, _, info = env.step(mem2reg)
+            assert not info["action_had_no_effect"]
+            assert session.module.version == version + 1
+            # Re-running the same pass is a fixpoint no-op: the version (and
+            # with it every memoized observation) stays put.
+            count = env.observation["IrInstructionCount"]
+            _, _, _, info = env.step(mem2reg)
+            assert info["action_had_no_effect"]
+            assert session.module.version == version + 1
+            assert env.observation["IrInstructionCount"] == count
+        finally:
+            env.close()

@@ -108,8 +108,11 @@ class _SlowStepSession(_CounterSession):
 
 
 def _slow_runtime() -> CompilerGymServiceRuntime:
+    # Result cache off: these runtimes back the concurrency tests, which
+    # assert on apply_action actually executing (sleeping, tracking
+    # in-flight counts) — a cache hit would serve the step without running it.
     return CompilerGymServiceRuntime(
-        session_type=_SlowStepSession, benchmark_resolver=_resolver
+        session_type=_SlowStepSession, benchmark_resolver=_resolver, result_cache=False
     )
 
 

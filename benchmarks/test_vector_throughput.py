@@ -358,6 +358,107 @@ def _measure_result_cache(sequences: int = 8, length: int = 10, repeats: int = 4
     }
 
 
+def _measure_failover_recovery(heartbeat_interval: float = 0.25):
+    """Detection latency and time-to-first-successful-step after a daemon
+    SIGKILL, heartbeat-driven vs call-triggered.
+
+    The heartbeat run measures the proactive path: the gateway's
+    HealthMonitor notices the corpse and re-homes its sessions with *no
+    client RPC in flight* — detection latency is how long that took, and
+    time-to-first-step adds one post-recovery step (which finds the session
+    already replayed). The call-triggered run disables the monitor, so the
+    client's own next step pays for detection, failover, and replay inline;
+    its detection latency IS its time-to-first-step.
+    """
+    import signal as signal_module
+
+    from repro.core.service.connection import clear_spaces_cache
+    from repro.core.service.gateway import ServiceGateway
+
+    def one_run(heartbeat: bool):
+        gateway = ServiceGateway(
+            env_id="llvm-v0",
+            daemons=2,
+            heartbeat_interval=heartbeat_interval if heartbeat else None,
+        ).start()
+        env = repro.make(
+            "llvm-v0", benchmark=f"benchmark://{BENCHMARK}", service_url=gateway.url
+        )
+        try:
+            env.reset()
+            env.step(0)
+            victim = next(
+                d
+                for d in gateway.live_daemons()
+                if any(r.daemon is d for r in gateway._sessions.values())
+            )
+            os.kill(victim.pid, signal_module.SIGKILL)
+            killed_at = time.monotonic()
+            if heartbeat:
+                while gateway.failovers == 0:
+                    time.sleep(0.002)
+                detection_s = time.monotonic() - killed_at
+                # Detection (failovers flips) precedes the replay of the
+                # victim's sessions; keep hands off the client until the
+                # monitor has re-homed them, so the recovery is provably
+                # heartbeat-driven, not triggered by our own step.
+                replay_deadline = time.monotonic() + 10.0
+                while (
+                    gateway.rehomed_sessions == 0
+                    and time.monotonic() < replay_deadline
+                ):
+                    time.sleep(0.002)
+            env.step(0)
+            recovery_s = time.monotonic() - killed_at
+            if not heartbeat:
+                detection_s = recovery_s
+            return {
+                "detection_s": detection_s,
+                "time_to_first_step_s": recovery_s,
+                "rehomed_sessions": gateway.rehomed_sessions,
+            }
+        finally:
+            env.close()
+            gateway.shutdown()
+            clear_spaces_cache()
+
+    return {
+        "heartbeat_interval_s": heartbeat_interval,
+        "detection_slo_s": 2 * heartbeat_interval,
+        "heartbeat": one_run(True),
+        "call_triggered": one_run(False),
+    }
+
+
+def check_failover_recovery(slack_s: float = 1.0) -> int:
+    """CI gate: a SIGKILLed daemon must be detected by the heartbeat
+    monitor — no client RPC in flight — within 2 heartbeat intervals
+    (plus scheduling slack for loaded runners), and the next client step
+    must succeed on the re-homed session."""
+    fresh = _measure_failover_recovery()
+    slo = fresh["detection_slo_s"] + slack_s
+    heartbeat = fresh["heartbeat"]
+    print(
+        f"failover recovery at {fresh['heartbeat_interval_s']}s heartbeat: "
+        f"detected in {heartbeat['detection_s']:.3f}s "
+        f"(SLO {fresh['detection_slo_s']:.2f}s + {slack_s:.1f}s slack), "
+        f"first step {heartbeat['time_to_first_step_s']:.3f}s after kill; "
+        f"call-triggered path recovered in "
+        f"{fresh['call_triggered']['time_to_first_step_s']:.3f}s"
+    )
+    if heartbeat["detection_s"] > slo:
+        print(
+            f"FAIL: heartbeat detection took {heartbeat['detection_s']:.3f}s, "
+            f"over the {slo:.2f}s budget"
+        )
+        return 1
+    if heartbeat["rehomed_sessions"] < 1:
+        print("FAIL: the victim's session was not re-homed")
+        return 1
+    print("OK: failover recovery within SLO")
+    return 0
+
+
 def _gateway_bench_main(pipe):
     """Child-process entry: host a 1-daemon gateway, report both URLs."""
     import signal
@@ -504,6 +605,7 @@ def test_vector_throughput():
     vec_latency = _measure_vec_transport_latency(rounds=max(10, int(25 * bench_scale())))
     transport_latency["vec_pool"] = vec_latency
     result_cache = _measure_result_cache()
+    failover_recovery = _measure_failover_recovery()
     # The gateway comparison is the suite's most scheduling-sensitive
     # measurement (three processes hand off per round trip on however many
     # cores the runner has), and it runs last, on a box heated by every
@@ -539,8 +641,20 @@ def test_vector_throughput():
             "gateway_overhead": gateway_overhead,
             "verifier_overhead": verifier_overhead,
             "result_cache": result_cache,
+            "failover_recovery": failover_recovery,
         },
     )
+    # Acceptance criterion: the heartbeat monitor detects a SIGKILLed
+    # daemon — with no client RPC in flight — within 2 heartbeat intervals
+    # (plus scheduling slack), and the re-homed session serves the next step.
+    assert failover_recovery["heartbeat"]["detection_s"] < (
+        failover_recovery["detection_slo_s"] + 1.0
+    ), (
+        f"heartbeat failover detection took "
+        f"{failover_recovery['heartbeat']['detection_s']:.3f}s, over the "
+        f"{failover_recovery['detection_slo_s']:.2f}s SLO"
+    )
+    assert failover_recovery["heartbeat"]["rehomed_sessions"] >= 1
     # Acceptance criteria: on the repeated-prefix workload the result cache
     # serves at least 80% of queries and removes at least 5x of the per-step
     # cost relative to the same trajectories with the cache disabled.
@@ -680,11 +794,20 @@ def main(argv=None):
         action="store_true",
         help="Measure per-step overhead of REPRO_VERIFY_IR and exit",
     )
+    parser.add_argument(
+        "--check-failover-recovery",
+        action="store_true",
+        help="SIGKILL a gateway daemon and exit non-zero unless the "
+        "heartbeat monitor detects it within 2 heartbeat intervals (plus "
+        "slack) with no client RPC in flight and re-homes its session",
+    )
     args = parser.parse_args(argv)
     if args.check_transport_regression:
         return check_transport_regression()
     if args.check_result_cache:
         return check_result_cache_regression()
+    if args.check_failover_recovery:
+        return check_failover_recovery()
     if args.measure_verifier_overhead:
         overhead = _measure_verifier_overhead(steps=50)
         print(

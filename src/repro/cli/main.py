@@ -111,6 +111,11 @@ def _cmd_serve(args) -> int:
             f"{result_cache['size_in_bytes'] / (1024 * 1024):.1f} MiB used",
             flush=True,
         )
+    print(
+        f"Health: uptime {info['uptime_s']:.1f}s, "
+        f"{info['heartbeats_served']} heartbeat(s) answered",
+        flush=True,
+    )
     return 0
 
 
@@ -133,6 +138,11 @@ def _cmd_gateway(args) -> int:
         unix_path=args.unix_socket,
         auth_tokens=args.auth_token or None,
         fleet_token=args.fleet_token,
+        # The serving CLI runs the proactive health layer by default; embedded
+        # gateways (tests, benchmarks) opt in explicitly.
+        heartbeat_interval=(
+            args.heartbeat_interval if args.heartbeat_interval > 0 else None
+        ),
     )
 
     def _handle_signal(signum, frame):  # noqa: ARG001 - signal API
@@ -152,13 +162,181 @@ def _cmd_gateway(args) -> int:
     try:
         gateway.serve_forever()
     finally:
+        # Snapshot fleet health before shutdown tears the fleet down.
+        fleet_health = [
+            (
+                daemon.index,
+                daemon.breaker.state,
+                daemon.breaker.trips,
+                daemon.last_heartbeat_age_s(),
+            )
+            for daemon in gateway.live_daemons()
+        ]
         gateway.shutdown()
     info = gateway.server_info()
     print(
         f"Gateway shut down cleanly: {info['connections_served']} connection(s), "
-        f"{info['failovers']} failover(s)",
+        f"{info['failovers']} failover(s), "
+        f"{info['rehomed_sessions']} session(s) re-homed",
         flush=True,
     )
+    monitor = info.get("health_monitor")
+    if monitor:
+        print(
+            f"Health: uptime {info['uptime_s']:.1f}s, heartbeat every "
+            f"{monitor['interval_s']:g}s, {monitor['probes']} probe(s), "
+            f"{monitor['deaths_detected']} death(s) detected proactively",
+            flush=True,
+        )
+    for index, breaker_state, trips, heartbeat_age in fleet_health:
+        age = "never" if heartbeat_age is None else f"{heartbeat_age:.1f}s ago"
+        print(
+            f"Daemon {index}: breaker {breaker_state} ({trips} trip(s)), "
+            f"last heartbeat {age}",
+            flush=True,
+        )
+    return 0
+
+
+def _chaos_soak_once(args, run_index: int):
+    """One seeded chaos-soak run: a fresh 2-daemon gateway, a fresh env
+    wrapped in a fresh ChaosTransport over the same FaultPlan, the same
+    seeded action workload. Returns (traces, injected, digest)."""
+    import hashlib
+    import random as random_module
+
+    from repro.core.service.chaos import FaultEvent, FaultPlan
+    from repro.core.service.gateway import ServiceGateway
+    from repro.errors import ServiceError
+
+    gateway = ServiceGateway(
+        env_id=args.env,
+        daemons=args.daemons,
+        heartbeat_interval=args.heartbeat_interval,
+    ).start()
+    env = None
+    try:
+        events = list(
+            FaultPlan.generate(
+                seed=args.seed,
+                calls=args.fault_calls,
+                rate=args.fault_rate,
+                kinds=("cut_send", "cut_recv", "refuse_connect"),
+            ).events
+        )
+        if args.kill_call >= 0:
+            # SIGKILL daemon 0 at the first step() call at or after the
+            # index: the step path carries the gateway's failover retry, so
+            # the kill is absorbed transparently whatever the monitor/client
+            # race — the action trace is identical either way.
+            events.append(
+                FaultEvent(call_index=args.kill_call, kind="kill_daemon",
+                           method="step", param=0.0)
+            )
+        plan = FaultPlan(
+            events=tuple(sorted(events, key=lambda e: e.call_index)),
+            seed=args.seed,
+        )
+        kill_pids = [d.pid for d in gateway.live_daemons() if d.pid is not None]
+
+        env = repro.make(
+            args.env,
+            benchmark=args.benchmark,
+            reward_space="IrInstructionCount",
+            service_url=gateway.url,
+            chaos=plan,
+        )
+        env.service.transport.kill_targets = kill_pids
+        rng = random_module.Random(args.seed)
+        num_actions = env.action_space.n
+        traces = []
+        failed_episodes = 0
+        for _ in range(args.episodes):
+            try:
+                env.reset()
+                for _ in range(args.steps):
+                    _, _, done, step_info = env.step(rng.randrange(num_actions))
+                    if done:
+                        # The env's fault-tolerance path ends the episode
+                        # (done=True + error_details) on a non-retryable
+                        # injected fault instead of raising: that is the
+                        # at-most-once contract working, not a soak failure.
+                        # The truncated (acknowledged-only) trace is part of
+                        # the deterministic fingerprint.
+                        if "error_details" in step_info:
+                            failed_episodes += 1
+                        break
+            except (ServiceError, ConnectionError, OSError):
+                # reset() itself can die on an injected fault (e.g. the
+                # retry budget exhausted by scheduled refusals).
+                failed_episodes += 1
+            traces.append(list(env.actions))
+        injected = list(env.service.transport.injected)
+        digest = hashlib.sha256(repr(traces).encode()).hexdigest()[:32]
+        print(
+            f"Run {run_index}: {len(traces)}/{args.episodes} episode(s) "
+            f"completed ({failed_episodes} truncated by faults), "
+            f"{len(injected)} fault(s) injected, "
+            f"{gateway.failovers} failover(s), "
+            f"{gateway.rehomed_sessions} session(s) re-homed"
+        )
+        return traces, injected, digest
+    finally:
+        if env is not None:
+            try:
+                env.close()
+            except Exception:  # noqa: BLE001 - chaos may break close() too
+                pass
+        gateway.shutdown()
+
+
+def _cmd_chaos_soak(args) -> int:
+    """Deterministic chaos soak: seeded faults over a 2-daemon gateway.
+
+    Runs a random-action workload through ``make(..., chaos=FaultPlan)``
+    against an in-process gateway fleet with the heartbeat monitor on, under
+    a seeded schedule of frame cuts, refused connects, and a whole-daemon
+    SIGKILL. Asserts completion, prints the injected fault log, and (with
+    ``--runs`` > 1) asserts the soak is deterministic: the same seed must
+    yield the same injected fault sequence and identical final action
+    traces.
+    """
+    from repro.core.service.chaos import FaultPlan
+
+    plan_preview = FaultPlan.generate(
+        seed=args.seed, calls=args.fault_calls, rate=args.fault_rate,
+        kinds=("cut_send", "cut_recv", "refuse_connect"),
+    )
+    print(
+        f"Chaos soak: seed {args.seed}, {args.episodes} episode(s) x "
+        f"{args.steps} step(s) over {args.daemons} daemon(s), "
+        f"heartbeat every {args.heartbeat_interval:g}s"
+    )
+    print(f"Fault plan: {plan_preview.describe()}"
+          + (f" + SIGKILL at step call >= {args.kill_call}" if args.kill_call >= 0 else ""))
+    digests = []
+    injected_logs = []
+    for run_index in range(max(1, args.runs)):
+        traces, injected, digest = _chaos_soak_once(args, run_index)
+        if not any(traces):
+            print("FAIL: no episode produced any actions", file=sys.stderr)
+            return 1
+        digests.append(digest)
+        injected_logs.append(injected)
+        print(f"Injected fault sequence: {injected}")
+        print(f"Action trace digest: {digest}", flush=True)
+    if len(digests) > 1:
+        if len(set(digests)) != 1 or any(
+            log != injected_logs[0] for log in injected_logs
+        ):
+            print(
+                f"FAIL: chaos soak is NOT deterministic across {args.runs} "
+                f"runs: digests {digests}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"Deterministic: {args.runs} run(s) produced identical fault "
+              f"sequences and action traces")
     return 0
 
 
@@ -250,6 +428,9 @@ def _train_distributed(args, benchmarks):
             file=sys.stderr,
         )
         return None, None
+    if args.resume and not args.checkpoint_dir:
+        print("train --resume requires --checkpoint-dir", file=sys.stderr)
+        return None, None
     agent_kwargs = {}
     if args.agent == "apex" and args.learner_batch:
         agent_kwargs["batch_size"] = args.learner_batch
@@ -266,8 +447,19 @@ def _train_distributed(args, benchmarks):
         episode_length=args.episode_length,
         broadcast_interval=args.broadcast_interval,
         seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
     )
     result = trainer.train(benchmarks, episodes=args.episodes)
+    if args.checkpoint_dir:
+        resumed = trainer.stats.get("resumed_episodes", 0)
+        print(
+            f"Checkpoint: {args.checkpoint_dir} "
+            f"({resumed} episode(s) resumed, "
+            f"{len(result.episode_rewards)} total)",
+            flush=True,
+        )
     return result, trainer
 
 
@@ -317,7 +509,7 @@ def _cmd_train(args) -> int:
         topology = (
             f"{args.actors} actor process(es) x {args.workers} env(s) "
             f"[{args.backend} backend, "
-            f"{'synchronous' if trainer.stats['synchronous'] else 'async'} learner]"
+            f"{'synchronous' if trainer.stats.get('synchronous', True) else 'async'} learner]"
         )
     else:
         result = _train_single_process(args, benchmarks)
@@ -329,7 +521,7 @@ def _cmd_train(args) -> int:
           f"{sum(rewards[:window]) / window:.4f}")
     print(f"  mean episode reward (last {window}):  "
           f"{sum(rewards[-window:]) / window:.4f}")
-    if trainer is not None:
+    if trainer is not None and "total_env_steps" in trainer.stats:
         stats = trainer.stats
         print(f"  distributed: {stats['total_env_steps']} env steps, "
               f"{stats['items_learned']} experience items learned, "
@@ -495,7 +687,50 @@ def make_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--fleet-token", default=None,
                          help="Auth token the gateway presents to its daemons; "
                               "spawned daemons are configured to require it")
+    gateway.add_argument("--heartbeat-interval", type=float, default=1.0,
+                         help="Seconds between proactive daemon liveness "
+                              "probes; a SIGKILLed daemon is detected and its "
+                              "sessions re-homed within ~2 intervals with no "
+                              "client call needed (<= 0 disables the monitor)")
     gateway.set_defaults(func=_cmd_gateway)
+
+    chaos_soak = sub.add_parser(
+        "chaos-soak",
+        help="Deterministic fault-injection soak: a seeded FaultPlan (frame "
+             "cuts, refused connects, daemon SIGKILL) over a 2-daemon "
+             "gateway, asserting completion and reproducible action traces",
+        description="Run a random-action workload through a fault-injecting "
+                    "ChaosTransport against an in-process gateway fleet with "
+                    "the heartbeat health monitor on. The fault schedule is "
+                    "fully determined by --seed; with --runs 2 the command "
+                    "fails unless both runs inject the identical fault "
+                    "sequence and produce identical final action traces.",
+    )
+    chaos_soak.add_argument("--env", default="llvm-v0")
+    chaos_soak.add_argument("--benchmark", default="benchmark://cbench-v1/qsort")
+    chaos_soak.add_argument("--seed", type=int, default=0,
+                            help="Seed of the fault schedule and the action "
+                                 "workload (same seed -> same run)")
+    chaos_soak.add_argument("--episodes", type=int, default=4)
+    chaos_soak.add_argument("--steps", type=int, default=6,
+                            help="Actions attempted per episode")
+    chaos_soak.add_argument("--daemons", type=int, default=2,
+                            help="Gateway fleet size")
+    chaos_soak.add_argument("--heartbeat-interval", type=float, default=0.25)
+    chaos_soak.add_argument("--fault-calls", type=int, default=40,
+                            help="Call-index range the seeded faults are "
+                                 "drawn over")
+    chaos_soak.add_argument("--fault-rate", type=float, default=0.15,
+                            help="Per-call fault probability in the seeded "
+                                 "schedule")
+    chaos_soak.add_argument("--kill-call", type=int, default=12,
+                            help="SIGKILL gateway daemon 0 at the first "
+                                 "step() call at or after this call index "
+                                 "(-1 disables the kill)")
+    chaos_soak.add_argument("--runs", type=int, default=1,
+                            help="Repeat the identical soak N times and fail "
+                                 "unless every run matches (determinism gate)")
+    chaos_soak.set_defaults(func=_cmd_chaos_soak)
 
     search = sub.add_parser("random-search", help="Run (parallel) random search")
     search.add_argument("--env", default="llvm-ic-v0")
@@ -547,6 +782,18 @@ def make_parser() -> argparse.ArgumentParser:
     train.add_argument("--no-auto-reset", action="store_true",
                        help="Collect per-episode lockstep rollouts instead of "
                             "continuous auto-reset rollouts")
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="Directory for periodic learner checkpoints "
+                            "(weights, feature-scaler statistics, episode "
+                            "accounting). Distributed mode (--actors) only")
+    train.add_argument("--checkpoint-interval", type=int, default=512,
+                       help="Experience items learned between periodic "
+                            "checkpoints")
+    train.add_argument("--resume", action="store_true",
+                       help="Resume from the checkpoint in --checkpoint-dir: "
+                            "--episodes is the total target; only the "
+                            "episodes beyond the checkpoint are run and the "
+                            "learning curve concatenates saved + new episodes")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", help="Write the learning curve to a JSON file")
     train.set_defaults(func=_cmd_train)

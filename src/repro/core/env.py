@@ -61,6 +61,7 @@ class CompilerEnv:
         service_token: Optional[str] = None,
         verify_ir: Optional[bool] = None,
         result_cache=None,
+        chaos=None,
     ):
         self.session_type = session_type
         self.datasets = datasets
@@ -74,6 +75,13 @@ class CompilerEnv:
         # --result-cache-mb`); the setting only applies when this env hosts
         # its runtime in-process.
         self.result_cache = result_cache
+        # Deterministic fault injection: a FaultPlan (or an int seed) wraps
+        # this env's transport in a ChaosTransport so scheduled faults —
+        # refused connects, mid-frame cuts, lost replies, daemon kills —
+        # fire at exact call indices. None (production) injects nothing.
+        from repro.core.service.chaos import resolve_chaos
+
+        self.chaos = resolve_chaos(chaos)
         # Verify-after-every-pass debug mode: the backend re-verifies the IR
         # after each applied action and fails the step on corruption. Off by
         # default (it adds a dominator-tree construction per function per
@@ -99,6 +107,10 @@ class CompilerEnv:
                 transport = self._make_socket_transport()
             else:
                 transport = InProcessTransport(self._make_runtime)
+            if self.chaos is not None:
+                from repro.core.service.chaos import ChaosTransport
+
+                transport = ChaosTransport(transport, self.chaos)
             self.service = ServiceConnection(transport, opts=self.connection_opts)
             self._owns_service = True
         else:
@@ -660,9 +672,12 @@ class CompilerEnv:
         if self.service_url is None:
             return False
         shared = self.service
-        self.service = ServiceConnection(
-            self._make_socket_transport(), opts=self.connection_opts
-        )
+        transport = self._make_socket_transport()
+        if self.chaos is not None:
+            from repro.core.service.chaos import ChaosTransport
+
+            transport = ChaosTransport(transport, self.chaos)
+        self.service = ServiceConnection(transport, opts=self.connection_opts)
         self._owns_service = True
         shared.release()
         return True

@@ -15,6 +15,7 @@ round-trip cost of a real RPC transport, which is what the batched-step
 experiments measure against.
 """
 
+import random
 import threading
 import time
 from concurrent.futures import Executor, Future
@@ -71,6 +72,12 @@ class ConnectionOpts:
     rpc_max_retries: int = 5
     retry_wait_seconds: float = 0.01
     retry_wait_backoff_exponent: float = 1.5
+    # Full-jitter backoff: each retry sleeps uniform(0, wait) instead of the
+    # deterministic wait. Without this, N pool workers that lose the same
+    # daemon retry in lockstep and stampede its replacement; with it their
+    # retry schedules decorrelate. Disable only when a test needs exact
+    # deterministic sleep lengths.
+    retry_wait_jitter: bool = True
     # Simulated per-call transport latency in seconds. Zero by default; the
     # efficiency benchmarks set this to a non-zero value to model the RPC
     # round trip that batched steps amortize.
@@ -281,7 +288,12 @@ class ServiceConnection:
                 if attempt + 1 < attempts:
                     with self._lock:
                         stats.retries += 1
-                    time.sleep(wait)
+                    # Full jitter (sleep uniform(0, wait), not wait itself):
+                    # connections that fail together must not retry together.
+                    if self.opts.retry_wait_jitter:
+                        time.sleep(random.uniform(0.0, wait))
+                    else:
+                        time.sleep(wait)
                     wait *= self.opts.retry_wait_backoff_exponent
                     self.restart()
                 continue

@@ -52,6 +52,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.compiler_env_state import CompilerEnvState
 from repro.core.service.connection import ConnectionOpts, ServiceConnection
+from repro.core.service.health import OPEN, CircuitBreaker, HealthMonitor
 from repro.core.service.proto import (
     EndSessionReply,
     EndSessionRequest,
@@ -74,6 +75,7 @@ from repro.core.service.wire import (
 from repro.errors import (
     PermissionDeniedError,
     ServiceError,
+    ServiceIsDown,
     SessionNotFound,
 )
 
@@ -123,10 +125,20 @@ class DaemonHandle:
     process: Optional[multiprocessing.process.BaseProcess] = None
     draining: bool = False
     dead: bool = False
+    # Health substrate: the per-daemon circuit breaker sheds load from a
+    # flapping member (closed → open on consecutive failures → half-open
+    # probe), and last_heartbeat timestamps the most recent successful probe.
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    last_heartbeat: Optional[float] = None
 
     @property
     def pid(self) -> Optional[int]:
         return self.process.pid if self.process is not None else None
+
+    def last_heartbeat_age_s(self) -> Optional[float]:
+        if self.last_heartbeat is None:
+            return None
+        return time.monotonic() - self.last_heartbeat
 
 
 @dataclass
@@ -169,6 +181,15 @@ class ServiceGateway(SocketRPCServer):
         fleet_token: Auth token the gateway presents to its daemons, and
             which spawned daemons are configured to require.
         daemon_timeout: Per-RPC transport timeout toward the daemons.
+        heartbeat_interval: Seconds between proactive liveness probes of
+            each daemon. ``None`` (the default for embedded gateways)
+            disables the background :class:`HealthMonitor`; the serve CLIs
+            turn it on. With the monitor running, a SIGKILLed daemon is
+            detected and its sessions re-homed within ~2 intervals even
+            when no client RPC is in flight.
+        breaker_threshold / breaker_reset_timeout: Circuit-breaker tuning —
+            consecutive failures that trip a daemon's breaker open, and
+            seconds before an open breaker admits a half-open probe.
     """
 
     server_kind = "gateway"
@@ -188,6 +209,9 @@ class ServiceGateway(SocketRPCServer):
         auth_tokens=None,
         fleet_token: Optional[str] = None,
         daemon_timeout: float = 300.0,
+        heartbeat_interval: Optional[float] = None,
+        breaker_threshold: int = 3,
+        breaker_reset_timeout: float = 5.0,
     ):
         if not daemon_urls and not daemons:
             raise ValueError(
@@ -206,6 +230,11 @@ class ServiceGateway(SocketRPCServer):
         self._session_ids = itertools.count()
         self._epoch = 0
         self.failovers = 0
+        self.rehomed_sessions = 0  # Sessions successfully replayed onto survivors.
+        self.heartbeat_interval = heartbeat_interval
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_timeout = breaker_reset_timeout
+        self.health_monitor: Optional[HealthMonitor] = None
         # step_sessions fan-out runs per-daemon batches on this pool (the
         # inherited dispatch pool carries the batch RPC itself, and tasks
         # must never wait on their own executor).
@@ -222,6 +251,10 @@ class ServiceGateway(SocketRPCServer):
             self.spawn_daemon()
 
         super().__init__(host=host, port=port, unix_path=unix_path, auth_tokens=auth_tokens)
+
+        if heartbeat_interval is not None:
+            self.health_monitor = HealthMonitor(self, interval=heartbeat_interval)
+            self.health_monitor.start()
 
     # -- fleet membership --------------------------------------------------
 
@@ -257,6 +290,10 @@ class ServiceGateway(SocketRPCServer):
             index=next(self._daemon_indexes),
             url=url,
             connection=self._connect_daemon(url),
+            breaker=CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                reset_timeout=self._breaker_reset_timeout,
+            ),
         )
         with self._fleet_lock:
             self._daemons.append(handle)
@@ -300,7 +337,12 @@ class ServiceGateway(SocketRPCServer):
 
     def _placement_candidates(self) -> List[DaemonHandle]:
         with self._fleet_lock:
-            return [d for d in self._daemons if not d.dead and not d.draining]
+            candidates = [d for d in self._daemons if not d.dead and not d.draining]
+        # Circuit-broken daemons shed load: new sessions avoid them while
+        # their breaker is open. If that would leave nowhere to place,
+        # fall back to the full set — degraded placement beats refusing.
+        healthy = [d for d in candidates if d.breaker.state != OPEN]
+        return healthy or candidates
 
     def _place_session(self) -> DaemonHandle:
         """Pick the least-loaded live daemon for a new session."""
@@ -317,12 +359,15 @@ class ServiceGateway(SocketRPCServer):
     # -- failure handling --------------------------------------------------
 
     def _daemon_alive(self, daemon: DaemonHandle) -> bool:
-        """Liveness probe: can the daemon still answer server_info?"""
+        """Liveness probe: can the daemon still answer a heartbeat?"""
         try:
-            daemon.connection.transport.server_info()
-            return True
+            daemon.connection.transport.heartbeat()
         except Exception:  # noqa: BLE001 - any failure means "not provably alive"
+            daemon.breaker.record_failure()
             return False
+        daemon.last_heartbeat = time.monotonic()
+        daemon.breaker.record_success()
+        return True
 
     def _handle_daemon_failure(self, daemon: DaemonHandle, error: BaseException) -> None:
         """Retire a dead daemon and re-home its sessions onto survivors.
@@ -337,6 +382,7 @@ class ServiceGateway(SocketRPCServer):
             if daemon.dead:
                 return
             daemon.dead = True
+            daemon.breaker.force_open()
             self._epoch += 1
             self.failovers += 1
             stranded = [r for r in self._sessions.values() if r.daemon is daemon]
@@ -381,6 +427,7 @@ class ServiceGateway(SocketRPCServer):
             record.daemon = target
             record.remote_sid = reply.session_id
             record.replayed += 1
+            self.rehomed_sessions += 1
         logger.info(
             "Replayed session %d (%d actions) onto daemon %d at %s",
             record.gateway_sid, len(record.actions), target.index, target.url,
@@ -580,6 +627,21 @@ class ServiceGateway(SocketRPCServer):
         def step_group(daemon: DaemonHandle, positions: List[int], depth: int = 0):
             started = time.monotonic()
             subs = [request.requests[p] for p in positions]
+            # Graceful degradation: a dead or circuit-broken daemon's
+            # sessions get per-session ServiceIsDown results immediately —
+            # the survivors' groups keep stepping, the batch never fails
+            # whole, and no timeout is paid per broken session.
+            if daemon.dead or not daemon.breaker.allow():
+                down = ServiceIsDown(
+                    f"Gateway daemon {daemon.index} at {daemon.url} is "
+                    f"{'dead' if daemon.dead else 'circuit-broken'}; its "
+                    f"sessions are unavailable until the fleet recovers"
+                )
+                for position, sub in zip(positions, subs):
+                    results[position] = SessionStepResult(
+                        session_id=sub.session_id, error=down, wall_time_s=0.0
+                    )
+                return
             translated = [
                 StepRequest(
                     session_id=records[sub.session_id].remote_sid,
@@ -599,12 +661,23 @@ class ServiceGateway(SocketRPCServer):
                     for new_daemon, new_positions in bucket_by_home(positions):
                         step_group(new_daemon, new_positions, depth=1)
                     return
+                daemon.breaker.record_failure()
+                # A bare connection-level failure means the daemon (not the
+                # compile work) is the problem: degrade those sessions to
+                # ServiceIsDown so the client sees "fleet member down", not
+                # an opaque socket error that might fail the whole batch.
+                if not isinstance(error, ServiceError):
+                    error = ServiceIsDown(
+                        f"Gateway daemon {daemon.index} at {daemon.url} is "
+                        f"unreachable: {error}"
+                    )
                 wall = time.monotonic() - started
                 for position, sub in zip(positions, subs):
                     results[position] = SessionStepResult(
                         session_id=sub.session_id, error=error, wall_time_s=wall
                     )
                 return
+            daemon.breaker.record_success()
             for position, sub, result in zip(positions, subs, batch):
                 if result.error is None:
                     records[sub.session_id].actions.extend(sub.actions)
@@ -682,6 +755,7 @@ class ServiceGateway(SocketRPCServer):
             sessions = len(self._sessions)
             epoch = self._epoch
             failovers = self.failovers
+            rehomed = self.rehomed_sessions
             fleet = [
                 {
                     "index": d.index,
@@ -691,10 +765,14 @@ class ServiceGateway(SocketRPCServer):
                     "sessions": sum(
                         1 for r in self._sessions.values() if r.daemon is d
                     ),
+                    "breaker": d.breaker.state,
+                    "breaker_trips": d.breaker.trips,
+                    "last_heartbeat_age_s": d.last_heartbeat_age_s(),
                 }
                 for d in self._daemons
                 if not d.dead
             ]
+        monitor = self.health_monitor
         return {
             "pid": os.getpid(),
             "env_id": self.env_id,
@@ -705,8 +783,15 @@ class ServiceGateway(SocketRPCServer):
             "uptime_s": time.monotonic() - self.started_at,
             "active_sessions": sessions,
             "connections_served": self.connections_served,
+            "heartbeats_served": self.heartbeats_served,
             "spaces_epoch": epoch,
             "failovers": failovers,
+            "rehomed_sessions": rehomed,
+            "health_monitor": None if monitor is None else {
+                "interval_s": monitor.interval,
+                "probes": monitor.probes,
+                "deaths_detected": monitor.deaths_detected,
+            },
             "daemons": fleet,
             # Fleet-wide result-cache counters (summed across live daemons).
             "cache_stats": {"result_cache": self.result_cache_stats()["total"]},
@@ -795,6 +880,8 @@ class ServiceGateway(SocketRPCServer):
         """Stop serving and reap every spawned daemon. Idempotent."""
         if not self._begin_shutdown():
             return
+        if self.health_monitor is not None:
+            self.health_monitor.stop()
         self._fanout_executor.shutdown(wait=True)
         self._finish_shutdown()
         with self._fleet_lock:

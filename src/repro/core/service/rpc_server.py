@@ -31,6 +31,8 @@ from repro.core.service.wire import (
     REPLY_OK,
     SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    corrupt_frame_payload,
+    frame_bytes,
     negotiate_wire_version,
     read_frame_ex,
     write_frame_reply,
@@ -86,6 +88,12 @@ class SocketRPCServer:
         self.auth_tokens = None if auth_tokens is None else frozenset(auth_tokens)
         self.started_at = time.monotonic()
         self.connections_served = 0
+        self.heartbeats_served = 0
+        self.last_heartbeat_at: Optional[float] = None
+        # Optional fault-injection hooks (a ``repro.core.service.chaos.
+        # ServerChaos``): consulted once per executed request before its
+        # reply is written. None in production.
+        self.chaos = None
         self.closed = False
         self._lock = threading.Lock()
         self._shutdown_event = threading.Event()
@@ -242,6 +250,13 @@ class SocketRPCServer:
         try:
             if method == "hello":
                 result = self._hello(state, *args)
+            elif method == "heartbeat":
+                # Liveness probe: answered before the auth check, because a
+                # health monitor holds no tenant token and needs nothing but
+                # proof the process is alive and serving. Deliberately does
+                # no work — its latency is pure protocol overhead, which is
+                # exactly what a heartbeat should measure.
+                result = self._heartbeat()
             elif not state.authenticated:
                 raise PermissionDeniedError(
                     "This service requires authentication: connect with a "
@@ -253,6 +268,20 @@ class SocketRPCServer:
             status, payload = REPLY_ERROR, error
         else:
             status, payload = REPLY_OK, result
+        if self.chaos is not None and method != "hello":
+            fault = self.chaos.on_reply(method)
+            if fault is not None:
+                action, param = fault
+                if action == "drop":
+                    return  # Executed, but the reply never leaves the server.
+                if action == "delay":
+                    time.sleep(param)
+                elif action == "corrupt":
+                    self._write_corrupted_reply(
+                        wfile, write_lock, request_id, status, payload,
+                        frame_version,
+                    )
+                    return
         try:
             with write_lock:
                 write_frame_reply(
@@ -260,6 +289,36 @@ class SocketRPCServer:
                 )
         except (OSError, ConnectionError, ValueError):
             pass  # Reply write failed: the client is gone.
+
+    def _heartbeat(self) -> dict:
+        """The liveness probe reply: pid + uptime, nothing that can block."""
+        with self._lock:
+            self.heartbeats_served += 1
+            self.last_heartbeat_at = time.monotonic()
+        return {
+            "pid": os.getpid(),
+            "kind": self.server_kind,
+            "uptime_s": time.monotonic() - self.started_at,
+        }
+
+    def _write_corrupted_reply(
+        self, wfile, write_lock, request_id, status, payload, frame_version
+    ) -> None:
+        """Write a reply frame whose payload bytes are garbage (chaos only).
+
+        The header (version byte + length) is kept intact so the client
+        reads a plausible frame and fails in its decoder — the same shape as
+        bit rot or a version-skewed peer.
+        """
+        frame = corrupt_frame_payload(
+            frame_bytes((request_id, status, payload), version=frame_version)
+        )
+        try:
+            with write_lock:
+                wfile.write(frame)
+                wfile.flush()
+        except (OSError, ConnectionError, ValueError):
+            pass
 
     # -- handshake ---------------------------------------------------------
 

@@ -356,6 +356,8 @@ class ServiceServer(SocketRPCServer):
             reaped = self.reaped_sessions
             connections = self.connections_served
             batched = self.batched_steps
+            heartbeats = self.heartbeats_served
+            last_heartbeat = self.last_heartbeat_at
         return {
             "pid": os.getpid(),
             "env_id": self.env_id,
@@ -367,6 +369,11 @@ class ServiceServer(SocketRPCServer):
             "reaped_sessions": reaped,
             "connections_served": connections,
             "batched_steps": batched,
+            "heartbeats_served": heartbeats,
+            "last_heartbeat_age_s": (
+                None if last_heartbeat is None
+                else time.monotonic() - last_heartbeat
+            ),
             "runtime_stats": dict(self.runtime.stats),
             "cache_stats": self.runtime.cache_stats(),
         }

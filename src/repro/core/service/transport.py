@@ -848,6 +848,16 @@ class SocketTransport(ServiceTransport):
         """Fetch the daemon's identity/occupancy snapshot (pid, sessions...)."""
         return self.call("server_info")
 
+    def heartbeat(self) -> dict:
+        """Probe server liveness with the cheapest RPC the protocol has.
+
+        Served by the RPC base class *before* the auth check — a health
+        monitor needs no tenant token to ask "are you alive?". A refused
+        connection propagates as :class:`ConnectionRefusedError`, which
+        callers treat as "nothing is listening: the process is gone".
+        """
+        return self.call("heartbeat")
+
     def __repr__(self) -> str:
         return f"SocketTransport(url={self.url!r}, closed={self.closed})"
 

@@ -299,6 +299,26 @@ def decode_payload(data: bytes, version: int) -> Any:
     return CODECS[version].decode(data)
 
 
+#: Size of the fixed frame header: one version byte plus the uint64 length
+#: prefix. Fault injectors that corrupt frames in flight preserve exactly
+#: this many leading bytes so the receiver reads a plausible frame of the
+#: right length and fails in its *decoder*, not on the length prefix.
+FRAME_HEADER_BYTES = 1 + _FRAME_HEADER.size
+
+
+def corrupt_frame_payload(frame: bytes) -> bytes:
+    """Flip every payload byte of a complete frame, preserving the header.
+
+    Chaos-testing helper: the returned frame is structurally valid (version
+    byte and length prefix intact) but its payload no longer decodes,
+    modelling bit rot or a version-skewed peer on the wire.
+    """
+    corrupted = bytearray(frame)
+    for i in range(FRAME_HEADER_BYTES, len(corrupted)):
+        corrupted[i] ^= 0xA5
+    return bytes(corrupted)
+
+
 def frame_bytes(message: Any, version: int = WIRE_VERSION) -> bytes:
     """Serialize one message to its on-the-wire frame: version byte,
     length prefix, encoded payload."""

@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.core.datasets import Benchmark
 from repro.core.service.connection import merge_stats_summaries
 from repro.core.vector.backends import ExecutionBackend, close_quietly, resolve_backend
-from repro.errors import CompilerGymError, ServiceError, SessionNotFound
+from repro.errors import CompilerGymError, ServiceError, ServiceIsDown, SessionNotFound
 
 logger = logging.getLogger(__name__)
 
@@ -384,7 +384,14 @@ class VecCompilerEnv:
                     continue
                 error = outcome.error
                 if isinstance(error, (ServiceError, SessionNotFound)):
-                    results[index] = worker._finish_multistep_error(error, context)
+                    result = worker._finish_multistep_error(error, context)
+                    if isinstance(error, ServiceIsDown):
+                        # Graceful degradation: the gateway reported this
+                        # session's fleet member down while siblings kept
+                        # stepping. Mark the slot so collectors can tell a
+                        # partial outage from an ordinary compile failure.
+                        result[3]["service_is_down"] = True
+                    results[index] = result
                 elif isinstance(error, (CompilerGymError, LookupError)):
                     # The per-worker path would raise these through; so does
                     # the batch (after every other worker's result above was

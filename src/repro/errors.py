@@ -58,6 +58,17 @@ class ServiceIsClosed(ServiceError):
     """An operation was attempted on a closed service."""
 
 
+class ServiceIsDown(ServiceError):
+    """The service (or the fleet member hosting the session) is unreachable.
+
+    Raised per-session by the gateway's ``step_sessions`` fan-out when the
+    fleet is partially down: sessions on surviving daemons keep stepping and
+    only the sessions whose daemon is dead (or circuit-broken) receive this
+    error, instead of the whole batch failing. Non-retryable — the session's
+    episode ends through the environment's fault-tolerance path.
+    """
+
+
 class PermissionDeniedError(ServiceError):
     """The service rejected the call on authentication or ownership grounds.
 

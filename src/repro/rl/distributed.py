@@ -37,7 +37,10 @@ of either path is identical.
 
 import logging
 import multiprocessing
+import os
+import pickle
 import queue as queue_module
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -70,6 +73,53 @@ AGENT_TYPES = {
 # while actor 0 keeps the caller's seed (the single-process equivalence
 # anchor).
 _ACTOR_SEED_STRIDE = 9973
+
+# Learner checkpoint file name inside --checkpoint-dir, and its format tag.
+CHECKPOINT_FILENAME = "learner.ckpt"
+_CHECKPOINT_VERSION = 1
+
+
+def checkpoint_path(checkpoint_dir: str) -> str:
+    return os.path.join(checkpoint_dir, CHECKPOINT_FILENAME)
+
+
+def save_learner_checkpoint(checkpoint_dir: str, state: Dict[str, Any]) -> str:
+    """Atomically persist a learner checkpoint (write temp + rename).
+
+    A kill mid-write leaves either the previous checkpoint or the new one —
+    never a torn file — which is the whole point of checkpointing against
+    crashes.
+    """
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    path = checkpoint_path(checkpoint_dir)
+    fd, tmp = tempfile.mkstemp(dir=checkpoint_dir, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump(state, f)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_learner_checkpoint(checkpoint_dir: str) -> Optional[Dict[str, Any]]:
+    """Load the learner checkpoint from ``checkpoint_dir``, or None."""
+    path = checkpoint_path(checkpoint_dir)
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as f:
+        state = pickle.load(f)
+    version = state.get("version")
+    if version != _CHECKPOINT_VERSION:
+        raise ValueError(
+            f"Unsupported learner checkpoint version {version!r} at {path} "
+            f"(this build writes version {_CHECKPOINT_VERSION})"
+        )
+    return state
 
 
 def _build_agent(agent_name: str, agent_kwargs: Dict[str, Any]):
@@ -280,6 +330,18 @@ class DistributedTrainer:
             where available, else ``spawn``).
         timeout: Seconds either side waits on its queue before declaring the
             other side dead.
+        checkpoint_dir: Directory for periodic learner checkpoints (weights,
+            FeatureScaler statistics, replay-buffer priority seed, episode
+            accounting). ``None`` disables checkpointing.
+        checkpoint_interval: Learn items consumed between periodic
+            checkpoints (a final checkpoint is always written when a
+            checkpointed run completes).
+        resume: Warm-start from the checkpoint in ``checkpoint_dir``:
+            the learner's weights and scaler are restored and
+            :meth:`train`'s ``episodes`` is treated as the *total* target —
+            only the episodes beyond the checkpoint's count are run, and the
+            returned reward trajectory concatenates saved + new episodes to
+            exactly ``episodes`` entries (the crash-resume contract).
     """
 
     agent: str = "apex"
@@ -299,6 +361,9 @@ class DistributedTrainer:
     seed: int = 0
     start_method: Optional[str] = None
     timeout: float = 300.0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 512
+    resume: bool = False
 
     def __post_init__(self):
         if self.num_actors < 1:
@@ -322,6 +387,74 @@ class DistributedTrainer:
         # front (rather than inside N subprocesses), and becomes the learner.
         self.learner = _build_agent(self.agent, self.agent_kwargs)
         self.stats: Dict[str, Any] = {}
+        # Episode accounting carried over from a resumed checkpoint: the
+        # rewards already earned before the crash, and the learn-item count.
+        self._resume_rewards: List[float] = []
+        self._resume_items = 0
+        if self.resume:
+            if not self.checkpoint_dir:
+                raise ValueError("resume=True requires checkpoint_dir")
+            state = load_learner_checkpoint(self.checkpoint_dir)
+            if state is not None:
+                self._apply_checkpoint(state)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _apply_checkpoint(self, state: Dict[str, Any]) -> None:
+        if state.get("agent") != self.agent:
+            raise ValueError(
+                f"Checkpoint in {self.checkpoint_dir} was written by agent "
+                f"{state.get('agent')!r}, not {self.agent!r}"
+            )
+        self.learner.set_weights(state["weights"])
+        scaler = getattr(self.learner, "scaler", None)
+        if scaler is not None and state.get("scaler") is not None:
+            scaler.set_state(state["scaler"])
+        # The replay buffer's *contents* die with the process (they are
+        # regenerated by fresh experience) but its priority scale survives:
+        # restoring max_priority keeps new experience sampled with the same
+        # initial priority it would have had in the uninterrupted run.
+        replay = getattr(self.learner, "replay", None)
+        if replay is not None and state.get("replay_max_priority") is not None:
+            replay._max_priority = state["replay_max_priority"]
+        self._resume_rewards = list(state.get("episode_rewards", []))
+        self._resume_items = int(state.get("items_learned", 0))
+        logger.info(
+            "Resumed %s learner from %s: %d episode(s), %d learn item(s)",
+            self.agent, self.checkpoint_dir, len(self._resume_rewards),
+            self._resume_items,
+        )
+
+    def _checkpoint_state(
+        self, episode_rewards: List[float], items_learned: int
+    ) -> Dict[str, Any]:
+        scaler = getattr(self.learner, "scaler", None)
+        replay = getattr(self.learner, "replay", None)
+        return {
+            "version": _CHECKPOINT_VERSION,
+            "agent": self.agent,
+            "seed": self.seed,
+            "weights": self.learner.get_weights(),
+            "scaler": scaler.get_state() if scaler is not None else None,
+            "replay_max_priority": getattr(replay, "_max_priority", None),
+            "episodes_done": len(episode_rewards),
+            "episode_rewards": list(episode_rewards),
+            "items_learned": items_learned,
+        }
+
+    def _write_checkpoint(self, episode_rewards: List[float], items_learned: int) -> None:
+        if not self.checkpoint_dir:
+            return
+        try:
+            save_learner_checkpoint(
+                self.checkpoint_dir,
+                self._checkpoint_state(episode_rewards, items_learned),
+            )
+        except Exception:  # noqa: BLE001 - checkpointing must not kill training
+            logger.warning(
+                "Failed to write learner checkpoint to %s", self.checkpoint_dir,
+                exc_info=True,
+            )
 
     # -- topology ------------------------------------------------------------
 
@@ -375,8 +508,21 @@ class DistributedTrainer:
         if isinstance(training_benchmarks, str):
             training_benchmarks = [training_benchmarks]
         benchmarks = [str(benchmark) for benchmark in training_benchmarks]
+        # Resume accounting: episodes is the TOTAL target; a resumed trainer
+        # runs only the episodes beyond its checkpoint and prepends the saved
+        # reward stream, so crash + resume reaches the same trajectory
+        # length as the uninterrupted run.
+        remaining = episodes - len(self._resume_rewards)
+        if remaining <= 0:
+            result = TrainingResult(
+                agent_name=getattr(self.learner, "name", type(self.learner).__name__),
+                episodes=episodes,
+            )
+            result.episode_rewards = list(self._resume_rewards[:episodes])
+            self.stats = {"resumed_episodes": len(result.episode_rewards), "actors": 0}
+            return result
         synchronous = self.synchronous if self.synchronous is not None else self.num_actors == 1
-        specs = self._actor_specs(benchmarks, episodes, synchronous)
+        specs = self._actor_specs(benchmarks, remaining, synchronous)
 
         if self.start_method is not None:
             start_method = self.start_method
@@ -421,6 +567,18 @@ class DistributedTrainer:
                 if kind == "experience":
                     weights = learner.learn_items(payload)
                     items_learned += len(payload)
+                    if (
+                        self.checkpoint_dir
+                        and items_learned // self.checkpoint_interval
+                        > (items_learned - len(payload)) // self.checkpoint_interval
+                    ):
+                        # Periodic mid-run checkpoint: the weights/scaler are
+                        # current; episode accounting is the pre-crash state
+                        # (this run's episodes only land in the final write).
+                        self._write_checkpoint(
+                            self._resume_rewards,
+                            self._resume_items + items_learned,
+                        )
                     if synchronous:
                         # Reply to the shipping actor only: None means "keep
                         # your current weights" (exactly what a
@@ -463,6 +621,7 @@ class DistributedTrainer:
         result = TrainingResult(
             agent_name=getattr(learner, "name", type(learner).__name__), episodes=episodes
         )
+        result.episode_rewards.extend(self._resume_rewards)
         for spec in specs:
             report = actor_reports.get(spec.actor_id, {})
             result.episode_rewards.extend(report.get("rewards", [])[: spec.episodes])
@@ -479,11 +638,16 @@ class DistributedTrainer:
         learner_scaler = getattr(learner, "scaler", None)
         if scaler_states and learner_scaler is not None:
             learner_scaler.set_state(FeatureScaler.merge_states(scaler_states))
+        self._write_checkpoint(
+            result.episode_rewards, self._resume_items + items_learned
+        )
         self.stats = {
             "actors": len(specs),
             "envs_per_actor": self.envs_per_actor,
             "synchronous": synchronous,
             "items_learned": items_learned,
+            "resumed_episodes": len(self._resume_rewards),
+            "checkpoint_dir": self.checkpoint_dir,
             "broadcasts": broadcasts,
             "total_env_steps": sum(r.get("steps", 0) for r in actor_reports.values()),
             "actor_steps": {pid: r.get("steps", 0) for pid, r in actor_reports.items()},

@@ -5,7 +5,13 @@ import pytest
 
 import repro
 from repro.rl import ApexDQNAgent, DistributedTrainer, ImpalaAgent
-from repro.rl.distributed import ActorSpec, _build_agent, train_agent_distributed
+from repro.rl.distributed import (
+    ActorSpec,
+    _build_agent,
+    checkpoint_path,
+    load_learner_checkpoint,
+    train_agent_distributed,
+)
 from repro.rl.policies import LinearPolicy, LinearValueFunction
 from repro.rl.trainer import (
     AUTOPHASE_ACTION_SUBSET,
@@ -297,3 +303,85 @@ class TestDistributedTraining:
             DistributedTrainer(agent="apex", num_actors=0)
         with pytest.raises(ValueError, match="envs_per_actor"):
             DistributedTrainer(agent="apex", envs_per_actor=0)
+
+
+class TestLearnerCheckpoints:
+    """Periodic learner checkpoints and the kill-and-resume contract."""
+
+    def _trainer(self, **kwargs):
+        return _distributed_trainer(
+            "apex",
+            {"batch_size": 8, "seed": 3},
+            num_actors=1,
+            envs_per_actor=2,
+            seed=3,
+            **kwargs,
+        )
+
+    def test_kill_and_resume_reaches_total_episode_target(self, tmp_path):
+        """The crash-resume contract: train 3 of 6 episodes, 'crash' (drop
+        the trainer), resume in a fresh trainer, and ask for the same total.
+        The resumed run replays only the remainder and returns a trajectory
+        of exactly 6 rewards whose first 3 are the checkpointed ones."""
+        checkpoint_dir = str(tmp_path / "ckpt")
+        first = self._trainer(checkpoint_dir=checkpoint_dir, checkpoint_interval=1)
+        partial = first.train(BENCHMARKS, episodes=3)
+        assert len(partial.episode_rewards) == 3
+        state = load_learner_checkpoint(checkpoint_dir)
+        assert state is not None
+        assert state["episodes_done"] == 3
+        assert state["episode_rewards"] == pytest.approx(partial.episode_rewards)
+
+        # A fresh trainer (the "restarted process") warm-starts from disk.
+        resumed = self._trainer(checkpoint_dir=checkpoint_dir, resume=True)
+        result = resumed.train(BENCHMARKS, episodes=6)
+        assert len(result.episode_rewards) == 6
+        assert result.episode_rewards[:3] == pytest.approx(partial.episode_rewards)
+        assert all(np.isfinite(r) for r in result.episode_rewards)
+        # Only the remainder actually ran.
+        assert resumed.stats["resumed_episodes"] == 3
+        # The final checkpoint now carries the whole trajectory.
+        final = load_learner_checkpoint(checkpoint_dir)
+        assert final["episodes_done"] == 6
+
+    def test_checkpoint_restores_weights_and_scaler(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        first = self._trainer(checkpoint_dir=checkpoint_dir)
+        first.train(BENCHMARKS, episodes=2)
+        resumed = self._trainer(checkpoint_dir=checkpoint_dir, resume=True)
+        np.testing.assert_array_equal(
+            resumed.learner.q.weights, first.learner.q.weights
+        )
+        np.testing.assert_allclose(resumed.learner.scaler.mean, first.learner.scaler.mean)
+        assert resumed.learner.replay._max_priority == first.learner.replay._max_priority
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="requires checkpoint_dir"):
+            self._trainer(resume=True)
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        trainer = self._trainer(checkpoint_dir=str(tmp_path / "empty"), resume=True)
+        result = trainer.train([BENCHMARKS[0]], episodes=2)
+        assert len(result.episode_rewards) == 2
+
+    def test_missing_checkpoint_loads_none(self, tmp_path):
+        assert load_learner_checkpoint(str(tmp_path / "nope")) is None
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import pickle
+
+        checkpoint_dir = str(tmp_path)
+        with open(checkpoint_path(checkpoint_dir), "wb") as f:
+            pickle.dump({"version": 999}, f)
+        with pytest.raises(ValueError, match="checkpoint version"):
+            load_learner_checkpoint(checkpoint_dir)
+
+    def test_agent_mismatch_rejected(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        first = self._trainer(checkpoint_dir=checkpoint_dir)
+        first.train([BENCHMARKS[0]], episodes=2)
+        with pytest.raises(ValueError, match="was written by agent"):
+            _distributed_trainer(
+                "impala", {"seed": 3}, num_actors=1,
+                checkpoint_dir=checkpoint_dir, resume=True,
+            )

@@ -27,6 +27,7 @@ from repro.core.service import (
     ConnectionOpts,
     ServiceConnection,
 )
+from repro.core.service.chaos import FlushLimitedSocket
 from repro.core.service.proto import HelloReply, StartSessionRequest, StepRequest
 from repro.core.service.runtime.server import ServiceServer, make_env_server
 from repro.core.service.transport import (
@@ -346,25 +347,6 @@ class TestLostReplyIsNotRetryable:
             transport.shutdown()
             listener.close()
 
-class _FlushLimitedSocket:
-    """Fault injector: a socket whose ``send()`` path fails after flushing a
-    fixed number of bytes (0 = fail before anything leaves the client)."""
-
-    def __init__(self, sock, flush_budget: int):
-        self._sock = sock
-        self._budget = flush_budget
-
-    def send(self, data):
-        if self._budget <= 0:
-            raise OSError("injected send failure")
-        sent = self._sock.send(data[: self._budget])
-        self._budget -= sent
-        return sent
-
-    def __getattr__(self, name):
-        return getattr(self._sock, name)
-
-
 class TestSendFailureClassification:
     """Regression (headline): send-side failures must be classified by
     whether any bytes may have been flushed. A clean pre-flush failure
@@ -380,7 +362,7 @@ class TestSendFailureClassification:
             transport = SocketTransport(server.url, timeout=5.0)
             transport.connect()
             conn = transport._conn
-            conn.sock = _FlushLimitedSocket(conn.sock, flush_budget=0)
+            conn.sock = FlushLimitedSocket(conn.sock, flush_budget=0)
             with pytest.raises(ConnectionError, match="before any of the request") as excinfo:
                 transport.call("server_info")
             # The retryable family, NOT the non-retryable ServiceError one.
@@ -398,7 +380,7 @@ class TestSendFailureClassification:
             )
             steps_before = server.runtime.stats["step"]
             conn = connection.transport._conn
-            conn.sock = _FlushLimitedSocket(conn.sock, flush_budget=0)
+            conn.sock = FlushLimitedSocket(conn.sock, flush_budget=0)
             reply = connection.step(
                 StepRequest(
                     session_id=session.session_id,
@@ -425,7 +407,7 @@ class TestSendFailureClassification:
             conn = connection.transport._conn
             # Let 5 bytes of the frame out, then fail: from the client's view
             # the daemon may or may not own a complete request.
-            conn.sock = _FlushLimitedSocket(conn.sock, flush_budget=5)
+            conn.sock = FlushLimitedSocket(conn.sock, flush_budget=5)
             with pytest.raises(ServiceTransportError, match="will not be retried"):
                 connection.step(
                     StepRequest(session_id=session.session_id, actions=[1])
